@@ -1,0 +1,52 @@
+"""Shared bench harness.
+
+Each bench file regenerates one figure/table of the paper's evaluation
+via :func:`repro.experiments.registry.run_experiment`, times it with
+pytest-benchmark, and persists the rendered tables to
+``benchmarks/results/<experiment>.txt`` (pytest captures stdout, so the
+files are the reliable artifact; run with ``-s`` to also see the tables
+inline).
+
+Set ``REPRO_FULL=1`` to run the full (slow) configurations recorded in
+EXPERIMENTS.md; the default quick mode keeps every bench in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.tables import render_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _quick() -> bool:
+    return os.environ.get("REPRO_FULL", "") != "1"
+
+
+@pytest.fixture
+def run_and_report(benchmark):
+    """Run an experiment under the benchmark timer and persist its tables."""
+
+    def _run(name: str):
+        quick = _quick()
+        tables = benchmark.pedantic(
+            run_experiment, args=(name, quick), rounds=1, iterations=1
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        rendered = "\n\n".join(render_table(t) for t in tables)
+        mode = "quick" if quick else "full"
+        # Quick runs must not clobber the full-configuration artifacts
+        # that EXPERIMENTS.md records.
+        suffix = ".quick.txt" if quick else ".txt"
+        out_path = RESULTS_DIR / f"{name}{suffix}"
+        out_path.write_text(f"[mode: {mode}]\n\n{rendered}\n")
+        print(f"\n{rendered}\n[written to {out_path}]")
+        assert tables and all(t.rows for t in tables)
+        return tables
+
+    return _run

@@ -1,0 +1,9 @@
+"""Bench: Ablation: Boost with/without least-squares consistency.
+
+Regenerates experiment ``abl_consistency`` (see DESIGN.md's per-experiment index
+and EXPERIMENTS.md for paper-vs-measured shapes).
+"""
+
+
+def test_abl_consistency(run_and_report):
+    run_and_report("abl_consistency")

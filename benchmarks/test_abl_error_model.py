@@ -1,0 +1,9 @@
+"""Bench: closed-form noise variances vs Monte Carlo measurement.
+
+Regenerates ablation ``abl_error_model``, validating
+``repro.analysis.variance`` on the live publishers.
+"""
+
+
+def test_abl_error_model(run_and_report):
+    run_and_report("abl_error_model")

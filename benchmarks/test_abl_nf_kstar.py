@@ -1,0 +1,9 @@
+"""Bench: Ablation: NF adaptive k* vs fixed k vs the non-private oracle.
+
+Regenerates experiment ``abl_nf_kstar`` (see DESIGN.md's per-experiment index
+and EXPERIMENTS.md for paper-vs-measured shapes).
+"""
+
+
+def test_abl_nf_kstar(run_and_report):
+    run_and_report("abl_nf_kstar")

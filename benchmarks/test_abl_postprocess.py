@@ -1,0 +1,9 @@
+"""Bench: Ablation: clamp+rescale post-processing effect per publisher.
+
+Regenerates experiment ``abl_postprocess`` (see DESIGN.md's per-experiment index
+and EXPERIMENTS.md for paper-vs-measured shapes).
+"""
+
+
+def test_abl_postprocess(run_and_report):
+    run_and_report("abl_postprocess")

@@ -1,0 +1,9 @@
+"""Bench: Ablation: SF structure policy (EM vs equi-width vs oracle).
+
+Regenerates experiment ``abl_sf_sampling`` (see DESIGN.md's per-experiment index
+and EXPERIMENTS.md for paper-vs-measured shapes).
+"""
+
+
+def test_abl_sf_sampling(run_and_report):
+    run_and_report("abl_sf_sampling")

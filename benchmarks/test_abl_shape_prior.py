@@ -1,0 +1,8 @@
+"""Bench: isotonic shape-prior projection gain on degree-style data.
+
+Regenerates ablation ``abl_shape_prior`` (see DESIGN.md).
+"""
+
+
+def test_abl_shape_prior(run_and_report):
+    run_and_report("abl_shape_prior")

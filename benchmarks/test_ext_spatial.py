@@ -1,0 +1,9 @@
+"""Bench: rectangle-query MSE of the 2-D publishers across epsilon.
+
+Regenerates extension experiment ``ext_spatial`` (beyond the paper's
+1-D setting; see DESIGN.md).
+"""
+
+
+def test_ext_spatial(run_and_report):
+    run_and_report("ext_spatial")

@@ -1,0 +1,9 @@
+"""Bench: uniform vs threshold streaming release under w-event privacy.
+
+Regenerates extension experiment ``ext_streaming`` (beyond the paper's
+one-shot setting; see DESIGN.md).
+"""
+
+
+def test_ext_streaming(run_and_report):
+    run_and_report("ext_streaming")

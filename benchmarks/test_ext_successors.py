@@ -1,0 +1,8 @@
+"""Bench: NoiseFirst vs StructureFirst vs AHP (the successor comparison).
+
+Regenerates extension experiment ``ext_successors`` (see DESIGN.md).
+"""
+
+
+def test_ext_successors(run_and_report):
+    run_and_report("ext_successors")

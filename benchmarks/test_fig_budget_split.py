@@ -1,0 +1,9 @@
+"""Bench: SF error vs the structure/noise budget split.
+
+Regenerates experiment ``fig_budget_split`` (see DESIGN.md's per-experiment index
+and EXPERIMENTS.md for paper-vs-measured shapes).
+"""
+
+
+def test_fig_budget_split(run_and_report):
+    run_and_report("fig_budget_split")

@@ -1,0 +1,9 @@
+"""Bench: scaled unit error vs dataset cardinality at fixed epsilon.
+
+Regenerates experiment ``fig_data_scale`` (see DESIGN.md's
+per-experiment index and EXPERIMENTS.md for paper-vs-measured shapes).
+"""
+
+
+def test_fig_data_scale(run_and_report):
+    run_and_report("fig_data_scale")

@@ -1,0 +1,9 @@
+"""Bench: SF/NF error as a function of the bucket count k.
+
+Regenerates experiment ``fig_k_sensitivity`` (see DESIGN.md's per-experiment index
+and EXPERIMENTS.md for paper-vs-measured shapes).
+"""
+
+
+def test_fig_k_sensitivity(run_and_report):
+    run_and_report("fig_k_sensitivity")

@@ -1,0 +1,9 @@
+"""Bench: KL divergence of the published distribution vs epsilon.
+
+Regenerates experiment ``fig_kl_vs_eps`` (see DESIGN.md's per-experiment index
+and EXPERIMENTS.md for paper-vs-measured shapes).
+"""
+
+
+def test_fig_kl_vs_eps(run_and_report):
+    run_and_report("fig_kl_vs_eps")

@@ -1,0 +1,9 @@
+"""Bench: Unit-query MSE vs epsilon per dataset; NoiseFirst should track or beat Dwork, trees/wavelets lose on points.
+
+Regenerates experiment ``fig_point_vs_eps`` (see DESIGN.md's per-experiment index
+and EXPERIMENTS.md for paper-vs-measured shapes).
+"""
+
+
+def test_fig_point_vs_eps(run_and_report):
+    run_and_report("fig_point_vs_eps")

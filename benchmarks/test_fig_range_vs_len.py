@@ -1,0 +1,9 @@
+"""Bench: Range MSE vs query length at fixed epsilon; the crossover figure.
+
+Regenerates experiment ``fig_range_vs_len`` (see DESIGN.md's per-experiment index
+and EXPERIMENTS.md for paper-vs-measured shapes).
+"""
+
+
+def test_fig_range_vs_len(run_and_report):
+    run_and_report("fig_range_vs_len")

@@ -1,0 +1,9 @@
+"""Bench: Publish wall-clock seconds vs domain size.
+
+Regenerates experiment ``fig_scalability`` (see DESIGN.md's per-experiment index
+and EXPERIMENTS.md for paper-vs-measured shapes).
+"""
+
+
+def test_fig_scalability(run_and_report):
+    run_and_report("fig_scalability")

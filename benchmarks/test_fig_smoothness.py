@@ -1,0 +1,9 @@
+"""Bench: Error vs the step count of piecewise-constant ground truth.
+
+Regenerates experiment ``fig_smoothness`` (see DESIGN.md's per-experiment index
+and EXPERIMENTS.md for paper-vs-measured shapes).
+"""
+
+
+def test_fig_smoothness(run_and_report):
+    run_and_report("fig_smoothness")

@@ -1,0 +1,9 @@
+"""Bench: Dataset summary statistics (the paper's dataset table).
+
+Regenerates experiment ``table1`` (see DESIGN.md's per-experiment index
+and EXPERIMENTS.md for paper-vs-measured shapes).
+"""
+
+
+def test_table1_datasets(run_and_report):
+    run_and_report("table1")

@@ -1,0 +1,9 @@
+"""Bench: Winning publisher per (dataset, range length) regime.
+
+Regenerates experiment ``table_crossover`` (see DESIGN.md's per-experiment index
+and EXPERIMENTS.md for paper-vs-measured shapes).
+"""
+
+
+def test_table_crossover(run_and_report):
+    run_and_report("table_crossover")

@@ -1,0 +1,54 @@
+"""Scenario: a network operator publishes traffic counts for range analysis.
+
+Analysts will ask range queries of wildly different sizes ("traffic to
+this /24", "traffic to this /16").  This script measures how each
+publisher's error scales with query length on the sparse NetTrace-style
+dataset and locates the crossover the paper reports: per-bin methods win
+short ranges, structured methods win long ranges.
+
+Run:  python examples/network_trace_range_queries.py
+"""
+
+import numpy as np
+
+from repro import Boost, DworkIdentity, NoiseFirst, Privelet, StructureFirst
+from repro.datasets import nettrace
+from repro.experiments.tables import Table
+from repro.metrics import evaluate_workload_error
+from repro.workloads import fixed_length_ranges
+
+EPSILON = 0.02
+SEEDS = range(5)
+LENGTHS = [1, 4, 16, 64, 256, 512]
+
+truth = nettrace(n_bins=1024, total=200_000)
+workloads = {length: fixed_length_ranges(truth.size, length, count=200,
+                                         rng=0)
+             for length in LENGTHS}
+roster = [DworkIdentity, NoiseFirst, StructureFirst, Boost, Privelet]
+
+table = Table(
+    title=f"Range-query MSE vs length on nettrace (eps={EPSILON})",
+    headers=["length"] + [cls().name for cls in roster],
+    notes="watch the winner flip as the length grows",
+)
+results = {cls: {} for cls in roster}
+for cls in roster:
+    for seed in SEEDS:
+        published = cls().publish(truth, budget=EPSILON, rng=seed).histogram
+        for length, workload in workloads.items():
+            err = evaluate_workload_error(truth, published, workload).mse
+            results[cls].setdefault(length, []).append(err)
+
+for length in LENGTHS:
+    table.add_row(length,
+                  *[float(np.mean(results[cls][length])) for cls in roster])
+print(table.render())
+
+# Report the winner per length.
+print("\nwinner by length:")
+for length in LENGTHS:
+    means = {cls().name: float(np.mean(results[cls][length]))
+             for cls in roster}
+    winner = min(means, key=means.get)
+    print(f"  length {length:4d}: {winner} (MSE {means[winner]:.3g})")

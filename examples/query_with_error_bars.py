@@ -1,0 +1,52 @@
+"""Scenario: serving range queries with honest error bars.
+
+After a single DP release, analysts can ask unlimited range queries —
+post-processing is free.  The RangeEngine attaches a closed-form noise
+standard deviation to every answer (the publisher's structure and budget
+are public), so analysts know how much to trust each number.
+
+Run:  python examples/query_with_error_bars.py
+"""
+
+import numpy as np
+
+from repro import DworkIdentity, NoiseFirst, StructureFirst
+from repro.core import RangeEngine
+from repro.datasets import searchlogs
+
+EPSILON = 0.05
+truth = searchlogs(n_bins=256, total=100_000)
+
+queries = [(10, 10), (40, 47), (0, 127), (0, 255)]
+
+for publisher in [DworkIdentity(), NoiseFirst(), StructureFirst()]:
+    result = publisher.publish(truth, budget=EPSILON, rng=7)
+    engine = RangeEngine(result)
+    print(f"\n{publisher.name} (eps={EPSILON}):")
+    for lo, hi in queries:
+        answer = engine.range(lo, hi)
+        true_value = truth.range_sum(lo, hi)
+        line = f"  {answer!s:<38} true={true_value:10.0f}"
+        if answer.std is not None:
+            low, high = answer.interval()
+            hit = "inside" if low <= true_value <= high else "OUTSIDE"
+            line += f"  95% interval {hit}"
+        print(line)
+
+print(
+    "\nNote how the structured publishers' error bars barely grow with "
+    "the range length,\nwhile the identity baseline's grow like sqrt(L) "
+    "- the crossover, as a user-visible API."
+)
+
+# Coverage check: across many seeds, ~95% of intervals contain the truth.
+hits, total = 0, 0
+for seed in range(200):
+    result = DworkIdentity().publish(truth, budget=EPSILON, rng=seed)
+    engine = RangeEngine(result)
+    for lo, hi in queries:
+        low, high = engine.range(lo, hi).interval()
+        hits += int(low <= truth.range_sum(lo, hi) <= high)
+        total += 1
+print(f"\nempirical 1.96-sigma coverage over {total} answers: "
+      f"{hits / total:.1%}")

@@ -1,0 +1,58 @@
+"""Scenario: continuously releasing a histogram stream (w-event extension).
+
+A telemetry pipeline publishes a per-minute histogram.  The data is
+mostly stable with an abrupt regime change; the budget must satisfy
+w-event privacy (any w consecutive releases compose to <= epsilon).
+This script compares uniform budget spreading against DSFT-style
+threshold release, which saves budget while nothing changes and spends
+it when the data actually moves.
+
+Run:  python examples/streaming_release.py
+"""
+
+import numpy as np
+
+from repro.experiments.tables import Table
+from repro.hist import Histogram
+from repro.streaming import ThresholdStream, UniformStream
+
+EPSILON, W = 1.0, 10
+N_BINS, N_STEPS, DRIFT_AT = 32, 40, 25
+
+rng = np.random.default_rng(3)
+base = rng.uniform(100, 400, size=N_BINS)
+shifted = base * rng.uniform(1.3, 2.0, size=N_BINS)
+
+frames = []
+for t in range(N_STEPS):
+    level = shifted if t >= DRIFT_AT else base
+    wobble = level * (1 + 0.02 * rng.standard_normal(N_BINS))
+    frames.append(Histogram.from_counts(np.round(wobble)))
+
+uniform = UniformStream(epsilon=EPSILON, w=W)
+threshold = ThresholdStream(epsilon=EPSILON, w=W, threshold=40.0)
+
+uni_errs, thr_errs, fresh_steps = [], [], []
+for t, frame in enumerate(frames):
+    u = uniform.release(frame, rng=1000 + t)
+    th = threshold.release(frame, rng=2000 + t)
+    uni_errs.append(float(np.mean((u.histogram.counts - frame.counts) ** 2)))
+    thr_errs.append(float(np.mean((th.histogram.counts - frame.counts) ** 2)))
+    if th.fresh:
+        fresh_steps.append(t)
+
+table = Table(
+    title=f"Streaming release, eps={EPSILON}, w={W}, drift at t={DRIFT_AT}",
+    headers=["strategy", "mean per-bin MSE", "eps spent total",
+             "max w-window spend"],
+)
+table.add_row("uniform", float(np.mean(uni_errs)),
+              sum(uniform.accountant.history()),
+              uniform.accountant.max_window_total())
+table.add_row("threshold", float(np.mean(thr_errs)),
+              sum(threshold.accountant.history()),
+              threshold.accountant.max_window_total())
+print(table.render())
+
+print(f"\nthreshold strategy took fresh releases at t = {fresh_steps}")
+print("(expected: t=0, the drift point, and little else)")

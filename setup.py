@@ -1,0 +1,7 @@
+"""Shim so `pip install -e .` works in offline environments without the
+`wheel` package (legacy editable install path). All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,124 @@
+"""Shared argument-validation helpers.
+
+Every public entry point in :mod:`repro` validates its inputs eagerly and
+raises a descriptive :class:`ValueError` / :class:`TypeError` rather than
+letting a malformed value propagate into numpy broadcasting.  The helpers
+here centralize the checks so error messages stay consistent across the
+library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_integer",
+    "check_counts",
+    "as_rng",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite number > 0, else raise ValueError."""
+    value = _check_finite_number(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite number >= 0, else raise ValueError."""
+    value = _check_finite_number(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` if it lies in [0, 1], else raise ValueError."""
+    value = _check_finite_number(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: float,
+    high: float,
+    inclusive: bool = True,
+) -> float:
+    """Return ``value`` if it lies in the given interval, else raise."""
+    value = _check_finite_number(value, name)
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_integer(value: int, name: str, minimum: Optional[int] = None) -> int:
+    """Return ``value`` as ``int`` if integral (and >= minimum), else raise."""
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    if not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_counts(counts: Sequence[float], name: str = "counts") -> np.ndarray:
+    """Validate a histogram count vector and return it as a float64 array.
+
+    Accepts any 1-D sequence of finite numbers.  Counts may be fractional
+    (noisy counts are) and may be negative (noise can push them below
+    zero), but must be finite and non-empty.
+    """
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    return arr
+
+
+def as_rng(rng: "np.random.Generator | int | None") -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a fresh nondeterministic generator; an integer is used
+    as a seed; a generator is passed through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        "rng must be a numpy Generator, an int seed, or None, "
+        f"got {type(rng).__name__}"
+    )
+
+
+def _check_finite_number(value: float, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.number)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value

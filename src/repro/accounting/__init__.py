@@ -1,0 +1,14 @@
+"""Privacy-budget accounting.
+
+Publishers never call ``rng.laplace`` on their own authority; they draw
+budget from an :class:`Accountant`, which enforces that the total
+epsilon spent never exceeds what the caller granted.  The ledger records
+every spend so tests (and auditors) can verify each algorithm's composed
+privacy claim.
+"""
+
+from repro.accounting.budget import PrivacyBudget
+from repro.accounting.ledger import Ledger, SpendRecord
+from repro.accounting.accountant import Accountant
+
+__all__ = ["PrivacyBudget", "Ledger", "SpendRecord", "Accountant"]

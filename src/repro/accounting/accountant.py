@@ -1,0 +1,108 @@
+"""The :class:`Accountant`: enforced budget withdrawal.
+
+An accountant is created with a total :class:`PrivacyBudget` and hands
+out spends until the budget is exhausted, raising
+:class:`~repro.exceptions.BudgetExceededError` on overdraft.  Publishers
+receive an accountant rather than a raw epsilon so their composition is
+checked, not merely asserted in a docstring.
+"""
+
+from __future__ import annotations
+
+from repro.accounting.budget import EPS_TOL, PrivacyBudget
+from repro.accounting.ledger import Ledger, SpendRecord
+from repro.exceptions import BudgetExceededError
+
+__all__ = ["Accountant"]
+
+
+class Accountant:
+    """Tracks and enforces spends against a fixed total budget.
+
+    Example
+    -------
+    >>> acc = Accountant(PrivacyBudget(1.0))
+    >>> acc.spend(PrivacyBudget(0.4), purpose="structure")
+    >>> acc.spent.epsilon
+    0.4
+    >>> acc.remaining.epsilon
+    0.6
+    """
+
+    def __init__(self, total: "PrivacyBudget | float") -> None:
+        if isinstance(total, (int, float)) and not isinstance(total, bool):
+            total = PrivacyBudget(float(total))
+        if not isinstance(total, PrivacyBudget):
+            raise TypeError(
+                "total must be a PrivacyBudget or a number, "
+                f"got {type(total).__name__}"
+            )
+        self._total = total
+        self._ledger = Ledger()
+
+    @property
+    def total(self) -> PrivacyBudget:
+        """The budget this accountant was created with."""
+        return self._total
+
+    @property
+    def ledger(self) -> Ledger:
+        """The append-only spend ledger."""
+        return self._ledger
+
+    @property
+    def spent(self) -> PrivacyBudget:
+        """Composed budget spent so far."""
+        return self._ledger.total()
+
+    @property
+    def remaining(self) -> PrivacyBudget:
+        """Budget still available (never negative)."""
+        spent = self.spent
+        return PrivacyBudget(
+            max(self._total.epsilon - spent.epsilon, 0.0),
+            max(self._total.delta - spent.delta, 0.0),
+        )
+
+    def spend(
+        self,
+        budget: "PrivacyBudget | float",
+        purpose: str,
+        parallel_group: "str | None" = None,
+    ) -> PrivacyBudget:
+        """Withdraw ``budget``; raise :class:`BudgetExceededError` on overdraft.
+
+        Returns the budget actually recorded, so callers can chain.
+        """
+        if isinstance(budget, (int, float)) and not isinstance(budget, bool):
+            budget = PrivacyBudget(float(budget))
+        if not isinstance(budget, PrivacyBudget):
+            raise TypeError(
+                f"budget must be a PrivacyBudget or number, got {type(budget).__name__}"
+            )
+        candidate = Ledger(list(self._ledger.records))
+        candidate.append(SpendRecord(budget, purpose, parallel_group))
+        projected = candidate.total()
+        if (
+            projected.epsilon > self._total.epsilon + EPS_TOL
+            or projected.delta > self._total.delta + EPS_TOL
+        ):
+            raise BudgetExceededError(
+                requested=budget.epsilon,
+                remaining=self.remaining.epsilon,
+            )
+        self._ledger.append(SpendRecord(budget, purpose, parallel_group))
+        return budget
+
+    def spend_all(self, purpose: str) -> PrivacyBudget:
+        """Withdraw everything that remains, in one spend."""
+        remaining = self.remaining
+        if remaining.epsilon <= 0 and remaining.delta <= 0:
+            raise BudgetExceededError(requested=0.0, remaining=0.0)
+        return self.spend(remaining, purpose)
+
+    def __repr__(self) -> str:
+        return (
+            f"Accountant(total={self._total}, spent={self.spent}, "
+            f"records={len(self._ledger)})"
+        )

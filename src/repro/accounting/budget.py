@@ -1,0 +1,98 @@
+"""The :class:`PrivacyBudget` value type.
+
+A budget is an immutable ``(epsilon, delta)`` pair with arithmetic for
+sequential composition (addition) and splitting.  Pure epsilon-DP budgets
+have ``delta == 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro._validation import check_in_range, check_non_negative
+
+__all__ = ["PrivacyBudget"]
+
+# Tolerance for floating-point budget comparisons.  Splitting epsilon into
+# k parts and re-summing must not spuriously trip the overspend check.
+EPS_TOL = 1e-9
+
+
+@dataclass(frozen=True, order=False)
+class PrivacyBudget:
+    """An immutable (epsilon, delta) differential-privacy budget."""
+
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.epsilon, "epsilon")
+        check_in_range(self.delta, "delta", 0.0, 1.0)
+
+    @property
+    def is_pure(self) -> bool:
+        """True when this is a pure epsilon-DP budget (delta == 0)."""
+        return self.delta == 0.0
+
+    def __add__(self, other: "PrivacyBudget") -> "PrivacyBudget":
+        """Sequential composition: budgets add in both parameters."""
+        if not isinstance(other, PrivacyBudget):
+            return NotImplemented
+        return PrivacyBudget(self.epsilon + other.epsilon, self.delta + other.delta)
+
+    def __sub__(self, other: "PrivacyBudget") -> "PrivacyBudget":
+        """Remaining budget after spending ``other``; clamps tiny negatives.
+
+        Raises ValueError if the result would be materially negative.
+        """
+        if not isinstance(other, PrivacyBudget):
+            return NotImplemented
+        eps = self.epsilon - other.epsilon
+        delta = self.delta - other.delta
+        if eps < -EPS_TOL or delta < -EPS_TOL:
+            raise ValueError(
+                f"cannot subtract {other} from {self}: would go negative"
+            )
+        return PrivacyBudget(max(eps, 0.0), max(delta, 0.0))
+
+    def __mul__(self, factor: float) -> "PrivacyBudget":
+        """Scale the budget, e.g. ``budget * 0.5`` for a half share."""
+        check_non_negative(factor, "factor")
+        return PrivacyBudget(self.epsilon * factor, self.delta * factor)
+
+    __rmul__ = __mul__
+
+    def covers(self, other: "PrivacyBudget") -> bool:
+        """True when ``other`` can be spent out of this budget."""
+        return (
+            other.epsilon <= self.epsilon + EPS_TOL
+            and other.delta <= self.delta + EPS_TOL
+        )
+
+    def split(self, shares: "int | List[float]") -> List["PrivacyBudget"]:
+        """Split into sub-budgets for sequential composition.
+
+        ``shares`` may be an integer (equal split) or a list of positive
+        weights (proportional split).  The shares always sum back to the
+        original budget exactly up to floating point.
+        """
+        if isinstance(shares, bool):
+            raise TypeError("shares must be an int or a list of weights")
+        if isinstance(shares, int):
+            if shares < 1:
+                raise ValueError(f"shares must be >= 1, got {shares}")
+            weights = [1.0] * shares
+        else:
+            weights = [float(w) for w in shares]
+            if not weights:
+                raise ValueError("shares list must be non-empty")
+            if any(w <= 0 for w in weights):
+                raise ValueError("all share weights must be > 0")
+        total = sum(weights)
+        return [self * (w / total) for w in weights]
+
+    def __str__(self) -> str:
+        if self.is_pure:
+            return f"eps={self.epsilon:g}"
+        return f"eps={self.epsilon:g}, delta={self.delta:g}"

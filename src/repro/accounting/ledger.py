@@ -1,0 +1,76 @@
+"""Append-only ledger of privacy spends.
+
+Every mechanism invocation inside a publisher records *what* was spent
+and *why* (a free-form purpose label), so the composed privacy claim of
+any algorithm can be audited after the fact.  Tests across the suite
+assert that each publisher's ledger sums exactly to its declared budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from repro.accounting.budget import PrivacyBudget
+
+__all__ = ["SpendRecord", "Ledger"]
+
+
+@dataclass(frozen=True)
+class SpendRecord:
+    """One budget spend: how much, what for, and under which composition.
+
+    ``parallel_group`` tags spends that act on *disjoint* subsets of the
+    data: spends sharing a group compose in parallel (max) rather than
+    sequentially (sum).  ``None`` means plain sequential composition.
+    """
+
+    budget: PrivacyBudget
+    purpose: str
+    parallel_group: "str | None" = None
+
+
+@dataclass
+class Ledger:
+    """Ordered record of every spend drawn from an accountant."""
+
+    records: List[SpendRecord] = field(default_factory=list)
+
+    def append(self, record: SpendRecord) -> None:
+        """Add a spend record (called by the accountant only)."""
+        self.records.append(record)
+
+    def __iter__(self) -> Iterator[SpendRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def total(self) -> PrivacyBudget:
+        """Composed total: sequential spends add; parallel groups take max.
+
+        Within a ``parallel_group`` the worst single spend bounds the
+        group's privacy cost (the spends touch disjoint records); groups
+        and ungrouped spends then compose sequentially.
+        """
+        sequential = PrivacyBudget(0.0)
+        groups: dict = {}
+        for rec in self.records:
+            if rec.parallel_group is None:
+                sequential = sequential + rec.budget
+            else:
+                current = groups.get(rec.parallel_group, PrivacyBudget(0.0))
+                if rec.budget.epsilon > current.epsilon or (
+                    rec.budget.epsilon == current.epsilon
+                    and rec.budget.delta > current.delta
+                ):
+                    groups[rec.parallel_group] = rec.budget
+                else:
+                    groups.setdefault(rec.parallel_group, current)
+        for group_budget in groups.values():
+            sequential = sequential + group_budget
+        return sequential
+
+    def purposes(self) -> List[str]:
+        """Purpose labels in spend order (handy for test assertions)."""
+        return [rec.purpose for rec in self.records]

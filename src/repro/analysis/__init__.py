@@ -1,0 +1,21 @@
+"""Closed-form error analysis of the publishers."""
+
+from repro.analysis.variance import (
+    boost_unit_variance_bound,
+    dwork_range_variance,
+    dwork_unit_variance,
+    noisefirst_unit_variance,
+    privelet_unit_variance,
+    structurefirst_range_variance,
+    structurefirst_unit_variance,
+)
+
+__all__ = [
+    "dwork_unit_variance",
+    "dwork_range_variance",
+    "noisefirst_unit_variance",
+    "structurefirst_unit_variance",
+    "structurefirst_range_variance",
+    "privelet_unit_variance",
+    "boost_unit_variance_bound",
+]

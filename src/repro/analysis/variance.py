@@ -1,0 +1,183 @@
+"""Closed-form *noise* variances of the publishers.
+
+These are the exact sampling variances of each publisher's output
+conditioned on its structure — approximation bias is deliberately
+excluded (it depends on the hidden data; the benches measure total
+error).  Every formula here is property-tested against Monte Carlo in
+``tests/analysis``.
+
+Conventions: unbounded neighbours (sensitivity 1) unless stated;
+``sigma2 = 2 / eps**2`` is the variance of ``Lap(1/eps)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro._validation import check_integer, check_positive
+from repro.partition.partition import Partition
+
+__all__ = [
+    "dwork_unit_variance",
+    "dwork_range_variance",
+    "noisefirst_unit_variance",
+    "structurefirst_unit_variance",
+    "structurefirst_range_variance",
+    "privelet_unit_variance",
+    "boost_unit_variance_bound",
+]
+
+
+def dwork_unit_variance(epsilon: float, sensitivity: float = 1.0) -> float:
+    """Variance of one published bin under the identity baseline."""
+    check_positive(epsilon, "epsilon")
+    check_positive(sensitivity, "sensitivity")
+    return 2.0 * (sensitivity / epsilon) ** 2
+
+
+def dwork_range_variance(
+    epsilon: float, length: int, sensitivity: float = 1.0
+) -> float:
+    """Variance of a length-``L`` range sum: ``L`` independent noises."""
+    check_integer(length, "length", minimum=1)
+    return length * dwork_unit_variance(epsilon, sensitivity)
+
+
+def noisefirst_unit_variance(
+    partition: Partition, epsilon: float
+) -> np.ndarray:
+    """Per-bin noise variance of NoiseFirst given its final partition.
+
+    A bucket of width ``w`` publishes the mean of ``w`` independent
+    ``Lap(1/eps)`` noises: variance ``(2/eps^2) / w`` for each of its
+    bins.  (The *selection* of the partition from the same noisy data
+    introduces a small correlation this formula ignores; the test
+    freezes the partition to validate the formula exactly.)
+    """
+    check_positive(epsilon, "epsilon")
+    sigma2 = 2.0 / (epsilon * epsilon)
+    out = np.empty(partition.n, dtype=np.float64)
+    for start, stop in partition.buckets():
+        out[start:stop] = sigma2 / (stop - start)
+    return out
+
+
+def structurefirst_unit_variance(
+    partition: Partition, eps_noise: float
+) -> np.ndarray:
+    """Per-bin noise variance of StructureFirst given its partition.
+
+    One ``Lap(1/eps_n)`` noise per bucket *sum*, divided by the width:
+    ``2 / (eps_n^2 w^2)`` per bin.
+    """
+    check_positive(eps_noise, "eps_noise")
+    sigma2 = 2.0 / (eps_noise * eps_noise)
+    out = np.empty(partition.n, dtype=np.float64)
+    for start, stop in partition.buckets():
+        width = stop - start
+        out[start:stop] = sigma2 / (width * width)
+    return out
+
+
+def structurefirst_range_variance(
+    partition: Partition, eps_noise: float, lo: int, hi: int
+) -> float:
+    """Noise variance of a range sum ``[lo, hi]`` under StructureFirst.
+
+    Bins sharing a bucket carry *identical* noise, so a range overlapping
+    ``m_B`` of bucket ``B``'s ``w_B`` bins accumulates
+    ``(m_B / w_B)**2 * 2 / eps_n**2`` — this is the formula behind SF's
+    long-range advantage (fully covered buckets contribute one noise
+    term each, not ``w_B``).
+    """
+    check_positive(eps_noise, "eps_noise")
+    if not 0 <= lo <= hi < partition.n:
+        raise ValueError(f"range [{lo}, {hi}] outside partition of "
+                         f"{partition.n} bins")
+    sigma2 = 2.0 / (eps_noise * eps_noise)
+    total = 0.0
+    for start, stop in partition.buckets():
+        overlap = min(hi + 1, stop) - max(lo, start)
+        if overlap > 0:
+            width = stop - start
+            total += (overlap / width) ** 2 * sigma2
+    return total
+
+
+def privelet_unit_variance(n: int, epsilon: float) -> float:
+    """Exact per-bin noise variance of this library's Privelet.
+
+    With padded size ``m = 2^L``, generalized sensitivity
+    ``rho = 1 + L/2`` and ``lambda = rho / eps``:
+
+    * base coefficient noise ``Lap(lambda / m)`` contributes
+      ``2 lambda^2 / m^2``;
+    * the level-``l`` detail (weight ``2^(l-1)``) contributes
+      ``2 lambda^2 / 4^(l-1)``;
+
+    and a leaf sums the base plus one detail per level (signs square
+    away), so every bin has the same variance.
+    """
+    check_integer(n, "n", minimum=1)
+    check_positive(epsilon, "epsilon")
+    m = 1
+    while m < n:
+        m *= 2
+    levels = int(math.log2(m)) if m > 1 else 0
+    rho = 1.0 + levels / 2.0
+    lam = rho / epsilon
+    variance = 2.0 * lam * lam / (m * m)
+    for level in range(1, levels + 1):
+        variance += 2.0 * lam * lam / (4.0 ** (level - 1))
+    return variance
+
+
+def boost_unit_variance_bound(
+    n: int, epsilon: float, branching: int = 2
+) -> float:
+    """Per-bin noise variance of Boost *without* consistency (exact),
+    which upper-bounds the consistent version.
+
+    Each of the ``h`` levels gets ``eps/h``, so a raw leaf carries
+    ``2 (h/eps)^2``.  Consistency is an orthogonal projection and can
+    only shrink this (strictly, for every non-root level).
+    """
+    check_integer(n, "n", minimum=1)
+    check_positive(epsilon, "epsilon")
+    check_integer(branching, "branching", minimum=2)
+    padded = 1
+    height = 1
+    while padded < n:
+        padded *= branching
+        height += 1
+    return 2.0 * (height / epsilon) ** 2
+
+
+def predicted_unit_mse(
+    counts: Sequence[float],
+    partition: Partition,
+    epsilon: float,
+    mode: str = "noisefirst",
+) -> float:
+    """Total predicted per-bin MSE = structure bias + noise variance.
+
+    Combines the (data-dependent, non-private — analysis only) bias of
+    replacing bins with bucket means and the closed-form noise variance
+    above.  ``mode`` is ``"noisefirst"`` (full-budget noise, averaged) or
+    ``"structurefirst"`` (``epsilon`` interpreted as the noise share).
+    """
+    arr = np.asarray(counts, dtype=np.float64)
+    if len(arr) != partition.n:
+        raise ValueError("counts and partition sizes differ")
+    bias = arr - partition.apply_means(arr)
+    bias_mse = float(np.mean(bias * bias))
+    if mode == "noisefirst":
+        noise = noisefirst_unit_variance(partition, epsilon)
+    elif mode == "structurefirst":
+        noise = structurefirst_unit_variance(partition, epsilon)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    return bias_mse + float(np.mean(noise))

@@ -1,0 +1,34 @@
+"""Baseline publishers the paper compares against.
+
+* :class:`DworkIdentity` — Laplace noise on every bin (Dwork et al. 2006).
+* :class:`Boost` — hierarchical intervals with least-squares consistency
+  (Hay et al., VLDB 2010).
+* :class:`Privelet` — Haar wavelet with weighted coefficient noise
+  (Xiao et al., ICDE 2010 / TKDE 2011).
+* :class:`Mwem` — multiplicative weights + exponential mechanism
+  (Hardt, Ligett & McSherry, NIPS 2012); workload-driven.
+* :class:`FourierPublisher` — EFPA-style lossy Fourier compression
+  (Ács et al., ICDM 2012).
+* :class:`UniformFlat` — noisy total spread uniformly (sanity floor).
+* :class:`Ahp` — value-clustering successor (Zhang et al., SDM 2014).
+"""
+
+from repro.baselines.ahp import Ahp
+from repro.baselines.dawa import DawaLite
+from repro.baselines.dwork import DworkIdentity
+from repro.baselines.boost import Boost
+from repro.baselines.privelet import Privelet
+from repro.baselines.mwem import Mwem
+from repro.baselines.fourier import FourierPublisher
+from repro.baselines.uniform import UniformFlat
+
+__all__ = [
+    "Ahp",
+    "DawaLite",
+    "DworkIdentity",
+    "Boost",
+    "Privelet",
+    "Mwem",
+    "FourierPublisher",
+    "UniformFlat",
+]

@@ -1,0 +1,83 @@
+"""Command-line interface: ``python -m repro <experiment-id> [...]``.
+
+Examples
+--------
+List everything::
+
+    python -m repro --list
+
+Run one figure quickly::
+
+    python -m repro fig_range_vs_len --quick
+
+Run the full evaluation (slow; this is what EXPERIMENTS.md records)::
+
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.registry import list_experiments, run_experiment
+from repro.experiments.tables import render_table
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dphist",
+        description="Regenerate the evaluation of 'Differentially Private "
+                    "Histogram Publication' (ICDE 2012).",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (see --list), or 'all' to run everything",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink grids/seeds so each experiment finishes in seconds",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_experiments",
+        help="list the available experiment ids and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_experiments:
+        for name in list_experiments():
+            print(name)
+        return 0
+
+    if not args.experiment:
+        parser.print_help()
+        return 2
+
+    names = list_experiments() if args.experiment == "all" else [args.experiment]
+    for name in names:
+        try:
+            tables = run_experiment(name, quick=args.quick)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        for table in tables:
+            print(render_table(table))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The paper's primary contribution: NoiseFirst and StructureFirst.
+
+Both publishers trade *approximation error* (merging adjacent bins into
+buckets and publishing bucket means) against *noise error* (Laplace
+perturbation), in opposite orders:
+
+* :class:`NoiseFirst` noises every bin with the full budget, then merges
+  as free post-processing, picking the bucket count that minimizes an
+  unbiased estimate of the true error.
+* :class:`StructureFirst` spends part of the budget choosing the bucket
+  boundaries with the exponential mechanism, then noises one sum per
+  bucket — so long range queries inside a bucket see a single noise draw.
+"""
+
+from repro.core.publisher import PublishResult, Publisher
+from repro.core.noise_first import NoiseFirst
+from repro.core.structure_first import StructureFirst
+from repro.core.kselect import default_bucket_count, noise_first_error_estimates
+from repro.core.engine import RangeAnswer, RangeEngine
+
+__all__ = [
+    "Publisher",
+    "PublishResult",
+    "NoiseFirst",
+    "StructureFirst",
+    "default_bucket_count",
+    "noise_first_error_estimates",
+    "RangeAnswer",
+    "RangeEngine",
+]

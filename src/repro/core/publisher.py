@@ -1,0 +1,124 @@
+"""The :class:`Publisher` interface every algorithm implements.
+
+A publisher turns a true :class:`~repro.hist.Histogram` plus a privacy
+budget into a sanitized histogram.  The base class owns the boilerplate —
+budget coercion, accountant creation, rng coercion, post-release audit
+that the spend matches the grant — so each algorithm only implements
+``_publish``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro._validation import as_rng
+from repro.accounting.accountant import Accountant
+from repro.accounting.budget import EPS_TOL, PrivacyBudget
+from repro.exceptions import ReproError
+from repro.hist.histogram import Histogram
+
+__all__ = ["PublishResult", "Publisher"]
+
+
+@dataclass(frozen=True)
+class PublishResult:
+    """Outcome of one publication.
+
+    Attributes
+    ----------
+    histogram:
+        The sanitized histogram (same domain as the input).
+    accountant:
+        The accountant used for the release; its ledger documents every
+        budget spend the algorithm made.
+    meta:
+        Algorithm-specific details (chosen bucket count, partition,
+        budget split, ...), for diagnostics and the benches.
+    """
+
+    histogram: Histogram
+    accountant: Accountant
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def epsilon_spent(self) -> float:
+        """Composed epsilon actually spent, from the ledger."""
+        return self.accountant.spent.epsilon
+
+
+class Publisher(abc.ABC):
+    """Base class for differentially private histogram publishers."""
+
+    #: Short stable identifier used in benches and result tables.
+    name: str = "publisher"
+
+    def publish(
+        self,
+        histogram: Histogram,
+        budget: "PrivacyBudget | float",
+        rng: "np.random.Generator | int | None" = None,
+    ) -> PublishResult:
+        """Publish a sanitized version of ``histogram`` under ``budget``.
+
+        Parameters
+        ----------
+        histogram:
+            The true histogram (never mutated).
+        budget:
+            Total privacy budget, as a :class:`PrivacyBudget` or a plain
+            epsilon.
+        rng:
+            Numpy generator / int seed / None.
+
+        Returns
+        -------
+        PublishResult
+            Sanitized histogram, spend ledger, and algorithm metadata.
+        """
+        if not isinstance(histogram, Histogram):
+            raise TypeError(
+                f"histogram must be a Histogram, got {type(histogram).__name__}"
+            )
+        if isinstance(budget, (int, float)) and not isinstance(budget, bool):
+            budget = PrivacyBudget(float(budget))
+        if budget.epsilon <= 0:
+            raise ValueError(f"budget epsilon must be > 0, got {budget.epsilon}")
+        accountant = Accountant(budget)
+        generator = as_rng(rng)
+
+        counts, meta = self._publish(histogram, accountant, generator)
+
+        counts = np.asarray(counts, dtype=np.float64)
+        if counts.shape != histogram.counts.shape:
+            raise ReproError(
+                f"{self.name}: published {counts.shape} counts for a "
+                f"{histogram.counts.shape} histogram"
+            )
+        spent = accountant.spent
+        if spent.epsilon > budget.epsilon + EPS_TOL:
+            raise ReproError(
+                f"{self.name}: ledger shows overspend "
+                f"({spent.epsilon:g} > {budget.epsilon:g})"
+            )
+        sanitized = Histogram(domain=histogram.domain, counts=counts)
+        return PublishResult(histogram=sanitized, accountant=accountant, meta=meta)
+
+    @abc.abstractmethod
+    def _publish(
+        self,
+        histogram: Histogram,
+        accountant: Accountant,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, Dict[str, Any]]:
+        """Algorithm body: return (sanitized counts, metadata).
+
+        Implementations must draw every budget spend through
+        ``accountant.spend`` — the base class audits the total.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,33 @@
+"""Synthetic datasets standing in for the paper's evaluation data.
+
+The original evaluation used Age (IPUMS census), NetTrace, Search Logs
+and Social Network — none redistributable or reachable offline — so this
+package generates deterministic synthetic histograms with the same
+*operative shape properties* (see DESIGN.md's substitution table).
+Generic generators are also exported for property tests and ablations.
+"""
+
+from repro.datasets.generators import (
+    gaussian_mixture_histogram,
+    sparse_histogram,
+    step_histogram,
+    uniform_histogram,
+    zipf_histogram,
+)
+from repro.datasets.standard import age, nettrace, searchlogs, socialnetwork
+from repro.datasets.registry import DATASETS, get_dataset, list_datasets
+
+__all__ = [
+    "gaussian_mixture_histogram",
+    "sparse_histogram",
+    "step_histogram",
+    "uniform_histogram",
+    "zipf_histogram",
+    "age",
+    "nettrace",
+    "searchlogs",
+    "socialnetwork",
+    "DATASETS",
+    "get_dataset",
+    "list_datasets",
+]

@@ -1,0 +1,178 @@
+"""Generic synthetic histogram generators.
+
+Each generator returns a :class:`~repro.hist.Histogram` of integer counts
+over an integer domain, takes an explicit seed/generator, and scales the
+counts to a requested total so experiments control both domain size and
+data volume independently.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._validation import as_rng, check_integer, check_positive
+from repro.hist.domain import Domain
+from repro.hist.histogram import Histogram
+
+__all__ = [
+    "uniform_histogram",
+    "zipf_histogram",
+    "gaussian_mixture_histogram",
+    "step_histogram",
+    "sparse_histogram",
+]
+
+
+def _scale_to_total(weights: np.ndarray, total: int) -> np.ndarray:
+    """Turn non-negative weights into integer counts summing to ``total``.
+
+    Uses largest-remainder rounding so the result is deterministic and
+    exactly sums to ``total``.
+    """
+    weights = np.clip(np.asarray(weights, dtype=np.float64), 0.0, None)
+    if weights.sum() <= 0:
+        weights = np.ones_like(weights)
+    shares = weights / weights.sum() * total
+    floors = np.floor(shares).astype(np.int64)
+    shortfall = int(total - floors.sum())
+    if shortfall > 0:
+        remainders = shares - floors
+        top = np.argsort(remainders)[::-1][:shortfall]
+        floors[top] += 1
+    return floors.astype(np.float64)
+
+
+def uniform_histogram(
+    n_bins: int,
+    total: int = 100_000,
+    rng: "np.random.Generator | int | None" = 0,
+    jitter: float = 0.05,
+) -> Histogram:
+    """Near-uniform counts with multiplicative jitter.
+
+    A worst case for structure-based publishers: no bucket structure to
+    exploit, so merging only adds bias.
+    """
+    check_integer(n_bins, "n_bins", minimum=1)
+    check_integer(total, "total", minimum=0)
+    generator = as_rng(rng)
+    weights = 1.0 + jitter * generator.standard_normal(n_bins)
+    counts = _scale_to_total(weights, total)
+    return Histogram.from_counts(counts, Domain.integers(n_bins, name="uniform"))
+
+
+def zipf_histogram(
+    n_bins: int,
+    total: int = 100_000,
+    exponent: float = 1.2,
+    rng: "np.random.Generator | int | None" = 0,
+    shuffle: bool = False,
+) -> Histogram:
+    """Power-law (Zipf) counts: ``weight(rank) ~ rank**(-exponent)``.
+
+    Sorted by default (heavy head first); ``shuffle=True`` randomizes bin
+    order to break the smoothness structure.
+    """
+    check_integer(n_bins, "n_bins", minimum=1)
+    check_integer(total, "total", minimum=0)
+    check_positive(exponent, "exponent")
+    generator = as_rng(rng)
+    ranks = np.arange(1, n_bins + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    if shuffle:
+        generator.shuffle(weights)
+    counts = _scale_to_total(weights, total)
+    return Histogram.from_counts(counts, Domain.integers(n_bins, name="zipf"))
+
+
+def gaussian_mixture_histogram(
+    n_bins: int,
+    total: int = 100_000,
+    centers: "Sequence[float] | None" = None,
+    widths: "Sequence[float] | None" = None,
+    weights: "Sequence[float] | None" = None,
+) -> Histogram:
+    """Smooth multimodal counts from a mixture of Gaussian bumps.
+
+    ``centers``/``widths`` are in units of the bin index range [0, 1].
+    Defaults give a two-mode shape.  Fully deterministic.
+    """
+    check_integer(n_bins, "n_bins", minimum=1)
+    check_integer(total, "total", minimum=0)
+    centers = list(centers) if centers is not None else [0.3, 0.7]
+    widths = list(widths) if widths is not None else [0.1] * len(centers)
+    weights = list(weights) if weights is not None else [1.0] * len(centers)
+    if not len(centers) == len(widths) == len(weights):
+        raise ValueError("centers, widths and weights must have equal length")
+    x = np.linspace(0.0, 1.0, n_bins)
+    density = np.zeros(n_bins, dtype=np.float64)
+    for c, w, a in zip(centers, widths, weights):
+        check_positive(w, "width")
+        density += float(a) * np.exp(-0.5 * ((x - float(c)) / float(w)) ** 2)
+    counts = _scale_to_total(density, total)
+    return Histogram.from_counts(counts, Domain.integers(n_bins, name="gmm"))
+
+
+def step_histogram(
+    n_bins: int,
+    n_steps: int,
+    total: int = 100_000,
+    rng: "np.random.Generator | int | None" = 0,
+    noise: float = 0.0,
+) -> Histogram:
+    """Piecewise-constant counts with ``n_steps`` level changes.
+
+    The ideal case for v-optimal partitioning — a k-bucket histogram with
+    ``k = n_steps`` reconstructs it exactly (when ``noise == 0``).  The
+    smoothness bench sweeps ``n_steps``.
+    """
+    check_integer(n_bins, "n_bins", minimum=1)
+    check_integer(n_steps, "n_steps", minimum=1)
+    check_integer(total, "total", minimum=0)
+    if n_steps > n_bins:
+        raise ValueError(f"n_steps ({n_steps}) cannot exceed n_bins ({n_bins})")
+    generator = as_rng(rng)
+    # Random distinct step boundaries and random positive level per step.
+    boundaries = np.sort(
+        generator.choice(np.arange(1, n_bins), size=n_steps - 1, replace=False)
+    ) if n_steps > 1 else np.array([], dtype=np.int64)
+    levels = generator.uniform(0.5, 10.0, size=n_steps)
+    weights = np.empty(n_bins, dtype=np.float64)
+    start = 0
+    for level, stop in zip(levels, list(boundaries) + [n_bins]):
+        weights[start:stop] = level
+        start = stop
+    if noise > 0:
+        weights *= 1.0 + noise * generator.standard_normal(n_bins)
+    counts = _scale_to_total(weights, total)
+    return Histogram.from_counts(counts, Domain.integers(n_bins, name="step"))
+
+
+def sparse_histogram(
+    n_bins: int,
+    total: int = 100_000,
+    density: float = 0.1,
+    rng: "np.random.Generator | int | None" = 0,
+    tail_exponent: float = 1.5,
+) -> Histogram:
+    """Mostly-zero counts with a heavy-tailed occupied minority.
+
+    ``density`` is the fraction of non-zero bins; their magnitudes follow
+    a power law, mimicking IP-level trace data.
+    """
+    check_integer(n_bins, "n_bins", minimum=1)
+    check_integer(total, "total", minimum=0)
+    check_positive(density, "density")
+    if density > 1.0:
+        raise ValueError(f"density must be <= 1, got {density}")
+    generator = as_rng(rng)
+    n_occupied = max(1, int(round(density * n_bins)))
+    occupied = generator.choice(n_bins, size=n_occupied, replace=False)
+    magnitudes = np.arange(1, n_occupied + 1, dtype=np.float64) ** (-tail_exponent)
+    generator.shuffle(magnitudes)
+    weights = np.zeros(n_bins, dtype=np.float64)
+    weights[occupied] = magnitudes
+    counts = _scale_to_total(weights, total)
+    return Histogram.from_counts(counts, Domain.integers(n_bins, name="sparse"))

@@ -1,0 +1,40 @@
+"""Dataset registry: name -> zero-argument factory.
+
+The experiment harness and CLI refer to datasets by name; this module is
+the single source of truth for which names exist.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.hist.histogram import Histogram
+from repro.datasets.standard import age, nettrace, searchlogs, socialnetwork
+
+__all__ = ["DATASETS", "get_dataset", "list_datasets"]
+
+DATASETS: Dict[str, Callable[[], Histogram]] = {
+    "age": age,
+    "nettrace": nettrace,
+    "searchlogs": searchlogs,
+    "socialnetwork": socialnetwork,
+}
+
+
+def list_datasets() -> List[str]:
+    """Names of the registered evaluation datasets, in a stable order."""
+    return sorted(DATASETS)
+
+
+def get_dataset(name: str) -> Histogram:
+    """Instantiate a registered dataset by name.
+
+    Raises KeyError with the available names on a miss.
+    """
+    try:
+        factory = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(list_datasets())}"
+        ) from None
+    return factory()

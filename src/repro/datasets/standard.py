@@ -1,0 +1,111 @@
+"""The four evaluation datasets, as deterministic synthetic stand-ins.
+
+Each function reproduces the *shape* documented for the original dataset
+(see the substitution table in DESIGN.md); totals and domain sizes default
+to values of the same order as the originals but are parameters so the
+benches can scale them.  All four are frozen-seed deterministic: calling
+them twice yields identical histograms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_integer
+from repro.hist.domain import Domain
+from repro.hist.histogram import Histogram
+from repro.datasets.generators import _scale_to_total
+
+__all__ = ["age", "nettrace", "searchlogs", "socialnetwork"]
+
+
+def age(n_bins: int = 100, total: int = 500_000) -> Histogram:
+    """Census-age style histogram: smooth, unimodal, right-skewed.
+
+    Models a population pyramid over ages 0..n_bins-1: a broad plateau
+    through working ages and a declining tail at high ages, with mild
+    baby-boom style bumps.  Smooth data — the friendliest case for
+    structure-based publishers.
+    """
+    check_integer(n_bins, "n_bins", minimum=10)
+    check_integer(total, "total", minimum=0)
+    x = np.linspace(0.0, 1.0, n_bins)
+    base = np.exp(-0.5 * ((x - 0.35) / 0.28) ** 2)  # broad working-age mass
+    boom = 0.25 * np.exp(-0.5 * ((x - 0.55) / 0.06) ** 2)  # cohort bump
+    youth = 0.15 * np.exp(-0.5 * ((x - 0.08) / 0.05) ** 2)
+    tail = np.exp(-4.0 * np.clip(x - 0.75, 0.0, None))  # mortality roll-off
+    weights = (base + boom + youth) * tail
+    counts = _scale_to_total(weights, total)
+    domain = Domain(size=n_bins, lower=0.0, upper=float(n_bins), name="age")
+    return Histogram(domain=domain, counts=counts)
+
+
+def nettrace(n_bins: int = 1024, total: int = 200_000) -> Histogram:
+    """Network-trace style histogram: sparse, bursty, heavy-tailed.
+
+    Most bins (external hosts) see no traffic; a few heavy hitters
+    dominate; occupied bins cluster in bursts.  The hardest case for
+    naive per-bin noise at small epsilon (noise swamps the many zeros).
+    """
+    check_integer(n_bins, "n_bins", minimum=16)
+    check_integer(total, "total", minimum=0)
+    rng = np.random.default_rng(20120401)  # frozen: dataset identity
+    weights = np.zeros(n_bins, dtype=np.float64)
+    n_bursts = max(3, n_bins // 128)
+    burst_centers = rng.choice(n_bins, size=n_bursts, replace=False)
+    for center in burst_centers:
+        width = int(rng.integers(2, max(3, n_bins // 64)))
+        lo = max(0, center - width)
+        hi = min(n_bins, center + width + 1)
+        weights[lo:hi] += rng.pareto(1.2, size=hi - lo) + 1.0
+    # Scatter of light individual flows over ~5% of bins.
+    n_scatter = max(1, n_bins // 20)
+    scatter = rng.choice(n_bins, size=n_scatter, replace=False)
+    weights[scatter] += rng.pareto(2.0, size=n_scatter)
+    counts = _scale_to_total(weights, total)
+    domain = Domain.integers(n_bins, name="nettrace")
+    return Histogram(domain=domain, counts=counts)
+
+
+def searchlogs(n_bins: int = 512, total: int = 300_000) -> Histogram:
+    """Search-log style histogram: temporal counts with trend and spikes.
+
+    A slowly rising base load with weekly-style periodicity and a handful
+    of sharp event spikes.  Moderately smooth with localized violations —
+    the regime where the NoiseFirst/StructureFirst crossover appears.
+    """
+    check_integer(n_bins, "n_bins", minimum=16)
+    check_integer(total, "total", minimum=0)
+    rng = np.random.default_rng(20120402)  # frozen: dataset identity
+    t = np.linspace(0.0, 1.0, n_bins)
+    trend = 1.0 + 1.5 * t
+    period = 0.3 * np.sin(2.0 * np.pi * t * 16) + 0.15 * np.sin(2.0 * np.pi * t * 112)
+    weights = np.clip(trend + period, 0.05, None)
+    n_spikes = max(3, n_bins // 100)
+    spikes = rng.choice(n_bins, size=n_spikes, replace=False)
+    weights[spikes] += rng.uniform(5.0, 15.0, size=n_spikes)
+    counts = _scale_to_total(weights, total)
+    domain = Domain.integers(n_bins, name="searchlogs")
+    return Histogram(domain=domain, counts=counts)
+
+
+def socialnetwork(n_bins: int = 256, total: int = 1_000_000) -> Histogram:
+    """Degree-distribution style histogram: monotone power-law decay.
+
+    Bin ``d`` counts the nodes with degree ``d+1``; mass concentrates at
+    low degree and decays as ``d**(-gamma)`` with a noisy tail.  Heavy
+    skew makes v-optimal bucketing very effective on the tail.
+    """
+    check_integer(n_bins, "n_bins", minimum=16)
+    check_integer(total, "total", minimum=0)
+    rng = np.random.default_rng(20120403)  # frozen: dataset identity
+    degrees = np.arange(1, n_bins + 1, dtype=np.float64)
+    gamma = 2.1
+    weights = degrees ** (-gamma)
+    # Sampling jitter in the sparse tail (real degree histograms are
+    # integer counts, so the far tail is 0/1-ish and noisy).
+    jitter = 1.0 + 0.3 * rng.standard_normal(n_bins) * (degrees / n_bins)
+    weights *= np.clip(jitter, 0.1, None)
+    counts = _scale_to_total(weights, total)
+    domain = Domain(size=n_bins, lower=1.0, upper=float(n_bins + 1), name="socialnetwork")
+    return Histogram(domain=domain, counts=counts)

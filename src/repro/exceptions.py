@@ -1,0 +1,46 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch one base class.  Privacy-accounting violations get their own
+subclass because they signal a *correctness* problem (a mechanism trying
+to spend budget it does not have), which callers typically must not
+swallow.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "BudgetExceededError",
+    "BudgetError",
+    "PartitionError",
+    "DomainMismatchError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class BudgetError(ReproError):
+    """Base class for privacy-budget accounting errors."""
+
+
+class BudgetExceededError(BudgetError):
+    """Raised when a mechanism attempts to spend more budget than remains."""
+
+    def __init__(self, requested: float, remaining: float) -> None:
+        self.requested = requested
+        self.remaining = remaining
+        super().__init__(
+            f"privacy budget exceeded: requested epsilon={requested:g} "
+            f"but only {remaining:g} remains"
+        )
+
+
+class PartitionError(ReproError):
+    """Raised when a bucket partition violates its structural invariants."""
+
+
+class DomainMismatchError(ReproError):
+    """Raised when two histograms/queries disagree on their domain."""

@@ -1,0 +1,27 @@
+"""Experiment harness: specs, runner, aggregation, table rendering.
+
+The benches in ``benchmarks/`` and the CLI both drive experiments through
+:func:`repro.experiments.registry.run_experiment`, so a figure is
+regenerated identically whether you run ``pytest benchmarks/`` or
+``python -m repro fig_point_vs_eps``.
+"""
+
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.runner import RunRecord, run_matrix, run_once
+from repro.experiments.aggregate import Aggregate, aggregate_records
+from repro.experiments.tables import Table, render_table
+from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+
+__all__ = [
+    "ExperimentSpec",
+    "RunRecord",
+    "run_once",
+    "run_matrix",
+    "Aggregate",
+    "aggregate_records",
+    "Table",
+    "render_table",
+    "EXPERIMENTS",
+    "list_experiments",
+    "run_experiment",
+]

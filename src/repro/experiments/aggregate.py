@@ -1,0 +1,46 @@
+"""Aggregation of raw run records across seeds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import RunRecord
+
+__all__ = ["Aggregate", "aggregate_records"]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean / spread summary of one metric over repeated seeds."""
+
+    mean: float
+    std: float
+    n: int
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.n <= 1:
+            return 0.0
+        return self.std / np.sqrt(self.n)
+
+    def __str__(self) -> str:
+        if self.n <= 1:
+            return f"{self.mean:.4g}"
+        return f"{self.mean:.4g} ± {self.sem:.2g}"
+
+
+def aggregate_records(
+    records: Sequence[RunRecord],
+    extract: Callable[[RunRecord], float],
+) -> Aggregate:
+    """Aggregate ``extract(record)`` over records (ddof=1 spread)."""
+    if not records:
+        raise ValueError("records must be non-empty")
+    values: List[float] = [float(extract(r)) for r in records]
+    arr = np.asarray(values, dtype=np.float64)
+    std = float(arr.std(ddof=1)) if len(arr) > 1 else 0.0
+    return Aggregate(mean=float(arr.mean()), std=std, n=len(arr))

@@ -1,0 +1,419 @@
+"""The paper's figures and tables, as table-producing functions.
+
+Each function regenerates one experiment of the (reconstructed)
+evaluation — see the per-experiment index in DESIGN.md — and returns a
+list of :class:`~repro.experiments.tables.Table` carrying the same
+rows/series the paper reports.  ``quick=True`` shrinks domains, seed
+counts and grids so a bench finishes in seconds; ``quick=False`` runs the
+full configuration recorded in EXPERIMENTS.md.
+
+All randomness is seeded: re-running an experiment reproduces its tables
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines import Boost, DworkIdentity, Privelet
+from repro.core import NoiseFirst, StructureFirst
+from repro.core.kselect import smoothness_profile
+from repro.core.publisher import Publisher
+from repro.datasets import registry as dataset_registry
+from repro.datasets.generators import step_histogram
+from repro.datasets.standard import age, nettrace, searchlogs, socialnetwork
+from repro.experiments.aggregate import aggregate_records
+from repro.experiments.runner import run_once
+from repro.experiments.tables import Table
+from repro.hist.histogram import Histogram
+from repro.metrics.divergences import kl_divergence
+from repro.metrics.evaluate import evaluate_workload_error
+from repro.workloads.builders import fixed_length_ranges, unit_queries
+
+__all__ = [
+    "table1_datasets",
+    "fig_point_vs_eps",
+    "fig_range_vs_len",
+    "fig_kl_vs_eps",
+    "fig_k_sensitivity",
+    "fig_budget_split",
+    "fig_scalability",
+    "table_crossover",
+    "fig_smoothness",
+    "fig_data_scale",
+]
+
+PublisherFactory = Callable[[], Publisher]
+
+#: The paper's comparison roster: its two algorithms plus the three
+#: published baselines it was evaluated against.
+ROSTER: Dict[str, PublisherFactory] = {
+    "dwork": DworkIdentity,
+    "noisefirst": NoiseFirst,
+    "structurefirst": StructureFirst,
+    "boost": Boost,
+    "privelet": Privelet,
+}
+
+
+def _datasets(quick: bool) -> Dict[str, Histogram]:
+    """Evaluation datasets, shrunk in quick mode for bench runtimes."""
+    if quick:
+        return {
+            "age": age(n_bins=100, total=100_000),
+            "searchlogs": searchlogs(n_bins=256, total=100_000),
+        }
+    return {name: dataset_registry.get_dataset(name)
+            for name in dataset_registry.list_datasets()}
+
+
+def _eps_grid(quick: bool) -> List[float]:
+    if quick:
+        return [0.01, 0.1]
+    return [0.01, 0.02, 0.05, 0.1, 0.5, 1.0]
+
+
+def _seeds(quick: bool) -> List[int]:
+    return list(range(3 if quick else 10))
+
+
+# ---------------------------------------------------------------------------
+# table1: dataset statistics
+# ---------------------------------------------------------------------------
+
+def table1_datasets(quick: bool = False) -> List[Table]:
+    """Dataset summary statistics (paper's dataset table)."""
+    table = Table(
+        title="table1: evaluation datasets",
+        headers=["dataset", "bins", "total", "nonzero", "max count",
+                 "smoothness"],
+        notes="smoothness = total variation of adjacent bins / total count "
+              "(lower = smoother)",
+    )
+    for name, hist in _datasets(quick=False).items():
+        table.add_row(
+            name,
+            hist.size,
+            int(hist.total),
+            int(np.count_nonzero(hist.counts)),
+            int(hist.counts.max()),
+            round(smoothness_profile(hist.counts), 4),
+        )
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# fig_point_vs_eps: unit-query MSE vs epsilon
+# ---------------------------------------------------------------------------
+
+def fig_point_vs_eps(quick: bool = False) -> List[Table]:
+    """MSE of unit-length (point) queries vs epsilon, per dataset.
+
+    Expected shape: NoiseFirst tracks or beats Dwork everywhere and wins
+    clearly once noise dominates (small epsilon); the tree/wavelet/
+    structure publishers pay their overhead and lose on points.
+    """
+    tables = []
+    for ds_name, hist in _datasets(quick).items():
+        unit = unit_queries(hist.size)
+        table = Table(
+            title=f"fig_point_vs_eps [{ds_name}]: unit-query MSE vs epsilon",
+            headers=["epsilon"] + list(ROSTER),
+        )
+        for eps in _eps_grid(quick):
+            row: List[object] = [eps]
+            for factory in ROSTER.values():
+                records = [
+                    run_once(hist, factory(), eps, [unit], seed)
+                    for seed in _seeds(quick)
+                ]
+                agg = aggregate_records(records, lambda r: r.metric("unit", "mse"))
+                row.append(agg.mean)
+            table.add_row(*row)
+        tables.append(table)
+    return tables
+
+
+# ---------------------------------------------------------------------------
+# fig_range_vs_len: range-query MSE vs query length (the crossover figure)
+# ---------------------------------------------------------------------------
+
+def _range_sweep(
+    hist: Histogram, eps: float, lengths: Sequence[int], seeds: Sequence[int]
+) -> Dict[str, Dict[int, float]]:
+    """mean range-MSE per publisher per length; one publish per seed."""
+    workloads = [fixed_length_ranges(hist.size, length) for length in lengths]
+    out: Dict[str, Dict[int, float]] = {}
+    for name, factory in ROSTER.items():
+        per_len: Dict[int, List[float]] = {length: [] for length in lengths}
+        for seed in seeds:
+            result = factory().publish(hist, budget=eps, rng=seed)
+            for length, workload in zip(lengths, workloads):
+                errors = evaluate_workload_error(hist, result.histogram, workload)
+                per_len[length].append(errors.mse)
+        out[name] = {length: float(np.mean(v)) for length, v in per_len.items()}
+    return out
+
+
+def _sweep_lengths(n: int) -> List[int]:
+    lengths = []
+    length = 1
+    while length <= n // 2:
+        lengths.append(length)
+        length *= 4
+    if lengths[-1] != n // 2:
+        lengths.append(n // 2)
+    return lengths
+
+
+def fig_range_vs_len(quick: bool = False) -> List[Table]:
+    """MSE of fixed-length range queries vs length at fixed epsilon.
+
+    Expected shape: Dwork/NoiseFirst grow linearly in the length;
+    StructureFirst/Privelet/Boost stay flat-ish, so the curves cross.
+    """
+    hist = searchlogs(n_bins=512 if quick else 1024, total=100_000)
+    eps = 0.01
+    lengths = _sweep_lengths(hist.size)
+    sweep = _range_sweep(hist, eps, lengths, _seeds(quick))
+    table = Table(
+        title=f"fig_range_vs_len [searchlogs, eps={eps}]: range MSE vs length",
+        headers=["length"] + list(ROSTER),
+        notes="expected crossover: dwork/noisefirst win short ranges, "
+              "structurefirst/privelet/boost win long ranges",
+    )
+    for length in lengths:
+        table.add_row(length, *[sweep[name][length] for name in ROSTER])
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# fig_kl_vs_eps: distribution-level KL divergence vs epsilon
+# ---------------------------------------------------------------------------
+
+def fig_kl_vs_eps(quick: bool = False) -> List[Table]:
+    """KL(truth || published) vs epsilon per dataset."""
+    tables = []
+    for ds_name, hist in _datasets(quick).items():
+        table = Table(
+            title=f"fig_kl_vs_eps [{ds_name}]: KL divergence vs epsilon",
+            headers=["epsilon"] + list(ROSTER),
+        )
+        for eps in _eps_grid(quick):
+            row: List[object] = [eps]
+            for factory in ROSTER.values():
+                values = []
+                for seed in _seeds(quick):
+                    result = factory().publish(hist, budget=eps, rng=seed)
+                    values.append(
+                        kl_divergence(hist.counts, result.histogram.counts)
+                    )
+                row.append(float(np.mean(values)))
+            table.add_row(*row)
+        tables.append(table)
+    return tables
+
+
+# ---------------------------------------------------------------------------
+# fig_k_sensitivity: error vs bucket count k
+# ---------------------------------------------------------------------------
+
+def fig_k_sensitivity(quick: bool = False) -> List[Table]:
+    """StructureFirst/NoiseFirst error as a function of the bucket count.
+
+    Sweeps k for both algorithms at fixed epsilon and reports unit and
+    long-range MSE; the last row is NoiseFirst's adaptive k* for
+    reference.
+    """
+    hist = searchlogs(n_bins=256, total=100_000)
+    eps = 0.05
+    n = hist.size
+    unit = unit_queries(n)
+    long_w = fixed_length_ranges(n, n // 4)
+    ks = [2, 4, 8, 16, 32, 64, 128]
+    seeds = _seeds(quick)
+    table = Table(
+        title=f"fig_k_sensitivity [searchlogs, eps={eps}]: error vs bucket count",
+        headers=["k", "SF unit MSE", "SF range MSE", "NF unit MSE",
+                 "NF range MSE"],
+    )
+    for k in ks:
+        sf_unit, sf_rng, nf_unit, nf_rng = [], [], [], []
+        for seed in seeds:
+            sf = StructureFirst(k=k).publish(hist, budget=eps, rng=seed)
+            nf = NoiseFirst(k=k).publish(hist, budget=eps, rng=seed)
+            sf_unit.append(evaluate_workload_error(hist, sf.histogram, unit).mse)
+            sf_rng.append(evaluate_workload_error(hist, sf.histogram, long_w).mse)
+            nf_unit.append(evaluate_workload_error(hist, nf.histogram, unit).mse)
+            nf_rng.append(evaluate_workload_error(hist, nf.histogram, long_w).mse)
+        table.add_row(k, float(np.mean(sf_unit)), float(np.mean(sf_rng)),
+                      float(np.mean(nf_unit)), float(np.mean(nf_rng)))
+    # Adaptive NoiseFirst reference row.
+    nf_unit, nf_rng, k_star = [], [], []
+    for seed in seeds:
+        nf = NoiseFirst().publish(hist, budget=eps, rng=seed)
+        nf_unit.append(evaluate_workload_error(hist, nf.histogram, unit).mse)
+        nf_rng.append(evaluate_workload_error(hist, nf.histogram, long_w).mse)
+        k_star.append(nf.meta["k"])
+    table.add_row(f"NF k*={int(np.median(k_star))}", float("nan"), float("nan"),
+                  float(np.mean(nf_unit)), float(np.mean(nf_rng)))
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# fig_budget_split: StructureFirst structure/noise budget split
+# ---------------------------------------------------------------------------
+
+def fig_budget_split(quick: bool = False) -> List[Table]:
+    """StructureFirst error vs the fraction of budget spent on structure."""
+    hist = searchlogs(n_bins=256, total=100_000)
+    eps = 0.1
+    n = hist.size
+    unit = unit_queries(n)
+    long_w = fixed_length_ranges(n, n // 4)
+    fractions = [0.1, 0.25, 0.5, 0.75, 0.9]
+    seeds = _seeds(quick)
+    table = Table(
+        title=f"fig_budget_split [searchlogs, eps={eps}]: SF error vs "
+              "structure fraction",
+        headers=["structure fraction", "unit MSE", "range MSE"],
+    )
+    for fraction in fractions:
+        unit_vals, range_vals = [], []
+        for seed in seeds:
+            result = StructureFirst(structure_fraction=fraction).publish(
+                hist, budget=eps, rng=seed
+            )
+            unit_vals.append(
+                evaluate_workload_error(hist, result.histogram, unit).mse
+            )
+            range_vals.append(
+                evaluate_workload_error(hist, result.histogram, long_w).mse
+            )
+        table.add_row(fraction, float(np.mean(unit_vals)),
+                      float(np.mean(range_vals)))
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# fig_scalability: wall-clock runtime vs domain size
+# ---------------------------------------------------------------------------
+
+def fig_scalability(quick: bool = False) -> List[Table]:
+    """Publish-time (seconds) vs domain size n for every publisher."""
+    sizes = [128, 256, 512] if quick else [128, 256, 512, 1024, 2048]
+    eps = 0.1
+    table = Table(
+        title="fig_scalability: publish seconds vs domain size",
+        headers=["n"] + list(ROSTER),
+        notes="NoiseFirst's adaptive search is the O(n^2 k) outlier; the "
+              "others are O(n log n) or better",
+    )
+    for n in sizes:
+        hist = searchlogs(n_bins=n, total=100_000)
+        row: List[object] = [n]
+        for factory in ROSTER.values():
+            record = run_once(hist, factory(), eps, [], seed=0)
+            row.append(round(record.seconds, 4))
+        table.add_row(*row)
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# table_crossover: winner per (dataset, range length) regime
+# ---------------------------------------------------------------------------
+
+def table_crossover(quick: bool = False) -> List[Table]:
+    """Which publisher wins at each query length, per dataset."""
+    eps = 0.01
+    seeds = _seeds(quick)
+    table = Table(
+        title=f"table_crossover [eps={eps}]: winning publisher by range length",
+        headers=["dataset", "length", "winner", "winner MSE", "dwork MSE"],
+        notes="the paper's qualitative claim: noise-dominated short ranges "
+              "go to noisefirst/dwork, long ranges to the structured trio",
+    )
+    for ds_name, hist in _datasets(quick).items():
+        lengths = _sweep_lengths(hist.size)
+        sweep = _range_sweep(hist, eps, lengths, seeds)
+        for length in lengths:
+            scores = {name: sweep[name][length] for name in ROSTER}
+            winner = min(scores, key=scores.get)
+            table.add_row(ds_name, length, winner, scores[winner],
+                          scores["dwork"])
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# fig_smoothness: error vs ground-truth smoothness
+# ---------------------------------------------------------------------------
+
+def fig_data_scale(quick: bool = False) -> List[Table]:
+    """Relative error vs dataset cardinality at fixed epsilon.
+
+    Noise is data-independent, so scaling the data total down makes the
+    privacy/utility trade harder: the *scaled* (relative) error of every
+    publisher grows as the total shrinks, and the structured methods'
+    advantage widens (their per-bin noise shrinks with bucket width, not
+    with data volume).
+    """
+    eps = 0.05
+    n = 256
+    totals = [10_000, 100_000] if quick else [3_000, 10_000, 30_000,
+                                              100_000, 300_000, 1_000_000]
+    seeds = _seeds(quick)
+    table = Table(
+        title=f"fig_data_scale [searchlogs shape, n={n}, eps={eps}]: "
+              "scaled unit error vs total count",
+        headers=["total"] + list(ROSTER),
+        notes="scaled error = MAE / mean true count (unit-free); smaller "
+              "totals make the same noise relatively larger",
+    )
+    for total in totals:
+        hist = searchlogs(n_bins=n, total=total)
+        unit = unit_queries(n)
+        row: List[object] = [total]
+        for factory in ROSTER.values():
+            values = []
+            for seed in seeds:
+                result = factory().publish(hist, budget=eps, rng=seed)
+                values.append(
+                    evaluate_workload_error(hist, result.histogram,
+                                            unit).scaled
+                )
+            row.append(float(np.mean(values)))
+        table.add_row(*row)
+    return [table]
+
+
+def fig_smoothness(quick: bool = False) -> List[Table]:
+    """Error vs number of true steps in piecewise-constant data.
+
+    Structure-based publishers shine when the data really is bucketed
+    (few steps) and degrade toward Dwork as the data loses structure.
+    """
+    n = 256
+    eps = 0.05
+    unit = unit_queries(n)
+    steps = [2, 8, 32, 128]
+    seeds = _seeds(quick)
+    table = Table(
+        title=f"fig_smoothness [step data, n={n}, eps={eps}]: unit MSE vs "
+              "true step count",
+        headers=["steps"] + list(ROSTER),
+    )
+    for n_steps in steps:
+        hist = step_histogram(n, n_steps, total=100_000, rng=7)
+        row: List[object] = [n_steps]
+        for factory in ROSTER.values():
+            values = []
+            for seed in seeds:
+                result = factory().publish(hist, budget=eps, rng=seed)
+                values.append(
+                    evaluate_workload_error(hist, result.histogram, unit).mse
+                )
+            row.append(float(np.mean(values)))
+        table.add_row(*row)
+    return [table]

@@ -1,0 +1,96 @@
+"""Experiment execution.
+
+``run_once`` executes a single (publisher, dataset, epsilon, seed) cell;
+``run_matrix`` repeats a spec over its seeds and returns the raw records
+for aggregation.  Timing uses ``time.perf_counter`` around the publish
+call only (workload evaluation is excluded), which is what the
+scalability figure reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.core.publisher import Publisher
+from repro.experiments.spec import ExperimentSpec
+from repro.hist.histogram import Histogram
+from repro.metrics.divergences import kl_divergence, ks_distance
+from repro.metrics.evaluate import WorkloadErrors, evaluate_workload_error
+from repro.workloads.workload import Workload
+
+__all__ = ["RunRecord", "run_once", "run_matrix"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Raw outcome of one publish + evaluation."""
+
+    spec_name: str
+    publisher: str
+    seed: int
+    epsilon: float
+    seconds: float
+    kl: float
+    ks: float
+    workload_errors: Dict[str, WorkloadErrors] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def metric(self, workload: str, name: str) -> float:
+        """Look up one workload metric, e.g. ``record.metric('unit', 'mse')``."""
+        try:
+            errors = self.workload_errors[workload]
+        except KeyError:
+            raise KeyError(
+                f"no workload {workload!r} in record; have "
+                f"{sorted(self.workload_errors)}"
+            ) from None
+        return errors.as_dict()[name]
+
+
+def run_once(
+    truth: Histogram,
+    publisher: Publisher,
+    epsilon: float,
+    workloads: "List[Workload] | tuple",
+    seed: int,
+    spec_name: str = "",
+) -> RunRecord:
+    """Publish once and evaluate all workloads and divergences."""
+    start = time.perf_counter()
+    result = publisher.publish(truth, budget=epsilon, rng=seed)
+    elapsed = time.perf_counter() - start
+    errors = {
+        w.name: evaluate_workload_error(truth, result.histogram, w)
+        for w in workloads
+    }
+    return RunRecord(
+        spec_name=spec_name,
+        publisher=publisher.name,
+        seed=seed,
+        epsilon=epsilon,
+        seconds=elapsed,
+        kl=kl_divergence(truth.counts, result.histogram.counts),
+        ks=ks_distance(truth.counts, result.histogram.counts),
+        workload_errors=errors,
+        meta=dict(result.meta),
+    )
+
+
+def run_matrix(spec: ExperimentSpec) -> List[RunRecord]:
+    """Run a spec once per seed; returns the raw records in seed order."""
+    records = []
+    for seed in spec.seeds:
+        publisher = spec.publisher_factory()
+        records.append(
+            run_once(
+                spec.histogram,
+                publisher,
+                spec.epsilon,
+                list(spec.workloads),
+                seed,
+                spec_name=spec.name,
+            )
+        )
+    return records

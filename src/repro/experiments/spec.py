@@ -1,0 +1,58 @@
+"""Experiment specification objects.
+
+An :class:`ExperimentSpec` pins down everything a run needs — dataset,
+publisher factory, budget, workloads, seeds — so experiments are
+reproducible from their spec alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, Tuple
+
+from repro._validation import check_positive
+from repro.core.publisher import Publisher
+from repro.hist.histogram import Histogram
+from repro.workloads.workload import Workload
+
+__all__ = ["ExperimentSpec"]
+
+PublisherFactory = Callable[[], Publisher]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experimental cell: a publisher on a dataset at a budget.
+
+    ``publisher_factory`` is a zero-argument callable so every repetition
+    gets a fresh publisher (publishers are cheap and some carry
+    per-publish defaults we do not want reused).
+    """
+
+    name: str
+    histogram: Histogram
+    publisher_factory: PublisherFactory
+    epsilon: float
+    workloads: Tuple[Workload, ...] = field(default_factory=tuple)
+    seeds: Tuple[int, ...] = (0, 1, 2)
+
+    def __post_init__(self) -> None:
+        check_positive(self.epsilon, "epsilon")
+        if not isinstance(self.histogram, Histogram):
+            raise TypeError("histogram must be a Histogram")
+        if not callable(self.publisher_factory):
+            raise TypeError("publisher_factory must be callable")
+        workloads = tuple(self.workloads)
+        for w in workloads:
+            if not isinstance(w, Workload):
+                raise TypeError(f"expected Workload, got {type(w).__name__}")
+            if w.n != self.histogram.size:
+                raise ValueError(
+                    f"workload {w.name!r} built for {w.n} bins, "
+                    f"dataset has {self.histogram.size}"
+                )
+        object.__setattr__(self, "workloads", workloads)
+        seeds = tuple(int(s) for s in self.seeds)
+        if not seeds:
+            raise ValueError("seeds must be non-empty")
+        object.__setattr__(self, "seeds", seeds)

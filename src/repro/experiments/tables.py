@@ -1,0 +1,69 @@
+"""Plain-text table rendering for experiment results.
+
+Every experiment emits one or more :class:`Table` objects — the same
+rows/series the paper's figures and tables report — rendered as aligned
+monospace text so results read cleanly from a terminal, a CI log, or
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+__all__ = ["Table", "render_table"]
+
+
+@dataclass
+class Table:
+    """A titled grid of results."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row; must match the header width."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """Aligned monospace rendering (see :func:`render_table`)."""
+        return render_table(self)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(table: Table) -> str:
+    """Render a :class:`Table` with aligned columns and a rule line."""
+    formatted: List[Sequence[str]] = [table.headers] + [
+        [_format_cell(c) for c in row] for row in table.rows
+    ]
+    widths = [
+        max(len(row[col]) for row in formatted)
+        for col in range(len(table.headers))
+    ]
+    lines = [table.title, "=" * max(len(table.title), 1)]
+    header = "  ".join(h.ljust(w) for h, w in zip(formatted[0], widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in formatted[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if table.notes:
+        lines.append("")
+        lines.append(f"note: {table.notes}")
+    return "\n".join(lines)

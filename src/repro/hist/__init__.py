@@ -1,0 +1,16 @@
+"""Histogram data structures: domains, counts, and range queries."""
+
+from repro.hist.domain import Domain
+from repro.hist.histogram import Histogram
+from repro.hist.ranges import RangeQuery, evaluate_ranges, prefix_sums
+from repro.hist.serialize import histogram_from_dict, histogram_to_dict
+
+__all__ = [
+    "Domain",
+    "Histogram",
+    "RangeQuery",
+    "evaluate_ranges",
+    "prefix_sums",
+    "histogram_from_dict",
+    "histogram_to_dict",
+]

@@ -1,0 +1,148 @@
+"""Histogram domains.
+
+A :class:`Domain` describes the ordered bins of a histogram independently
+of any counts: either a numeric interval discretized into equal-width
+bins, or an explicit ordered list of categorical labels.  Domains are
+value objects — equality is structural — and every histogram, query
+workload, and publisher carries one so mismatched comparisons fail loudly
+(:class:`~repro.exceptions.DomainMismatchError`) instead of silently
+misaligning bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import check_integer
+from repro.exceptions import DomainMismatchError
+
+__all__ = ["Domain"]
+
+
+@dataclass(frozen=True)
+class Domain:
+    """An ordered domain of ``size`` histogram bins.
+
+    Parameters
+    ----------
+    size:
+        Number of bins; must be >= 1.
+    lower, upper:
+        Optional numeric bounds when the domain discretizes an interval.
+        When given, bin ``i`` covers
+        ``[lower + i*w, lower + (i+1)*w)`` with ``w = (upper-lower)/size``.
+    labels:
+        Optional ordered categorical labels (length must equal ``size``).
+    name:
+        Optional human-readable name used in reports.
+    """
+
+    size: int
+    lower: Optional[float] = None
+    upper: Optional[float] = None
+    labels: Optional[Tuple[str, ...]] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        check_integer(self.size, "size", minimum=1)
+        has_lower = self.lower is not None
+        has_upper = self.upper is not None
+        if has_lower != has_upper:
+            raise ValueError("lower and upper must be given together")
+        if has_lower and not float(self.lower) < float(self.upper):
+            raise ValueError(
+                f"lower must be < upper, got [{self.lower}, {self.upper}]"
+            )
+        if self.labels is not None:
+            labels = tuple(str(lbl) for lbl in self.labels)
+            if len(labels) != self.size:
+                raise ValueError(
+                    f"labels has {len(labels)} entries but size is {self.size}"
+                )
+            object.__setattr__(self, "labels", labels)
+
+    @classmethod
+    def integers(cls, size: int, start: int = 0, name: str = "") -> "Domain":
+        """Domain of unit-width integer bins ``start, start+1, ...``."""
+        check_integer(size, "size", minimum=1)
+        check_integer(start, "start")
+        return cls(size=size, lower=float(start), upper=float(start + size), name=name)
+
+    @classmethod
+    def categorical(cls, labels: Sequence[str], name: str = "") -> "Domain":
+        """Domain over an explicit ordered list of category labels."""
+        labels = tuple(str(lbl) for lbl in labels)
+        if not labels:
+            raise ValueError("labels must be non-empty")
+        return cls(size=len(labels), labels=labels, name=name)
+
+    @property
+    def is_numeric(self) -> bool:
+        """True when the domain discretizes a numeric interval."""
+        return self.lower is not None
+
+    @property
+    def bin_width(self) -> Optional[float]:
+        """Width of each bin for numeric domains, else ``None``."""
+        if not self.is_numeric:
+            return None
+        return (float(self.upper) - float(self.lower)) / self.size
+
+    def bin_edges(self) -> np.ndarray:
+        """The ``size + 1`` bin edges of a numeric domain."""
+        if not self.is_numeric:
+            raise ValueError("bin_edges is only defined for numeric domains")
+        return np.linspace(float(self.lower), float(self.upper), self.size + 1)
+
+    def bin_of(self, value: float) -> int:
+        """Index of the bin containing a numeric ``value``.
+
+        The upper edge of the last bin is inclusive so the domain covers
+        the full closed interval.
+        """
+        if not self.is_numeric:
+            raise ValueError("bin_of is only defined for numeric domains")
+        lower, upper = float(self.lower), float(self.upper)
+        if not lower <= value <= upper:
+            raise ValueError(f"value {value!r} outside domain [{lower}, {upper}]")
+        if value == upper:
+            return self.size - 1
+        return int((value - lower) / self.bin_width)
+
+    def label_of(self, index: int) -> str:
+        """Human-readable label of bin ``index``."""
+        check_integer(index, "index")
+        if not 0 <= index < self.size:
+            raise ValueError(f"index {index} outside [0, {self.size})")
+        if self.labels is not None:
+            return self.labels[index]
+        if self.is_numeric:
+            edges = self.bin_edges()
+            return f"[{edges[index]:g}, {edges[index + 1]:g})"
+        return str(index)
+
+    def require_same(self, other: "Domain") -> None:
+        """Raise :class:`DomainMismatchError` unless ``other`` matches."""
+        if not isinstance(other, Domain):
+            raise TypeError(f"expected Domain, got {type(other).__name__}")
+        if (
+            self.size != other.size
+            or self.lower != other.lower
+            or self.upper != other.upper
+            or self.labels != other.labels
+        ):
+            raise DomainMismatchError(f"domains differ: {self} vs {other}")
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __str__(self) -> str:
+        desc = f"{self.size} bins"
+        if self.is_numeric:
+            desc += f" over [{self.lower:g}, {self.upper:g}]"
+        if self.name:
+            desc = f"{self.name}: {desc}"
+        return desc

@@ -1,0 +1,114 @@
+"""The :class:`Histogram` value type: a domain plus a count vector.
+
+Histograms are immutable; transformations return new instances.  Counts
+are stored as float64 because sanitized histograms carry fractional,
+possibly negative values.  Convenience constructors build histograms from
+raw record samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._validation import check_counts
+from repro.hist.domain import Domain
+
+__all__ = ["Histogram"]
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """An immutable histogram: an ordered :class:`Domain` and its counts."""
+
+    domain: Domain
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        counts = check_counts(self.counts, "counts")
+        if len(counts) != self.domain.size:
+            raise ValueError(
+                f"counts has {len(counts)} bins but domain has {self.domain.size}"
+            )
+        counts = counts.copy()
+        counts.setflags(write=False)
+        object.__setattr__(self, "counts", counts)
+
+    @classmethod
+    def from_counts(
+        cls, counts: Sequence[float], domain: "Domain | None" = None, name: str = ""
+    ) -> "Histogram":
+        """Build a histogram from a count vector, defaulting the domain.
+
+        Without an explicit domain, bins are the integers ``0..n-1``.
+        """
+        counts = check_counts(counts, "counts")
+        if domain is None:
+            domain = Domain.integers(len(counts), name=name)
+        return cls(domain=domain, counts=counts)
+
+    @classmethod
+    def from_records(
+        cls, values: Sequence[float], domain: Domain
+    ) -> "Histogram":
+        """Histogram raw numeric records into the bins of ``domain``."""
+        if not domain.is_numeric:
+            raise ValueError("from_records requires a numeric domain")
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError("values must be 1-dimensional")
+        counts, _edges = np.histogram(arr, bins=domain.bin_edges())
+        return cls(domain=domain, counts=counts.astype(np.float64))
+
+    @property
+    def size(self) -> int:
+        """Number of bins."""
+        return self.domain.size
+
+    @property
+    def total(self) -> float:
+        """Sum of all counts."""
+        return float(self.counts.sum())
+
+    def range_sum(self, lo: int, hi: int) -> float:
+        """Sum of counts over the inclusive bin range ``[lo, hi]``."""
+        if not 0 <= lo <= hi < self.size:
+            raise ValueError(
+                f"range [{lo}, {hi}] outside histogram of {self.size} bins"
+            )
+        return float(self.counts[lo : hi + 1].sum())
+
+    def with_counts(self, counts: Sequence[float]) -> "Histogram":
+        """New histogram on the same domain with replaced counts."""
+        return Histogram(domain=self.domain, counts=np.asarray(counts, dtype=float))
+
+    def normalized(self) -> np.ndarray:
+        """Counts as a probability vector (uniform if the total is <= 0).
+
+        Negative counts (possible after noising) are clamped to zero
+        before normalizing, which is the convention used for KL/KS
+        comparisons in the benches.
+        """
+        clamped = np.clip(self.counts, 0.0, None)
+        total = clamped.sum()
+        if total <= 0:
+            return np.full(self.size, 1.0 / self.size)
+        return clamped / total
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self.domain == other.domain and np.array_equal(
+            self.counts, other.counts
+        )
+
+    def __hash__(self) -> int:  # frozen dataclass with ndarray needs custom hash
+        return hash((self.domain, self.counts.tobytes()))
+
+    def __str__(self) -> str:
+        return f"Histogram({self.domain}, total={self.total:g})"

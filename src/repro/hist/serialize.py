@@ -1,0 +1,60 @@
+"""JSON-friendly (de)serialization of histograms.
+
+The experiment harness persists published histograms as plain dicts so
+results can be inspected or re-analysed without the library.  The format
+is deliberately boring: a versioned dict of lists and scalars.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.hist.domain import Domain
+from repro.hist.histogram import Histogram
+
+__all__ = ["histogram_to_dict", "histogram_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def histogram_to_dict(hist: Histogram) -> Dict[str, Any]:
+    """Serialize a histogram into a JSON-compatible dict."""
+    if not isinstance(hist, Histogram):
+        raise TypeError(f"expected Histogram, got {type(hist).__name__}")
+    domain = hist.domain
+    return {
+        "version": _FORMAT_VERSION,
+        "counts": [float(c) for c in hist.counts],
+        "domain": {
+            "size": domain.size,
+            "lower": domain.lower,
+            "upper": domain.upper,
+            "labels": list(domain.labels) if domain.labels is not None else None,
+            "name": domain.name,
+        },
+    }
+
+
+def histogram_from_dict(payload: Dict[str, Any]) -> Histogram:
+    """Inverse of :func:`histogram_to_dict`; validates the payload."""
+    if not isinstance(payload, dict):
+        raise TypeError(f"expected dict, got {type(payload).__name__}")
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported histogram format version: {version!r}")
+    try:
+        dom = payload["domain"]
+        counts = payload["counts"]
+    except KeyError as exc:
+        raise ValueError(f"histogram payload missing key: {exc}") from exc
+    labels = dom.get("labels")
+    domain = Domain(
+        size=int(dom["size"]),
+        lower=dom.get("lower"),
+        upper=dom.get("upper"),
+        labels=tuple(labels) if labels is not None else None,
+        name=str(dom.get("name", "")),
+    )
+    return Histogram(domain=domain, counts=np.asarray(counts, dtype=np.float64))

@@ -1,0 +1,13 @@
+"""Record ingestion: turn raw record files into histograms."""
+
+from repro.io.records import (
+    histogram_from_csv,
+    histogram_from_values,
+    infer_numeric_domain,
+)
+
+__all__ = [
+    "histogram_from_csv",
+    "histogram_from_values",
+    "infer_numeric_domain",
+]

@@ -1,0 +1,120 @@
+"""Building histograms from raw records.
+
+The publishers operate on :class:`~repro.hist.Histogram`; real
+deployments start from record files.  This module covers the common
+paths: numeric value lists and CSV columns (both numeric and
+categorical).
+
+A privacy caveat worth stating explicitly: the *domain* of a published
+histogram (bounds, bin width, category list) is itself visible in the
+output.  :func:`infer_numeric_domain` derives the domain from the data,
+which is the usual practice when the schema is public knowledge — but a
+truly data-derived domain leaks; deployments with sensitive bounds
+should pass an explicit, schema-level :class:`~repro.hist.Domain`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro._validation import check_integer
+from repro.hist.domain import Domain
+from repro.hist.histogram import Histogram
+
+__all__ = ["infer_numeric_domain", "histogram_from_values", "histogram_from_csv"]
+
+
+def infer_numeric_domain(
+    values: Sequence[float], n_bins: int, name: str = ""
+) -> Domain:
+    """Equal-width numeric domain spanning the observed value range.
+
+    The upper bound is nudged by a relative epsilon so the maximum value
+    falls inside the last bin rather than on its open edge.
+    """
+    check_integer(n_bins, "n_bins", minimum=1)
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("values must be a non-empty 1-D sequence")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("values must be finite")
+    lower = float(arr.min())
+    upper = float(arr.max())
+    if lower == upper:
+        upper = lower + 1.0
+    return Domain(size=n_bins, lower=lower, upper=upper, name=name)
+
+
+def histogram_from_values(
+    values: Sequence[float],
+    n_bins: Optional[int] = None,
+    domain: Optional[Domain] = None,
+    name: str = "",
+) -> Histogram:
+    """Histogram a numeric value list.
+
+    Pass either an explicit ``domain`` (preferred — see the module
+    docstring) or ``n_bins`` to infer one from the data range.
+    """
+    if (domain is None) == (n_bins is None):
+        raise ValueError("pass exactly one of n_bins or domain")
+    if domain is None:
+        domain = infer_numeric_domain(values, n_bins, name=name)
+    return Histogram.from_records(values, domain)
+
+
+def histogram_from_csv(
+    path: Union[str, Path],
+    column: str,
+    n_bins: Optional[int] = None,
+    domain: Optional[Domain] = None,
+    categorical: bool = False,
+) -> Histogram:
+    """Histogram one column of a CSV file (header row required).
+
+    Numeric columns are binned into ``n_bins`` (or an explicit
+    ``domain``); with ``categorical=True`` each distinct value becomes a
+    bin, ordered lexicographically (pass a categorical ``domain`` to fix
+    the category set and order instead).
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or column not in reader.fieldnames:
+            raise ValueError(
+                f"column {column!r} not found in {path.name}; "
+                f"have {reader.fieldnames}"
+            )
+        raw = [row[column] for row in reader if row[column] != ""]
+    if not raw:
+        raise ValueError(f"column {column!r} of {path.name} is empty")
+
+    if categorical:
+        if domain is None:
+            labels = sorted(set(raw))
+            domain = Domain.categorical(labels, name=column)
+        elif domain.labels is None:
+            raise ValueError("categorical=True needs a categorical domain")
+        index = {label: i for i, label in enumerate(domain.labels)}
+        counts = np.zeros(domain.size, dtype=np.float64)
+        for value in raw:
+            try:
+                counts[index[value]] += 1
+            except KeyError:
+                raise ValueError(
+                    f"value {value!r} not in the declared category set"
+                ) from None
+        return Histogram(domain=domain, counts=counts)
+
+    try:
+        values = [float(v) for v in raw]
+    except ValueError as exc:
+        raise ValueError(
+            f"column {column!r} is not numeric; pass categorical=True"
+        ) from exc
+    return histogram_from_values(values, n_bins=n_bins, domain=domain,
+                                 name=column)

@@ -1,0 +1,56 @@
+"""The Gaussian mechanism for (epsilon, delta)-differential privacy.
+
+Included for completeness (some baselines in the broader literature, e.g.
+DPPro, are (eps, delta)-DP).  The classic calibration
+``sigma >= sqrt(2 ln(1.25/delta)) * Delta_2 / epsilon`` (Dwork & Roth,
+2014) requires ``epsilon < 1``; we validate that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro._validation import as_rng, check_in_range, check_positive
+
+__all__ = ["gaussian_sigma", "GaussianMechanism"]
+
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+
+def gaussian_sigma(epsilon: float, delta: float, l2_sensitivity: float = 1.0) -> float:
+    """Return the standard deviation of classic Gaussian-mechanism noise."""
+    check_in_range(epsilon, "epsilon", 0.0, 1.0, inclusive=False)
+    check_in_range(delta, "delta", 0.0, 1.0, inclusive=False)
+    check_positive(l2_sensitivity, "l2_sensitivity")
+    return float(np.sqrt(2.0 * np.log(1.25 / delta)) * l2_sensitivity / epsilon)
+
+
+@dataclass(frozen=True)
+class GaussianMechanism:
+    """(epsilon, delta)-DP additive Gaussian noise bound to an L2 sensitivity."""
+
+    l2_sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.l2_sensitivity, "l2_sensitivity")
+
+    def sigma(self, epsilon: float, delta: float) -> float:
+        """Noise standard deviation for a release at (epsilon, delta)."""
+        return gaussian_sigma(epsilon, delta, self.l2_sensitivity)
+
+    def release(
+        self,
+        values: ArrayLike,
+        epsilon: float,
+        delta: float,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> np.ndarray:
+        """Return ``values`` perturbed with calibrated Gaussian noise."""
+        arr = np.asarray(values, dtype=np.float64)
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("values must be finite")
+        generator = as_rng(rng)
+        return arr + generator.normal(0.0, self.sigma(epsilon, delta), size=arr.shape)

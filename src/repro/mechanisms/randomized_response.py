@@ -1,0 +1,78 @@
+"""Randomized response (Warner, 1965) in its k-ary epsilon-DP form.
+
+Each record reports its true bin with probability
+``p = e^eps / (e^eps + k - 1)`` and a uniformly random other bin
+otherwise.  The aggregate histogram is then unbiased-corrected.  This is
+a *local* DP primitive; it is included because some of the histogram
+literature (BPM, RCF) builds on it, and it gives the benches a local-DP
+reference point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_rng, check_integer, check_positive
+
+__all__ = ["RandomizedResponse"]
+
+
+@dataclass(frozen=True)
+class RandomizedResponse:
+    """k-ary randomized response over a categorical domain of ``k`` bins."""
+
+    k: int
+
+    def __post_init__(self) -> None:
+        check_integer(self.k, "k", minimum=2)
+
+    def truth_probability(self, epsilon: float) -> float:
+        """Probability that a record reports its true bin."""
+        check_positive(epsilon, "epsilon")
+        e = float(np.exp(epsilon))
+        return e / (e + self.k - 1)
+
+    def perturb(
+        self,
+        records: np.ndarray,
+        epsilon: float,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> np.ndarray:
+        """Perturb an array of bin indices record-by-record.
+
+        Each entry of ``records`` must be an integer in ``[0, k)``.
+        """
+        arr = np.asarray(records)
+        if arr.ndim != 1:
+            raise ValueError("records must be a 1-D array of bin indices")
+        if arr.size and (arr.min() < 0 or arr.max() >= self.k):
+            raise ValueError(f"record bin indices must lie in [0, {self.k})")
+        generator = as_rng(rng)
+        p_true = self.truth_probability(epsilon)
+        keep = generator.random(arr.shape) < p_true
+        # A lie is uniform over the k-1 *other* bins: draw from k-1 slots
+        # and skip over the true bin.
+        lies = generator.integers(0, self.k - 1, size=arr.shape)
+        lies = np.where(lies >= arr, lies + 1, lies)
+        return np.where(keep, arr, lies)
+
+    def estimate_histogram(
+        self,
+        records: np.ndarray,
+        epsilon: float,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> np.ndarray:
+        """Perturb records and return the unbiased histogram estimate.
+
+        With ``n`` records, observed count ``o_j`` of bin ``j`` satisfies
+        ``E[o_j] = c_j p + (n - c_j) q`` where ``q = (1-p)/(k-1)``, so the
+        unbiased estimator is ``(o_j - n q) / (p - q)``.
+        """
+        perturbed = self.perturb(records, epsilon, rng=rng)
+        observed = np.bincount(perturbed, minlength=self.k).astype(np.float64)
+        n = float(len(perturbed))
+        p = self.truth_probability(epsilon)
+        q = (1.0 - p) / (self.k - 1)
+        return (observed - n * q) / (p - q)

@@ -1,0 +1,22 @@
+"""Error metrics used in the evaluation (Table 3 of the survey lineage:
+MAE, MSE, KL divergence, KS distance, scaled average per-query error)."""
+
+from repro.metrics.errors import (
+    mean_absolute_error,
+    mean_squared_error,
+    root_mean_squared_error,
+    scaled_average_error,
+)
+from repro.metrics.divergences import kl_divergence, ks_distance
+from repro.metrics.evaluate import WorkloadErrors, evaluate_workload_error
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "scaled_average_error",
+    "kl_divergence",
+    "ks_distance",
+    "WorkloadErrors",
+    "evaluate_workload_error",
+]

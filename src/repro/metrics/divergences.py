@@ -1,0 +1,60 @@
+"""Distribution-level divergences between true and published histograms."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._validation import check_counts
+
+__all__ = ["kl_divergence", "ks_distance"]
+
+
+def _as_distribution(counts: Sequence[float], name: str) -> np.ndarray:
+    """Clamp negatives, normalize to a probability vector.
+
+    A histogram that is all-zero (or all-negative after noising) maps to
+    the uniform distribution, matching :meth:`Histogram.normalized`.
+    """
+    arr = check_counts(counts, name)
+    clamped = np.clip(arr, 0.0, None)
+    total = clamped.sum()
+    if total <= 0:
+        return np.full(len(arr), 1.0 / len(arr))
+    return clamped / total
+
+
+def kl_divergence(
+    truth: Sequence[float],
+    estimate: Sequence[float],
+    smoothing: float = 1e-9,
+) -> float:
+    """KL(P_truth || P_estimate) with additive smoothing.
+
+    Both inputs are count vectors; they are clamped and normalized first.
+    ``smoothing`` mass is mixed into both distributions so bins where the
+    estimate is zero but the truth is not stay finite (this matches how
+    the empirical DP-histogram literature reports KL on noisy outputs).
+    """
+    p = _as_distribution(truth, "truth")
+    q = _as_distribution(estimate, "estimate")
+    if len(p) != len(q):
+        raise ValueError(f"truth has {len(p)} bins but estimate has {len(q)}")
+    if smoothing < 0:
+        raise ValueError(f"smoothing must be >= 0, got {smoothing}")
+    if smoothing > 0:
+        n = len(p)
+        p = (p + smoothing) / (1.0 + n * smoothing)
+        q = (q + smoothing) / (1.0 + n * smoothing)
+    mask = p > 0
+    return float(np.sum(p[mask] * np.log(p[mask] / q[mask])))
+
+
+def ks_distance(truth: Sequence[float], estimate: Sequence[float]) -> float:
+    """Kolmogorov–Smirnov distance between the two normalized CDFs."""
+    p = _as_distribution(truth, "truth")
+    q = _as_distribution(estimate, "estimate")
+    if len(p) != len(q):
+        raise ValueError(f"truth has {len(p)} bins but estimate has {len(q)}")
+    return float(np.max(np.abs(np.cumsum(p) - np.cumsum(q))))

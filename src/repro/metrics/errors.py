@@ -1,0 +1,65 @@
+"""Elementwise error metrics between true and published answers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._validation import check_counts, check_positive
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "scaled_average_error",
+]
+
+
+def _paired(truth: Sequence[float], estimate: Sequence[float]):
+    t = check_counts(truth, "truth")
+    e = check_counts(estimate, "estimate")
+    if len(t) != len(e):
+        raise ValueError(
+            f"truth has {len(t)} entries but estimate has {len(e)}"
+        )
+    return t, e
+
+
+def mean_absolute_error(truth: Sequence[float], estimate: Sequence[float]) -> float:
+    """MAE: mean of |truth - estimate|."""
+    t, e = _paired(truth, estimate)
+    return float(np.abs(t - e).mean())
+
+
+def mean_squared_error(truth: Sequence[float], estimate: Sequence[float]) -> float:
+    """MSE: mean of (truth - estimate)**2."""
+    t, e = _paired(truth, estimate)
+    diff = t - e
+    return float((diff * diff).mean())
+
+
+def root_mean_squared_error(
+    truth: Sequence[float], estimate: Sequence[float]
+) -> float:
+    """RMSE: sqrt of the MSE."""
+    return float(np.sqrt(mean_squared_error(truth, estimate)))
+
+
+def scaled_average_error(
+    truth: Sequence[float],
+    estimate: Sequence[float],
+    scale: "float | None" = None,
+) -> float:
+    """Average absolute error scaled by the data magnitude.
+
+    ``scale`` defaults to the mean true answer (floored at 1 to avoid
+    division blow-ups on empty workloads), giving a unit-free error
+    comparable across datasets of different volume.
+    """
+    t, e = _paired(truth, estimate)
+    if scale is None:
+        scale = max(float(np.abs(t).mean()), 1.0)
+    else:
+        check_positive(scale, "scale")
+    return mean_absolute_error(t, e) / float(scale)

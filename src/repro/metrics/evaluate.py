@@ -1,0 +1,63 @@
+"""Workload-level error evaluation.
+
+Bundles the per-query error of a published histogram against the truth
+under a given workload into one :class:`WorkloadErrors` record with all
+the metrics the benches report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.hist.histogram import Histogram
+from repro.metrics.errors import (
+    mean_absolute_error,
+    mean_squared_error,
+    scaled_average_error,
+)
+from repro.workloads.workload import Workload
+
+__all__ = ["WorkloadErrors", "evaluate_workload_error"]
+
+
+@dataclass(frozen=True)
+class WorkloadErrors:
+    """Error summary of one published histogram under one workload."""
+
+    workload: str
+    n_queries: int
+    mae: float
+    mse: float
+    scaled: float
+    max_abs: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Metrics as a plain dict (for aggregation and table rendering)."""
+        return {
+            "mae": self.mae,
+            "mse": self.mse,
+            "scaled": self.scaled,
+            "max_abs": self.max_abs,
+        }
+
+
+def evaluate_workload_error(
+    truth: Histogram,
+    published: Histogram,
+    workload: Workload,
+) -> WorkloadErrors:
+    """Evaluate ``published`` against ``truth`` on every workload query."""
+    truth.domain.require_same(published.domain)
+    true_answers = workload.evaluate(truth)
+    est_answers = workload.evaluate(published)
+    return WorkloadErrors(
+        workload=workload.name,
+        n_queries=len(workload),
+        mae=mean_absolute_error(true_answers, est_answers),
+        mse=mean_squared_error(true_answers, est_answers),
+        scaled=scaled_average_error(true_answers, est_answers),
+        max_abs=float(np.max(np.abs(true_answers - est_answers))),
+    )

@@ -1,0 +1,29 @@
+"""Equi-width partitioning.
+
+The simplest structure: ``k`` buckets of (nearly) equal width, computed
+without looking at the data.  Because it is data-independent it costs no
+privacy budget, which makes it a useful control in the structure ablation
+bench (``abl_sf_sampling``).
+"""
+
+from __future__ import annotations
+
+from repro._validation import check_integer
+from repro.partition.partition import Partition
+
+__all__ = ["equiwidth_partition"]
+
+
+def equiwidth_partition(n: int, k: int) -> Partition:
+    """Split ``n`` bins into ``k`` buckets whose widths differ by <= 1.
+
+    The first ``n % k`` buckets get the extra bin so widths are as even
+    as possible.
+    """
+    check_integer(n, "n", minimum=1)
+    check_integer(k, "k", minimum=1)
+    if k > n:
+        raise ValueError(f"k ({k}) cannot exceed n ({n})")
+    base, extra = divmod(n, k)
+    sizes = [base + 1] * extra + [base] * (k - extra)
+    return Partition.from_bucket_sizes(sizes)

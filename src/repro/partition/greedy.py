@@ -1,0 +1,80 @@
+"""Greedy (merge-based) approximate partitioning.
+
+For very wide domains the exact ``O(n^2 k)`` v-optimal DP gets expensive;
+the greedy partitioner starts from singleton buckets and repeatedly
+merges the adjacent pair whose merge increases total SSE the least, until
+``k`` buckets remain.  It is ``O(n log n)`` with a heap and typically
+within a small factor of optimal — the scalability bench
+(``fig_scalability``) quantifies the speed/quality trade.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+from repro._validation import check_counts, check_integer
+from repro.partition.partition import Partition
+from repro.partition.sse import SegmentStats
+
+__all__ = ["greedy_partition"]
+
+
+def greedy_partition(counts: Sequence[float], k: int) -> Tuple[Partition, float]:
+    """Greedy bottom-up merge into ``k`` buckets; returns (partition, SSE).
+
+    Uses a lazy-deletion heap keyed by the SSE increase of merging each
+    adjacent bucket pair.  Stale heap entries are detected via a version
+    counter per bucket.
+    """
+    arr = check_counts(counts, "counts")
+    n = len(arr)
+    check_integer(k, "k", minimum=1)
+    if k > n:
+        raise ValueError(f"k ({k}) cannot exceed the number of bins ({n})")
+
+    stats = SegmentStats(arr)
+    # Doubly linked list of live buckets, each a (start, stop) segment.
+    starts: List[int] = list(range(n))
+    stops: List[int] = [i + 1 for i in range(n)]
+    prev: List[int] = [i - 1 for i in range(n)]
+    nxt: List[int] = [i + 1 if i + 1 < n else -1 for i in range(n)]
+    version: List[int] = [0] * n
+    alive: List[bool] = [True] * n
+
+    def merge_cost(a: int, b: int) -> float:
+        merged = stats.segment_sse(starts[a], stops[b])
+        return merged - stats.segment_sse(starts[a], stops[a]) - stats.segment_sse(
+            starts[b], stops[b]
+        )
+
+    heap: List[Tuple[float, int, int, int, int]] = []
+    for i in range(n - 1):
+        heapq.heappush(heap, (merge_cost(i, i + 1), i, i + 1, 0, 0))
+
+    buckets_left = n
+    while buckets_left > k:
+        cost, a, b, va, vb = heapq.heappop(heap)
+        if not (alive[a] and alive[b]) or version[a] != va or version[b] != vb:
+            continue  # stale entry
+        # Merge b into a.
+        stops[a] = stops[b]
+        alive[b] = False
+        version[a] += 1
+        nxt[a] = nxt[b]
+        if nxt[b] != -1:
+            prev[nxt[b]] = a
+        buckets_left -= 1
+        if prev[a] != -1:
+            p = prev[a]
+            heapq.heappush(heap, (merge_cost(p, a), p, a, version[p], version[a]))
+        if nxt[a] != -1:
+            q = nxt[a]
+            heapq.heappush(heap, (merge_cost(a, q), a, q, version[a], version[q]))
+
+    boundaries = sorted(starts[i] for i in range(n) if alive[i] and starts[i] > 0)
+    partition = Partition(n=n, boundaries=tuple(boundaries))
+    total_sse = sum(
+        stats.segment_sse(start, stop) for start, stop in partition.buckets()
+    )
+    return partition, float(total_sse)

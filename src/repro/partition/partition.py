@@ -1,0 +1,128 @@
+"""The :class:`Partition` value type.
+
+A partition of ``n`` bins into ``k`` contiguous buckets is stored as the
+tuple of bucket *boundaries*: indices ``b_1 < b_2 < ... < b_{k-1}`` where
+bucket ``j`` covers bins ``[b_{j-1}, b_j)`` (with ``b_0 = 0`` and
+``b_k = n``).  Invariants are enforced on construction so downstream code
+never sees an empty or overlapping bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import check_counts, check_integer
+from repro.exceptions import PartitionError
+
+__all__ = ["Partition"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A split of ``n`` ordered bins into contiguous, non-empty buckets."""
+
+    n: int
+    boundaries: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        check_integer(self.n, "n", minimum=1)
+        bounds = tuple(int(b) for b in self.boundaries)
+        previous = 0
+        for b in bounds:
+            if not previous < b < self.n:
+                raise PartitionError(
+                    f"boundaries must be strictly increasing in (0, {self.n}); "
+                    f"got {bounds}"
+                )
+            previous = b
+        object.__setattr__(self, "boundaries", bounds)
+
+    @classmethod
+    def single_bucket(cls, n: int) -> "Partition":
+        """The trivial partition merging all bins into one bucket."""
+        return cls(n=n, boundaries=())
+
+    @classmethod
+    def singletons(cls, n: int) -> "Partition":
+        """The identity partition: every bin is its own bucket."""
+        check_integer(n, "n", minimum=1)
+        return cls(n=n, boundaries=tuple(range(1, n)))
+
+    @classmethod
+    def from_bucket_sizes(cls, sizes: Sequence[int]) -> "Partition":
+        """Build a partition from the widths of consecutive buckets."""
+        sizes = [check_integer(s, "bucket size", minimum=1) for s in sizes]
+        if not sizes:
+            raise PartitionError("sizes must be non-empty")
+        edges = np.cumsum(sizes)
+        return cls(n=int(edges[-1]), boundaries=tuple(int(e) for e in edges[:-1]))
+
+    @property
+    def k(self) -> int:
+        """Number of buckets."""
+        return len(self.boundaries) + 1
+
+    def buckets(self) -> Iterator[Tuple[int, int]]:
+        """Yield each bucket as a half-open index range ``(start, stop)``."""
+        start = 0
+        for b in self.boundaries:
+            yield (start, b)
+            start = b
+        yield (start, self.n)
+
+    def bucket_sizes(self) -> List[int]:
+        """Widths of the buckets, in order."""
+        return [stop - start for start, stop in self.buckets()]
+
+    def bucket_of(self, bin_index: int) -> int:
+        """Index of the bucket containing ``bin_index``."""
+        check_integer(bin_index, "bin_index", minimum=0)
+        if bin_index >= self.n:
+            raise ValueError(f"bin_index {bin_index} outside [0, {self.n})")
+        return int(np.searchsorted(self.boundaries, bin_index, side="right"))
+
+    def apply_means(self, counts: Sequence[float]) -> np.ndarray:
+        """Replace each bin by its bucket's mean of ``counts``.
+
+        This is the reconstruction both NoiseFirst and StructureFirst
+        publish: a piecewise-constant approximation of the count vector.
+        """
+        arr = check_counts(counts, "counts")
+        if len(arr) != self.n:
+            raise PartitionError(
+                f"counts has {len(arr)} bins but partition covers {self.n}"
+            )
+        out = np.empty_like(arr)
+        for start, stop in self.buckets():
+            out[start:stop] = arr[start:stop].mean()
+        return out
+
+    def bucket_sums(self, counts: Sequence[float]) -> np.ndarray:
+        """Per-bucket sums of ``counts`` (length ``k``)."""
+        arr = check_counts(counts, "counts")
+        if len(arr) != self.n:
+            raise PartitionError(
+                f"counts has {len(arr)} bins but partition covers {self.n}"
+            )
+        return np.array(
+            [arr[start:stop].sum() for start, stop in self.buckets()],
+            dtype=np.float64,
+        )
+
+    def broadcast(self, bucket_values: Sequence[float]) -> np.ndarray:
+        """Expand one value per bucket back into a length-``n`` vector."""
+        values = np.asarray(bucket_values, dtype=np.float64)
+        if len(values) != self.k:
+            raise PartitionError(
+                f"expected {self.k} bucket values, got {len(values)}"
+            )
+        out = np.empty(self.n, dtype=np.float64)
+        for j, (start, stop) in enumerate(self.buckets()):
+            out[start:stop] = values[j]
+        return out
+
+    def __str__(self) -> str:
+        return f"Partition(n={self.n}, k={self.k})"

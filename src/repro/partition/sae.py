@@ -1,0 +1,159 @@
+"""L1 (absolute-error) segment costs and the L1 v-optimal DP.
+
+The SAE of a segment is ``min_m sum_i |c_i - m|`` — attained at the
+segment median.  Its key property for differential privacy: it is
+**1-Lipschitz in every count** (``g(c, m) = sum |c_i - m|`` changes by at
+most 1 when one count changes by 1, for every ``m``, so the min does
+too), which makes SAE-scored exponential mechanisms usable with
+sensitivity exactly 1 — no data-dependent cap needed.  StructureFirst's
+boundary sampling is built on this (see DESIGN.md's substitution table).
+
+``sae_matrix`` precomputes every segment's SAE in ``O(n^2 log n)`` with
+an incremental two-heap median; ``l1_voptimal_table`` then runs the same
+prefix DP as the SSE version over the precomputed matrix.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import check_counts, check_integer
+from repro.partition.partition import Partition
+
+__all__ = ["sae_matrix", "L1VOptimalResult", "l1_voptimal_table", "partition_sae"]
+
+
+def sae_matrix(counts: Sequence[float]) -> np.ndarray:
+    """Matrix ``M`` with ``M[i, j] = SAE(counts[i:j])`` (0 where ``j <= i``).
+
+    Shape ``(n, n + 1)``.  For each left endpoint ``i`` the right endpoint
+    is extended one bin at a time while a two-heap running median keeps
+    the SAE update O(log n).
+    """
+    arr = check_counts(counts, "counts")
+    n = len(arr)
+    matrix = np.zeros((n, n + 1), dtype=np.float64)
+    for i in range(n):
+        low: List[float] = []  # max-heap (negated): values <= median
+        high: List[float] = []  # min-heap: values >= median
+        low_sum = 0.0
+        high_sum = 0.0
+        for j in range(i, n):
+            value = float(arr[j])
+            if not low or value <= -low[0]:
+                heapq.heappush(low, -value)
+                low_sum += value
+            else:
+                heapq.heappush(high, value)
+                high_sum += value
+            # Rebalance so len(low) == len(high) or len(low) == len(high)+1.
+            if len(low) > len(high) + 1:
+                moved = -heapq.heappop(low)
+                low_sum -= moved
+                heapq.heappush(high, moved)
+                high_sum += moved
+            elif len(high) > len(low):
+                moved = heapq.heappop(high)
+                high_sum -= moved
+                heapq.heappush(low, -moved)
+                low_sum += moved
+            median = -low[0]
+            # SAE = sum(high) - sum(low) + median * (len(low) - len(high)).
+            sae = (high_sum - len(high) * median) + (len(low) * median - low_sum)
+            matrix[i, j + 1] = max(sae, 0.0)
+    return matrix
+
+
+@dataclass(frozen=True)
+class L1VOptimalResult:
+    """L1 analogue of :class:`~repro.partition.voptimal.VOptimalResult`."""
+
+    n: int
+    max_k: int
+    sae_by_k: np.ndarray
+    _choices: np.ndarray
+    _opt: np.ndarray
+
+    def sae_prefix_table(self) -> np.ndarray:
+        """DP table ``opt[k][j]``: min total SAE of first j bins in k buckets."""
+        view = self._opt.view()
+        view.setflags(write=False)
+        return view
+
+    def partition_for(self, k: int) -> Partition:
+        """Reconstruct the optimal ``k``-bucket L1 partition."""
+        check_integer(k, "k", minimum=1)
+        if k > self.max_k:
+            raise ValueError(f"k={k} exceeds computed max_k={self.max_k}")
+        boundaries: List[int] = []
+        j = self.n
+        for level in range(k, 1, -1):
+            j = int(self._choices[level][j])
+            boundaries.append(j)
+        boundaries.reverse()
+        return Partition(n=self.n, boundaries=tuple(boundaries))
+
+
+def l1_voptimal_table(
+    counts: Sequence[float],
+    max_k: int,
+    matrix: "np.ndarray | None" = None,
+) -> L1VOptimalResult:
+    """Prefix DP minimizing total SAE; same recurrence as the SSE DP.
+
+    ``matrix`` may be a precomputed :func:`sae_matrix` to share work
+    across calls.
+    """
+    arr = check_counts(counts, "counts")
+    n = len(arr)
+    check_integer(max_k, "max_k", minimum=1)
+    if max_k > n:
+        raise ValueError(f"max_k ({max_k}) cannot exceed the number of bins ({n})")
+    if matrix is None:
+        matrix = sae_matrix(arr)
+    if matrix.shape != (n, n + 1):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match counts of length {n}"
+        )
+
+    inf = np.inf
+    opt = np.full((max_k + 1, n + 1), inf, dtype=np.float64)
+    choices = np.zeros((max_k + 1, n + 1), dtype=np.int64)
+    opt[0][0] = 0.0
+    # One vectorized pass per prefix computes every k at once (the
+    # +inf entries of infeasible states propagate correctly).
+    for j in range(1, n + 1):
+        closing = matrix[:j, j]
+        opt[1][j] = closing[0]
+        choices[1][j] = 0
+        top = min(max_k, j)
+        if top >= 2:
+            candidates = opt[1:top, :j] + closing[None, :]
+            best = np.argmin(candidates, axis=1)
+            rows = np.arange(top - 1)
+            opt[2 : top + 1, j] = candidates[rows, best]
+            choices[2 : top + 1, j] = best
+
+    sae_by_k = np.full(max_k + 1, inf, dtype=np.float64)
+    sae_by_k[1 : max_k + 1] = opt[1 : max_k + 1, n]
+    return L1VOptimalResult(
+        n=n, max_k=max_k, sae_by_k=sae_by_k, _choices=choices, _opt=opt
+    )
+
+
+def partition_sae(counts: Sequence[float], partition: Partition) -> float:
+    """Total SAE of ``counts`` under ``partition`` (median per bucket)."""
+    arr = check_counts(counts, "counts")
+    if len(arr) != partition.n:
+        raise ValueError(
+            f"counts has {len(arr)} bins but partition covers {partition.n}"
+        )
+    total = 0.0
+    for start, stop in partition.buckets():
+        segment = arr[start:stop]
+        total += float(np.abs(segment - np.median(segment)).sum())
+    return total

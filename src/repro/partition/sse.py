@@ -1,0 +1,87 @@
+"""Constant-time segment SSE via prefix sums.
+
+The SSE of replacing a contiguous segment ``counts[i:j]`` by its mean is
+
+    SSE(i, j) = sum(c**2) - (sum(c))**2 / (j - i)
+
+which both the v-optimal dynamic program and StructureFirst's boundary
+scorer evaluate O(n^2) times, so :class:`SegmentStats` precomputes prefix
+sums of the counts and their squares once and answers each segment in
+O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._validation import check_counts
+from repro.partition.partition import Partition
+
+__all__ = ["SegmentStats", "partition_sse"]
+
+
+class SegmentStats:
+    """Prefix-sum tables answering segment sum / mean / SSE in O(1)."""
+
+    def __init__(self, counts: Sequence[float]) -> None:
+        arr = check_counts(counts, "counts")
+        self._n = len(arr)
+        self._prefix = np.concatenate(([0.0], np.cumsum(arr)))
+        self._prefix_sq = np.concatenate(([0.0], np.cumsum(arr * arr)))
+
+    @property
+    def n(self) -> int:
+        """Number of bins the stats cover."""
+        return self._n
+
+    def _check(self, start: int, stop: int) -> None:
+        if not 0 <= start < stop <= self._n:
+            raise ValueError(
+                f"segment [{start}, {stop}) invalid for {self._n} bins"
+            )
+
+    def segment_sum(self, start: int, stop: int) -> float:
+        """Sum of counts over the half-open segment ``[start, stop)``."""
+        self._check(start, stop)
+        return float(self._prefix[stop] - self._prefix[start])
+
+    def segment_mean(self, start: int, stop: int) -> float:
+        """Mean of counts over ``[start, stop)``."""
+        return self.segment_sum(start, stop) / (stop - start)
+
+    def segment_sse(self, start: int, stop: int) -> float:
+        """SSE of replacing ``counts[start:stop]`` by its mean.
+
+        Clamped at zero: the closed form can dip a few ulp negative.
+        """
+        self._check(start, stop)
+        total = self._prefix[stop] - self._prefix[start]
+        total_sq = self._prefix_sq[stop] - self._prefix_sq[start]
+        sse = total_sq - total * total / (stop - start)
+        return float(max(sse, 0.0))
+
+    def sse_row(self, stop: int) -> np.ndarray:
+        """Vector of ``segment_sse(i, stop)`` for all ``i in [0, stop)``.
+
+        Used by the dynamic program to process a whole DP row with numpy
+        instead of a Python inner loop.
+        """
+        self._check(stop - 1, stop)
+        starts = np.arange(stop)
+        totals = self._prefix[stop] - self._prefix[starts]
+        totals_sq = self._prefix_sq[stop] - self._prefix_sq[starts]
+        widths = stop - starts
+        sse = totals_sq - totals * totals / widths
+        return np.maximum(sse, 0.0)
+
+
+def partition_sse(counts: Sequence[float], partition: Partition) -> float:
+    """Total SSE of approximating ``counts`` by ``partition``'s bucket means."""
+    stats = SegmentStats(counts)
+    if stats.n != partition.n:
+        raise ValueError(
+            f"counts has {stats.n} bins but partition covers {partition.n}"
+        )
+    return sum(stats.segment_sse(start, stop) for start, stop in partition.buckets())

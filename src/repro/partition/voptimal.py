@@ -1,0 +1,118 @@
+"""Exact v-optimal partitioning by dynamic programming.
+
+``voptimal_partition(counts, k)`` finds the contiguous ``k``-bucket
+partition minimizing total SSE (Jagadish et al., VLDB 1998) in
+``O(n^2 k)`` time and ``O(n k)`` space.  ``voptimal_table`` exposes the
+full DP table — the optimal SSE for *every* ``k' <= k`` — which
+NoiseFirst's adaptive bucket-count selection consumes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import check_counts, check_integer
+from repro.partition.partition import Partition
+from repro.partition.sse import SegmentStats
+
+__all__ = ["VOptimalResult", "voptimal_table", "voptimal_partition"]
+
+
+@dataclass(frozen=True)
+class VOptimalResult:
+    """Output of the v-optimal DP: optimal SSE and partition per k.
+
+    ``sse_by_k[k]`` is the minimal SSE achievable with exactly ``k``
+    buckets (index 0 is unused and set to +inf).  ``partition_for(k)``
+    reconstructs the argmin partition from the stored choice table.
+    """
+
+    n: int
+    max_k: int
+    sse_by_k: np.ndarray
+    _choices: np.ndarray  # choices[k][j] = start of last bucket for prefix j
+    _opt: np.ndarray  # opt[k][j] = min SSE of first j bins in k buckets
+
+    def sse_prefix_table(self) -> np.ndarray:
+        """The full DP table ``opt[k][j]`` (read-only view).
+
+        ``opt[k][j]`` is the minimal SSE of splitting the first ``j``
+        bins into exactly ``k`` buckets (+inf where infeasible).
+        StructureFirst's exponential-mechanism sampling scores candidate
+        boundaries with this table.
+        """
+        view = self._opt.view()
+        view.setflags(write=False)
+        return view
+
+    def partition_for(self, k: int) -> Partition:
+        """Reconstruct the optimal ``k``-bucket partition by backtracking."""
+        check_integer(k, "k", minimum=1)
+        if k > self.max_k:
+            raise ValueError(f"k={k} exceeds computed max_k={self.max_k}")
+        boundaries: List[int] = []
+        j = self.n
+        for level in range(k, 1, -1):
+            j = int(self._choices[level][j])
+            boundaries.append(j)
+        boundaries.reverse()
+        return Partition(n=self.n, boundaries=tuple(boundaries))
+
+
+def voptimal_table(counts: Sequence[float], max_k: int) -> VOptimalResult:
+    """Run the v-optimal DP for every bucket count ``1..max_k``.
+
+    DP recurrence over prefixes: with ``OPT[k][j]`` the minimal SSE of
+    splitting the first ``j`` bins into ``k`` buckets,
+
+        OPT[1][j] = SSE(0, j)
+        OPT[k][j] = min_{k-1 <= i < j} OPT[k-1][i] + SSE(i, j)
+
+    The inner minimization is vectorized over ``i`` using
+    :meth:`SegmentStats.sse_row`.
+    """
+    arr = check_counts(counts, "counts")
+    n = len(arr)
+    check_integer(max_k, "max_k", minimum=1)
+    if max_k > n:
+        raise ValueError(f"max_k ({max_k}) cannot exceed the number of bins ({n})")
+
+    stats = SegmentStats(arr)
+    inf = np.inf
+    # opt[k][j]: minimal SSE for first j bins in exactly k buckets.
+    opt = np.full((max_k + 1, n + 1), inf, dtype=np.float64)
+    choices = np.zeros((max_k + 1, n + 1), dtype=np.int64)
+    opt[0][0] = 0.0
+
+    # Process prefixes left to right; for each j one vectorized pass
+    # computes opt[k][j] for every k at once.  Infeasible states stay
+    # +inf automatically (opt[k-1][i] is +inf for i < k-1).
+    for j in range(1, n + 1):
+        sse_last = stats.sse_row(j)  # sse_last[i] = SSE(i, j)
+        opt[1][j] = sse_last[0]
+        choices[1][j] = 0
+        top = min(max_k, j)  # k cannot exceed the prefix length
+        if top >= 2:
+            candidates = opt[1:top, :j] + sse_last[None, :j]
+            best = np.argmin(candidates, axis=1)
+            rows = np.arange(top - 1)
+            opt[2 : top + 1, j] = candidates[rows, best]
+            choices[2 : top + 1, j] = best
+
+    sse_by_k = np.full(max_k + 1, inf, dtype=np.float64)
+    sse_by_k[1 : max_k + 1] = opt[1 : max_k + 1, n]
+    return VOptimalResult(
+        n=n, max_k=max_k, sse_by_k=sse_by_k, _choices=choices, _opt=opt
+    )
+
+
+def voptimal_partition(
+    counts: Sequence[float], k: int
+) -> Tuple[Partition, float]:
+    """Optimal ``k``-bucket partition of ``counts`` and its SSE."""
+    result = voptimal_table(counts, k)
+    partition = result.partition_for(k)
+    return partition, float(result.sse_by_k[k])

@@ -1,0 +1,20 @@
+"""Post-processing of published histograms.
+
+Everything here operates only on already-released (noisy) values, so by
+the post-processing property of differential privacy none of it costs
+additional budget.
+"""
+
+from repro.postprocess.clamp import clamp_non_negative, clamp_and_rescale
+from repro.postprocess.rounding import round_to_integers
+from repro.postprocess.consistency import enforce_sum
+from repro.postprocess.smoothing import isotonic_decreasing, moving_average
+
+__all__ = [
+    "clamp_non_negative",
+    "clamp_and_rescale",
+    "round_to_integers",
+    "enforce_sum",
+    "isotonic_decreasing",
+    "moving_average",
+]

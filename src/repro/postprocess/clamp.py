@@ -1,0 +1,34 @@
+"""Non-negativity post-processing.
+
+Laplace noise routinely pushes small counts below zero.  Clamping at zero
+is the simplest fix; it biases totals upward, so :func:`clamp_and_rescale`
+optionally restores the (noisy) total after clamping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hist.histogram import Histogram
+
+__all__ = ["clamp_non_negative", "clamp_and_rescale"]
+
+
+def clamp_non_negative(hist: Histogram) -> Histogram:
+    """Clamp every count at zero."""
+    return hist.with_counts(np.clip(hist.counts, 0.0, None))
+
+
+def clamp_and_rescale(hist: Histogram) -> Histogram:
+    """Clamp at zero, then rescale so the total is preserved.
+
+    If everything clamps to zero the clamped histogram is returned
+    unscaled (there is no mass to redistribute).  A negative pre-clamp
+    total is treated as zero.
+    """
+    target = max(hist.total, 0.0)
+    clamped = np.clip(hist.counts, 0.0, None)
+    mass = clamped.sum()
+    if mass <= 0:
+        return hist.with_counts(clamped)
+    return hist.with_counts(clamped * (target / mass))

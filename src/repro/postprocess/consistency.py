@@ -1,0 +1,27 @@
+"""Consistency constraints on released values.
+
+:func:`enforce_sum` projects a count vector onto the hyperplane of
+vectors with a given total — the least-squares-optimal way to make a
+histogram agree with a separately published (or public) total.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_counts
+
+__all__ = ["enforce_sum"]
+
+
+def enforce_sum(counts: np.ndarray, target_total: float) -> np.ndarray:
+    """L2-project ``counts`` onto ``{x : sum(x) = target_total}``.
+
+    The projection spreads the total discrepancy evenly over the bins,
+    which is the minimum-L2-distortion correction.
+    """
+    arr = check_counts(counts, "counts")
+    if not np.isfinite(target_total):
+        raise ValueError(f"target_total must be finite, got {target_total!r}")
+    gap = (float(target_total) - arr.sum()) / len(arr)
+    return arr + gap

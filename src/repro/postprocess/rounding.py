@@ -1,0 +1,33 @@
+"""Integer rounding that preserves the (rounded) total.
+
+Published counts are often consumed by systems that expect integers.
+Largest-remainder rounding keeps the total exact and each count within 1
+of its real-valued input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hist.histogram import Histogram
+
+__all__ = ["round_to_integers"]
+
+
+def round_to_integers(hist: Histogram) -> Histogram:
+    """Round counts to integers, preserving the rounded total.
+
+    Counts are clamped at zero first (negative integer counts are rarely
+    meaningful downstream); the result sums to ``round(max(total, 0))``.
+    """
+    clamped = np.clip(hist.counts, 0.0, None)
+    target = int(round(max(hist.total, 0.0)))
+    if clamped.sum() <= 0:
+        return hist.with_counts(np.zeros_like(clamped))
+    shares = clamped / clamped.sum() * target
+    floors = np.floor(shares).astype(np.int64)
+    shortfall = target - int(floors.sum())
+    if shortfall > 0:
+        order = np.argsort(shares - floors)[::-1]
+        floors[order[:shortfall]] += 1
+    return hist.with_counts(floors.astype(np.float64))

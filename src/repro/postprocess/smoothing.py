@@ -1,0 +1,63 @@
+"""Shape-constrained smoothing of published histograms.
+
+When the true distribution is known (publicly) to have a structural
+property — degree distributions decay monotonically, for example —
+projecting the noisy release onto that shape is free post-processing
+that can reduce error substantially.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_counts, check_integer
+
+__all__ = ["isotonic_decreasing", "moving_average"]
+
+
+def isotonic_decreasing(counts: np.ndarray) -> np.ndarray:
+    """L2 projection onto non-increasing sequences (PAVA).
+
+    The pool-adjacent-violators algorithm: scan left to right, merging
+    blocks whose means violate the ordering.  O(n).
+    """
+    arr = check_counts(counts, "counts")
+    # Blocks as (mean, weight) stacks; non-increasing means each new
+    # block's mean must be <= the previous block's mean.
+    means = []
+    weights = []
+    for value in arr:
+        means.append(float(value))
+        weights.append(1.0)
+        while len(means) > 1 and means[-2] < means[-1]:
+            total_w = weights[-2] + weights[-1]
+            merged = (means[-2] * weights[-2] + means[-1] * weights[-1]) / total_w
+            means[-2:] = [merged]
+            weights[-2:] = [total_w]
+    out = np.empty(len(arr), dtype=np.float64)
+    idx = 0
+    for mean, weight in zip(means, weights):
+        width = int(weight)
+        out[idx : idx + width] = mean
+        idx += width
+    return out
+
+
+def moving_average(counts: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge truncation.
+
+    ``window`` must be odd so the filter is symmetric.  Near the edges
+    the window shrinks rather than padding, so totals shift slightly;
+    use for display/diagnostics, not for totals-sensitive analysis.
+    """
+    arr = check_counts(counts, "counts")
+    check_integer(window, "window", minimum=1)
+    if window % 2 == 0:
+        raise ValueError(f"window must be odd, got {window}")
+    half = window // 2
+    out = np.empty(len(arr), dtype=np.float64)
+    for i in range(len(arr)):
+        lo = max(0, i - half)
+        hi = min(len(arr), i + half + 1)
+        out[i] = arr[lo:hi].mean()
+    return out

@@ -1,0 +1,37 @@
+"""Two-dimensional (spatial) histogram publication — extension.
+
+The target paper is one-dimensional; its follow-on literature (DPCube,
+UG/AG grids, PrivTree quadtrees) moved to spatial data.  This subpackage
+provides the 2-D substrate and three classic publishers so the library
+covers that adjacent space:
+
+* :class:`Identity2D` — Laplace noise per cell (the 2-D Dwork baseline).
+* :class:`UniformGrid` — coarse ``m x m`` grid sized by the
+  Qardaji et al. (ICDE 2013) rule, uniform within cells.
+* :class:`AdaptiveGrid` — two-level grid: a coarse pass sizes a finer
+  per-cell second-level grid from the noisy first-level counts.
+* :class:`QuadTree` — fixed-depth quadtree with per-level budget and
+  leaf publication.
+"""
+
+from repro.spatial.histogram2d import Histogram2D, RectQuery
+from repro.spatial.hilbert import HilbertPublisher2D, hilbert_order
+from repro.spatial.publishers import (
+    AdaptiveGrid,
+    Identity2D,
+    QuadTree,
+    UniformGrid,
+)
+from repro.spatial.workloads import random_rectangles
+
+__all__ = [
+    "Histogram2D",
+    "RectQuery",
+    "Identity2D",
+    "UniformGrid",
+    "AdaptiveGrid",
+    "QuadTree",
+    "HilbertPublisher2D",
+    "hilbert_order",
+    "random_rectangles",
+]

@@ -1,0 +1,131 @@
+"""The 2-D histogram substrate: a count matrix plus rectangle queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import check_integer
+
+__all__ = ["Histogram2D", "RectQuery"]
+
+
+@dataclass(frozen=True, order=True)
+class RectQuery:
+    """Inclusive cell rectangle ``[row_lo..row_hi] x [col_lo..col_hi]``."""
+
+    row_lo: int
+    row_hi: int
+    col_lo: int
+    col_hi: int
+
+    def __post_init__(self) -> None:
+        for name in ("row_lo", "row_hi", "col_lo", "col_hi"):
+            check_integer(getattr(self, name), name, minimum=0)
+        if self.row_lo > self.row_hi or self.col_lo > self.col_hi:
+            raise ValueError(f"inverted rectangle: {self}")
+
+    @property
+    def area(self) -> int:
+        """Number of cells covered."""
+        return (self.row_hi - self.row_lo + 1) * (self.col_hi - self.col_lo + 1)
+
+    def validate_for(self, shape: Tuple[int, int]) -> None:
+        """Raise if the rectangle exceeds a grid of the given shape."""
+        rows, cols = shape
+        if self.row_hi >= rows or self.col_hi >= cols:
+            raise ValueError(f"rectangle {self} exceeds grid {shape}")
+
+
+@dataclass(frozen=True)
+class Histogram2D:
+    """An immutable 2-D histogram over a ``rows x cols`` cell grid."""
+
+    counts: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.counts, dtype=np.float64)
+        if arr.ndim != 2 or arr.size == 0:
+            raise ValueError(f"counts must be a non-empty 2-D array, "
+                             f"got shape {arr.shape}")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("counts must be finite")
+        arr = arr.copy()
+        arr.setflags(write=False)
+        object.__setattr__(self, "counts", arr)
+
+    @classmethod
+    def from_points(
+        cls,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        shape: Tuple[int, int],
+        bounds: Tuple[float, float, float, float],
+        name: str = "",
+    ) -> "Histogram2D":
+        """Grid raw 2-D points.  ``bounds = (x_lo, x_hi, y_lo, y_hi)``."""
+        rows, cols = shape
+        check_integer(rows, "rows", minimum=1)
+        check_integer(cols, "cols", minimum=1)
+        x_lo, x_hi, y_lo, y_hi = (float(b) for b in bounds)
+        if not (x_lo < x_hi and y_lo < y_hi):
+            raise ValueError(f"invalid bounds {bounds}")
+        counts, _, _ = np.histogram2d(
+            np.asarray(xs, dtype=float),
+            np.asarray(ys, dtype=float),
+            bins=(rows, cols),
+            range=((x_lo, x_hi), (y_lo, y_hi)),
+        )
+        return cls(counts=counts, name=name)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(rows, cols) of the cell grid."""
+        return self.counts.shape  # type: ignore[return-value]
+
+    @property
+    def total(self) -> float:
+        """Sum of all cells."""
+        return float(self.counts.sum())
+
+    def rect_sum(self, query: RectQuery) -> float:
+        """Count inside an inclusive cell rectangle."""
+        query.validate_for(self.shape)
+        block = self.counts[
+            query.row_lo : query.row_hi + 1, query.col_lo : query.col_hi + 1
+        ]
+        return float(block.sum())
+
+    def evaluate(self, queries: Sequence[RectQuery]) -> np.ndarray:
+        """Answer a batch of rectangle queries via a 2-D prefix table."""
+        rows, cols = self.shape
+        prefix = np.zeros((rows + 1, cols + 1), dtype=np.float64)
+        prefix[1:, 1:] = self.counts.cumsum(axis=0).cumsum(axis=1)
+        out = np.empty(len(queries), dtype=np.float64)
+        for i, q in enumerate(queries):
+            q.validate_for(self.shape)
+            out[i] = (
+                prefix[q.row_hi + 1, q.col_hi + 1]
+                - prefix[q.row_lo, q.col_hi + 1]
+                - prefix[q.row_hi + 1, q.col_lo]
+                + prefix[q.row_lo, q.col_lo]
+            )
+        return out
+
+    def with_counts(self, counts: np.ndarray) -> "Histogram2D":
+        """New histogram with the same name and replaced counts."""
+        return Histogram2D(counts=np.asarray(counts, dtype=float),
+                           name=self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram2D):
+            return NotImplemented
+        return self.name == other.name and np.array_equal(
+            self.counts, other.counts
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.counts.tobytes(), self.shape))

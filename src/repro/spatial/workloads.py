@@ -1,0 +1,29 @@
+"""Rectangle-query workloads for 2-D experiments."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro._validation import as_rng, check_integer
+from repro.spatial.histogram2d import RectQuery
+
+__all__ = ["random_rectangles"]
+
+
+def random_rectangles(
+    shape: Tuple[int, int],
+    count: int,
+    rng: "object | int | None" = 0,
+) -> List[RectQuery]:
+    """``count`` rectangles with corners uniform over the grid."""
+    rows, cols = shape
+    check_integer(rows, "rows", minimum=1)
+    check_integer(cols, "cols", minimum=1)
+    check_integer(count, "count", minimum=1)
+    generator = as_rng(rng)
+    queries = []
+    for _ in range(count):
+        r1, r2 = sorted(generator.integers(0, rows, size=2))
+        c1, c2 = sorted(generator.integers(0, cols, size=2))
+        queries.append(RectQuery(int(r1), int(r2), int(c1), int(c2)))
+    return queries

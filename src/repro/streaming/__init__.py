@@ -1,0 +1,26 @@
+"""Streaming histogram release under w-event privacy — extension.
+
+The target paper is one-shot; its dynamic-data successors (DSAT/DSFT,
+RG, GGA) publish a histogram *sequence*.  This subpackage provides the
+two canonical strategies over the library's substrate:
+
+* :class:`UniformStream` — every timestep gets ``eps / w`` (budget
+  uniform over the sliding window).
+* :class:`ThresholdStream` — DSFT-style distance thresholding: a small
+  test budget decides whether the data moved enough to warrant a fresh
+  release; otherwise the previous release is republished for free.
+"""
+
+from repro.streaming.release import (
+    StreamRelease,
+    ThresholdStream,
+    UniformStream,
+    WEventAccountant,
+)
+
+__all__ = [
+    "StreamRelease",
+    "UniformStream",
+    "ThresholdStream",
+    "WEventAccountant",
+]

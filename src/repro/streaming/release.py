@@ -1,0 +1,219 @@
+"""Streaming histogram publication under w-event privacy.
+
+w-event privacy (Kellaris et al., VLDB 2014) requires that any window of
+``w`` consecutive timesteps composes to at most ``eps``:
+``sum_{t in window} eps_t <= eps``.  :class:`WEventAccountant` enforces
+exactly that sliding-window constraint; the two publishers implement the
+uniform and threshold-release strategies on top of it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro._validation import as_rng, check_integer, check_positive
+from repro.exceptions import BudgetExceededError
+from repro.hist.histogram import Histogram
+from repro.mechanisms.laplace import laplace_noise
+
+__all__ = [
+    "WEventAccountant",
+    "StreamRelease",
+    "UniformStream",
+    "ThresholdStream",
+]
+
+
+class WEventAccountant:
+    """Sliding-window budget enforcement for w-event privacy.
+
+    ``spend(eps_t)`` is called once per timestep (0 for a free
+    republication); the accountant raises when any ``w``-window would
+    exceed the total.
+    """
+
+    def __init__(self, epsilon: float, w: int) -> None:
+        check_positive(epsilon, "epsilon")
+        check_integer(w, "w", minimum=1)
+        self.epsilon = float(epsilon)
+        self.w = w
+        self._window: Deque[float] = deque(maxlen=w)
+        self._history: List[float] = []
+
+    @property
+    def window_spent(self) -> float:
+        """Budget spent over the last ``w`` timesteps (inclusive)."""
+        return float(sum(self._window))
+
+    @property
+    def window_remaining(self) -> float:
+        """Budget spendable *this* timestep without violating w-event.
+
+        The new spend shares a window with only the previous ``w - 1``
+        timesteps — the oldest entry of the deque falls out of every
+        window containing the new timestep.
+        """
+        if self.w == 1:
+            return self.epsilon
+        recent = list(self._window)[-(self.w - 1):]
+        return max(self.epsilon - float(sum(recent)), 0.0)
+
+    def spend(self, eps_t: float) -> None:
+        """Record this timestep's spend; raise on a window violation."""
+        if eps_t < 0:
+            raise ValueError(f"eps_t must be >= 0, got {eps_t}")
+        if eps_t > self.window_remaining + 1e-9:
+            raise BudgetExceededError(
+                requested=eps_t, remaining=self.window_remaining
+            )
+        self._window.append(float(eps_t))
+        self._history.append(float(eps_t))
+
+    def history(self) -> List[float]:
+        """Per-timestep spends, in order."""
+        return list(self._history)
+
+    def max_window_total(self) -> float:
+        """Largest composed spend over any w-window seen so far."""
+        h = self._history
+        if not h:
+            return 0.0
+        return max(
+            sum(h[max(0, i - self.w + 1) : i + 1]) for i in range(len(h))
+        )
+
+
+@dataclass(frozen=True)
+class StreamRelease:
+    """One timestep's output: the released histogram plus diagnostics."""
+
+    t: int
+    histogram: Histogram
+    fresh: bool
+    eps_spent: float
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class UniformStream:
+    """Spend ``eps / w`` at every timestep (the budget-uniform baseline)."""
+
+    name = "uniform-stream"
+
+    def __init__(self, epsilon: float, w: int) -> None:
+        self.accountant = WEventAccountant(epsilon, w)
+        self._eps_step = epsilon / w
+
+    def release(
+        self,
+        histogram: Histogram,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> StreamRelease:
+        """Publish this timestep's histogram with the fixed per-step share."""
+        generator = as_rng(rng)
+        self.accountant.spend(self._eps_step)
+        noise = laplace_noise(self._eps_step, size=histogram.size,
+                              rng=generator)
+        t = len(self.accountant.history()) - 1
+        return StreamRelease(
+            t=t,
+            histogram=histogram.with_counts(histogram.counts + noise),
+            fresh=True,
+            eps_spent=self._eps_step,
+        )
+
+
+class ThresholdStream:
+    """DSFT-style threshold release.
+
+    Each timestep spends a small *test* budget measuring the L1 distance
+    per bin between the current data and the last release.  If the noisy
+    distance clears ``threshold`` the remaining per-step budget buys a
+    fresh release; otherwise the previous release is republished (free
+    under DP — no new data touched beyond the test).
+
+    Parameters
+    ----------
+    epsilon, w:
+        w-event budget.
+    threshold:
+        Mean-per-bin L1 distance that triggers a fresh release.
+    test_fraction:
+        Share of the per-step budget spent on the distance test.
+    """
+
+    name = "threshold-stream"
+
+    def __init__(
+        self,
+        epsilon: float,
+        w: int,
+        threshold: float,
+        test_fraction: float = 0.2,
+    ) -> None:
+        check_positive(threshold, "threshold")
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError(
+                f"test_fraction must be in (0, 1), got {test_fraction}"
+            )
+        self.accountant = WEventAccountant(epsilon, w)
+        self.threshold = float(threshold)
+        self._eps_step = epsilon / w
+        self._eps_test = self._eps_step * test_fraction
+        self._eps_publish = self._eps_step - self._eps_test
+        self._last: Optional[Histogram] = None
+
+    def release(
+        self,
+        histogram: Histogram,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> StreamRelease:
+        """Publish or republish this timestep's histogram."""
+        generator = as_rng(rng)
+
+        if self._last is None:
+            # First timestep: always a fresh release with the full share.
+            self.accountant.spend(self._eps_step)
+            noise = laplace_noise(self._eps_step, size=histogram.size,
+                                  rng=generator)
+            self._last = histogram.with_counts(histogram.counts + noise)
+            return StreamRelease(
+                t=0, histogram=self._last, fresh=True,
+                eps_spent=self._eps_step,
+                meta={"distance": None},
+            )
+
+        # Distance test: mean per-bin L1 between data and last release.
+        # Sensitivity of the mean-L1 distance is 1/n (one record moves
+        # one count by 1), so the test noise is Lap(1/(n * eps_test)).
+        n = histogram.size
+        true_distance = float(
+            np.abs(histogram.counts - self._last.counts).mean()
+        )
+        test_noise = float(
+            laplace_noise(self._eps_test, sensitivity=1.0 / n,
+                          rng=generator)[0]
+        )
+        noisy_distance = true_distance + test_noise
+        t = len(self.accountant.history())
+
+        if noisy_distance <= self.threshold:
+            # Republish: only the test budget is consumed.
+            self.accountant.spend(self._eps_test)
+            return StreamRelease(
+                t=t, histogram=self._last, fresh=False,
+                eps_spent=self._eps_test,
+                meta={"distance": noisy_distance},
+            )
+
+        self.accountant.spend(self._eps_step)
+        noise = laplace_noise(self._eps_publish, size=n, rng=generator)
+        self._last = histogram.with_counts(histogram.counts + noise)
+        return StreamRelease(
+            t=t, histogram=self._last, fresh=True,
+            eps_spent=self._eps_step,
+            meta={"distance": noisy_distance},
+        )

@@ -1,0 +1,19 @@
+"""Query workloads used in the evaluation."""
+
+from repro.workloads.builders import (
+    all_ranges,
+    fixed_length_ranges,
+    prefix_ranges,
+    random_ranges,
+    unit_queries,
+)
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "Workload",
+    "unit_queries",
+    "all_ranges",
+    "prefix_ranges",
+    "random_ranges",
+    "fixed_length_ranges",
+]

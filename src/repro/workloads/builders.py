@@ -1,0 +1,89 @@
+"""Workload builders for the evaluation's query families."""
+
+from __future__ import annotations
+
+from repro._validation import as_rng, check_integer
+from repro.hist.ranges import RangeQuery
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "unit_queries",
+    "all_ranges",
+    "prefix_ranges",
+    "random_ranges",
+    "fixed_length_ranges",
+]
+
+
+def unit_queries(n: int) -> Workload:
+    """One unit-length query per bin — the point-query workload."""
+    check_integer(n, "n", minimum=1)
+    queries = tuple(RangeQuery(i, i) for i in range(n))
+    return Workload(n=n, queries=queries, name="unit")
+
+
+def all_ranges(n: int) -> Workload:
+    """Every one of the ``n (n+1) / 2`` ranges.  Quadratic; small n only."""
+    check_integer(n, "n", minimum=1)
+    if n > 512:
+        raise ValueError(
+            f"all_ranges over {n} bins would create {n * (n + 1) // 2} queries; "
+            "use random_ranges for large domains"
+        )
+    queries = tuple(
+        RangeQuery(lo, hi) for lo in range(n) for hi in range(lo, n)
+    )
+    return Workload(n=n, queries=queries, name="all-ranges")
+
+
+def prefix_ranges(n: int) -> Workload:
+    """The ``n`` prefix ranges ``[0..0], [0..1], ..., [0..n-1]``.
+
+    Prefix sums determine all ranges, so this is the canonical workload
+    for cumulative-distribution use cases.
+    """
+    check_integer(n, "n", minimum=1)
+    queries = tuple(RangeQuery(0, hi) for hi in range(n))
+    return Workload(n=n, queries=queries, name="prefix")
+
+
+def random_ranges(
+    n: int,
+    count: int,
+    rng: "object | int | None" = 0,
+) -> Workload:
+    """``count`` ranges with endpoints uniform over all valid (lo, hi)."""
+    check_integer(n, "n", minimum=1)
+    check_integer(count, "count", minimum=1)
+    generator = as_rng(rng)
+    los = generator.integers(0, n, size=count)
+    his = generator.integers(0, n, size=count)
+    queries = tuple(
+        RangeQuery(int(min(a, b)), int(max(a, b))) for a, b in zip(los, his)
+    )
+    return Workload(n=n, queries=queries, name="random-ranges")
+
+
+def fixed_length_ranges(
+    n: int,
+    length: int,
+    count: "int | None" = None,
+    rng: "object | int | None" = 0,
+) -> Workload:
+    """Ranges of exactly ``length`` bins; all of them, or a random sample.
+
+    The range-length sweep bench (``fig_range_vs_len``) uses this to
+    isolate error as a function of query length.
+    """
+    check_integer(n, "n", minimum=1)
+    check_integer(length, "length", minimum=1)
+    if length > n:
+        raise ValueError(f"length ({length}) cannot exceed n ({n})")
+    max_start = n - length
+    starts = range(max_start + 1)
+    if count is not None:
+        check_integer(count, "count", minimum=1)
+        generator = as_rng(rng)
+        starts = generator.integers(0, max_start + 1, size=count)
+    queries = tuple(RangeQuery(int(s), int(s) + length - 1) for s in starts)
+    return Workload(n=n, queries=queries, name=f"len-{length}")

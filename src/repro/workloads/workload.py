@@ -1,0 +1,70 @@
+"""The :class:`Workload` type: a named batch of range queries.
+
+A workload binds a list of :class:`~repro.hist.RangeQuery` to the domain
+size they were built for, so evaluating it against a histogram of a
+different size fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import check_integer
+from repro.exceptions import DomainMismatchError
+from repro.hist.histogram import Histogram
+from repro.hist.ranges import RangeQuery, evaluate_ranges
+
+__all__ = ["Workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An immutable batch of range queries over a domain of ``n`` bins."""
+
+    n: int
+    queries: Tuple[RangeQuery, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        check_integer(self.n, "n", minimum=1)
+        queries = tuple(self.queries)
+        if not queries:
+            raise ValueError("a workload must contain at least one query")
+        for q in queries:
+            if not isinstance(q, RangeQuery):
+                raise TypeError(f"expected RangeQuery, got {type(q).__name__}")
+            q.validate_for(self.n)
+        object.__setattr__(self, "queries", queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[RangeQuery]:
+        return iter(self.queries)
+
+    def lengths(self) -> np.ndarray:
+        """Query lengths, in order (used to bucket errors by length)."""
+        return np.fromiter((q.length for q in self.queries), dtype=np.int64)
+
+    def evaluate(self, target: "Histogram | Sequence[float]") -> np.ndarray:
+        """Answers to every query against a histogram or raw count vector."""
+        if isinstance(target, Histogram):
+            if target.size != self.n:
+                raise DomainMismatchError(
+                    f"workload built for {self.n} bins, histogram has {target.size}"
+                )
+            counts = target.counts
+        else:
+            counts = np.asarray(target, dtype=np.float64)
+            if len(counts) != self.n:
+                raise DomainMismatchError(
+                    f"workload built for {self.n} bins, counts has {len(counts)}"
+                )
+        return evaluate_ranges(counts, self.queries)
+
+    def __str__(self) -> str:
+        label = self.name or "workload"
+        return f"{label}: {len(self.queries)} queries over {self.n} bins"

@@ -1,0 +1,109 @@
+"""Tests for PrivacyBudget arithmetic."""
+
+import pytest
+
+from repro.accounting.budget import PrivacyBudget
+
+
+class TestConstruction:
+    def test_pure_budget(self):
+        b = PrivacyBudget(1.0)
+        assert b.epsilon == 1.0
+        assert b.delta == 0.0
+        assert b.is_pure
+
+    def test_approximate_budget(self):
+        b = PrivacyBudget(1.0, 1e-6)
+        assert not b.is_pure
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(-0.1)
+
+    def test_rejects_delta_above_one(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0, 1.5)
+
+    def test_zero_budget_allowed(self):
+        assert PrivacyBudget(0.0).epsilon == 0.0
+
+
+class TestArithmetic:
+    def test_addition_composes(self):
+        total = PrivacyBudget(0.3, 1e-7) + PrivacyBudget(0.2, 1e-7)
+        assert total.epsilon == pytest.approx(0.5)
+        assert total.delta == pytest.approx(2e-7)
+
+    def test_subtraction(self):
+        rem = PrivacyBudget(1.0) - PrivacyBudget(0.4)
+        assert rem.epsilon == pytest.approx(0.6)
+
+    def test_subtraction_clamps_float_dust(self):
+        parts = PrivacyBudget(1.0).split(3)
+        rem = PrivacyBudget(1.0)
+        for p in parts:
+            rem = rem - p
+        assert rem.epsilon == pytest.approx(0.0, abs=1e-12)
+
+    def test_subtraction_rejects_overdraft(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(0.5) - PrivacyBudget(1.0)
+
+    def test_multiplication(self):
+        half = PrivacyBudget(1.0, 1e-6) * 0.5
+        assert half.epsilon == 0.5
+        assert half.delta == 5e-7
+
+    def test_rmul(self):
+        assert (0.5 * PrivacyBudget(1.0)).epsilon == 0.5
+
+
+class TestCovers:
+    def test_covers_smaller(self):
+        assert PrivacyBudget(1.0).covers(PrivacyBudget(0.5))
+
+    def test_does_not_cover_larger(self):
+        assert not PrivacyBudget(0.5).covers(PrivacyBudget(1.0))
+
+    def test_covers_equal_with_tolerance(self):
+        parts = PrivacyBudget(1.0).split(7)
+        total = parts[0]
+        for p in parts[1:]:
+            total = total + p
+        assert PrivacyBudget(1.0).covers(total)
+
+
+class TestSplit:
+    def test_equal_split_sums_back(self):
+        parts = PrivacyBudget(1.0).split(4)
+        assert len(parts) == 4
+        assert sum(p.epsilon for p in parts) == pytest.approx(1.0)
+
+    def test_weighted_split(self):
+        parts = PrivacyBudget(1.0).split([1.0, 3.0])
+        assert parts[0].epsilon == pytest.approx(0.25)
+        assert parts[1].epsilon == pytest.approx(0.75)
+
+    def test_rejects_zero_shares(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0).split(0)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0).split([1.0, -1.0])
+
+    def test_rejects_empty_weight_list(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0).split([])
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            PrivacyBudget(1.0).split(True)
+
+
+class TestStr:
+    def test_pure_str(self):
+        assert str(PrivacyBudget(0.5)) == "eps=0.5"
+
+    def test_approx_str(self):
+        assert "delta" in str(PrivacyBudget(0.5, 1e-6))

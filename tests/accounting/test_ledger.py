@@ -1,0 +1,57 @@
+"""Tests for the spend ledger and its composition rules."""
+
+from repro.accounting.budget import PrivacyBudget
+from repro.accounting.ledger import Ledger, SpendRecord
+
+
+class TestSequentialComposition:
+    def test_empty_ledger_totals_zero(self):
+        assert Ledger().total().epsilon == 0.0
+
+    def test_sequential_spends_add(self):
+        ledger = Ledger()
+        ledger.append(SpendRecord(PrivacyBudget(0.3), "a"))
+        ledger.append(SpendRecord(PrivacyBudget(0.2), "b"))
+        assert ledger.total().epsilon == 0.5
+
+    def test_delta_adds_too(self):
+        ledger = Ledger()
+        ledger.append(SpendRecord(PrivacyBudget(0.1, 1e-7), "a"))
+        ledger.append(SpendRecord(PrivacyBudget(0.1, 1e-7), "b"))
+        assert ledger.total().delta == 2e-7
+
+
+class TestParallelComposition:
+    def test_same_group_takes_max(self):
+        ledger = Ledger()
+        ledger.append(SpendRecord(PrivacyBudget(0.3), "a", parallel_group="g"))
+        ledger.append(SpendRecord(PrivacyBudget(0.5), "b", parallel_group="g"))
+        ledger.append(SpendRecord(PrivacyBudget(0.2), "c", parallel_group="g"))
+        assert ledger.total().epsilon == 0.5
+
+    def test_different_groups_add(self):
+        ledger = Ledger()
+        ledger.append(SpendRecord(PrivacyBudget(0.3), "a", parallel_group="g1"))
+        ledger.append(SpendRecord(PrivacyBudget(0.5), "b", parallel_group="g2"))
+        assert ledger.total().epsilon == 0.8
+
+    def test_groups_compose_with_sequential(self):
+        ledger = Ledger()
+        ledger.append(SpendRecord(PrivacyBudget(0.1), "seq"))
+        ledger.append(SpendRecord(PrivacyBudget(0.3), "a", parallel_group="g"))
+        ledger.append(SpendRecord(PrivacyBudget(0.2), "b", parallel_group="g"))
+        assert ledger.total().epsilon == 0.4
+
+
+class TestLedgerApi:
+    def test_len_and_iter(self):
+        ledger = Ledger()
+        ledger.append(SpendRecord(PrivacyBudget(0.1), "x"))
+        assert len(ledger) == 1
+        assert [r.purpose for r in ledger] == ["x"]
+
+    def test_purposes_in_order(self):
+        ledger = Ledger()
+        for name in ["structure", "noise"]:
+            ledger.append(SpendRecord(PrivacyBudget(0.1), name))
+        assert ledger.purposes() == ["structure", "noise"]

@@ -1,0 +1,161 @@
+"""Tests for the closed-form variance module, including Monte Carlo
+validation of every formula against the real publishers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.variance import (
+    boost_unit_variance_bound,
+    dwork_range_variance,
+    dwork_unit_variance,
+    noisefirst_unit_variance,
+    predicted_unit_mse,
+    privelet_unit_variance,
+    structurefirst_range_variance,
+    structurefirst_unit_variance,
+)
+from repro.baselines.boost import Boost
+from repro.baselines.dwork import DworkIdentity
+from repro.baselines.privelet import Privelet
+from repro.hist.histogram import Histogram
+from repro.mechanisms.laplace import laplace_noise
+from repro.partition.partition import Partition
+
+
+class TestDworkFormulas:
+    def test_unit(self):
+        assert dwork_unit_variance(0.5) == pytest.approx(8.0)
+
+    def test_range_linear_in_length(self):
+        assert dwork_range_variance(0.5, 10) == pytest.approx(80.0)
+
+    def test_monte_carlo_unit(self):
+        hist = Histogram.from_counts(np.zeros(20_000))
+        eps = 0.5
+        result = DworkIdentity().publish(hist, budget=eps, rng=0)
+        empirical = float(np.var(result.histogram.counts))
+        assert empirical == pytest.approx(dwork_unit_variance(eps), rel=0.05)
+
+
+class TestNoiseFirstFormula:
+    def test_wider_buckets_less_noise(self):
+        p = Partition.from_bucket_sizes([1, 4])
+        var = noisefirst_unit_variance(p, 1.0)
+        assert var[0] == pytest.approx(2.0)
+        assert var[1] == pytest.approx(0.5)
+
+    def test_monte_carlo(self):
+        """Freeze a partition; averaging noisy counts must match."""
+        eps = 1.0
+        p = Partition.from_bucket_sizes([2, 8, 6])
+        n = p.n
+        predicted = noisefirst_unit_variance(p, eps)
+        samples = np.empty((4000, n))
+        rng = np.random.default_rng(0)
+        for t in range(4000):
+            noisy = laplace_noise(eps, size=n, rng=rng)
+            samples[t] = p.apply_means(noisy)
+        empirical = samples.var(axis=0)
+        np.testing.assert_allclose(empirical, predicted, rtol=0.15)
+
+
+class TestStructureFirstFormulas:
+    def test_unit_quadratic_in_width(self):
+        p = Partition.from_bucket_sizes([1, 4])
+        var = structurefirst_unit_variance(p, 1.0)
+        assert var[0] == pytest.approx(2.0)
+        assert var[1] == pytest.approx(2.0 / 16.0)
+
+    def test_range_full_bucket_counts_once(self):
+        p = Partition.from_bucket_sizes([4, 4])
+        # Range covering exactly the first bucket: (4/4)^2 * 2 = 2.
+        assert structurefirst_range_variance(p, 1.0, 0, 3) == pytest.approx(2.0)
+
+    def test_range_partial_bucket_scales_quadratically(self):
+        p = Partition.from_bucket_sizes([4])
+        # Half the bucket: (2/4)^2 * 2 = 0.5.
+        assert structurefirst_range_variance(p, 1.0, 0, 1) == pytest.approx(0.5)
+
+    def test_range_rejects_out_of_bounds(self):
+        p = Partition.from_bucket_sizes([4])
+        with pytest.raises(ValueError):
+            structurefirst_range_variance(p, 1.0, 0, 4)
+
+    def test_monte_carlo_range(self):
+        """Simulate SF's noise step with a frozen partition."""
+        eps = 1.0
+        p = Partition.from_bucket_sizes([3, 5, 4])
+        lo, hi = 1, 9  # partial first, full second, partial third
+        predicted = structurefirst_range_variance(p, eps, lo, hi)
+        rng = np.random.default_rng(1)
+        widths = np.array(p.bucket_sizes(), dtype=float)
+        totals = []
+        for _ in range(30_000):
+            noise = laplace_noise(eps, size=p.k, rng=rng)
+            per_bin = p.broadcast(noise / widths)
+            totals.append(per_bin[lo : hi + 1].sum())
+        assert np.var(totals) == pytest.approx(predicted, rel=0.05)
+
+
+class TestPriveletFormula:
+    def test_monte_carlo(self):
+        n, eps = 64, 1.0
+        hist = Histogram.from_counts(np.zeros(n))
+        predicted = privelet_unit_variance(n, eps)
+        rng_seeds = range(3000)
+        values = np.empty((len(rng_seeds), n))
+        for t, seed in enumerate(rng_seeds):
+            result = Privelet().publish(hist, budget=eps, rng=seed)
+            values[t] = result.histogram.counts
+        empirical = float(values.var(axis=0).mean())
+        assert empirical == pytest.approx(predicted, rel=0.1)
+
+    def test_grows_polylog_not_linear(self):
+        v64 = privelet_unit_variance(64, 1.0)
+        v4096 = privelet_unit_variance(4096, 1.0)
+        assert v4096 < 8 * v64  # log^2 growth, nowhere near 64x
+
+
+class TestBoostBound:
+    def test_bound_holds_with_consistency(self):
+        n, eps = 64, 1.0
+        hist = Histogram.from_counts(np.zeros(n))
+        bound = boost_unit_variance_bound(n, eps)
+        values = np.empty((2000, n))
+        for t in range(2000):
+            result = Boost().publish(hist, budget=eps, rng=t)
+            values[t] = result.histogram.counts
+        empirical = float(values.var(axis=0).mean())
+        assert empirical <= bound
+        # ...and consistency should buy a real reduction, not epsilon.
+        assert empirical <= 0.8 * bound
+
+    def test_exact_without_consistency(self):
+        n, eps = 64, 1.0
+        hist = Histogram.from_counts(np.zeros(n))
+        bound = boost_unit_variance_bound(n, eps)
+        values = np.empty((2000, n))
+        for t in range(2000):
+            result = Boost(consistency=False).publish(hist, budget=eps, rng=t)
+            values[t] = result.histogram.counts
+        empirical = float(values.var(axis=0).mean())
+        assert empirical == pytest.approx(bound, rel=0.1)
+
+
+class TestPredictedUnitMse:
+    def test_bias_plus_noise(self):
+        counts = np.array([0.0, 0.0, 10.0, 10.0])
+        p = Partition.from_bucket_sizes([4])
+        eps = 1.0
+        predicted = predicted_unit_mse(counts, p, eps, mode="noisefirst")
+        bias = float(np.mean((counts - counts.mean()) ** 2))
+        assert predicted == pytest.approx(bias + 2.0 / 4.0)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            predicted_unit_mse([1.0], Partition.single_bucket(1), 1.0,
+                               mode="magic")
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ValueError):
+            predicted_unit_mse([1.0, 2.0], Partition.single_bucket(1), 1.0)

@@ -1,0 +1,124 @@
+"""Tests for the Boost hierarchical publisher."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.boost import Boost, build_tree_sums, consistent_leaves
+from repro.hist.histogram import Histogram
+
+
+class TestBuildTreeSums:
+    def test_binary_tree_levels(self):
+        counts = np.array([1.0, 2.0, 3.0, 4.0])
+        levels = build_tree_sums(counts, 2)
+        assert [list(l) for l in levels] == [[1, 2, 3, 4], [3, 7], [10]]
+
+    def test_quaternary_tree(self):
+        counts = np.arange(16, dtype=float)
+        levels = build_tree_sums(counts, 4)
+        assert len(levels) == 3
+        assert levels[-1][0] == counts.sum()
+
+
+class TestConsistentLeaves:
+    def test_noiseless_tree_unchanged(self):
+        counts = np.array([1.0, 2.0, 3.0, 4.0])
+        levels = build_tree_sums(counts, 2)
+        out = consistent_leaves(levels, 2)
+        np.testing.assert_allclose(out, counts)
+
+    def test_result_is_consistent_with_root(self):
+        rng = np.random.default_rng(0)
+        counts = rng.uniform(0, 10, size=8)
+        levels = [l + rng.normal(0, 3, size=l.shape)
+                  for l in build_tree_sums(counts, 2)]
+        leaves = consistent_leaves(levels, 2)
+        # After the top-down pass the leaves must sum to the blended
+        # root estimate z[root].
+        # Recompute z[root] independently (bottom-up only).
+        z = [levels[0].copy()]
+        b = 2
+        for level in range(1, len(levels)):
+            l = level + 1
+            child_sums = z[level - 1].reshape(-1, b).sum(axis=1)
+            w_self = (b**l - b ** (l - 1)) / (b**l - 1)
+            w_kids = (b ** (l - 1) - 1) / (b**l - 1)
+            z.append(w_self * levels[level] + w_kids * child_sums)
+        assert leaves.sum() == pytest.approx(float(z[-1][0]))
+
+    def test_variance_reduction(self):
+        """Consistency must reduce leaf MSE on average (it is an L2
+        projection of the noisy measurements)."""
+        rng = np.random.default_rng(1)
+        counts = rng.uniform(0, 100, size=64)
+        raw_errs, cons_errs = [], []
+        for _ in range(300):
+            levels = build_tree_sums(counts, 2)
+            sigma = 5.0
+            noisy = [l + rng.normal(0, sigma, size=l.shape) for l in levels]
+            raw_errs.append(np.mean((noisy[0] - counts) ** 2))
+            cons = consistent_leaves(noisy, 2)
+            cons_errs.append(np.mean((cons - counts) ** 2))
+        assert np.mean(cons_errs) < np.mean(raw_errs)
+
+
+class TestBoostPublisher:
+    def test_budget_composition(self, medium_hist):
+        result = Boost().publish(medium_hist, budget=0.4, rng=0)
+        assert result.epsilon_spent == pytest.approx(0.4)
+
+    def test_level_budget_is_eps_over_height(self, medium_hist):
+        result = Boost().publish(medium_hist, budget=0.8, rng=0)
+        height = result.meta["height"]
+        assert result.meta["eps_per_level"] == pytest.approx(0.8 / height)
+
+    def test_non_power_of_two_domain(self):
+        hist = Histogram.from_counts(np.arange(100, dtype=float))
+        result = Boost().publish(hist, budget=1.0, rng=0)
+        assert result.histogram.size == 100
+        assert result.meta["padded_size"] == 128
+
+    def test_branching_factor_respected(self, medium_hist):
+        result = Boost(branching=4).publish(medium_hist, budget=1.0, rng=0)
+        # 128 bins, branching 4 => 4 levels (128, 32, 8, 2->pad 4... )
+        assert result.meta["branching"] == 4
+
+    def test_consistency_flag_off(self, medium_hist):
+        result = Boost(consistency=False).publish(medium_hist, budget=1.0, rng=0)
+        assert result.meta["consistency"] is False
+
+    def test_consistency_improves_range_queries(self, medium_hist):
+        from repro.metrics.evaluate import evaluate_workload_error
+        from repro.workloads.builders import fixed_length_ranges
+
+        workload = fixed_length_ranges(medium_hist.size, medium_hist.size // 2)
+        on, off = [], []
+        for seed in range(10):
+            r_on = Boost().publish(medium_hist, budget=0.1, rng=seed)
+            r_off = Boost(consistency=False).publish(
+                medium_hist, budget=0.1, rng=seed
+            )
+            on.append(
+                evaluate_workload_error(medium_hist, r_on.histogram, workload).mse
+            )
+            off.append(
+                evaluate_workload_error(medium_hist, r_off.histogram, workload).mse
+            )
+        assert np.mean(on) < np.mean(off)
+
+    def test_rejects_branching_below_two(self):
+        with pytest.raises(ValueError):
+            Boost(branching=1)
+
+    def test_deterministic(self, medium_hist):
+        a = Boost().publish(medium_hist, budget=0.5, rng=2)
+        b = Boost().publish(medium_hist, budget=0.5, rng=2)
+        np.testing.assert_array_equal(a.histogram.counts, b.histogram.counts)
+
+    def test_unbiased(self):
+        hist = Histogram.from_counts([10.0, 20.0, 30.0, 40.0])
+        acc = np.zeros(4)
+        n_runs = 2000
+        for seed in range(n_runs):
+            acc += Boost().publish(hist, budget=2.0, rng=seed).histogram.counts
+        np.testing.assert_allclose(acc / n_runs, hist.counts, atol=0.3)

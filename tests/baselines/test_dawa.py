@@ -1,0 +1,92 @@
+"""Tests for the DAWA-lite composed publisher."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dawa import DawaLite
+from repro.core import StructureFirst
+from repro.datasets.standard import searchlogs
+from repro.metrics.evaluate import evaluate_workload_error
+from repro.workloads.builders import fixed_length_ranges, unit_queries
+
+
+class TestBudget:
+    def test_spends_everything(self, medium_hist):
+        result = DawaLite().publish(medium_hist, budget=0.4, rng=0)
+        assert result.epsilon_spent == pytest.approx(0.4)
+
+    def test_split_reported(self, medium_hist):
+        result = DawaLite(partition_fraction=0.3).publish(
+            medium_hist, budget=1.0, rng=0
+        )
+        assert result.meta["eps_partition"] == pytest.approx(0.3)
+        assert result.meta["eps_measure"] == pytest.approx(0.7)
+
+    def test_tree_levels_are_parallel_groups(self, medium_hist):
+        result = DawaLite().publish(medium_hist, budget=0.5, rng=0)
+        groups = {r.parallel_group for r in result.accountant.ledger
+                  if r.parallel_group is not None}
+        assert len(groups) == result.meta["tree_height"]
+
+    def test_k_one_spends_all_on_measurement(self, medium_hist):
+        result = DawaLite(k=1).publish(medium_hist, budget=1.0, rng=0)
+        assert result.meta["eps_partition"] == 0.0
+        assert result.epsilon_spent == pytest.approx(1.0)
+
+
+class TestOutput:
+    def test_piecewise_constant(self, medium_hist):
+        result = DawaLite(k=8).publish(medium_hist, budget=1.0, rng=0)
+        partition = result.meta["partition"]
+        counts = result.histogram.counts
+        for start, stop in partition.buckets():
+            assert len(set(np.round(counts[start:stop], 9))) == 1
+
+    def test_deterministic(self, medium_hist):
+        a = DawaLite().publish(medium_hist, budget=0.2, rng=3)
+        b = DawaLite().publish(medium_hist, budget=0.2, rng=3)
+        np.testing.assert_array_equal(a.histogram.counts, b.histogram.counts)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DawaLite(partition_fraction=0.0)
+        with pytest.raises(ValueError):
+            DawaLite(branching=1)
+
+
+class TestBehaviour:
+    def test_beats_structurefirst_on_bucket_spanning_ranges(self):
+        """The hierarchical stage 2 pays off when ranges cross many
+        buckets: O(log k) noise terms instead of O(k)."""
+        hist = searchlogs(n_bins=512, total=100_000)
+        eps = 0.05
+        # Long ranges crossing ~32 of 64 buckets.
+        workload = fixed_length_ranges(512, 256)
+        dawa_errs, sf_errs = [], []
+        for seed in range(8):
+            d = DawaLite(k=64).publish(hist, budget=eps, rng=seed)
+            s = StructureFirst(k=64).publish(hist, budget=eps, rng=seed)
+            dawa_errs.append(
+                evaluate_workload_error(hist, d.histogram, workload).mse
+            )
+            sf_errs.append(
+                evaluate_workload_error(hist, s.histogram, workload).mse
+            )
+        assert np.mean(dawa_errs) < np.mean(sf_errs)
+
+    def test_reasonable_on_unit_queries(self):
+        """The log-factor on points must stay bounded (< 10x SF)."""
+        hist = searchlogs(n_bins=256, total=100_000)
+        eps = 0.1
+        unit = unit_queries(256)
+        dawa_errs, sf_errs = [], []
+        for seed in range(5):
+            d = DawaLite().publish(hist, budget=eps, rng=seed)
+            s = StructureFirst().publish(hist, budget=eps, rng=seed)
+            dawa_errs.append(
+                evaluate_workload_error(hist, d.histogram, unit).mse
+            )
+            sf_errs.append(
+                evaluate_workload_error(hist, s.histogram, unit).mse
+            )
+        assert np.mean(dawa_errs) < 10 * np.mean(sf_errs)

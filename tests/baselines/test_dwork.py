@@ -1,0 +1,44 @@
+"""Tests for the Dwork identity baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dwork import DworkIdentity
+
+
+class TestDworkIdentity:
+    def test_spends_all_budget(self, small_hist):
+        result = DworkIdentity().publish(small_hist, budget=0.3, rng=0)
+        assert result.epsilon_spent == pytest.approx(0.3)
+
+    def test_unbiased(self, small_hist):
+        sums = np.zeros(small_hist.size)
+        n_runs = 3000
+        for seed in range(n_runs):
+            result = DworkIdentity().publish(small_hist, budget=1.0, rng=seed)
+            sums += result.histogram.counts
+        np.testing.assert_allclose(
+            sums / n_runs, small_hist.counts, atol=0.15
+        )
+
+    def test_noise_variance_matches_meta(self, small_hist):
+        eps = 0.5
+        result = DworkIdentity().publish(small_hist, budget=eps, rng=0)
+        assert result.meta["noise_variance"] == pytest.approx(2.0 / eps**2)
+
+    def test_empirical_noise_variance(self):
+        from repro.hist.histogram import Histogram
+
+        hist = Histogram.from_counts(np.zeros(50_000) + 5.0)
+        eps = 1.0
+        result = DworkIdentity().publish(hist, budget=eps, rng=1)
+        noise = result.histogram.counts - 5.0
+        assert np.var(noise) == pytest.approx(2.0, rel=0.05)
+
+    def test_bounded_model_larger_noise(self):
+        assert DworkIdentity("bounded").sensitivity == 2.0
+
+    def test_deterministic(self, small_hist):
+        a = DworkIdentity().publish(small_hist, budget=1.0, rng=3)
+        b = DworkIdentity().publish(small_hist, budget=1.0, rng=3)
+        np.testing.assert_array_equal(a.histogram.counts, b.histogram.counts)

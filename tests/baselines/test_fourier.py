@@ -1,0 +1,56 @@
+"""Tests for the EFPA-style Fourier publisher."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fourier import FourierPublisher
+from repro.datasets.generators import gaussian_mixture_histogram
+
+
+class TestBudget:
+    def test_spends_everything(self, medium_hist):
+        result = FourierPublisher().publish(medium_hist, budget=0.5, rng=0)
+        assert result.epsilon_spent == pytest.approx(0.5)
+
+    def test_two_phase_spend(self, medium_hist):
+        result = FourierPublisher(select_fraction=0.3).publish(
+            medium_hist, budget=1.0, rng=0
+        )
+        purposes = result.accountant.ledger.purposes()
+        assert purposes == ["em-select-k", "laplace-noise-coefficients"]
+
+
+class TestBehaviour:
+    def test_k_in_range(self, medium_hist):
+        result = FourierPublisher().publish(medium_hist, budget=0.5, rng=0)
+        assert 1 <= result.meta["k"] <= result.meta["n_coefficients"]
+
+    def test_output_real_and_right_size(self, medium_hist):
+        result = FourierPublisher().publish(medium_hist, budget=0.5, rng=0)
+        counts = result.histogram.counts
+        assert counts.shape == (medium_hist.size,)
+        assert np.isrealobj(counts)
+
+    def test_smooth_data_few_coefficients_suffice(self):
+        """On a smooth signal at generous budget the selected k should be
+        far below n (the whole point of spectral truncation)."""
+        hist = gaussian_mixture_histogram(128, total=200_000)
+        result = FourierPublisher().publish(hist, budget=5.0, rng=0)
+        assert result.meta["k"] < 64
+
+    def test_reconstruction_quality_high_eps(self):
+        hist = gaussian_mixture_histogram(64, total=100_000)
+        result = FourierPublisher().publish(hist, budget=50.0, rng=1)
+        rel_err = np.linalg.norm(
+            result.histogram.counts - hist.counts
+        ) / np.linalg.norm(hist.counts)
+        assert rel_err < 0.2
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            FourierPublisher(select_fraction=1.0)
+
+    def test_deterministic(self, medium_hist):
+        a = FourierPublisher().publish(medium_hist, budget=0.5, rng=8)
+        b = FourierPublisher().publish(medium_hist, budget=0.5, rng=8)
+        np.testing.assert_array_equal(a.histogram.counts, b.histogram.counts)

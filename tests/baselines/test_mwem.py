@@ -1,0 +1,64 @@
+"""Tests for the MWEM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mwem import Mwem
+from repro.datasets.generators import gaussian_mixture_histogram
+from repro.workloads.builders import random_ranges
+
+
+class TestBudget:
+    def test_spends_everything(self, medium_hist):
+        result = Mwem(rounds=5).publish(medium_hist, budget=0.5, rng=0)
+        assert result.epsilon_spent == pytest.approx(0.5)
+
+    def test_two_spends_per_round(self, medium_hist):
+        result = Mwem(rounds=4).publish(medium_hist, budget=0.4, rng=0)
+        assert len(result.accountant.ledger) == 8
+
+
+class TestBehaviour:
+    def test_total_preserved(self, medium_hist):
+        result = Mwem(rounds=3).publish(medium_hist, budget=0.5, rng=0)
+        assert result.histogram.total == pytest.approx(medium_hist.total)
+
+    def test_output_non_negative(self, medium_hist):
+        result = Mwem(rounds=3).publish(medium_hist, budget=0.5, rng=0)
+        assert np.all(result.histogram.counts >= 0)
+
+    def test_improves_over_uniform_on_workload(self):
+        """More rounds at generous budget must beat the uniform start."""
+        hist = gaussian_mixture_histogram(64, total=100_000)
+        workload = random_ranges(64, count=100, rng=0)
+        true_answers = workload.evaluate(hist)
+        uniform = np.full(64, hist.total / 64)
+        uniform_err = np.mean((workload.evaluate(uniform) - true_answers) ** 2)
+        errs = []
+        for seed in range(3):
+            result = Mwem(workload=workload, rounds=20).publish(
+                hist, budget=5.0, rng=seed
+            )
+            est = workload.evaluate(result.histogram)
+            errs.append(np.mean((est - true_answers) ** 2))
+        assert np.mean(errs) < uniform_err
+
+    def test_respects_public_total(self, medium_hist):
+        result = Mwem(rounds=2, public_total=1234.0).publish(
+            medium_hist, budget=0.5, rng=0
+        )
+        assert result.histogram.total == pytest.approx(1234.0)
+
+    def test_workload_domain_mismatch_raises(self, medium_hist):
+        workload = random_ranges(32, count=10, rng=0)
+        with pytest.raises(ValueError, match="workload"):
+            Mwem(workload=workload).publish(medium_hist, budget=0.5, rng=0)
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            Mwem(rounds=0)
+
+    def test_deterministic(self, medium_hist):
+        a = Mwem(rounds=3).publish(medium_hist, budget=0.5, rng=6)
+        b = Mwem(rounds=3).publish(medium_hist, budget=0.5, rng=6)
+        np.testing.assert_array_equal(a.histogram.counts, b.histogram.counts)

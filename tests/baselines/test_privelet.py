@@ -1,0 +1,99 @@
+"""Tests for Privelet and the Haar transform."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.privelet import Privelet, haar_inverse, haar_transform
+from repro.hist.histogram import Histogram
+
+
+class TestHaarTransform:
+    def test_roundtrip_identity(self):
+        rng = np.random.default_rng(0)
+        for size in [1, 2, 4, 8, 64]:
+            values = rng.uniform(-10, 10, size=size)
+            base, details = haar_transform(values)
+            np.testing.assert_allclose(haar_inverse(base, details), values,
+                                       atol=1e-10)
+
+    def test_base_is_mean(self):
+        values = np.array([1.0, 3.0, 5.0, 7.0])
+        base, _ = haar_transform(values)
+        assert base == pytest.approx(values.mean())
+
+    def test_detail_levels(self):
+        base, details = haar_transform(np.arange(8, dtype=float))
+        assert [len(d) for d in details] == [4, 2, 1]
+
+    def test_constant_signal_zero_details(self):
+        _base, details = haar_transform(np.full(8, 3.0))
+        for d in details:
+            np.testing.assert_allclose(d, 0.0)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            haar_transform(np.arange(6, dtype=float))
+
+    def test_inverse_rejects_bad_levels(self):
+        with pytest.raises(ValueError):
+            haar_inverse(0.0, [np.array([1.0, 2.0])])
+
+    def test_leaf_sensitivity_pattern(self):
+        """One-unit change to a leaf moves the level-l detail by 2^-l."""
+        values = np.zeros(8)
+        bumped = values.copy()
+        bumped[0] = 1.0
+        b0, d0 = haar_transform(values)
+        b1, d1 = haar_transform(bumped)
+        assert abs(d1[0][0] - d0[0][0]) == pytest.approx(0.5)   # level 1
+        assert abs(d1[1][0] - d0[1][0]) == pytest.approx(0.25)  # level 2
+        assert abs(d1[2][0] - d0[2][0]) == pytest.approx(0.125)
+        assert abs(b1 - b0) == pytest.approx(1.0 / 8)
+
+
+class TestPriveletPublisher:
+    def test_budget_spent_exactly(self, medium_hist):
+        result = Privelet().publish(medium_hist, budget=0.2, rng=0)
+        assert result.epsilon_spent == pytest.approx(0.2)
+
+    def test_non_power_of_two_domain(self):
+        hist = Histogram.from_counts(np.arange(100, dtype=float))
+        result = Privelet().publish(hist, budget=1.0, rng=0)
+        assert result.histogram.size == 100
+        assert result.meta["padded_size"] == 128
+
+    def test_generalized_sensitivity_value(self, medium_hist):
+        result = Privelet().publish(medium_hist, budget=1.0, rng=0)
+        levels = result.meta["levels"]  # log2(128) = 7
+        assert levels == 7
+        assert result.meta["generalized_sensitivity"] == pytest.approx(1 + 3.5)
+
+    def test_unbiased(self):
+        hist = Histogram.from_counts([5.0, 10.0, 15.0, 20.0])
+        acc = np.zeros(4)
+        n_runs = 2000
+        for seed in range(n_runs):
+            acc += Privelet().publish(hist, budget=2.0, rng=seed).histogram.counts
+        np.testing.assert_allclose(acc / n_runs, hist.counts, atol=0.5)
+
+    def test_range_beats_identity_on_long_ranges(self):
+        """Privelet's raison d'etre: long ranges accumulate O(log n) noise."""
+        from repro.baselines.dwork import DworkIdentity
+        from repro.datasets.standard import searchlogs
+        from repro.metrics.evaluate import evaluate_workload_error
+        from repro.workloads.builders import fixed_length_ranges
+
+        hist = searchlogs(n_bins=512, total=100_000)
+        workload = fixed_length_ranges(512, 256)
+        priv, dwork = [], []
+        for seed in range(5):
+            p = Privelet().publish(hist, budget=0.05, rng=seed)
+            d = DworkIdentity().publish(hist, budget=0.05, rng=seed)
+            priv.append(evaluate_workload_error(hist, p.histogram, workload).mse)
+            dwork.append(evaluate_workload_error(hist, d.histogram, workload).mse)
+        assert np.mean(priv) < np.mean(dwork)
+
+    def test_deterministic(self, medium_hist):
+        a = Privelet().publish(medium_hist, budget=0.5, rng=4)
+        b = Privelet().publish(medium_hist, budget=0.5, rng=4)
+        np.testing.assert_array_equal(a.histogram.counts, b.histogram.counts)

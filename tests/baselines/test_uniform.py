@@ -1,0 +1,34 @@
+"""Tests for the UniformFlat floor baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.uniform import UniformFlat
+
+
+class TestUniformFlat:
+    def test_spends_everything(self, small_hist):
+        result = UniformFlat().publish(small_hist, budget=0.9, rng=0)
+        assert result.epsilon_spent == pytest.approx(0.9)
+
+    def test_output_is_flat(self, small_hist):
+        result = UniformFlat().publish(small_hist, budget=1.0, rng=0)
+        counts = result.histogram.counts
+        assert len(set(counts)) == 1
+
+    def test_total_matches_noisy_total(self, small_hist):
+        result = UniformFlat().publish(small_hist, budget=1.0, rng=0)
+        assert result.histogram.total == pytest.approx(
+            result.meta["noisy_total"]
+        )
+
+    def test_total_accurate_at_high_eps(self, small_hist):
+        result = UniformFlat().publish(small_hist, budget=100.0, rng=0)
+        assert result.histogram.total == pytest.approx(
+            small_hist.total, abs=1.0
+        )
+
+    def test_deterministic(self, small_hist):
+        a = UniformFlat().publish(small_hist, budget=1.0, rng=5)
+        b = UniformFlat().publish(small_hist, budget=1.0, rng=5)
+        np.testing.assert_array_equal(a.histogram.counts, b.histogram.counts)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.standard import searchlogs
+from repro.hist.domain import Domain
+from repro.hist.histogram import Histogram
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_hist() -> Histogram:
+    """A tiny, hand-checkable histogram (8 bins)."""
+    return Histogram.from_counts([4.0, 4.0, 4.0, 10.0, 10.0, 2.0, 2.0, 2.0])
+
+
+@pytest.fixture
+def medium_hist() -> Histogram:
+    """A realistic 128-bin dataset for integration-ish tests."""
+    return searchlogs(n_bins=128, total=50_000)
+
+
+@pytest.fixture
+def numeric_domain() -> Domain:
+    """A numeric 10-bin domain over [0, 100)."""
+    return Domain(size=10, lower=0.0, upper=100.0, name="test")

@@ -1,0 +1,87 @@
+"""Tests for NoiseFirst's bucket-count selection machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.kselect import (
+    default_bucket_count,
+    identity_error_estimate,
+    noise_first_error_estimates,
+    select_k,
+    smoothness_profile,
+)
+from repro.partition.voptimal import voptimal_table
+
+
+class TestDefaultBucketCount:
+    def test_n_over_eight(self):
+        assert default_bucket_count(256) == 32
+
+    def test_minimum_one(self):
+        assert default_bucket_count(1) == 1
+        assert default_bucket_count(7) == 1
+
+    def test_never_exceeds_n(self):
+        for n in [1, 5, 100]:
+            assert default_bucket_count(n) <= n
+
+
+class TestErrorEstimates:
+    def test_shape_and_inf_sentinel(self):
+        table = voptimal_table([1.0, 2.0, 3.0, 4.0], 3)
+        est = noise_first_error_estimates(table, 1.0)
+        assert len(est) == 4
+        assert est[0] == np.inf
+
+    def test_penalty_grows_with_k(self):
+        # On perfectly flat data SSE is ~0 for every k, so the estimate
+        # must be increasing in k (the 2k sigma^2 penalty).
+        table = voptimal_table([5.0] * 10, 10)
+        est = noise_first_error_estimates(table, 1.0)
+        diffs = np.diff(est[1:])
+        assert np.all(diffs > 0)
+
+    def test_select_k_flat_data_is_one(self):
+        table = voptimal_table([5.0] * 10, 10)
+        assert select_k(table, 1.0) == 1
+
+    def test_select_k_stepped_data_at_high_eps(self):
+        counts = [0.0] * 5 + [100.0] * 5
+        table = voptimal_table(counts, 10)
+        # Huge eps => negligible noise penalty => pick enough buckets to
+        # capture the step exactly (SSE 0 at k=2).
+        assert select_k(table, 1000.0) == 2
+
+    def test_rejects_bad_epsilon(self):
+        table = voptimal_table([1.0, 2.0], 2)
+        with pytest.raises(ValueError):
+            noise_first_error_estimates(table, 0.0)
+
+
+class TestIdentityEstimate:
+    def test_formula(self):
+        # 2 * n * sigma^2 with sigma^2 = 2/eps^2.
+        assert identity_error_estimate(10, 1.0) == pytest.approx(40.0)
+
+    def test_comparable_scale_with_k_equals_n(self):
+        counts = list(np.random.default_rng(0).uniform(0, 10, size=8))
+        table = voptimal_table(counts, 8)
+        est = noise_first_error_estimates(table, 1.0)
+        # At k = n the DP residual is 0, so the estimate equals the
+        # identity estimate by construction.
+        assert est[8] == pytest.approx(identity_error_estimate(8, 1.0))
+
+
+class TestSmoothnessProfile:
+    def test_flat_is_zero(self):
+        assert smoothness_profile([5.0] * 10) == 0.0
+
+    def test_alternating_is_large(self):
+        flat = smoothness_profile([5.0, 5.0, 5.0, 5.0])
+        spiky = smoothness_profile([0.0, 10.0, 0.0, 10.0])
+        assert spiky > flat
+
+    def test_scale_invariant(self):
+        a = smoothness_profile([1.0, 2.0, 1.0, 2.0])
+        b = smoothness_profile([100.0, 200.0, 100.0, 200.0])
+        assert a == pytest.approx(b)

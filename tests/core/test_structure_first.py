@@ -1,0 +1,127 @@
+"""Tests for StructureFirst."""
+
+import numpy as np
+import pytest
+
+from repro.core.structure_first import StructureFirst
+from repro.datasets.generators import step_histogram
+from repro.partition.sse import partition_sse
+from repro.partition.voptimal import voptimal_partition
+
+
+class TestBudgetUse:
+    def test_total_spend_exact(self, small_hist):
+        result = StructureFirst(k=3).publish(small_hist, budget=0.6, rng=0)
+        assert result.epsilon_spent == pytest.approx(0.6)
+
+    def test_split_reported_in_meta(self, small_hist):
+        result = StructureFirst(
+            k=3, structure_fraction=0.25
+        ).publish(small_hist, budget=1.0, rng=0)
+        assert result.meta["eps_structure"] == pytest.approx(0.25)
+        assert result.meta["eps_noise"] == pytest.approx(0.75)
+
+    def test_single_em_spend(self, small_hist):
+        result = StructureFirst(k=4).publish(small_hist, budget=1.0, rng=0)
+        purposes = result.accountant.ledger.purposes()
+        assert purposes == ["em-structure", "laplace-noise-bucket-sums"]
+
+    def test_k_one_spends_all_on_noise(self, small_hist):
+        result = StructureFirst(k=1).publish(small_hist, budget=1.0, rng=0)
+        assert result.meta["eps_structure"] == 0.0
+        assert result.epsilon_spent == pytest.approx(1.0)
+
+    def test_uniform_mode_spends_all_on_noise(self, small_hist):
+        result = StructureFirst(
+            k=4, structure_mode="uniform"
+        ).publish(small_hist, budget=1.0, rng=0)
+        assert result.meta["eps_structure"] == 0.0
+        assert result.accountant.ledger.purposes() == [
+            "laplace-noise-bucket-sums"
+        ]
+
+
+class TestOutputStructure:
+    def test_piecewise_constant_output(self, small_hist):
+        result = StructureFirst(k=3).publish(small_hist, budget=1.0, rng=0)
+        counts = result.histogram.counts
+        partition = result.meta["partition"]
+        for start, stop in partition.buckets():
+            assert len(set(np.round(counts[start:stop], 9))) == 1
+
+    def test_k_buckets(self, small_hist):
+        result = StructureFirst(k=3).publish(small_hist, budget=1.0, rng=0)
+        assert result.meta["partition"].k == 3
+
+    def test_default_k(self, medium_hist):
+        result = StructureFirst().publish(medium_hist, budget=1.0, rng=0)
+        assert result.meta["k"] == medium_hist.size // 8
+
+
+class TestStructureQuality:
+    def test_em_finds_good_structure_at_moderate_eps(self):
+        hist = step_histogram(64, 4, total=50_000, rng=3)
+        _opt, opt_sse = voptimal_partition(hist.counts, 4)
+        result = StructureFirst(k=4).publish(hist, budget=1.0, rng=0)
+        sampled_sse = partition_sse(hist.counts, result.meta["partition"])
+        # Step data with moderate eps: EM should land at or near the
+        # exact step structure (opt_sse == 0 here), far below random.
+        total_var = partition_sse(hist.counts, _single(hist.size))
+        assert sampled_sse <= 0.05 * total_var + opt_sse + 1e-9
+
+    def test_oracle_mode_is_exactly_voptimal(self, small_hist):
+        result = StructureFirst(
+            k=3, structure_mode="oracle"
+        ).publish(small_hist, budget=1.0, rng=0)
+        opt, _sse = voptimal_partition(small_hist.counts, 3)
+        assert result.meta["partition"].boundaries == opt.boundaries
+
+    def test_uniform_mode_is_equiwidth(self, small_hist):
+        result = StructureFirst(
+            k=4, structure_mode="uniform"
+        ).publish(small_hist, budget=1.0, rng=0)
+        assert result.meta["partition"].bucket_sizes() == [2, 2, 2, 2]
+
+
+class TestScores:
+    def test_sae_is_default(self):
+        assert StructureFirst().score == "sae"
+
+    def test_sse_score_runs(self, small_hist):
+        result = StructureFirst(
+            k=3, score="sse", count_cap=20.0
+        ).publish(small_hist, budget=1.0, rng=0)
+        assert result.meta["score"] == "sse"
+
+    def test_rejects_unknown_score(self):
+        with pytest.raises(ValueError):
+            StructureFirst(score="l7")
+
+
+class TestValidation:
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            StructureFirst(structure_fraction=0.0)
+        with pytest.raises(ValueError):
+            StructureFirst(structure_fraction=1.0)
+
+    def test_rejects_negative_cap(self):
+        with pytest.raises(ValueError):
+            StructureFirst(count_cap=-1.0)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            StructureFirst(structure_mode="magic")
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self, medium_hist):
+        a = StructureFirst().publish(medium_hist, budget=0.1, rng=11)
+        b = StructureFirst().publish(medium_hist, budget=0.1, rng=11)
+        np.testing.assert_array_equal(a.histogram.counts, b.histogram.counts)
+
+
+def _single(n):
+    from repro.partition.partition import Partition
+
+    return Partition.single_bucket(n)

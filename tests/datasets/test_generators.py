@@ -1,0 +1,97 @@
+"""Tests for the generic synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    gaussian_mixture_histogram,
+    sparse_histogram,
+    step_histogram,
+    uniform_histogram,
+    zipf_histogram,
+)
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: uniform_histogram(50, total=10_000, rng=0),
+            lambda: zipf_histogram(50, total=10_000, rng=0),
+            lambda: gaussian_mixture_histogram(50, total=10_000),
+            lambda: step_histogram(50, 5, total=10_000, rng=0),
+            lambda: sparse_histogram(50, total=10_000, rng=0),
+        ],
+    )
+    def test_exact_total_and_nonneg_integers(self, factory):
+        h = factory()
+        assert h.total == 10_000
+        assert np.all(h.counts >= 0)
+        assert np.all(h.counts == np.round(h.counts))
+
+    def test_deterministic_given_seed(self):
+        a = zipf_histogram(20, total=1000, rng=3)
+        b = zipf_histogram(20, total=1000, rng=3)
+        assert a == b
+
+
+class TestZipf:
+    def test_sorted_head_heavy(self):
+        h = zipf_histogram(100, total=100_000, exponent=1.5)
+        assert h.counts[0] == h.counts.max()
+        assert h.counts[0] > 10 * h.counts[50]
+
+    def test_shuffle_breaks_sortedness(self):
+        h = zipf_histogram(100, total=100_000, shuffle=True, rng=0)
+        assert h.counts[0] != h.counts.max() or h.counts[1] != sorted(
+            h.counts, reverse=True
+        )[1]
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_histogram(10, exponent=0.0)
+
+
+class TestGaussianMixture:
+    def test_modes_near_centers(self):
+        h = gaussian_mixture_histogram(
+            100, total=100_000, centers=[0.25], widths=[0.05]
+        )
+        assert abs(int(np.argmax(h.counts)) - 25) <= 2
+
+    def test_rejects_mismatched_params(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture_histogram(10, centers=[0.5], widths=[0.1, 0.2])
+
+
+class TestStep:
+    def test_noiseless_has_exactly_n_steps_levels(self):
+        h = step_histogram(100, 4, total=100_000, rng=1)
+        # Largest-remainder rounding can split a level by +-1; allow that.
+        distinct = len(set(h.counts))
+        assert distinct <= 8
+
+    def test_single_step_is_flat(self):
+        h = step_histogram(10, 1, total=1000, rng=0)
+        assert len(set(h.counts)) <= 2  # rounding may split by 1
+
+    def test_rejects_steps_above_bins(self):
+        with pytest.raises(ValueError):
+            step_histogram(5, 6)
+
+
+class TestSparse:
+    def test_density_respected(self):
+        h = sparse_histogram(200, total=100_000, density=0.1, rng=0)
+        nonzero = np.count_nonzero(h.counts)
+        assert nonzero <= 0.15 * 200
+
+    def test_rejects_density_above_one(self):
+        with pytest.raises(ValueError):
+            sparse_histogram(10, density=1.5)
+
+
+class TestUniform:
+    def test_near_flat(self):
+        h = uniform_histogram(100, total=100_000, rng=0, jitter=0.01)
+        assert h.counts.std() < 0.05 * h.counts.mean()

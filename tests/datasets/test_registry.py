@@ -1,0 +1,23 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import DATASETS, get_dataset, list_datasets
+from repro.hist.histogram import Histogram
+
+
+class TestRegistry:
+    def test_four_datasets(self):
+        assert list_datasets() == ["age", "nettrace", "searchlogs",
+                                   "socialnetwork"]
+
+    def test_get_returns_histogram(self):
+        for name in list_datasets():
+            assert isinstance(get_dataset(name), Histogram)
+
+    def test_get_unknown_raises_with_names(self):
+        with pytest.raises(KeyError, match="available"):
+            get_dataset("census")
+
+    def test_registry_matches_list(self):
+        assert sorted(DATASETS) == list_datasets()

@@ -1,0 +1,79 @@
+"""Tests for the four evaluation datasets (shape properties)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kselect import smoothness_profile
+from repro.datasets.standard import age, nettrace, searchlogs, socialnetwork
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("factory", [age, nettrace, searchlogs, socialnetwork])
+    def test_frozen_identity(self, factory):
+        assert factory() == factory()
+
+    @pytest.mark.parametrize("factory", [age, nettrace, searchlogs, socialnetwork])
+    def test_exact_total(self, factory):
+        h = factory(total=12_345)
+        assert h.total == 12_345
+
+    @pytest.mark.parametrize("factory", [age, nettrace, searchlogs, socialnetwork])
+    def test_scalable_domain(self, factory):
+        h = factory(n_bins=64)
+        assert h.size == 64
+
+
+class TestAgeShape:
+    def test_smooth(self):
+        h = age()
+        # Smoothest of the four datasets.
+        assert smoothness_profile(h.counts) < smoothness_profile(
+            nettrace().counts
+        )
+
+    def test_unimodal_bulk(self):
+        h = age()
+        peak = int(np.argmax(h.counts))
+        assert 20 <= peak <= 60  # working-age bulk
+
+    def test_declining_tail(self):
+        h = age()
+        assert h.counts[-1] < 0.2 * h.counts.max()
+
+
+class TestNettraceShape:
+    def test_sparse(self):
+        h = nettrace()
+        zero_frac = np.mean(h.counts == 0)
+        assert zero_frac > 0.5
+
+    def test_heavy_tail(self):
+        h = nettrace()
+        assert h.counts.max() > 20 * np.median(h.counts[h.counts > 0])
+
+
+class TestSearchlogsShape:
+    def test_has_spikes(self):
+        h = searchlogs()
+        median = np.median(h.counts)
+        assert h.counts.max() > 4 * median
+
+    def test_rising_trend(self):
+        h = searchlogs()
+        n = h.size
+        first = h.counts[: n // 4].mean()
+        last = h.counts[3 * n // 4 :].mean()
+        assert last > first
+
+
+class TestSocialnetworkShape:
+    def test_head_dominates(self):
+        h = socialnetwork()
+        assert h.counts[0] == h.counts.max()
+        assert h.counts[:10].sum() > 0.75 * h.total
+
+    def test_roughly_powerlaw_decay(self):
+        h = socialnetwork()
+        # log-log slope between degree 1 and 32 should be steeply negative.
+        slope = (np.log(h.counts[31] + 1) - np.log(h.counts[0] + 1)) / np.log(32)
+        assert slope < -1.0

@@ -1,0 +1,77 @@
+"""Tests for aggregation and table rendering."""
+
+import pytest
+
+from repro.experiments.aggregate import Aggregate, aggregate_records
+from repro.experiments.runner import RunRecord
+from repro.experiments.tables import Table, render_table
+
+
+def _record(seed, kl):
+    return RunRecord(
+        spec_name="t", publisher="p", seed=seed, epsilon=0.1,
+        seconds=0.0, kl=kl, ks=0.0,
+    )
+
+
+class TestAggregate:
+    def test_mean_and_std(self):
+        agg = aggregate_records([_record(0, 1.0), _record(1, 3.0)],
+                                lambda r: r.kl)
+        assert agg.mean == 2.0
+        assert agg.std == pytest.approx(1.4142, rel=1e-3)
+        assert agg.n == 2
+
+    def test_single_record_zero_std(self):
+        agg = aggregate_records([_record(0, 1.0)], lambda r: r.kl)
+        assert agg.std == 0.0
+        assert agg.sem == 0.0
+
+    def test_sem(self):
+        agg = Aggregate(mean=0.0, std=2.0, n=4)
+        assert agg.sem == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_records([], lambda r: r.kl)
+
+    def test_str_forms(self):
+        assert "±" in str(Aggregate(mean=1.0, std=0.5, n=3))
+        assert "±" not in str(Aggregate(mean=1.0, std=0.0, n=1))
+
+
+class TestTable:
+    def test_add_row_checks_width(self):
+        table = Table(title="t", headers=["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_contains_everything(self):
+        table = Table(title="My Results", headers=["x", "y"],
+                      notes="a caveat")
+        table.add_row(1, 2.5)
+        text = render_table(table)
+        assert "My Results" in text
+        assert "x" in text and "y" in text
+        assert "2.5" in text
+        assert "a caveat" in text
+
+    def test_render_aligns_columns(self):
+        table = Table(title="t", headers=["name", "v"])
+        table.add_row("short", 1)
+        table.add_row("a-much-longer-name", 2)
+        lines = render_table(table).splitlines()
+        data = [l for l in lines if l.startswith(("short", "a-much"))]
+        # Values line up at the same column.
+        assert data[0].index("1") == data[1].index("2")
+
+    def test_scientific_formatting_for_big_numbers(self):
+        table = Table(title="t", headers=["v"])
+        table.add_row(1.23456e9)
+        assert "e+09" in render_table(table)
+
+    def test_render_method_matches_function(self):
+        table = Table(title="t", headers=["v"])
+        table.add_row(1)
+        assert table.render() == render_table(table)

@@ -1,0 +1,101 @@
+"""Tests for ExperimentSpec and the runner."""
+
+import pytest
+
+from repro.baselines.dwork import DworkIdentity
+from repro.experiments.runner import run_matrix, run_once
+from repro.experiments.spec import ExperimentSpec
+from repro.workloads.builders import unit_queries
+
+
+class TestSpec:
+    def test_valid_spec(self, small_hist):
+        spec = ExperimentSpec(
+            name="t",
+            histogram=small_hist,
+            publisher_factory=DworkIdentity,
+            epsilon=0.5,
+            workloads=(unit_queries(small_hist.size),),
+        )
+        assert spec.seeds == (0, 1, 2)
+
+    def test_rejects_workload_size_mismatch(self, small_hist):
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                name="t",
+                histogram=small_hist,
+                publisher_factory=DworkIdentity,
+                epsilon=0.5,
+                workloads=(unit_queries(small_hist.size + 1),),
+            )
+
+    def test_rejects_bad_epsilon(self, small_hist):
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                name="t",
+                histogram=small_hist,
+                publisher_factory=DworkIdentity,
+                epsilon=0.0,
+            )
+
+    def test_rejects_empty_seeds(self, small_hist):
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                name="t",
+                histogram=small_hist,
+                publisher_factory=DworkIdentity,
+                epsilon=0.5,
+                seeds=(),
+            )
+
+    def test_rejects_non_callable_factory(self, small_hist):
+        with pytest.raises(TypeError):
+            ExperimentSpec(
+                name="t",
+                histogram=small_hist,
+                publisher_factory="dwork",
+                epsilon=0.5,
+            )
+
+
+class TestRunOnce:
+    def test_record_fields(self, small_hist):
+        w = unit_queries(small_hist.size)
+        record = run_once(small_hist, DworkIdentity(), 0.5, [w], seed=0)
+        assert record.publisher == "dwork"
+        assert record.epsilon == 0.5
+        assert record.seconds >= 0
+        assert record.kl >= 0
+        assert 0 <= record.ks <= 1
+        assert record.metric("unit", "mse") > 0
+
+    def test_metric_unknown_workload_raises(self, small_hist):
+        record = run_once(small_hist, DworkIdentity(), 0.5, [], seed=0)
+        with pytest.raises(KeyError):
+            record.metric("unit", "mse")
+
+
+class TestRunMatrix:
+    def test_one_record_per_seed(self, small_hist):
+        spec = ExperimentSpec(
+            name="t",
+            histogram=small_hist,
+            publisher_factory=DworkIdentity,
+            epsilon=0.5,
+            seeds=(0, 1, 2, 3),
+        )
+        records = run_matrix(spec)
+        assert [r.seed for r in records] == [0, 1, 2, 3]
+
+    def test_deterministic_across_runs(self, small_hist):
+        spec = ExperimentSpec(
+            name="t",
+            histogram=small_hist,
+            publisher_factory=DworkIdentity,
+            epsilon=0.5,
+            workloads=(unit_queries(small_hist.size),),
+        )
+        a = run_matrix(spec)
+        b = run_matrix(spec)
+        for ra, rb in zip(a, b):
+            assert ra.metric("unit", "mse") == rb.metric("unit", "mse")

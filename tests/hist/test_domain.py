@@ -1,0 +1,105 @@
+"""Tests for the Domain value type."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainMismatchError
+from repro.hist.domain import Domain
+
+
+class TestConstruction:
+    def test_plain_ordinal(self):
+        d = Domain(size=5)
+        assert len(d) == 5
+        assert not d.is_numeric
+
+    def test_numeric(self):
+        d = Domain(size=10, lower=0.0, upper=100.0)
+        assert d.is_numeric
+        assert d.bin_width == 10.0
+
+    def test_rejects_lower_only(self):
+        with pytest.raises(ValueError, match="together"):
+            Domain(size=10, lower=0.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Domain(size=10, lower=5.0, upper=1.0)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Domain(size=0)
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError):
+            Domain(size=3, labels=("a", "b"))
+
+
+class TestConstructors:
+    def test_integers(self):
+        d = Domain.integers(5, start=10)
+        assert d.bin_of(10) == 0
+        assert d.bin_of(14.5) == 4
+
+    def test_categorical(self):
+        d = Domain.categorical(["low", "mid", "high"])
+        assert d.size == 3
+        assert d.label_of(1) == "mid"
+
+    def test_categorical_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Domain.categorical([])
+
+
+class TestBins:
+    def test_bin_edges(self):
+        d = Domain(size=4, lower=0.0, upper=8.0)
+        np.testing.assert_allclose(d.bin_edges(), [0, 2, 4, 6, 8])
+
+    def test_bin_of_interior(self):
+        d = Domain(size=4, lower=0.0, upper=8.0)
+        assert d.bin_of(3.0) == 1
+
+    def test_bin_of_upper_edge_inclusive(self):
+        d = Domain(size=4, lower=0.0, upper=8.0)
+        assert d.bin_of(8.0) == 3
+
+    def test_bin_of_out_of_range(self):
+        d = Domain(size=4, lower=0.0, upper=8.0)
+        with pytest.raises(ValueError):
+            d.bin_of(9.0)
+
+    def test_bin_of_requires_numeric(self):
+        with pytest.raises(ValueError):
+            Domain(size=4).bin_of(1.0)
+
+    def test_label_of_numeric(self):
+        d = Domain(size=2, lower=0.0, upper=10.0)
+        assert d.label_of(0) == "[0, 5)"
+
+    def test_label_of_plain(self):
+        assert Domain(size=3).label_of(2) == "2"
+
+    def test_label_of_out_of_range(self):
+        with pytest.raises(ValueError):
+            Domain(size=3).label_of(3)
+
+
+class TestEqualityAndMismatch:
+    def test_structural_equality(self):
+        assert Domain(size=5) == Domain(size=5)
+        assert Domain(size=5) != Domain(size=6)
+
+    def test_require_same_passes(self):
+        Domain(size=5).require_same(Domain(size=5))
+
+    def test_require_same_raises(self):
+        with pytest.raises(DomainMismatchError):
+            Domain(size=5).require_same(Domain(size=6))
+
+    def test_require_same_rejects_non_domain(self):
+        with pytest.raises(TypeError):
+            Domain(size=5).require_same("not a domain")
+
+    def test_str_contains_name(self):
+        assert "ages" in str(Domain(size=5, name="ages"))

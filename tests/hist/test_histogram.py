@@ -1,0 +1,109 @@
+"""Tests for the Histogram value type."""
+
+import numpy as np
+import pytest
+
+from repro.hist.domain import Domain
+from repro.hist.histogram import Histogram
+
+
+class TestConstruction:
+    def test_from_counts_default_domain(self):
+        h = Histogram.from_counts([1.0, 2.0, 3.0])
+        assert h.size == 3
+        assert h.total == 6.0
+
+    def test_counts_are_immutable(self):
+        h = Histogram.from_counts([1.0, 2.0])
+        with pytest.raises(ValueError):
+            h.counts[0] = 99.0
+
+    def test_counts_copied_from_input(self):
+        raw = np.array([1.0, 2.0])
+        h = Histogram.from_counts(raw)
+        raw[0] = 99.0
+        assert h.counts[0] == 1.0
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Histogram(domain=Domain(size=3), counts=np.array([1.0, 2.0]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Histogram.from_counts([1.0, float("nan")])
+
+    def test_allows_negative_counts(self):
+        h = Histogram.from_counts([-1.0, 2.0])
+        assert h.counts[0] == -1.0
+
+
+class TestFromRecords:
+    def test_bins_records(self):
+        domain = Domain(size=4, lower=0.0, upper=8.0)
+        h = Histogram.from_records([0.5, 1.0, 3.0, 7.9], domain)
+        assert list(h.counts) == [2.0, 1.0, 0.0, 1.0]
+
+    def test_requires_numeric_domain(self):
+        with pytest.raises(ValueError):
+            Histogram.from_records([1.0], Domain(size=4))
+
+    def test_rejects_2d(self):
+        domain = Domain(size=4, lower=0.0, upper=8.0)
+        with pytest.raises(ValueError):
+            Histogram.from_records([[1.0]], domain)
+
+
+class TestQueries:
+    def test_range_sum(self):
+        h = Histogram.from_counts([1.0, 2.0, 3.0, 4.0])
+        assert h.range_sum(1, 2) == 5.0
+
+    def test_range_sum_full(self):
+        h = Histogram.from_counts([1.0, 2.0, 3.0])
+        assert h.range_sum(0, 2) == h.total
+
+    def test_range_sum_rejects_bad_bounds(self):
+        h = Histogram.from_counts([1.0, 2.0])
+        with pytest.raises(ValueError):
+            h.range_sum(1, 2)
+        with pytest.raises(ValueError):
+            h.range_sum(-1, 0)
+
+
+class TestTransforms:
+    def test_with_counts(self):
+        h = Histogram.from_counts([1.0, 2.0])
+        h2 = h.with_counts([5.0, 5.0])
+        assert h2.domain == h.domain
+        assert h2.total == 10.0
+
+    def test_normalized_sums_to_one(self):
+        h = Histogram.from_counts([1.0, 3.0])
+        np.testing.assert_allclose(h.normalized(), [0.25, 0.75])
+
+    def test_normalized_clamps_negatives(self):
+        h = Histogram.from_counts([-5.0, 5.0])
+        np.testing.assert_allclose(h.normalized(), [0.0, 1.0])
+
+    def test_normalized_all_zero_is_uniform(self):
+        h = Histogram.from_counts([0.0, 0.0])
+        np.testing.assert_allclose(h.normalized(), [0.5, 0.5])
+
+
+class TestEquality:
+    def test_equal_histograms(self):
+        a = Histogram.from_counts([1.0, 2.0])
+        b = Histogram.from_counts([1.0, 2.0])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_counts(self):
+        a = Histogram.from_counts([1.0, 2.0])
+        b = Histogram.from_counts([1.0, 3.0])
+        assert a != b
+
+    def test_unequal_domains(self):
+        a = Histogram.from_counts([1.0, 2.0])
+        b = Histogram(domain=Domain(size=2, name="other"),
+                      counts=np.array([1.0, 2.0]))
+        assert a != b

@@ -1,0 +1,53 @@
+"""Tests for histogram (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.hist.domain import Domain
+from repro.hist.histogram import Histogram
+from repro.hist.serialize import histogram_from_dict, histogram_to_dict
+
+
+class TestRoundTrip:
+    def test_plain(self):
+        h = Histogram.from_counts([1.0, 2.5, -0.5])
+        assert histogram_from_dict(histogram_to_dict(h)) == h
+
+    def test_numeric_domain(self):
+        d = Domain(size=3, lower=0.0, upper=9.0, name="ages")
+        h = Histogram(domain=d, counts=[1.0, 2.0, 3.0])
+        back = histogram_from_dict(histogram_to_dict(h))
+        assert back.domain == d
+
+    def test_categorical_domain(self):
+        d = Domain.categorical(["a", "b"])
+        h = Histogram(domain=d, counts=[1.0, 2.0])
+        back = histogram_from_dict(histogram_to_dict(h))
+        assert back.domain.labels == ("a", "b")
+
+    def test_json_compatible(self):
+        h = Histogram.from_counts([1.0, 2.0])
+        text = json.dumps(histogram_to_dict(h))
+        assert histogram_from_dict(json.loads(text)) == h
+
+
+class TestErrors:
+    def test_to_dict_rejects_non_histogram(self):
+        with pytest.raises(TypeError):
+            histogram_to_dict({"counts": [1]})
+
+    def test_from_dict_rejects_non_dict(self):
+        with pytest.raises(TypeError):
+            histogram_from_dict([1, 2])
+
+    def test_from_dict_rejects_bad_version(self):
+        h = Histogram.from_counts([1.0])
+        payload = histogram_to_dict(h)
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            histogram_from_dict(payload)
+
+    def test_from_dict_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing"):
+            histogram_from_dict({"version": 1})

@@ -1,0 +1,109 @@
+"""Edge cases every publisher must survive.
+
+Degenerate domains (one bin), empty data (all-zero counts), extreme
+budgets, and unusual-but-legal inputs.  Publishers must neither crash
+nor violate their budget on any of them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    Ahp,
+    Boost,
+    DawaLite,
+    DworkIdentity,
+    FourierPublisher,
+    Mwem,
+    Privelet,
+    UniformFlat,
+)
+from repro.core import NoiseFirst, StructureFirst
+from repro.hist.histogram import Histogram
+
+ALL_PUBLISHERS = [
+    Ahp,
+    DawaLite,
+    DworkIdentity,
+    NoiseFirst,
+    StructureFirst,
+    Boost,
+    Privelet,
+    lambda: Mwem(rounds=2),
+    FourierPublisher,
+    UniformFlat,
+]
+
+
+@pytest.mark.parametrize("factory", ALL_PUBLISHERS)
+class TestDegenerateInputs:
+    def test_single_bin(self, factory):
+        hist = Histogram.from_counts([42.0])
+        result = factory().publish(hist, budget=1.0, rng=0)
+        assert result.histogram.size == 1
+        assert result.epsilon_spent == pytest.approx(1.0)
+
+    def test_two_bins(self, factory):
+        hist = Histogram.from_counts([10.0, 20.0])
+        result = factory().publish(hist, budget=0.5, rng=0)
+        assert result.histogram.size == 2
+
+    def test_all_zero_counts(self, factory):
+        hist = Histogram.from_counts(np.zeros(32))
+        result = factory().publish(hist, budget=0.5, rng=0)
+        assert np.all(np.isfinite(result.histogram.counts))
+
+    def test_constant_counts(self, factory):
+        hist = Histogram.from_counts(np.full(32, 100.0))
+        result = factory().publish(hist, budget=0.5, rng=0)
+        assert np.all(np.isfinite(result.histogram.counts))
+
+    def test_tiny_epsilon(self, factory):
+        hist = Histogram.from_counts(np.arange(16, dtype=float))
+        result = factory().publish(hist, budget=1e-4, rng=0)
+        assert result.epsilon_spent == pytest.approx(1e-4)
+
+    def test_huge_epsilon_recovers_data(self, factory):
+        hist = Histogram.from_counts(
+            np.random.default_rng(0).uniform(100, 1000, size=16)
+        )
+        result = factory().publish(hist, budget=1e5, rng=0)
+        # At absurd budgets every method should be near-exact except for
+        # its own approximation structure; totals must agree tightly.
+        assert result.histogram.total == pytest.approx(hist.total, rel=0.05)
+
+    def test_prime_sized_domain(self, factory):
+        """Non-power-of-two, odd sizes exercise the padding paths."""
+        hist = Histogram.from_counts(
+            np.random.default_rng(1).uniform(0, 50, size=97)
+        )
+        result = factory().publish(hist, budget=0.5, rng=0)
+        assert result.histogram.size == 97
+
+
+class TestExtremeKSettings:
+    def test_noisefirst_k_one(self):
+        hist = Histogram.from_counts(np.arange(10, dtype=float))
+        result = NoiseFirst(k=1).publish(hist, budget=1.0, rng=0)
+        assert len(set(np.round(result.histogram.counts, 9))) == 1
+
+    def test_structurefirst_k_equals_n(self):
+        hist = Histogram.from_counts(np.arange(10, dtype=float))
+        result = StructureFirst(k=10).publish(hist, budget=1.0, rng=0)
+        assert result.meta["k"] == 10
+
+    def test_structurefirst_k_two(self):
+        hist = Histogram.from_counts(np.arange(10, dtype=float))
+        result = StructureFirst(k=2).publish(hist, budget=1.0, rng=0)
+        assert result.meta["partition"].k == 2
+
+
+class TestNegativeCounts:
+    """Noisy counts are legal publisher input (e.g. re-publication)."""
+
+    @pytest.mark.parametrize("factory", [DworkIdentity, NoiseFirst,
+                                         StructureFirst, Boost, Privelet])
+    def test_negative_input_counts_survive(self, factory):
+        hist = Histogram.from_counts([-5.0, 10.0, -1.0, 3.0])
+        result = factory().publish(hist, budget=1.0, rng=0)
+        assert np.all(np.isfinite(result.histogram.counts))

@@ -1,0 +1,64 @@
+"""Integration: full pipeline flows, dataset -> publish -> evaluate."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Boost,
+    DworkIdentity,
+    NoiseFirst,
+    Privelet,
+    StructureFirst,
+    datasets,
+)
+from repro.hist.serialize import histogram_from_dict, histogram_to_dict
+from repro.metrics.evaluate import evaluate_workload_error
+from repro.postprocess.clamp import clamp_and_rescale
+from repro.postprocess.rounding import round_to_integers
+from repro.workloads.builders import random_ranges, unit_queries
+
+ROSTER = [DworkIdentity, NoiseFirst, StructureFirst, Boost, Privelet]
+
+
+@pytest.mark.parametrize("factory", ROSTER)
+@pytest.mark.parametrize("dataset", ["age", "nettrace"])
+def test_publish_evaluate_roundtrip(factory, dataset):
+    truth = datasets.get_dataset(dataset)
+    result = factory().publish(truth, budget=0.1, rng=0)
+    workload = random_ranges(truth.size, count=50, rng=0)
+    errors = evaluate_workload_error(truth, result.histogram, workload)
+    assert np.isfinite(errors.mse)
+    assert errors.n_queries == 50
+
+
+@pytest.mark.parametrize("factory", ROSTER)
+def test_publish_then_postprocess_then_serialize(factory):
+    truth = datasets.searchlogs(n_bins=64, total=10_000)
+    result = factory().publish(truth, budget=0.5, rng=1)
+    cleaned = round_to_integers(clamp_and_rescale(result.histogram))
+    assert np.all(cleaned.counts >= 0)
+    restored = histogram_from_dict(histogram_to_dict(cleaned))
+    assert restored == cleaned
+
+
+def test_error_decreases_with_budget():
+    """More budget must (on average) mean less error, for every publisher."""
+    truth = datasets.searchlogs(n_bins=128, total=50_000)
+    unit = unit_queries(truth.size)
+    for factory in ROSTER:
+        low, high = [], []
+        for seed in range(5):
+            r_low = factory().publish(truth, budget=0.01, rng=seed)
+            r_high = factory().publish(truth, budget=1.0, rng=seed)
+            low.append(evaluate_workload_error(truth, r_low.histogram, unit).mse)
+            high.append(evaluate_workload_error(truth, r_high.histogram, unit).mse)
+        assert np.mean(high) < np.mean(low), factory().name
+
+
+def test_quickstart_snippet_from_readme():
+    """The README quickstart must keep working verbatim."""
+    from repro import NoiseFirst, datasets
+
+    result = NoiseFirst().publish(datasets.age(), budget=0.1, rng=0)
+    assert result.histogram.size == 100
+    assert result.epsilon_spent == pytest.approx(0.1)

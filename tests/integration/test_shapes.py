@@ -1,0 +1,85 @@
+"""Integration: the paper's qualitative result shapes.
+
+These tests pin the *relative ordering* claims the evaluation reproduces:
+who wins on points, who wins on long ranges, and that the crossover
+exists.  They intentionally use averaged seeds and generous margins — the
+exact numbers live in benchmarks/, the ordering is a test invariant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Boost, DworkIdentity, Privelet
+from repro.core import NoiseFirst, StructureFirst
+from repro.datasets.standard import searchlogs
+from repro.metrics.evaluate import evaluate_workload_error
+from repro.workloads.builders import fixed_length_ranges, unit_queries
+
+
+@pytest.fixture(scope="module")
+def regime():
+    """Noise-dominated regime: n=512, eps=0.01, modest counts."""
+    hist = searchlogs(n_bins=512, total=100_000)
+    return hist, 0.01, list(range(5))
+
+
+def _mean_mse(hist, publisher_factory, eps, workload, seeds):
+    values = []
+    for seed in seeds:
+        result = publisher_factory().publish(hist, budget=eps, rng=seed)
+        values.append(evaluate_workload_error(hist, result.histogram,
+                                              workload).mse)
+    return float(np.mean(values))
+
+
+def test_noisefirst_beats_dwork_on_points(regime):
+    hist, eps, seeds = regime
+    unit = unit_queries(hist.size)
+    nf = _mean_mse(hist, NoiseFirst, eps, unit, seeds)
+    dwork = _mean_mse(hist, DworkIdentity, eps, unit, seeds)
+    assert nf < dwork
+
+
+def test_tree_and_wavelet_lose_on_points(regime):
+    hist, eps, seeds = regime
+    unit = unit_queries(hist.size)
+    dwork = _mean_mse(hist, DworkIdentity, eps, unit, seeds)
+    assert _mean_mse(hist, Boost, eps, unit, seeds) > dwork
+    assert _mean_mse(hist, Privelet, eps, unit, seeds) > dwork
+
+
+def test_structured_methods_win_on_long_ranges(regime):
+    hist, eps, seeds = regime
+    long_w = fixed_length_ranges(hist.size, hist.size // 2)
+    dwork = _mean_mse(hist, DworkIdentity, eps, long_w, seeds)
+    assert _mean_mse(hist, StructureFirst, eps, long_w, seeds) < dwork
+    assert _mean_mse(hist, Privelet, eps, long_w, seeds) < dwork
+    assert _mean_mse(hist, Boost, eps, long_w, seeds) < dwork
+
+
+def test_crossover_exists_for_structurefirst(regime):
+    """SF must lose (or tie) at length 1 relative to its own long-range
+    advantage: the advantage ratio grows with length."""
+    hist, eps, seeds = regime
+    short = unit_queries(hist.size)
+    long_w = fixed_length_ranges(hist.size, hist.size // 2)
+    dwork_short = _mean_mse(hist, DworkIdentity, eps, short, seeds)
+    sf_short = _mean_mse(hist, StructureFirst, eps, short, seeds)
+    dwork_long = _mean_mse(hist, DworkIdentity, eps, long_w, seeds)
+    sf_long = _mean_mse(hist, StructureFirst, eps, long_w, seeds)
+    advantage_short = dwork_short / sf_short
+    advantage_long = dwork_long / sf_long
+    assert advantage_long > advantage_short
+
+
+def test_smooth_data_rewards_structure():
+    """On perfectly bucketed data, SF at moderate eps beats Dwork even on
+    points — structure is free information there."""
+    from repro.datasets.generators import step_histogram
+
+    hist = step_histogram(256, 8, total=50_000, rng=9)
+    unit = unit_queries(hist.size)
+    seeds = list(range(5))
+    sf = _mean_mse(hist, lambda: StructureFirst(k=16), 0.05, unit, seeds)
+    dwork = _mean_mse(hist, DworkIdentity, 0.05, unit, seeds)
+    assert sf < dwork

@@ -1,0 +1,102 @@
+"""Tests for record ingestion."""
+
+import numpy as np
+import pytest
+
+from repro.hist.domain import Domain
+from repro.io.records import (
+    histogram_from_csv,
+    histogram_from_values,
+    infer_numeric_domain,
+)
+
+
+class TestInferNumericDomain:
+    def test_spans_data(self):
+        d = infer_numeric_domain([1.0, 5.0, 9.0], n_bins=4)
+        assert d.lower == 1.0
+        assert d.upper == 9.0
+        assert d.size == 4
+
+    def test_constant_data_gets_unit_width(self):
+        d = infer_numeric_domain([3.0, 3.0], n_bins=2)
+        assert d.upper > d.lower
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            infer_numeric_domain([], n_bins=2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            infer_numeric_domain([1.0, float("nan")], n_bins=2)
+
+
+class TestHistogramFromValues:
+    def test_counts_all_records(self):
+        h = histogram_from_values([1.0, 2.0, 3.0, 9.0], n_bins=4)
+        assert h.total == 4
+
+    def test_explicit_domain(self):
+        d = Domain(size=2, lower=0.0, upper=10.0)
+        h = histogram_from_values([1.0, 6.0, 7.0], domain=d)
+        assert list(h.counts) == [1.0, 2.0]
+
+    def test_requires_exactly_one_of(self):
+        with pytest.raises(ValueError):
+            histogram_from_values([1.0])
+        with pytest.raises(ValueError):
+            histogram_from_values(
+                [1.0], n_bins=2, domain=Domain(size=2, lower=0.0, upper=1.0)
+            )
+
+
+class TestHistogramFromCsv:
+    @pytest.fixture
+    def csv_path(self, tmp_path):
+        path = tmp_path / "people.csv"
+        path.write_text(
+            "age,city\n34,berlin\n27,paris\n61,berlin\n45,\n27,oslo\n"
+        )
+        return path
+
+    def test_numeric_column(self, csv_path):
+        h = histogram_from_csv(csv_path, "age", n_bins=4)
+        assert h.total == 5
+        assert h.domain.name == "age"
+
+    def test_categorical_column(self, csv_path):
+        h = histogram_from_csv(csv_path, "city", categorical=True)
+        assert h.domain.labels == ("berlin", "oslo", "paris")
+        assert list(h.counts) == [2.0, 1.0, 1.0]  # empty cell dropped
+
+    def test_fixed_category_domain(self, csv_path):
+        d = Domain.categorical(["berlin", "oslo", "paris", "rome"])
+        h = histogram_from_csv(csv_path, "city", domain=d, categorical=True)
+        assert list(h.counts) == [2.0, 1.0, 1.0, 0.0]
+
+    def test_unknown_category_rejected(self, csv_path, tmp_path):
+        d = Domain.categorical(["berlin"])
+        with pytest.raises(ValueError, match="category set"):
+            histogram_from_csv(csv_path, "city", domain=d, categorical=True)
+
+    def test_missing_column(self, csv_path):
+        with pytest.raises(ValueError, match="not found"):
+            histogram_from_csv(csv_path, "salary", n_bins=2)
+
+    def test_non_numeric_without_flag(self, csv_path):
+        with pytest.raises(ValueError, match="categorical"):
+            histogram_from_csv(csv_path, "city", n_bins=2)
+
+    def test_empty_column(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("x\n\n\n")
+        with pytest.raises(ValueError, match="empty"):
+            histogram_from_csv(path, "x", n_bins=2)
+
+    def test_pipeline_to_publisher(self, csv_path):
+        """End to end: CSV -> histogram -> DP release."""
+        from repro import NoiseFirst
+
+        h = histogram_from_csv(csv_path, "age", n_bins=4)
+        result = NoiseFirst().publish(h, budget=1.0, rng=0)
+        assert result.histogram.size == 4

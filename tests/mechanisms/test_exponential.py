@@ -1,0 +1,76 @@
+"""Tests for the exponential mechanism (both sampling formulations)."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.exponential import (
+    exponential_mechanism,
+    exponential_probabilities,
+    gumbel_argmax,
+)
+
+
+class TestExponentialProbabilities:
+    def test_normalized(self):
+        probs = exponential_probabilities([1.0, 2.0, 3.0], 1.0, 1.0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_monotone_in_score(self):
+        probs = exponential_probabilities([1.0, 2.0, 3.0], 1.0, 1.0)
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_exact_ratio(self):
+        # Pr[i]/Pr[j] = exp(eps (u_i - u_j) / (2 Delta)).
+        eps, delta_u = 2.0, 1.0
+        probs = exponential_probabilities([0.0, 1.0], eps, delta_u)
+        assert probs[1] / probs[0] == pytest.approx(np.exp(eps / 2))
+
+    def test_handles_extreme_scores_without_nan(self):
+        probs = exponential_probabilities([-1e9, 0.0], 1.0, 1.0)
+        assert np.all(np.isfinite(probs))
+        assert probs[1] == pytest.approx(1.0)
+
+    def test_uniform_at_tiny_epsilon(self):
+        probs = exponential_probabilities([0.0, 5.0, 10.0], 1e-12, 1.0)
+        np.testing.assert_allclose(probs, 1 / 3, rtol=1e-6)
+
+    def test_rejects_bad_sensitivity(self):
+        with pytest.raises(ValueError):
+            exponential_probabilities([1.0], 1.0, 0.0)
+
+
+class TestExponentialMechanism:
+    def test_returns_valid_index(self):
+        idx = exponential_mechanism([1.0, 5.0, 2.0], 1.0, 1.0, rng=0)
+        assert idx in (0, 1, 2)
+
+    def test_prefers_high_scores(self):
+        rng = np.random.default_rng(0)
+        draws = [
+            exponential_mechanism([0.0, 0.0, 100.0], 1.0, 1.0, rng=rng)
+            for _ in range(200)
+        ]
+        assert np.mean(np.array(draws) == 2) > 0.95
+
+
+class TestGumbelArgmax:
+    def test_matches_softmax_distribution(self):
+        """Gumbel-max must sample the same distribution as the softmax."""
+        scores = [0.0, 1.0, 2.0, 0.5]
+        eps, sens = 2.0, 1.0
+        expected = exponential_probabilities(scores, eps, sens)
+        rng = np.random.default_rng(7)
+        draws = np.array(
+            [gumbel_argmax(scores, eps, sens, rng=rng) for _ in range(40_000)]
+        )
+        empirical = np.bincount(draws, minlength=4) / len(draws)
+        np.testing.assert_allclose(empirical, expected, atol=0.01)
+
+    def test_deterministic_with_seed(self):
+        a = gumbel_argmax([1.0, 2.0, 3.0], 1.0, 1.0, rng=5)
+        b = gumbel_argmax([1.0, 2.0, 3.0], 1.0, 1.0, rng=5)
+        assert a == b
+
+    def test_huge_negative_scores_no_overflow(self):
+        idx = gumbel_argmax([-1e12, -1e12 + 1], 1.0, 1.0, rng=0)
+        assert idx in (0, 1)

@@ -1,0 +1,48 @@
+"""Tests for the Gaussian mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.gaussian import GaussianMechanism, gaussian_sigma
+
+
+class TestGaussianSigma:
+    def test_formula(self):
+        sigma = gaussian_sigma(0.5, 1e-5, l2_sensitivity=1.0)
+        expected = np.sqrt(2 * np.log(1.25 / 1e-5)) / 0.5
+        assert sigma == pytest.approx(expected)
+
+    def test_rejects_epsilon_ge_one(self):
+        with pytest.raises(ValueError):
+            gaussian_sigma(1.0, 1e-5)
+
+    def test_rejects_delta_zero(self):
+        with pytest.raises(ValueError):
+            gaussian_sigma(0.5, 0.0)
+
+    def test_scales_with_sensitivity(self):
+        assert gaussian_sigma(0.5, 1e-5, 2.0) == pytest.approx(
+            2 * gaussian_sigma(0.5, 1e-5, 1.0)
+        )
+
+
+class TestGaussianMechanism:
+    def test_release_shape(self):
+        mech = GaussianMechanism()
+        out = mech.release([1.0, 2.0], epsilon=0.5, delta=1e-5, rng=0)
+        assert out.shape == (2,)
+
+    def test_empirical_sigma(self):
+        mech = GaussianMechanism()
+        sigma = mech.sigma(0.5, 1e-5)
+        out = mech.release(np.zeros(200_000), epsilon=0.5, delta=1e-5, rng=1)
+        assert out.std() == pytest.approx(sigma, rel=0.02)
+
+    def test_rejects_nonfinite(self):
+        mech = GaussianMechanism()
+        with pytest.raises(ValueError):
+            mech.release([float("inf")], epsilon=0.5, delta=1e-5, rng=0)
+
+    def test_rejects_bad_sensitivity(self):
+        with pytest.raises(ValueError):
+            GaussianMechanism(l2_sensitivity=-1.0)

@@ -1,0 +1,64 @@
+"""Tests for the geometric (discrete Laplace) mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.geometric import GeometricMechanism, geometric_noise
+
+
+class TestGeometricNoise:
+    def test_integer_output(self):
+        noise = geometric_noise(1.0, size=100, rng=0)
+        assert noise.dtype == np.int64
+
+    def test_deterministic_with_seed(self):
+        a = geometric_noise(0.5, size=20, rng=9)
+        b = geometric_noise(0.5, size=20, rng=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_symmetric_around_zero(self):
+        noise = geometric_noise(0.5, size=200_000, rng=1)
+        assert abs(noise.mean()) < 0.05
+
+    def test_variance_matches_theory(self):
+        eps = 0.5
+        alpha = np.exp(-eps)
+        expected = 2.0 * alpha / (1.0 - alpha) ** 2
+        noise = geometric_noise(eps, size=300_000, rng=2)
+        assert np.var(noise) == pytest.approx(expected, rel=0.05)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            geometric_noise(0.0)
+
+
+class TestGeometricMechanism:
+    def test_release_integers(self):
+        mech = GeometricMechanism()
+        out = mech.release([1.0, 2.0, 3.0], epsilon=1.0, rng=0)
+        assert out.dtype == np.int64
+
+    def test_release_rounds_fractional_input(self):
+        mech = GeometricMechanism()
+        out = mech.release([1.4, 2.6], epsilon=100.0, rng=0)
+        # At huge epsilon noise is ~0, so rounding dominates.
+        assert list(out) == [1, 3]
+
+    def test_variance_formula(self):
+        mech = GeometricMechanism()
+        eps = 1.0
+        alpha = np.exp(-eps)
+        assert mech.variance(eps) == pytest.approx(2 * alpha / (1 - alpha) ** 2)
+
+    def test_rejects_nonfinite(self):
+        mech = GeometricMechanism()
+        with pytest.raises(ValueError):
+            mech.release([float("nan")], epsilon=1.0, rng=0)
+
+    def test_distribution_ratio_respects_epsilon(self):
+        # Pr[X=k]/Pr[X=k+1] should equal exp(eps) for two-sided geometric.
+        eps = 1.0
+        noise = geometric_noise(eps, size=500_000, rng=3)
+        p0 = np.mean(noise == 0)
+        p1 = np.mean(noise == 1)
+        assert p0 / p1 == pytest.approx(np.exp(eps), rel=0.1)

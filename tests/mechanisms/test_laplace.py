@@ -1,0 +1,80 @@
+"""Tests for the Laplace mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.laplace import LaplaceMechanism, laplace_noise, laplace_scale
+
+
+class TestLaplaceScale:
+    def test_scale_formula(self):
+        assert laplace_scale(0.5, sensitivity=2.0) == 4.0
+
+    def test_default_sensitivity(self):
+        assert laplace_scale(0.1) == 10.0
+
+    def test_rejects_zero_epsilon(self):
+        with pytest.raises(ValueError):
+            laplace_scale(0.0)
+
+    def test_rejects_negative_sensitivity(self):
+        with pytest.raises(ValueError):
+            laplace_scale(1.0, sensitivity=-1.0)
+
+
+class TestLaplaceNoise:
+    def test_shape(self):
+        noise = laplace_noise(1.0, size=(3, 4), rng=0)
+        assert noise.shape == (3, 4)
+
+    def test_deterministic_with_seed(self):
+        a = laplace_noise(1.0, size=10, rng=42)
+        b = laplace_noise(1.0, size=10, rng=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empirical_variance(self):
+        # Var(Lap(b)) = 2 b^2; at eps=1, sens=1 => variance 2.
+        noise = laplace_noise(1.0, size=200_000, rng=1)
+        assert np.var(noise) == pytest.approx(2.0, rel=0.05)
+
+    def test_empirical_mean_zero(self):
+        noise = laplace_noise(1.0, size=200_000, rng=2)
+        assert abs(noise.mean()) < 0.02
+
+    def test_smaller_epsilon_more_noise(self):
+        tight = laplace_noise(1.0, size=50_000, rng=3)
+        loose = laplace_noise(0.1, size=50_000, rng=3)
+        assert np.var(loose) > np.var(tight)
+
+
+class TestLaplaceMechanism:
+    def test_release_adds_noise(self):
+        mech = LaplaceMechanism()
+        values = np.array([10.0, 20.0, 30.0])
+        noisy = mech.release(values, epsilon=1.0, rng=0)
+        assert noisy.shape == values.shape
+        assert not np.array_equal(noisy, values)
+
+    def test_variance_formula(self):
+        mech = LaplaceMechanism(sensitivity=2.0)
+        assert mech.variance(0.5) == pytest.approx(2.0 * 16.0)
+
+    def test_rejects_bad_sensitivity(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(sensitivity=0.0)
+
+    def test_rejects_nonfinite_values(self):
+        mech = LaplaceMechanism()
+        with pytest.raises(ValueError, match="finite"):
+            mech.release([1.0, float("inf")], epsilon=1.0, rng=0)
+
+    def test_release_scalar_input(self):
+        mech = LaplaceMechanism()
+        noisy = mech.release(5.0, epsilon=1.0, rng=0)
+        assert noisy.shape == ()
+
+    def test_unbiasedness(self):
+        mech = LaplaceMechanism()
+        values = np.full(100_000, 7.0)
+        noisy = mech.release(values, epsilon=1.0, rng=4)
+        assert noisy.mean() == pytest.approx(7.0, abs=0.05)

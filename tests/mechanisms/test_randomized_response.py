@@ -1,0 +1,74 @@
+"""Tests for k-ary randomized response."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.randomized_response import RandomizedResponse
+
+
+class TestTruthProbability:
+    def test_formula(self):
+        rr = RandomizedResponse(k=4)
+        eps = 1.0
+        e = np.exp(eps)
+        assert rr.truth_probability(eps) == pytest.approx(e / (e + 3))
+
+    def test_approaches_uniform_at_zero_eps(self):
+        rr = RandomizedResponse(k=4)
+        assert rr.truth_probability(1e-9) == pytest.approx(0.25, abs=1e-6)
+
+    def test_approaches_one_at_large_eps(self):
+        rr = RandomizedResponse(k=4)
+        assert rr.truth_probability(20.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_rejects_k_below_two(self):
+        with pytest.raises(ValueError):
+            RandomizedResponse(k=1)
+
+
+class TestPerturb:
+    def test_output_in_domain(self):
+        rr = RandomizedResponse(k=5)
+        records = np.array([0, 1, 2, 3, 4] * 100)
+        out = rr.perturb(records, epsilon=0.5, rng=0)
+        assert out.min() >= 0 and out.max() < 5
+
+    def test_high_epsilon_mostly_truthful(self):
+        rr = RandomizedResponse(k=5)
+        records = np.full(10_000, 3)
+        out = rr.perturb(records, epsilon=10.0, rng=1)
+        assert np.mean(out == 3) > 0.99
+
+    def test_lies_uniform_over_other_bins(self):
+        rr = RandomizedResponse(k=3)
+        records = np.zeros(300_000, dtype=int)
+        out = rr.perturb(records, epsilon=0.1, rng=2)
+        lies = out[out != 0]
+        frac_one = np.mean(lies == 1)
+        assert frac_one == pytest.approx(0.5, abs=0.01)
+
+    def test_rejects_out_of_domain_records(self):
+        rr = RandomizedResponse(k=3)
+        with pytest.raises(ValueError):
+            rr.perturb(np.array([0, 3]), epsilon=1.0, rng=0)
+
+    def test_rejects_2d_records(self):
+        rr = RandomizedResponse(k=3)
+        with pytest.raises(ValueError):
+            rr.perturb(np.zeros((2, 2), dtype=int), epsilon=1.0, rng=0)
+
+
+class TestEstimateHistogram:
+    def test_unbiased_estimate(self):
+        rr = RandomizedResponse(k=4)
+        true_counts = np.array([40_000, 30_000, 20_000, 10_000])
+        records = np.repeat(np.arange(4), true_counts)
+        est = rr.estimate_histogram(records, epsilon=1.0, rng=3)
+        np.testing.assert_allclose(est, true_counts, rtol=0.05)
+
+    def test_estimate_sums_to_n(self):
+        rr = RandomizedResponse(k=3)
+        records = np.array([0, 1, 2, 0, 1])
+        est = rr.estimate_histogram(records, epsilon=1.0, rng=0)
+        # Unbiased correction preserves the total exactly.
+        assert est.sum() == pytest.approx(5.0)

@@ -1,0 +1,69 @@
+"""Tests for KL divergence and KS distance."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.divergences import kl_divergence, ks_distance
+
+
+class TestKlDivergence:
+    def test_zero_on_identical(self):
+        assert kl_divergence([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_scale_invariant(self):
+        a = kl_divergence([1.0, 3.0], [2.0, 2.0])
+        b = kl_divergence([10.0, 30.0], [20.0, 20.0])
+        assert a == pytest.approx(b, abs=1e-9)
+
+    def test_positive_when_different(self):
+        assert kl_divergence([10.0, 0.0], [0.0, 10.0]) > 1.0
+
+    def test_asymmetric(self):
+        a = kl_divergence([9.0, 1.0], [5.0, 5.0])
+        b = kl_divergence([5.0, 5.0], [9.0, 1.0])
+        assert a != pytest.approx(b)
+
+    def test_handles_zero_estimate_bins(self):
+        value = kl_divergence([5.0, 5.0], [10.0, 0.0])
+        assert np.isfinite(value)
+
+    def test_negative_counts_clamped(self):
+        value = kl_divergence([5.0, 5.0], [-3.0, 10.0])
+        assert np.isfinite(value)
+
+    def test_known_value_no_smoothing(self):
+        # KL([.5,.5] || [.25,.75]) = .5 ln 2 + .5 ln(2/3)
+        expected = 0.5 * np.log(2) + 0.5 * np.log(2 / 3)
+        got = kl_divergence([1.0, 1.0], [1.0, 3.0], smoothing=0.0)
+        assert got == pytest.approx(expected)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            kl_divergence([1.0], [1.0, 2.0])
+
+    def test_rejects_negative_smoothing(self):
+        with pytest.raises(ValueError):
+            kl_divergence([1.0], [1.0], smoothing=-1.0)
+
+
+class TestKsDistance:
+    def test_zero_on_identical(self):
+        assert ks_distance([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_bounded_by_one(self):
+        assert ks_distance([10.0, 0.0], [0.0, 10.0]) <= 1.0
+
+    def test_known_value(self):
+        # CDFs: [.5, 1] vs [.25, 1] -> max gap .25
+        assert ks_distance([1.0, 1.0], [1.0, 3.0]) == pytest.approx(0.25)
+
+    def test_symmetric(self):
+        a = ks_distance([3.0, 1.0], [1.0, 3.0])
+        b = ks_distance([1.0, 3.0], [3.0, 1.0])
+        assert a == pytest.approx(b)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ks_distance([1.0], [1.0, 2.0])

@@ -1,0 +1,61 @@
+"""Tests for elementwise error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.errors import (
+    mean_absolute_error,
+    mean_squared_error,
+    root_mean_squared_error,
+    scaled_average_error,
+)
+
+
+class TestMae:
+    def test_zero_on_identical(self):
+        assert mean_absolute_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert mean_absolute_error([0.0, 0.0], [1.0, -3.0]) == 2.0
+
+    def test_symmetric(self):
+        a, b = [1.0, 5.0], [2.0, 3.0]
+        assert mean_absolute_error(a, b) == mean_absolute_error(b, a)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1.0], [1.0, 2.0])
+
+
+class TestMse:
+    def test_known_value(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, -3.0]) == 5.0
+
+    def test_rmse_is_sqrt(self):
+        mse = mean_squared_error([0.0, 0.0], [1.0, -3.0])
+        assert root_mean_squared_error([0.0, 0.0], [1.0, -3.0]) == pytest.approx(
+            np.sqrt(mse)
+        )
+
+    def test_mse_dominated_by_outliers(self):
+        small = mean_squared_error([0.0] * 10, [1.0] * 10)
+        spiky = mean_squared_error([0.0] * 10, [0.0] * 9 + [10.0])
+        assert spiky > small
+
+
+class TestScaledAverage:
+    def test_scale_free(self):
+        a = scaled_average_error([10.0, 20.0], [11.0, 22.0])
+        b = scaled_average_error([100.0, 200.0], [110.0, 220.0])
+        assert a == pytest.approx(b)
+
+    def test_explicit_scale(self):
+        assert scaled_average_error([0.0], [5.0], scale=10.0) == 0.5
+
+    def test_floor_at_one(self):
+        # Truth of tiny magnitude: scale floors at 1 to avoid blow-up.
+        assert scaled_average_error([1e-9], [1.0]) == pytest.approx(1.0)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            scaled_average_error([1.0], [1.0], scale=0.0)

@@ -1,0 +1,46 @@
+"""Tests for workload-level evaluation."""
+
+import pytest
+
+from repro.exceptions import DomainMismatchError
+from repro.hist.domain import Domain
+from repro.hist.histogram import Histogram
+from repro.metrics.evaluate import evaluate_workload_error
+from repro.workloads.builders import unit_queries
+
+
+class TestEvaluateWorkloadError:
+    def test_zero_error_on_identical(self, small_hist):
+        w = unit_queries(small_hist.size)
+        errors = evaluate_workload_error(small_hist, small_hist, w)
+        assert errors.mae == 0.0
+        assert errors.mse == 0.0
+        assert errors.max_abs == 0.0
+
+    def test_known_offsets(self):
+        truth = Histogram.from_counts([1.0, 2.0])
+        published = Histogram.from_counts([2.0, 0.0])
+        errors = evaluate_workload_error(truth, published, unit_queries(2))
+        assert errors.mae == pytest.approx(1.5)
+        assert errors.mse == pytest.approx(2.5)
+        assert errors.max_abs == pytest.approx(2.0)
+
+    def test_metadata_fields(self, small_hist):
+        w = unit_queries(small_hist.size)
+        errors = evaluate_workload_error(small_hist, small_hist, w)
+        assert errors.workload == "unit"
+        assert errors.n_queries == small_hist.size
+
+    def test_as_dict_roundtrip(self, small_hist):
+        w = unit_queries(small_hist.size)
+        errors = evaluate_workload_error(small_hist, small_hist, w)
+        d = errors.as_dict()
+        assert set(d) == {"mae", "mse", "scaled", "max_abs"}
+
+    def test_domain_mismatch_raises(self, small_hist):
+        other = Histogram(
+            domain=Domain(size=small_hist.size, name="other"),
+            counts=small_hist.counts.copy(),
+        )
+        with pytest.raises(DomainMismatchError):
+            evaluate_workload_error(small_hist, other, unit_queries(8))

@@ -1,0 +1,34 @@
+"""Tests for equi-width partitioning."""
+
+import pytest
+
+from repro.partition.equiwidth import equiwidth_partition
+
+
+class TestEquiwidth:
+    def test_exact_division(self):
+        p = equiwidth_partition(12, 4)
+        assert p.bucket_sizes() == [3, 3, 3, 3]
+
+    def test_remainder_spread_to_front(self):
+        p = equiwidth_partition(10, 3)
+        assert p.bucket_sizes() == [4, 3, 3]
+
+    def test_k_one(self):
+        p = equiwidth_partition(7, 1)
+        assert p.k == 1
+
+    def test_k_equals_n(self):
+        p = equiwidth_partition(5, 5)
+        assert p.bucket_sizes() == [1] * 5
+
+    def test_widths_differ_by_at_most_one(self):
+        for n in [7, 13, 100]:
+            for k in [2, 3, 7]:
+                sizes = equiwidth_partition(n, k).bucket_sizes()
+                assert max(sizes) - min(sizes) <= 1
+                assert sum(sizes) == n
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ValueError):
+            equiwidth_partition(3, 4)

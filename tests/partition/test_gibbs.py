@@ -1,0 +1,117 @@
+"""Tests for the exact EM-over-partitions (Gibbs) sampler."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.partition.gibbs import log_partition_table, sample_partition_em
+from repro.partition.partition import Partition
+from repro.partition.sae import sae_matrix, partition_sae
+from repro.partition.sse import SegmentStats
+
+
+def all_partitions(n, k):
+    for boundaries in itertools.combinations(range(1, n), k - 1):
+        yield Partition(n=n, boundaries=boundaries)
+
+
+def cost_matrix_sse(counts):
+    n = len(counts)
+    stats = SegmentStats(counts)
+    matrix = np.zeros((n, n + 1))
+    for j in range(1, n + 1):
+        matrix[:j, j] = stats.sse_row(j)
+    return matrix
+
+
+class TestLogPartitionTable:
+    def test_counts_partitions_at_alpha_zero(self):
+        """exp(L[k][n]) must equal C(n-1, k-1) when alpha = 0."""
+        from math import comb
+
+        counts = np.arange(6, dtype=float)
+        matrix = cost_matrix_sse(counts)
+        for k in [1, 2, 3, 4]:
+            table = log_partition_table(matrix, k, alpha=0.0)
+            assert np.exp(table[k][6]) == pytest.approx(comb(5, k - 1), rel=1e-9)
+
+    def test_matches_explicit_partition_function(self):
+        rng = np.random.default_rng(0)
+        counts = rng.uniform(0, 5, size=7)
+        matrix = cost_matrix_sse(counts)
+        alpha = 0.3
+        k = 3
+        explicit = sum(
+            np.exp(-alpha * sum(SegmentStats(counts).segment_sse(s, e)
+                                for s, e in p.buckets()))
+            for p in all_partitions(7, k)
+        )
+        table = log_partition_table(matrix, k, alpha)
+        assert np.exp(table[k][7]) == pytest.approx(explicit, rel=1e-9)
+
+    def test_rejects_bad_matrix_shape(self):
+        with pytest.raises(ValueError):
+            log_partition_table(np.zeros((3, 3)), 2, 0.1)
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ValueError):
+            log_partition_table(np.zeros((3, 4)), 4, 0.1)
+
+
+class TestSamplePartitionEm:
+    def test_returns_valid_k_partition(self):
+        rng = np.random.default_rng(1)
+        counts = rng.uniform(0, 10, size=20)
+        matrix = sae_matrix(counts)
+        for k in [1, 2, 7, 20]:
+            p = sample_partition_em(matrix, k, alpha=0.5, rng=rng)
+            assert p.k == k
+            assert p.n == 20
+
+    def test_exact_gibbs_distribution_small_case(self):
+        """Empirical sampling frequencies must match exp(-alpha*cost)/Z."""
+        counts = np.array([0.0, 4.0, 0.0, 4.0, 8.0])
+        matrix = sae_matrix(counts)
+        k, alpha = 2, 0.4
+        partitions = list(all_partitions(5, k))
+        weights = np.array(
+            [np.exp(-alpha * partition_sae(counts, p)) for p in partitions]
+        )
+        expected = weights / weights.sum()
+        rng = np.random.default_rng(2)
+        draws = [sample_partition_em(matrix, k, alpha, rng=rng)
+                 for _ in range(30_000)]
+        index = {p.boundaries: i for i, p in enumerate(partitions)}
+        empirical = np.zeros(len(partitions))
+        for d in draws:
+            empirical[index[d.boundaries]] += 1
+        empirical /= empirical.sum()
+        np.testing.assert_allclose(empirical, expected, atol=0.015)
+
+    def test_high_alpha_concentrates_on_optimum(self):
+        counts = np.array([1.0, 1.0, 1.0, 50.0, 50.0, 50.0])
+        matrix = sae_matrix(counts)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            p = sample_partition_em(matrix, 2, alpha=100.0, rng=rng)
+            assert p.boundaries == (3,)
+
+    def test_alpha_zero_is_uniform_over_partitions(self):
+        counts = np.array([1.0, 100.0, 3.0, 7.0])
+        matrix = sae_matrix(counts)
+        partitions = list(all_partitions(4, 2))  # 3 of them
+        rng = np.random.default_rng(4)
+        hits = {p.boundaries: 0 for p in partitions}
+        for _ in range(15_000):
+            d = sample_partition_em(matrix, 2, alpha=0.0, rng=rng)
+            hits[d.boundaries] += 1
+        freqs = np.array(list(hits.values())) / 15_000
+        np.testing.assert_allclose(freqs, 1 / 3, atol=0.02)
+
+    def test_deterministic_with_seed(self):
+        counts = np.arange(10, dtype=float)
+        matrix = sae_matrix(counts)
+        a = sample_partition_em(matrix, 3, 0.5, rng=9)
+        b = sample_partition_em(matrix, 3, 0.5, rng=9)
+        assert a.boundaries == b.boundaries

@@ -1,0 +1,63 @@
+"""Tests for the greedy merge partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.partition.greedy import greedy_partition
+from repro.partition.sse import partition_sse
+from repro.partition.voptimal import voptimal_partition
+
+
+class TestCorrectness:
+    def test_returns_k_buckets(self):
+        rng = np.random.default_rng(0)
+        counts = rng.uniform(0, 10, size=30)
+        for k in [1, 5, 30]:
+            p, _ = greedy_partition(counts, k)
+            assert p.k == k
+
+    def test_reported_sse_matches_partition(self):
+        rng = np.random.default_rng(1)
+        counts = rng.uniform(0, 10, size=25)
+        p, sse = greedy_partition(counts, 7)
+        assert partition_sse(counts, p) == pytest.approx(sse, abs=1e-8)
+
+    def test_step_data_recovered(self):
+        counts = [5.0] * 5 + [20.0] * 5 + [1.0] * 5
+        p, sse = greedy_partition(counts, 3)
+        assert sse == pytest.approx(0.0, abs=1e-9)
+        assert p.boundaries == (5, 10)
+
+    def test_k_equals_n_zero_sse(self):
+        counts = [1.0, 9.0, 4.0]
+        _p, sse = greedy_partition(counts, 3)
+        assert sse == 0.0
+
+
+class TestQualityVsOptimal:
+    def test_within_factor_of_optimal(self):
+        """Greedy is a heuristic; require it within 2x of optimal here."""
+        rng = np.random.default_rng(2)
+        for trial in range(5):
+            counts = rng.uniform(0, 100, size=40)
+            k = 8
+            _go, gsse = greedy_partition(counts, k)
+            _vo, vsse = voptimal_partition(counts, k)
+            assert gsse <= 2.0 * vsse + 1e-9
+
+    def test_never_better_than_optimal(self):
+        rng = np.random.default_rng(3)
+        counts = rng.uniform(0, 100, size=40)
+        _go, gsse = greedy_partition(counts, 8)
+        _vo, vsse = voptimal_partition(counts, 8)
+        assert gsse >= vsse - 1e-9
+
+
+class TestValidation:
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ValueError):
+            greedy_partition([1.0, 2.0], 3)
+
+    def test_rejects_zero_k(self):
+        with pytest.raises(ValueError):
+            greedy_partition([1.0], 0)

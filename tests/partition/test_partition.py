@@ -1,0 +1,116 @@
+"""Tests for the Partition value type."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.partition.partition import Partition
+
+
+class TestConstruction:
+    def test_valid_partition(self):
+        p = Partition(n=10, boundaries=(3, 7))
+        assert p.k == 3
+
+    def test_single_bucket(self):
+        p = Partition.single_bucket(5)
+        assert p.k == 1
+        assert list(p.buckets()) == [(0, 5)]
+
+    def test_singletons(self):
+        p = Partition.singletons(4)
+        assert p.k == 4
+        assert p.bucket_sizes() == [1, 1, 1, 1]
+
+    def test_from_bucket_sizes(self):
+        p = Partition.from_bucket_sizes([2, 3, 1])
+        assert p.n == 6
+        assert p.boundaries == (2, 5)
+
+    def test_rejects_unsorted_boundaries(self):
+        with pytest.raises(PartitionError):
+            Partition(n=10, boundaries=(7, 3))
+
+    def test_rejects_duplicate_boundaries(self):
+        with pytest.raises(PartitionError):
+            Partition(n=10, boundaries=(3, 3))
+
+    def test_rejects_boundary_at_zero(self):
+        with pytest.raises(PartitionError):
+            Partition(n=10, boundaries=(0,))
+
+    def test_rejects_boundary_at_n(self):
+        with pytest.raises(PartitionError):
+            Partition(n=10, boundaries=(10,))
+
+    def test_rejects_zero_bucket_size(self):
+        with pytest.raises((PartitionError, ValueError)):
+            Partition.from_bucket_sizes([2, 0, 1])
+
+
+class TestBucketOps:
+    def test_buckets_cover_domain(self):
+        p = Partition(n=10, boundaries=(2, 6))
+        assert list(p.buckets()) == [(0, 2), (2, 6), (6, 10)]
+
+    def test_bucket_sizes_sum_to_n(self):
+        p = Partition(n=10, boundaries=(1, 4, 9))
+        assert sum(p.bucket_sizes()) == 10
+
+    def test_bucket_of(self):
+        p = Partition(n=10, boundaries=(2, 6))
+        assert p.bucket_of(0) == 0
+        assert p.bucket_of(2) == 1
+        assert p.bucket_of(5) == 1
+        assert p.bucket_of(6) == 2
+        assert p.bucket_of(9) == 2
+
+    def test_bucket_of_out_of_range(self):
+        p = Partition(n=10, boundaries=(5,))
+        with pytest.raises(ValueError):
+            p.bucket_of(10)
+
+
+class TestApplyMeans:
+    def test_means_replace_counts(self):
+        p = Partition(n=4, boundaries=(2,))
+        out = p.apply_means([1.0, 3.0, 10.0, 20.0])
+        np.testing.assert_allclose(out, [2.0, 2.0, 15.0, 15.0])
+
+    def test_preserves_total(self):
+        rng = np.random.default_rng(0)
+        counts = rng.uniform(0, 10, size=20)
+        p = Partition(n=20, boundaries=(3, 9, 15))
+        out = p.apply_means(counts)
+        assert out.sum() == pytest.approx(counts.sum())
+
+    def test_rejects_size_mismatch(self):
+        p = Partition(n=4, boundaries=(2,))
+        with pytest.raises(PartitionError):
+            p.apply_means([1.0, 2.0])
+
+
+class TestSumsAndBroadcast:
+    def test_bucket_sums(self):
+        p = Partition(n=4, boundaries=(1,))
+        np.testing.assert_allclose(
+            p.bucket_sums([1.0, 2.0, 3.0, 4.0]), [1.0, 9.0]
+        )
+
+    def test_broadcast(self):
+        p = Partition(n=4, boundaries=(1,))
+        np.testing.assert_allclose(
+            p.broadcast([5.0, 7.0]), [5.0, 7.0, 7.0, 7.0]
+        )
+
+    def test_broadcast_rejects_wrong_length(self):
+        p = Partition(n=4, boundaries=(1,))
+        with pytest.raises(PartitionError):
+            p.broadcast([1.0, 2.0, 3.0])
+
+    def test_sums_then_broadcast_mean_equals_apply_means(self):
+        rng = np.random.default_rng(1)
+        counts = rng.uniform(0, 10, size=12)
+        p = Partition.from_bucket_sizes([3, 4, 5])
+        means = p.bucket_sums(counts) / np.array(p.bucket_sizes())
+        np.testing.assert_allclose(p.broadcast(means), p.apply_means(counts))

@@ -1,0 +1,80 @@
+"""Tests for SegmentStats and partition SSE."""
+
+import numpy as np
+import pytest
+
+from repro.partition.partition import Partition
+from repro.partition.sse import SegmentStats, partition_sse
+
+
+def brute_sse(counts, start, stop):
+    seg = np.asarray(counts[start:stop], dtype=float)
+    return float(np.sum((seg - seg.mean()) ** 2))
+
+
+class TestSegmentStats:
+    def test_segment_sum(self):
+        stats = SegmentStats([1.0, 2.0, 3.0, 4.0])
+        assert stats.segment_sum(1, 3) == 5.0
+
+    def test_segment_mean(self):
+        stats = SegmentStats([2.0, 4.0])
+        assert stats.segment_mean(0, 2) == 3.0
+
+    def test_segment_sse_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        counts = rng.uniform(-10, 10, size=30)
+        stats = SegmentStats(counts)
+        for _ in range(200):
+            i = int(rng.integers(0, 30))
+            j = int(rng.integers(i + 1, 31))
+            assert stats.segment_sse(i, j) == pytest.approx(
+                brute_sse(counts, i, j), abs=1e-8
+            )
+
+    def test_sse_of_constant_segment_is_zero(self):
+        stats = SegmentStats([5.0] * 10)
+        assert stats.segment_sse(0, 10) == 0.0
+
+    def test_sse_never_negative(self):
+        stats = SegmentStats([1e9, 1e9 + 1e-4])
+        assert stats.segment_sse(0, 2) >= 0.0
+
+    def test_sse_row_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        counts = rng.uniform(0, 100, size=20)
+        stats = SegmentStats(counts)
+        row = stats.sse_row(15)
+        for i in range(15):
+            assert row[i] == pytest.approx(stats.segment_sse(i, 15), abs=1e-8)
+
+    def test_invalid_segment_raises(self):
+        stats = SegmentStats([1.0, 2.0])
+        with pytest.raises(ValueError):
+            stats.segment_sse(1, 1)
+        with pytest.raises(ValueError):
+            stats.segment_sse(0, 3)
+
+
+class TestPartitionSse:
+    def test_singletons_zero(self):
+        counts = [3.0, 1.0, 4.0]
+        assert partition_sse(counts, Partition.singletons(3)) == 0.0
+
+    def test_single_bucket_is_variance(self):
+        counts = [1.0, 2.0, 3.0]
+        expected = brute_sse(counts, 0, 3)
+        assert partition_sse(counts, Partition.single_bucket(3)) == pytest.approx(
+            expected
+        )
+
+    def test_additivity_over_buckets(self):
+        rng = np.random.default_rng(2)
+        counts = rng.uniform(0, 10, size=12)
+        p = Partition.from_bucket_sizes([4, 4, 4])
+        total = sum(brute_sse(counts, s, e) for s, e in p.buckets())
+        assert partition_sse(counts, p) == pytest.approx(total)
+
+    def test_rejects_mismatched_sizes(self):
+        with pytest.raises(ValueError):
+            partition_sse([1.0, 2.0], Partition.singletons(3))

@@ -1,0 +1,50 @@
+"""Tests for non-negativity post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.hist.histogram import Histogram
+from repro.postprocess.clamp import clamp_and_rescale, clamp_non_negative
+
+
+class TestClampNonNegative:
+    def test_clamps_negatives(self):
+        h = Histogram.from_counts([-3.0, 2.0, -1.0])
+        out = clamp_non_negative(h)
+        np.testing.assert_allclose(out.counts, [0.0, 2.0, 0.0])
+
+    def test_leaves_positives_alone(self):
+        h = Histogram.from_counts([1.0, 2.0])
+        assert clamp_non_negative(h) == h
+
+    def test_domain_preserved(self, numeric_domain):
+        h = Histogram(domain=numeric_domain, counts=[-1.0] * 10)
+        assert clamp_non_negative(h).domain == numeric_domain
+
+
+class TestClampAndRescale:
+    def test_total_preserved(self):
+        h = Histogram.from_counts([-5.0, 10.0, 15.0])  # total 20
+        out = clamp_and_rescale(h)
+        assert out.total == pytest.approx(20.0)
+        assert np.all(out.counts >= 0)
+
+    def test_proportions_of_positive_mass_kept(self):
+        h = Histogram.from_counts([-5.0, 10.0, 30.0])
+        out = clamp_and_rescale(h)
+        assert out.counts[2] == pytest.approx(3 * out.counts[1])
+
+    def test_all_negative_clamps_to_zero(self):
+        h = Histogram.from_counts([-1.0, -2.0])
+        out = clamp_and_rescale(h)
+        np.testing.assert_allclose(out.counts, [0.0, 0.0])
+
+    def test_negative_total_treated_as_zero(self):
+        h = Histogram.from_counts([-10.0, 2.0])
+        out = clamp_and_rescale(h)
+        assert out.total == pytest.approx(0.0)
+
+    def test_noop_on_clean_histogram(self):
+        h = Histogram.from_counts([1.0, 2.0, 3.0])
+        out = clamp_and_rescale(h)
+        np.testing.assert_allclose(out.counts, h.counts)

@@ -1,0 +1,36 @@
+"""Tests for the sum-consistency projection."""
+
+import numpy as np
+import pytest
+
+from repro.postprocess.consistency import enforce_sum
+
+
+class TestEnforceSum:
+    def test_hits_target(self):
+        out = enforce_sum(np.array([1.0, 2.0, 3.0]), 12.0)
+        assert out.sum() == pytest.approx(12.0)
+
+    def test_spreads_gap_evenly(self):
+        out = enforce_sum(np.array([1.0, 2.0, 3.0]), 9.0)
+        np.testing.assert_allclose(out, [2.0, 3.0, 4.0])
+
+    def test_is_l2_projection(self):
+        """No other vector with the target sum is closer to the input."""
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 10, size=8)
+        target = 100.0
+        projected = enforce_sum(x, target)
+        base_dist = np.linalg.norm(projected - x)
+        for _ in range(100):
+            candidate = rng.uniform(0, 30, size=8)
+            candidate += (target - candidate.sum()) / 8
+            assert np.linalg.norm(candidate - x) >= base_dist - 1e-9
+
+    def test_noop_when_already_consistent(self):
+        x = np.array([1.0, 2.0])
+        np.testing.assert_allclose(enforce_sum(x, 3.0), x)
+
+    def test_rejects_nonfinite_target(self):
+        with pytest.raises(ValueError):
+            enforce_sum(np.array([1.0]), float("nan"))

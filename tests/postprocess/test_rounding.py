@@ -1,0 +1,43 @@
+"""Tests for total-preserving integer rounding."""
+
+import numpy as np
+import pytest
+
+from repro.hist.histogram import Histogram
+from repro.postprocess.rounding import round_to_integers
+
+
+class TestRoundToIntegers:
+    def test_integers_out(self):
+        h = Histogram.from_counts([1.4, 2.6, 3.0])
+        out = round_to_integers(h)
+        assert np.all(out.counts == np.round(out.counts))
+
+    def test_total_preserved(self):
+        h = Histogram.from_counts([1.4, 2.6, 3.0])  # total 7.0
+        out = round_to_integers(h)
+        assert out.total == 7.0
+
+    def test_total_rounded_when_fractional(self):
+        h = Histogram.from_counts([1.3, 1.3])  # total 2.6 -> 3
+        out = round_to_integers(h)
+        assert out.total == 3.0
+
+    def test_negative_counts_clamped(self):
+        h = Histogram.from_counts([-2.0, 4.0])
+        out = round_to_integers(h)
+        assert np.all(out.counts >= 0)
+        assert out.total == 2.0
+
+    def test_all_zero(self):
+        h = Histogram.from_counts([0.0, 0.0])
+        out = round_to_integers(h)
+        np.testing.assert_allclose(out.counts, [0.0, 0.0])
+
+    def test_each_count_within_one_of_share(self):
+        rng = np.random.default_rng(0)
+        h = Histogram.from_counts(rng.uniform(0, 100, size=50))
+        out = round_to_integers(h)
+        target = int(round(h.total))
+        shares = h.counts / h.counts.sum() * target
+        assert np.all(np.abs(out.counts - shares) <= 1.0 + 1e-9)

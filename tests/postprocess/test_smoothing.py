@@ -1,0 +1,76 @@
+"""Tests for shape-constrained smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.postprocess.smoothing import isotonic_decreasing, moving_average
+
+
+class TestIsotonicDecreasing:
+    def test_output_non_increasing(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 10, size=50)
+        out = isotonic_decreasing(x)
+        assert np.all(np.diff(out) <= 1e-12)
+
+    def test_already_decreasing_unchanged(self):
+        x = np.array([5.0, 4.0, 3.0, 1.0])
+        np.testing.assert_allclose(isotonic_decreasing(x), x)
+
+    def test_two_violators_pooled(self):
+        out = isotonic_decreasing(np.array([1.0, 3.0]))
+        np.testing.assert_allclose(out, [2.0, 2.0])
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 10, size=30)
+        assert isotonic_decreasing(x).sum() == pytest.approx(x.sum())
+
+    def test_is_l2_optimal_small_case(self):
+        """Check against brute force on a tiny grid."""
+        x = np.array([1.0, 2.0, 0.0])
+        out = isotonic_decreasing(x)
+        best = None
+        grid = np.linspace(-1, 3, 41)
+        best_err = np.inf
+        for a in grid:
+            for b in grid:
+                for c in grid:
+                    if a >= b >= c:
+                        err = (a - 1) ** 2 + (b - 2) ** 2 + (c - 0) ** 2
+                        if err < best_err:
+                            best_err, best = err, (a, b, c)
+        np.testing.assert_allclose(out, best, atol=0.06)
+
+    def test_improves_noisy_powerlaw(self):
+        """Projecting a noisy monotone signal onto monotone reduces MSE."""
+        rng = np.random.default_rng(2)
+        truth = 1000.0 / (1 + np.arange(100)) ** 1.5
+        noisy = truth + rng.laplace(0, 20, size=100)
+        smoothed = isotonic_decreasing(noisy)
+        assert np.mean((smoothed - truth) ** 2) < np.mean((noisy - truth) ** 2)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        x = np.array([1.0, 5.0, 2.0])
+        np.testing.assert_allclose(moving_average(x, 1), x)
+
+    def test_centered_window(self):
+        x = np.array([0.0, 3.0, 6.0])
+        out = moving_average(x, 3)
+        assert out[1] == pytest.approx(3.0)
+
+    def test_edges_truncate(self):
+        x = np.array([0.0, 3.0, 6.0])
+        out = moving_average(x, 3)
+        assert out[0] == pytest.approx(1.5)
+        assert out[2] == pytest.approx(4.5)
+
+    def test_rejects_even_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.array([1.0, 2.0]), 2)
+
+    def test_flat_signal_unchanged(self):
+        x = np.full(10, 4.0)
+        np.testing.assert_allclose(moving_average(x, 5), x)

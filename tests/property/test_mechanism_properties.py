@@ -1,0 +1,85 @@
+"""Property-based tests for mechanism-level invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hist.histogram import Histogram
+from repro.hist.ranges import RangeQuery, evaluate_ranges, prefix_sums
+from repro.mechanisms.exponential import exponential_probabilities
+from repro.mechanisms.laplace import laplace_noise
+from repro.workloads.builders import prefix_ranges, unit_queries
+
+counts_strategy = st.lists(
+    st.floats(min_value=-1e5, max_value=1e5, allow_nan=False,
+              allow_infinity=False, width=32),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestRangeEvaluationProperties:
+    @given(counts_strategy)
+    def test_prefix_sums_telescoping(self, counts):
+        prefix = prefix_sums(counts)
+        arr = np.asarray(counts, dtype=float)
+        diffs = np.diff(prefix)
+        np.testing.assert_allclose(diffs, arr, atol=1e-6)
+
+    @given(counts_strategy)
+    def test_unit_workload_recovers_counts(self, counts):
+        h = Histogram.from_counts(counts)
+        answers = unit_queries(h.size).evaluate(h)
+        np.testing.assert_allclose(answers, h.counts, atol=1e-6)
+
+    @given(counts_strategy)
+    def test_prefix_workload_is_cumsum(self, counts):
+        h = Histogram.from_counts(counts)
+        answers = prefix_ranges(h.size).evaluate(h)
+        np.testing.assert_allclose(answers, np.cumsum(h.counts),
+                                   rtol=1e-6, atol=1e-4)
+
+    @given(counts_strategy, st.integers(min_value=0, max_value=1000))
+    def test_range_additivity(self, counts, seed):
+        """Sum over a split range equals the whole range."""
+        n = len(counts)
+        rng = np.random.default_rng(seed)
+        lo = int(rng.integers(0, n))
+        hi = int(rng.integers(lo, n))
+        if lo == hi:
+            return
+        mid = int(rng.integers(lo, hi))
+        whole, left, right = evaluate_ranges(
+            counts,
+            [RangeQuery(lo, hi), RangeQuery(lo, mid), RangeQuery(mid + 1, hi)],
+        )
+        assert whole == pytest.approx(left + right, abs=1e-5)
+
+
+class TestMechanismProperties:
+    @given(st.floats(min_value=0.01, max_value=10.0),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25)
+    def test_laplace_noise_seeded_reproducible(self, eps, seed):
+        a = laplace_noise(eps, size=5, rng=seed)
+        b = laplace_noise(eps, size=5, rng=seed)
+        np.testing.assert_array_equal(a, b)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False), min_size=1, max_size=20),
+           st.floats(min_value=0.01, max_value=10.0))
+    def test_em_probabilities_valid_distribution(self, scores, eps):
+        probs = exponential_probabilities(scores, eps, 1.0)
+        assert np.all(probs >= 0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False), min_size=2, max_size=20),
+           st.floats(min_value=0.01, max_value=10.0))
+    def test_em_monotone_in_score(self, scores, eps):
+        probs = exponential_probabilities(scores, eps, 1.0)
+        order = np.argsort(scores)
+        sorted_probs = probs[order]
+        assert all(sorted_probs[i] <= sorted_probs[i + 1] + 1e-12
+                   for i in range(len(sorted_probs) - 1))

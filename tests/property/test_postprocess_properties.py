@@ -1,0 +1,89 @@
+"""Property-based tests for post-processing invariants."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hist.histogram import Histogram
+from repro.postprocess.clamp import clamp_and_rescale, clamp_non_negative
+from repro.postprocess.consistency import enforce_sum
+from repro.postprocess.rounding import round_to_integers
+from repro.postprocess.smoothing import isotonic_decreasing
+
+counts_strategy = st.lists(
+    st.floats(min_value=-1e5, max_value=1e5, allow_nan=False,
+              allow_infinity=False, width=32),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestClampProperties:
+    @given(counts_strategy)
+    def test_clamp_non_negative_output(self, counts):
+        out = clamp_non_negative(Histogram.from_counts(counts))
+        assert np.all(out.counts >= 0)
+
+    @given(counts_strategy)
+    def test_clamp_idempotent(self, counts):
+        h = Histogram.from_counts(counts)
+        once = clamp_non_negative(h)
+        twice = clamp_non_negative(once)
+        assert once == twice
+
+    @given(counts_strategy)
+    def test_rescale_preserves_nonneg_total(self, counts):
+        h = Histogram.from_counts(counts)
+        out = clamp_and_rescale(h)
+        assert np.all(out.counts >= 0)
+        if h.total > 0 and np.any(np.asarray(counts) > 0):
+            assert np.isclose(out.total, h.total,
+                              rtol=1e-6, atol=1e-6 * (1 + abs(h.total)))
+
+
+class TestRoundingProperties:
+    @given(counts_strategy)
+    def test_integers_and_total(self, counts):
+        h = Histogram.from_counts(counts)
+        out = round_to_integers(h)
+        assert np.all(out.counts == np.round(out.counts))
+        assert np.all(out.counts >= 0)
+        if np.any(np.clip(np.asarray(counts), 0, None) > 0):
+            assert out.total == round(max(h.total, 0.0))
+
+
+class TestEnforceSumProperties:
+    @given(counts_strategy,
+           st.floats(min_value=-1e6, max_value=1e6,
+                     allow_nan=False, allow_infinity=False))
+    def test_hits_target_exactly(self, counts, target):
+        out = enforce_sum(np.asarray(counts, dtype=float), target)
+        assert np.isclose(out.sum(), target,
+                          rtol=1e-6, atol=1e-5 * (1 + abs(target)))
+
+    @given(counts_strategy)
+    def test_identity_when_consistent(self, counts):
+        arr = np.asarray(counts, dtype=float)
+        out = enforce_sum(arr, float(arr.sum()))
+        np.testing.assert_allclose(out, arr, atol=1e-6)
+
+
+class TestIsotonicProperties:
+    @given(counts_strategy)
+    def test_output_non_increasing(self, counts):
+        out = isotonic_decreasing(np.asarray(counts, dtype=float))
+        assert np.all(np.diff(out) <= 1e-8)
+
+    @given(counts_strategy)
+    def test_total_preserved(self, counts):
+        arr = np.asarray(counts, dtype=float)
+        out = isotonic_decreasing(arr)
+        assert np.isclose(out.sum(), arr.sum(),
+                          rtol=1e-6, atol=1e-5 * (1 + abs(arr.sum())))
+
+    @given(counts_strategy)
+    def test_idempotent(self, counts):
+        arr = np.asarray(counts, dtype=float)
+        once = isotonic_decreasing(arr)
+        twice = isotonic_decreasing(once)
+        np.testing.assert_allclose(once, twice, atol=1e-8)

@@ -1,0 +1,70 @@
+"""Property-based tests for the Haar and tree transforms."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.boost import build_tree_sums, consistent_leaves
+from repro.baselines.privelet import haar_inverse, haar_transform
+
+power_of_two_values = st.integers(min_value=0, max_value=5).flatmap(
+    lambda p: st.lists(
+        st.floats(min_value=-1e5, max_value=1e5, allow_nan=False,
+                  allow_infinity=False, width=32),
+        min_size=2**p,
+        max_size=2**p,
+    )
+)
+
+
+class TestHaarProperties:
+    @given(power_of_two_values)
+    def test_roundtrip(self, values):
+        arr = np.asarray(values, dtype=float)
+        base, details = haar_transform(arr)
+        back = haar_inverse(base, details)
+        np.testing.assert_allclose(back, arr, atol=1e-6, rtol=1e-6)
+
+    @given(power_of_two_values)
+    def test_linearity(self, values):
+        arr = np.asarray(values, dtype=float)
+        b1, d1 = haar_transform(arr)
+        b2, d2 = haar_transform(2.0 * arr)
+        assert np.isclose(b2, 2 * b1, atol=1e-6)
+        for lvl1, lvl2 in zip(d1, d2):
+            np.testing.assert_allclose(lvl2, 2 * lvl1, atol=1e-6)
+
+    @given(power_of_two_values)
+    def test_base_is_mean(self, values):
+        arr = np.asarray(values, dtype=float)
+        base, _ = haar_transform(arr)
+        assert np.isclose(base, arr.mean(), atol=1e-6)
+
+
+class TestTreeProperties:
+    @given(power_of_two_values)
+    def test_each_level_preserves_total(self, values):
+        arr = np.asarray(values, dtype=float)
+        for level in build_tree_sums(arr, 2):
+            assert np.isclose(level.sum(), arr.sum(), rtol=1e-9, atol=1e-6)
+
+    @given(power_of_two_values)
+    def test_consistency_is_projection_on_clean_input(self, values):
+        """With zero noise, consistency must return the input exactly."""
+        arr = np.asarray(values, dtype=float)
+        levels = build_tree_sums(arr, 2)
+        out = consistent_leaves(levels, 2)
+        np.testing.assert_allclose(out, arr, atol=1e-5, rtol=1e-6)
+
+    @given(power_of_two_values, st.integers(min_value=0, max_value=100))
+    def test_consistency_output_tree_is_consistent(self, values, seed):
+        """After consistency, recomputing the tree from the leaves gives a
+        parent = sum(children) tree whose root equals the leaves' total —
+        i.e. the output is in the consistent subspace."""
+        arr = np.asarray(values, dtype=float)
+        rng = np.random.default_rng(seed)
+        noisy = [l + rng.normal(0, 1, size=l.shape)
+                 for l in build_tree_sums(arr, 2)]
+        leaves = consistent_leaves(noisy, 2)
+        rebuilt = build_tree_sums(leaves, 2)
+        assert np.isclose(rebuilt[-1][0], leaves.sum(), rtol=1e-9, atol=1e-6)

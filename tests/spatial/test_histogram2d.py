@@ -1,0 +1,81 @@
+"""Tests for the 2-D histogram substrate."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.histogram2d import Histogram2D, RectQuery
+
+
+class TestRectQuery:
+    def test_area(self):
+        assert RectQuery(0, 1, 0, 2).area == 6
+
+    def test_single_cell(self):
+        assert RectQuery(3, 3, 4, 4).area == 1
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            RectQuery(2, 1, 0, 0)
+        with pytest.raises(ValueError):
+            RectQuery(0, 0, 2, 1)
+
+    def test_validate_for(self):
+        RectQuery(0, 3, 0, 3).validate_for((4, 4))
+        with pytest.raises(ValueError):
+            RectQuery(0, 4, 0, 3).validate_for((4, 4))
+
+
+class TestHistogram2D:
+    def test_construction(self):
+        h = Histogram2D(counts=np.ones((3, 4)))
+        assert h.shape == (3, 4)
+        assert h.total == 12.0
+
+    def test_immutable(self):
+        h = Histogram2D(counts=np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            h.counts[0, 0] = 9.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            Histogram2D(counts=np.ones(4))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Histogram2D(counts=np.array([[1.0, float("nan")]]))
+
+    def test_from_points(self):
+        h = Histogram2D.from_points(
+            [0.1, 0.1, 0.9], [0.1, 0.2, 0.9],
+            shape=(2, 2), bounds=(0, 1, 0, 1),
+        )
+        assert h.total == 3.0
+        assert h.counts[0, 0] == 2.0
+        assert h.counts[1, 1] == 1.0
+
+    def test_from_points_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram2D.from_points([0.5], [0.5], (2, 2), (1, 0, 0, 1))
+
+    def test_rect_sum(self):
+        h = Histogram2D(counts=np.arange(9, dtype=float).reshape(3, 3))
+        assert h.rect_sum(RectQuery(0, 1, 0, 1)) == 0 + 1 + 3 + 4
+
+    def test_evaluate_matches_rect_sum(self):
+        rng = np.random.default_rng(0)
+        h = Histogram2D(counts=rng.uniform(0, 10, size=(8, 8)))
+        queries = []
+        for _ in range(50):
+            r1, r2 = sorted(rng.integers(0, 8, size=2))
+            c1, c2 = sorted(rng.integers(0, 8, size=2))
+            queries.append(RectQuery(int(r1), int(r2), int(c1), int(c2)))
+        fast = h.evaluate(queries)
+        slow = [h.rect_sum(q) for q in queries]
+        np.testing.assert_allclose(fast, slow, atol=1e-9)
+
+    def test_equality_and_hash(self):
+        a = Histogram2D(counts=np.ones((2, 2)))
+        b = Histogram2D(counts=np.ones((2, 2)))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Histogram2D(counts=np.zeros((2, 2)))

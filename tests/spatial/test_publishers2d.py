@@ -1,0 +1,129 @@
+"""Tests for the spatial publishers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.spatial.histogram2d import Histogram2D
+from repro.spatial.publishers import (
+    AdaptiveGrid,
+    Identity2D,
+    QuadTree,
+    UniformGrid,
+)
+from repro.spatial.workloads import random_rectangles
+
+
+@pytest.fixture(scope="module")
+def cluster_hist():
+    rng = np.random.default_rng(7)
+    xs = np.concatenate([rng.normal(0.3, 0.05, 20_000),
+                         rng.normal(0.7, 0.1, 10_000)])
+    ys = np.concatenate([rng.normal(0.5, 0.1, 20_000),
+                         rng.normal(0.2, 0.05, 10_000)])
+    return Histogram2D.from_points(xs, ys, shape=(32, 32),
+                                   bounds=(0, 1, 0, 1), name="clusters")
+
+
+ALL_2D = [Identity2D, UniformGrid, AdaptiveGrid, lambda: QuadTree(depth=4)]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("factory", ALL_2D)
+    def test_budget_spent_exactly(self, factory, cluster_hist):
+        result = factory().publish(cluster_hist, budget=0.2, rng=0)
+        assert result.epsilon_spent == pytest.approx(0.2)
+
+    @pytest.mark.parametrize("factory", ALL_2D)
+    def test_shape_preserved(self, factory, cluster_hist):
+        result = factory().publish(cluster_hist, budget=0.2, rng=0)
+        assert result.histogram.shape == cluster_hist.shape
+
+    @pytest.mark.parametrize("factory", ALL_2D)
+    def test_deterministic(self, factory, cluster_hist):
+        a = factory().publish(cluster_hist, budget=0.2, rng=3)
+        b = factory().publish(cluster_hist, budget=0.2, rng=3)
+        np.testing.assert_array_equal(a.histogram.counts, b.histogram.counts)
+
+    def test_rejects_non_histogram2d(self):
+        with pytest.raises(TypeError):
+            Identity2D().publish(np.ones((4, 4)), budget=1.0)
+
+    def test_rejects_zero_budget(self, cluster_hist):
+        with pytest.raises(ValueError):
+            Identity2D().publish(cluster_hist, budget=0.0)
+
+
+class TestIdentity2D:
+    def test_unbiased(self):
+        h = Histogram2D(counts=np.full((10, 10), 7.0))
+        acc = np.zeros((10, 10))
+        for seed in range(500):
+            acc += Identity2D().publish(h, budget=2.0, rng=seed).histogram.counts
+        np.testing.assert_allclose(acc / 500, 7.0, atol=0.3)
+
+
+class TestUniformGrid:
+    def test_sizing_rule_scales_with_budget(self, cluster_hist):
+        small = UniformGrid().publish(cluster_hist, budget=0.01, rng=0)
+        large = UniformGrid().publish(cluster_hist, budget=1.0, rng=0)
+        assert small.meta["m_rows"] < large.meta["m_rows"]
+
+    def test_explicit_m(self, cluster_hist):
+        result = UniformGrid(m=4).publish(cluster_hist, budget=0.1, rng=0)
+        assert result.meta["m_rows"] == 4
+
+    def test_m_clamped_to_resolution(self, cluster_hist):
+        result = UniformGrid(m=1000).publish(cluster_hist, budget=0.1, rng=0)
+        assert result.meta["m_rows"] == 32
+
+    def test_beats_identity_on_rectangles_at_low_eps(self, cluster_hist):
+        queries = random_rectangles(cluster_hist.shape, 100, rng=0)
+        truth = cluster_hist.evaluate(queries)
+        ug, ident = [], []
+        for seed in range(5):
+            u = UniformGrid().publish(cluster_hist, budget=0.05, rng=seed)
+            i = Identity2D().publish(cluster_hist, budget=0.05, rng=seed)
+            ug.append(np.mean((u.histogram.evaluate(queries) - truth) ** 2))
+            ident.append(np.mean((i.histogram.evaluate(queries) - truth) ** 2))
+        assert np.mean(ug) < np.mean(ident)
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValueError):
+            UniformGrid(c=0.0)
+
+
+class TestAdaptiveGrid:
+    def test_denser_regions_get_finer_cells(self, cluster_hist):
+        result = AdaptiveGrid().publish(cluster_hist, budget=0.5, rng=0)
+        assert result.meta["sub_blocks"] > result.meta["m1"] ** 2 * 0.5
+
+    def test_budget_split(self, cluster_hist):
+        result = AdaptiveGrid(alpha=0.3).publish(cluster_hist, budget=1.0,
+                                                 rng=0)
+        assert result.meta["eps1"] == pytest.approx(0.3)
+        assert result.meta["eps2"] == pytest.approx(0.7)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            AdaptiveGrid(alpha=1.0)
+
+
+class TestQuadTree:
+    def test_leaf_count(self, cluster_hist):
+        result = QuadTree(depth=3).publish(cluster_hist, budget=0.5, rng=0)
+        assert result.meta["leaves"] == 16  # 4^(depth-1)
+
+    def test_depth_one_is_flat(self, cluster_hist):
+        result = QuadTree(depth=1).publish(cluster_hist, budget=0.5, rng=0)
+        assert len(np.unique(np.round(result.histogram.counts, 9))) == 1
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            QuadTree(depth=0)
+
+    def test_total_tracks_root_estimate(self, cluster_hist):
+        result = QuadTree(depth=4).publish(cluster_hist, budget=5.0, rng=0)
+        assert result.histogram.total == pytest.approx(
+            cluster_hist.total, rel=0.2
+        )

@@ -1,0 +1,124 @@
+"""Tests for streaming release under w-event privacy."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BudgetExceededError
+from repro.hist.histogram import Histogram
+from repro.streaming.release import (
+    ThresholdStream,
+    UniformStream,
+    WEventAccountant,
+)
+
+
+def _stream(n_steps, n_bins=16, drift_at=None, rng_seed=0):
+    """A histogram stream: static counts with an optional step change."""
+    rng = np.random.default_rng(rng_seed)
+    base = rng.uniform(50, 150, size=n_bins)
+    shifted = base + 80.0
+    frames = []
+    for t in range(n_steps):
+        counts = shifted if (drift_at is not None and t >= drift_at) else base
+        frames.append(Histogram.from_counts(counts.copy()))
+    return frames
+
+
+class TestWEventAccountant:
+    def test_window_sum_enforced(self):
+        acc = WEventAccountant(1.0, w=3)
+        acc.spend(0.5)
+        acc.spend(0.4)
+        with pytest.raises(BudgetExceededError):
+            acc.spend(0.2)
+
+    def test_budget_recovers_after_window_slides(self):
+        acc = WEventAccountant(1.0, w=2)
+        acc.spend(0.9)
+        acc.spend(0.1)
+        acc.spend(0.9)  # the 0.9 from t=0 left the window
+        assert acc.window_spent == pytest.approx(1.0)
+
+    def test_zero_spend_allowed(self):
+        acc = WEventAccountant(1.0, w=2)
+        acc.spend(0.0)
+        assert acc.window_spent == 0.0
+
+    def test_negative_spend_rejected(self):
+        acc = WEventAccountant(1.0, w=2)
+        with pytest.raises(ValueError):
+            acc.spend(-0.1)
+
+    def test_max_window_total_invariant(self):
+        acc = WEventAccountant(1.0, w=4)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            eps = min(float(rng.uniform(0, 0.3)), acc.window_remaining)
+            acc.spend(eps)
+        assert acc.max_window_total() <= 1.0 + 1e-9
+
+
+class TestUniformStream:
+    def test_every_step_fresh(self):
+        stream = UniformStream(epsilon=1.0, w=4)
+        for t, frame in enumerate(_stream(8)):
+            release = stream.release(frame, rng=t)
+            assert release.fresh
+            assert release.eps_spent == pytest.approx(0.25)
+            assert release.t == t
+
+    def test_window_never_violated(self):
+        stream = UniformStream(epsilon=1.0, w=5)
+        for t, frame in enumerate(_stream(20)):
+            stream.release(frame, rng=t)
+        assert stream.accountant.max_window_total() <= 1.0 + 1e-9
+
+
+class TestThresholdStream:
+    def test_static_data_mostly_republished(self):
+        stream = ThresholdStream(epsilon=1.0, w=4, threshold=30.0)
+        fresh_flags = []
+        for t, frame in enumerate(_stream(12)):
+            release = stream.release(frame, rng=t)
+            fresh_flags.append(release.fresh)
+        assert fresh_flags[0] is True
+        # Static data: after the first release, almost everything is a
+        # cheap republication.
+        assert sum(fresh_flags[1:]) <= 2
+
+    def test_drift_triggers_fresh_release(self):
+        stream = ThresholdStream(epsilon=1.0, w=4, threshold=30.0)
+        releases = []
+        for t, frame in enumerate(_stream(12, drift_at=6)):
+            releases.append(stream.release(frame, rng=t))
+        assert releases[6].fresh  # the step change is detected immediately
+
+    def test_republication_returns_same_histogram(self):
+        stream = ThresholdStream(epsilon=1.0, w=4, threshold=1e9)
+        frames = _stream(5)
+        first = stream.release(frames[0], rng=0)
+        second = stream.release(frames[1], rng=1)
+        assert not second.fresh
+        assert second.histogram == first.histogram
+
+    def test_window_never_violated_with_drift(self):
+        stream = ThresholdStream(epsilon=0.5, w=3, threshold=30.0)
+        for t, frame in enumerate(_stream(30, drift_at=10, rng_seed=3)):
+            stream.release(frame, rng=t)
+        assert stream.accountant.max_window_total() <= 0.5 + 1e-9
+
+    def test_threshold_saves_budget_vs_uniform(self):
+        """On static data the threshold strategy should spend far less."""
+        uniform = UniformStream(epsilon=1.0, w=4)
+        threshold = ThresholdStream(epsilon=1.0, w=4, threshold=30.0)
+        for t, frame in enumerate(_stream(12)):
+            uniform.release(frame, rng=t)
+            threshold.release(frame, rng=t)
+        assert (sum(threshold.accountant.history())
+                < 0.6 * sum(uniform.accountant.history()))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ThresholdStream(1.0, 4, threshold=0.0)
+        with pytest.raises(ValueError):
+            ThresholdStream(1.0, 4, threshold=1.0, test_fraction=1.0)

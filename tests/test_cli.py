@@ -1,0 +1,32 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig_point_vs_eps" in out
+        assert "abl_consistency" in out
+
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "experiment" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig_bogus"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_runs_table1(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "evaluation datasets" in out
+        assert "nettrace" in out
+
+    def test_runs_quick_figure(self, capsys):
+        assert main(["fig_budget_split", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "structure fraction" in out

@@ -1,0 +1,145 @@
+"""Tests for repro._validation."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_rng,
+    check_counts,
+    check_in_range,
+    check_integer,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_accepts_numpy_scalar(self):
+        assert check_positive(np.float64(2.0), "x") == 2.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive(float("inf"), "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("3", "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_non_negative(-0.1, "x")
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_probability(1.1, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_accepts_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+
+    def test_exclusive_rejects_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_exclusive_accepts_interior(self):
+        assert check_in_range(0.5, "x", 0.0, 1.0, inclusive=False) == 0.5
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer(3, "k") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_integer(np.int64(3), "k") == 3
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_integer(3.0, "k")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_integer(True, "k")
+
+    def test_enforces_minimum(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            check_integer(0, "k", minimum=1)
+
+
+class TestCheckCounts:
+    def test_returns_float_array(self):
+        out = check_counts([1, 2, 3])
+        assert out.dtype == np.float64
+        assert list(out) == [1.0, 2.0, 3.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_counts([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            check_counts([[1, 2], [3, 4]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_counts([1.0, float("nan")])
+
+    def test_allows_negative(self):
+        # Noisy counts can be negative; that is valid input.
+        out = check_counts([-1.0, 2.0])
+        assert out[0] == -1.0
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        a = as_rng(7).random()
+        b = as_rng(7).random()
+        assert a == b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            as_rng(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")

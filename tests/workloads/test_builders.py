@@ -1,0 +1,81 @@
+"""Tests for workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.builders import (
+    all_ranges,
+    fixed_length_ranges,
+    prefix_ranges,
+    random_ranges,
+    unit_queries,
+)
+
+
+class TestUnitQueries:
+    def test_one_per_bin(self):
+        w = unit_queries(5)
+        assert len(w) == 5
+        assert all(q.length == 1 for q in w)
+        assert [q.lo for q in w] == list(range(5))
+
+
+class TestAllRanges:
+    def test_count(self):
+        w = all_ranges(5)
+        assert len(w) == 15  # 5*6/2
+
+    def test_all_distinct(self):
+        w = all_ranges(6)
+        assert len(set(w.queries)) == len(w)
+
+    def test_refuses_large_domains(self):
+        with pytest.raises(ValueError, match="random_ranges"):
+            all_ranges(1000)
+
+
+class TestPrefixRanges:
+    def test_structure(self):
+        w = prefix_ranges(4)
+        assert [(q.lo, q.hi) for q in w] == [(0, 0), (0, 1), (0, 2), (0, 3)]
+
+
+class TestRandomRanges:
+    def test_count_and_validity(self):
+        w = random_ranges(100, count=50, rng=0)
+        assert len(w) == 50
+        for q in w:
+            q.validate_for(100)
+
+    def test_deterministic(self):
+        a = random_ranges(100, count=10, rng=1)
+        b = random_ranges(100, count=10, rng=1)
+        assert a.queries == b.queries
+
+    def test_lengths_vary(self):
+        w = random_ranges(100, count=200, rng=2)
+        assert len(set(w.lengths())) > 10
+
+
+class TestFixedLengthRanges:
+    def test_exhaustive_when_no_count(self):
+        w = fixed_length_ranges(10, 3)
+        assert len(w) == 8  # starts 0..7
+        assert all(q.length == 3 for q in w)
+
+    def test_sampled_when_count_given(self):
+        w = fixed_length_ranges(100, 10, count=7, rng=0)
+        assert len(w) == 7
+        assert all(q.length == 10 for q in w)
+
+    def test_full_domain_length(self):
+        w = fixed_length_ranges(10, 10)
+        assert len(w) == 1
+        assert w.queries[0].lo == 0 and w.queries[0].hi == 9
+
+    def test_rejects_length_above_n(self):
+        with pytest.raises(ValueError):
+            fixed_length_ranges(5, 6)
+
+    def test_name_encodes_length(self):
+        assert fixed_length_ranges(10, 4).name == "len-4"

@@ -1,0 +1,64 @@
+"""Tests for the Workload type."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainMismatchError
+from repro.hist.histogram import Histogram
+from repro.hist.ranges import RangeQuery
+from repro.workloads.workload import Workload
+
+
+class TestConstruction:
+    def test_valid(self):
+        w = Workload(n=5, queries=(RangeQuery(0, 2), RangeQuery(3, 4)))
+        assert len(w) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Workload(n=5, queries=())
+
+    def test_rejects_query_outside_domain(self):
+        with pytest.raises(ValueError):
+            Workload(n=3, queries=(RangeQuery(0, 3),))
+
+    def test_rejects_non_query(self):
+        with pytest.raises(TypeError):
+            Workload(n=3, queries=((0, 1),))
+
+
+class TestEvaluate:
+    def test_against_histogram(self):
+        h = Histogram.from_counts([1.0, 2.0, 3.0])
+        w = Workload(n=3, queries=(RangeQuery(0, 1), RangeQuery(2, 2)))
+        np.testing.assert_allclose(w.evaluate(h), [3.0, 3.0])
+
+    def test_against_raw_counts(self):
+        w = Workload(n=3, queries=(RangeQuery(0, 2),))
+        np.testing.assert_allclose(w.evaluate([1.0, 1.0, 1.0]), [3.0])
+
+    def test_size_mismatch_histogram(self):
+        h = Histogram.from_counts([1.0, 2.0])
+        w = Workload(n=3, queries=(RangeQuery(0, 1),))
+        with pytest.raises(DomainMismatchError):
+            w.evaluate(h)
+
+    def test_size_mismatch_counts(self):
+        w = Workload(n=3, queries=(RangeQuery(0, 1),))
+        with pytest.raises(DomainMismatchError):
+            w.evaluate([1.0, 2.0])
+
+
+class TestApi:
+    def test_lengths(self):
+        w = Workload(n=5, queries=(RangeQuery(0, 0), RangeQuery(1, 4)))
+        assert list(w.lengths()) == [1, 4]
+
+    def test_iter(self):
+        queries = (RangeQuery(0, 0), RangeQuery(1, 1))
+        w = Workload(n=2, queries=queries)
+        assert tuple(w) == queries
+
+    def test_str_contains_name(self):
+        w = Workload(n=2, queries=(RangeQuery(0, 0),), name="unit")
+        assert "unit" in str(w)
