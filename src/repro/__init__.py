@@ -31,6 +31,7 @@ from repro import (
     postprocess,
     spatial,
     streaming,
+    verify,
     workloads,
 )
 from repro.accounting import Accountant, PrivacyBudget

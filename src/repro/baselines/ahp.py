@@ -115,14 +115,17 @@ class Ahp(Publisher):
 
         accountant.spend(eps2, purpose="cluster-sums")
         out = np.empty(n, dtype=np.float64)
+        cluster_bins = []
         for cluster in clusters:
             bins = order[cluster]
+            cluster_bins.append(np.array(bins, dtype=np.int64))
             true_sum = float(histogram.counts[bins].sum())
             noisy_sum = true_sum + float(laplace_noise(eps2, rng=rng)[0])
             out[bins] = noisy_sum / len(bins)
 
         meta = {
             "clusters": len(clusters),
+            "cluster_bins": cluster_bins,
             "cutoff": cutoff,
             "eps_scaffold": eps1,
             "eps_counts": eps2,

@@ -10,21 +10,34 @@ Run one figure quickly::
 
     python -m repro fig_range_vs_len --quick
 
+Run a seed-parallel figure on four worker processes (bit-identical to
+the serial run)::
+
+    python -m repro fig_point_vs_eps --quick --n-jobs 4
+
 Run the full evaluation (slow; this is what EXPERIMENTS.md records)::
 
     python -m repro all
+
+Check one publisher's empirical error against its closed-form oracle::
+
+    python -m repro verify --publisher boost --epsilon 0.1 --trials 60
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.experiments.tables import render_table
 
 __all__ = ["main"]
+
+#: Default trial count for ``verify``; 60 keeps the CLI check fast while
+#: the z=5 band still puts the false-alarm rate well below 1e-5.
+_VERIFY_TRIALS = 60
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,7 +49,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help="experiment id (see --list), or 'all' to run everything",
+        help="experiment id (see --list), 'all' to run everything, or "
+             "'verify' to calibrate a publisher against its error oracle",
     )
     parser.add_argument(
         "--quick",
@@ -49,7 +63,134 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="list_experiments",
         help="list the available experiment ids and exit",
     )
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for seed-parallel experiments "
+             "(1 = serial, -1 = all CPUs); results are bit-identical "
+             "to the serial run",
+    )
+    verify = parser.add_argument_group(
+        "verify options", "only used with the 'verify' experiment id"
+    )
+    verify.add_argument(
+        "--publisher",
+        default="dwork",
+        help="publisher to calibrate (see repro.verify.ORACLE_BUILDERS)",
+    )
+    verify.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.5,
+        help="privacy budget for the calibration publishes",
+    )
+    verify.add_argument(
+        "--trials",
+        type=int,
+        default=_VERIFY_TRIALS,
+        help="number of independent publishes to average",
+    )
+    verify.add_argument(
+        "--bins",
+        type=int,
+        default=64,
+        help="domain size of the synthetic step dataset",
+    )
+    verify.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed of the deterministic verification streams",
+    )
     return parser
+
+
+def _verify_factories(bins: int) -> Dict[str, Callable[[], object]]:
+    """Publisher factories for CLI calibration, keyed by oracle name.
+
+    The structure publishers get a small fixed ``k`` matching the step
+    dataset so their conditional oracles are sharp; MWEM runs its exact
+    full-range regime.
+    """
+    from repro.baselines import (
+        Ahp,
+        Boost,
+        DawaLite,
+        DworkIdentity,
+        FourierPublisher,
+        Mwem,
+        Privelet,
+        UniformFlat,
+    )
+    from repro.core import NoiseFirst, StructureFirst
+    from repro.workloads.builders import fixed_length_ranges
+
+    return {
+        "dwork": DworkIdentity,
+        "uniform": UniformFlat,
+        "boost": Boost,
+        "privelet": Privelet,
+        "noisefirst": lambda: NoiseFirst(k=4),
+        "structurefirst": lambda: StructureFirst(k=4),
+        "dawa-lite": lambda: DawaLite(k=4),
+        "ahp": Ahp,
+        "fourier": FourierPublisher,
+        "mwem": lambda: Mwem(workload=fixed_length_ranges(bins, bins)),
+    }
+
+
+def _run_verify(args: argparse.Namespace) -> int:
+    """Empirical-vs-oracle calibration of one publisher, from the CLI."""
+    from repro.datasets.generators import step_histogram
+    from repro.verify.calibration import check_mean, run_conditional_trials
+    from repro.verify.oracles import oracle_from_result
+    from repro.verify.streams import StreamAllocator
+
+    if args.epsilon <= 0:
+        print(f"error: --epsilon must be > 0, got {args.epsilon}",
+              file=sys.stderr)
+        return 2
+    if args.trials < 2:
+        print(f"error: --trials must be >= 2, got {args.trials}",
+              file=sys.stderr)
+        return 2
+    if args.bins < 8:
+        print(f"error: --bins must be >= 8, got {args.bins}",
+              file=sys.stderr)
+        return 2
+    factories = _verify_factories(args.bins)
+    try:
+        factory = factories[args.publisher]
+    except KeyError:
+        print(
+            f"error: unknown publisher {args.publisher!r}; available: "
+            f"{', '.join(sorted(factories))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    # Well-separated steps keep the structure publishers' realized
+    # partitions deterministic, so the conditional oracles are sharp.
+    histogram = step_histogram(args.bins, 4, total=50_000, rng=7)
+    streams = StreamAllocator(args.seed, namespace="cli-verify")
+    empirical, predicted = run_conditional_trials(
+        factory,
+        histogram,
+        args.epsilon,
+        args.trials,
+        streams,
+        f"verify/{args.publisher}",
+        oracle_from_result=lambda result: oracle_from_result(
+            args.publisher, histogram, args.epsilon, result
+        ),
+    )
+    report = check_mean(empirical, predicted)
+    print(f"verify {args.publisher} eps={args.epsilon:g} "
+          f"bins={args.bins} trials={args.trials}")
+    print(report)
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -66,10 +207,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.print_help()
         return 2
 
+    if args.experiment == "verify":
+        return _run_verify(args)
+
+    if args.n_jobs != -1 and args.n_jobs < 1:
+        print(f"error: --n-jobs must be >= 1 or -1, got {args.n_jobs}",
+              file=sys.stderr)
+        return 2
+
     names = list_experiments() if args.experiment == "all" else [args.experiment]
     for name in names:
         try:
-            tables = run_experiment(name, quick=args.quick)
+            tables = run_experiment(name, quick=args.quick, n_jobs=args.n_jobs)
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2

@@ -25,10 +25,10 @@ from repro.datasets import registry as dataset_registry
 from repro.datasets.generators import step_histogram
 from repro.datasets.standard import age, nettrace, searchlogs, socialnetwork
 from repro.experiments.aggregate import aggregate_records
-from repro.experiments.runner import run_once
+from repro.experiments.runner import run_matrix, run_once
+from repro.experiments.spec import ExperimentSpec
 from repro.experiments.tables import Table
 from repro.hist.histogram import Histogram
-from repro.metrics.divergences import kl_divergence
 from repro.metrics.evaluate import evaluate_workload_error
 from repro.workloads.builders import fixed_length_ranges, unit_queries
 
@@ -108,14 +108,19 @@ def table1_datasets(quick: bool = False) -> List[Table]:
 # fig_point_vs_eps: unit-query MSE vs epsilon
 # ---------------------------------------------------------------------------
 
-def fig_point_vs_eps(quick: bool = False) -> List[Table]:
+def fig_point_vs_eps(quick: bool = False, n_jobs: int = 1) -> List[Table]:
     """MSE of unit-length (point) queries vs epsilon, per dataset.
 
     Expected shape: NoiseFirst tracks or beats Dwork everywhere and wins
     clearly once noise dominates (small epsilon); the tree/wavelet/
     structure publishers pay their overhead and lose on points.
+
+    ``n_jobs`` fans the seed repetitions of each cell out over a process
+    pool via :func:`~repro.experiments.runner.run_matrix`; results are
+    bit-identical to the serial run.
     """
     tables = []
+    seeds = tuple(_seeds(quick))
     for ds_name, hist in _datasets(quick).items():
         unit = unit_queries(hist.size)
         table = Table(
@@ -124,11 +129,17 @@ def fig_point_vs_eps(quick: bool = False) -> List[Table]:
         )
         for eps in _eps_grid(quick):
             row: List[object] = [eps]
-            for factory in ROSTER.values():
-                records = [
-                    run_once(hist, factory(), eps, [unit], seed)
-                    for seed in _seeds(quick)
-                ]
+            for pub_name, factory in ROSTER.items():
+                spec = ExperimentSpec(
+                    name=f"point_vs_eps/{ds_name}/{pub_name}/{eps:g}",
+                    histogram=hist,
+                    publisher_factory=factory,
+                    epsilon=eps,
+                    workloads=(unit,),
+                    seeds=seeds,
+                    n_jobs=n_jobs,
+                )
+                records = run_matrix(spec)
                 agg = aggregate_records(records, lambda r: r.metric("unit", "mse"))
                 row.append(agg.mean)
             table.add_row(*row)
@@ -193,9 +204,14 @@ def fig_range_vs_len(quick: bool = False) -> List[Table]:
 # fig_kl_vs_eps: distribution-level KL divergence vs epsilon
 # ---------------------------------------------------------------------------
 
-def fig_kl_vs_eps(quick: bool = False) -> List[Table]:
-    """KL(truth || published) vs epsilon per dataset."""
+def fig_kl_vs_eps(quick: bool = False, n_jobs: int = 1) -> List[Table]:
+    """KL(truth || published) vs epsilon per dataset.
+
+    Seed repetitions run through :func:`run_matrix`, so ``n_jobs > 1``
+    parallelizes each cell without changing any reported number.
+    """
     tables = []
+    seeds = tuple(_seeds(quick))
     for ds_name, hist in _datasets(quick).items():
         table = Table(
             title=f"fig_kl_vs_eps [{ds_name}]: KL divergence vs epsilon",
@@ -203,14 +219,17 @@ def fig_kl_vs_eps(quick: bool = False) -> List[Table]:
         )
         for eps in _eps_grid(quick):
             row: List[object] = [eps]
-            for factory in ROSTER.values():
-                values = []
-                for seed in _seeds(quick):
-                    result = factory().publish(hist, budget=eps, rng=seed)
-                    values.append(
-                        kl_divergence(hist.counts, result.histogram.counts)
-                    )
-                row.append(float(np.mean(values)))
+            for pub_name, factory in ROSTER.items():
+                spec = ExperimentSpec(
+                    name=f"kl_vs_eps/{ds_name}/{pub_name}/{eps:g}",
+                    histogram=hist,
+                    publisher_factory=factory,
+                    epsilon=eps,
+                    seeds=seeds,
+                    n_jobs=n_jobs,
+                )
+                records = run_matrix(spec)
+                row.append(float(np.mean([r.kl for r in records])))
             table.add_row(*row)
         tables.append(table)
     return tables

@@ -7,6 +7,7 @@ experiment.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, List
 
 from repro.experiments import ablations, extensions, figures
@@ -44,9 +45,14 @@ def list_experiments() -> List[str]:
     return list(EXPERIMENTS)
 
 
-def run_experiment(name: str, quick: bool = False) -> List[Table]:
+def run_experiment(
+    name: str, quick: bool = False, n_jobs: int = 1
+) -> List[Table]:
     """Run one experiment by id and return its tables.
 
+    ``n_jobs`` forwards to experiments whose seed loops run through
+    :func:`~repro.experiments.runner.run_matrix` (currently the
+    ``*_vs_eps`` figures); experiments without a parallel path ignore it.
     Raises KeyError (listing valid ids) on an unknown name.
     """
     try:
@@ -56,4 +62,6 @@ def run_experiment(name: str, quick: bool = False) -> List[Table]:
             f"unknown experiment {name!r}; available: "
             f"{', '.join(list_experiments())}"
         ) from None
+    if "n_jobs" in inspect.signature(fn).parameters:
+        return fn(quick=quick, n_jobs=n_jobs)
     return fn(quick=quick)

@@ -1,18 +1,37 @@
 """Experiment execution.
 
 ``run_once`` executes a single (publisher, dataset, epsilon, seed) cell;
-``run_matrix`` repeats a spec over its seeds and returns the raw records
-for aggregation.  Timing uses ``time.perf_counter`` around the publish
-call only (workload evaluation is excluded), which is what the
-scalability figure reports.
+``run_matrix`` repeats a spec over its seeds — serially or on a process
+pool — and returns the raw records for aggregation.
+
+Timing: ``RunRecord.seconds`` wraps ``time.perf_counter`` around the
+publish call only (that is what the scalability figure reports), while
+``RunRecord.meta['eval_seconds']`` separately records the wall-clock of
+the workload evaluation, so post-processing cost is observable too.
+
+Parallelism and determinism
+---------------------------
+``run_matrix(spec, n_jobs=4)`` fans the seeds out over a
+``ProcessPoolExecutor``.  Every seed owns an independent child RNG
+(``numpy.random.default_rng(seed)`` is constructed inside the worker
+from the integer seed alone), so a record depends only on its
+``(spec, seed)`` pair — never on which process ran it or in what order.
+Parallel results are therefore bit-identical to serial ones in every
+statistical field; only the wall-clock fields differ, and
+:func:`strip_timing` normalizes those for comparisons.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, List
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro._validation import check_integer
 from repro.core.publisher import Publisher
 from repro.experiments.spec import ExperimentSpec
 from repro.hist.histogram import Histogram
@@ -20,7 +39,18 @@ from repro.metrics.divergences import kl_divergence, ks_distance
 from repro.metrics.evaluate import WorkloadErrors, evaluate_workload_error
 from repro.workloads.workload import Workload
 
-__all__ = ["RunRecord", "run_once", "run_matrix"]
+__all__ = [
+    "RunRecord",
+    "run_once",
+    "run_matrix",
+    "resolve_n_jobs",
+    "strip_timing",
+    "records_equal",
+]
+
+#: Timing-carrying fields inside ``RunRecord.meta``; excluded from
+#: determinism comparisons by :func:`strip_timing`.
+_TIMING_META_KEYS = ("eval_seconds",)
 
 
 @dataclass(frozen=True)
@@ -57,40 +87,162 @@ def run_once(
     seed: int,
     spec_name: str = "",
 ) -> RunRecord:
-    """Publish once and evaluate all workloads and divergences."""
+    """Publish once and evaluate all workloads and divergences.
+
+    ``seconds`` times the publish call only; the evaluation wall-clock is
+    reported separately as ``meta['eval_seconds']``.
+    """
     start = time.perf_counter()
     result = publisher.publish(truth, budget=epsilon, rng=seed)
     elapsed = time.perf_counter() - start
+    eval_start = time.perf_counter()
     errors = {
         w.name: evaluate_workload_error(truth, result.histogram, w)
         for w in workloads
     }
+    kl = kl_divergence(truth.counts, result.histogram.counts)
+    ks = ks_distance(truth.counts, result.histogram.counts)
+    eval_elapsed = time.perf_counter() - eval_start
+    meta = dict(result.meta)
+    meta["eval_seconds"] = eval_elapsed
     return RunRecord(
         spec_name=spec_name,
         publisher=publisher.name,
         seed=seed,
         epsilon=epsilon,
         seconds=elapsed,
-        kl=kl_divergence(truth.counts, result.histogram.counts),
-        ks=ks_distance(truth.counts, result.histogram.counts),
+        kl=kl,
+        ks=ks,
         workload_errors=errors,
-        meta=dict(result.meta),
+        meta=meta,
     )
 
 
-def run_matrix(spec: ExperimentSpec) -> List[RunRecord]:
-    """Run a spec once per seed; returns the raw records in seed order."""
-    records = []
-    for seed in spec.seeds:
-        publisher = spec.publisher_factory()
-        records.append(
-            run_once(
-                spec.histogram,
-                publisher,
-                spec.epsilon,
-                list(spec.workloads),
-                seed,
-                spec_name=spec.name,
+def _run_seed(spec: ExperimentSpec, seed: int) -> RunRecord:
+    """One seed of a spec; module-level so process pools can pickle it."""
+    publisher = spec.publisher_factory()
+    record = run_once(
+        spec.histogram,
+        publisher,
+        spec.epsilon,
+        list(spec.workloads),
+        seed,
+        spec_name=spec.name,
+    )
+    meta = dict(record.meta)
+    meta["spec_epsilon"] = spec.epsilon
+    return replace(record, meta=meta)
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalize an ``n_jobs`` request to a concrete worker count.
+
+    ``None`` and ``1`` mean serial; ``-1`` means one worker per CPU;
+    any other value must be a positive integer.
+    """
+    if n_jobs is None:
+        return 1
+    check_integer(n_jobs, "n_jobs")
+    if n_jobs == -1:
+        return max(os.cpu_count() or 1, 1)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    return int(n_jobs)
+
+
+def run_matrix(
+    spec: ExperimentSpec, n_jobs: Optional[int] = None
+) -> List[RunRecord]:
+    """Run a spec once per seed; returns the raw records in seed order.
+
+    Parameters
+    ----------
+    spec:
+        The experiment cell; ``spec.n_jobs`` supplies the default worker
+        count.
+    n_jobs:
+        Overrides ``spec.n_jobs`` when given: 1 = serial, ``N`` = that
+        many worker processes, -1 = all CPUs.  Parallel execution is
+        bit-identical to serial (see the module docstring); if the spec
+        cannot be pickled (e.g. a lambda publisher factory) the run
+        falls back to serial with a warning.
+    """
+    workers = resolve_n_jobs(spec.n_jobs if n_jobs is None else n_jobs)
+    seeds = list(spec.seeds)
+    if workers > 1 and len(seeds) > 1:
+        try:
+            pickle.dumps(spec)
+        except Exception as exc:  # lambdas, local classes, open handles...
+            warnings.warn(
+                f"spec {spec.name!r} is not picklable ({exc}); "
+                "running serially",
+                RuntimeWarning,
+                stacklevel=2,
             )
+        else:
+            with ProcessPoolExecutor(max_workers=min(workers,
+                                                     len(seeds))) as pool:
+                return list(pool.map(_run_seed, [spec] * len(seeds), seeds))
+    return [_run_seed(spec, seed) for seed in seeds]
+
+
+def strip_timing(record: RunRecord) -> RunRecord:
+    """Zero out wall-clock fields, keeping every statistical field.
+
+    Wall-clock is the only part of a record that legitimately differs
+    between serial and parallel execution; compare the stripped records
+    with :func:`records_equal` to assert bit-identical results (plain
+    ``==`` trips over numpy arrays in ``meta``).
+    """
+    meta = dict(record.meta)
+    for key in _TIMING_META_KEYS:
+        if key in meta:
+            meta[key] = 0.0
+    return replace(record, seconds=0.0, meta=meta)
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    """Structural equality that tolerates numpy arrays anywhere."""
+    import numpy as np
+
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.shape == b.shape
+            and bool(np.array_equal(a, b, equal_nan=True))
         )
-    return records
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            _values_equal(a[k], b[k]) for k in a
+        )
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            _values_equal(x, y) for x, y in zip(a, b)
+        )
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+def records_equal(a: RunRecord, b: RunRecord, ignore_timing: bool = True) -> bool:
+    """Field-by-field record equality, array-aware.
+
+    With ``ignore_timing`` (the default) both records pass through
+    :func:`strip_timing` first, so the comparison asserts exactly the
+    bit-identical-statistics contract of parallel ``run_matrix``.
+    """
+    if ignore_timing:
+        a, b = strip_timing(a), strip_timing(b)
+    return (
+        a.spec_name == b.spec_name
+        and a.publisher == b.publisher
+        and a.seed == b.seed
+        and a.epsilon == b.epsilon
+        and a.seconds == b.seconds
+        and a.kl == b.kl
+        and a.ks == b.ks
+        and a.workload_errors == b.workload_errors
+        and _values_equal(a.meta, b.meta)
+    )

@@ -35,9 +35,16 @@ class ExperimentSpec:
     epsilon: float
     workloads: Tuple[Workload, ...] = field(default_factory=tuple)
     seeds: Tuple[int, ...] = (0, 1, 2)
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         check_positive(self.epsilon, "epsilon")
+        if not isinstance(self.n_jobs, int) or isinstance(self.n_jobs, bool):
+            raise TypeError("n_jobs must be an int")
+        if self.n_jobs != -1 and self.n_jobs < 1:
+            raise ValueError(
+                f"n_jobs must be >= 1 or -1, got {self.n_jobs}"
+            )
         if not isinstance(self.histogram, Histogram):
             raise TypeError("histogram must be a Histogram")
         if not callable(self.publisher_factory):

@@ -1,0 +1,176 @@
+"""Process-pool execution of ``run_matrix``: determinism and plumbing.
+
+The contract under test: a parallel run is *bit-identical* to a serial
+run in every statistical field (only wall-clock may differ), because
+each seed owns an independent child RNG constructed from the integer
+seed alone.
+"""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.baselines.dwork import DworkIdentity
+from repro.core import NoiseFirst, StructureFirst
+from repro.datasets.generators import step_histogram
+from repro.experiments.runner import (
+    records_equal,
+    resolve_n_jobs,
+    run_matrix,
+    run_once,
+    strip_timing,
+)
+from repro.experiments.spec import ExperimentSpec
+from repro.workloads.builders import unit_queries
+
+
+@pytest.fixture(scope="module")
+def step_hist():
+    return step_histogram(32, 4, total=20_000, rng=7)
+
+
+def _spec(hist, factory=DworkIdentity, seeds=(0, 1, 2, 3), n_jobs=1):
+    return ExperimentSpec(
+        name="par",
+        histogram=hist,
+        publisher_factory=factory,
+        epsilon=0.5,
+        workloads=(unit_queries(hist.size),),
+        seeds=seeds,
+        n_jobs=n_jobs,
+    )
+
+
+class TestResolveNJobs:
+    def test_none_and_one_are_serial(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(1) == 1
+
+    def test_minus_one_uses_all_cpus(self):
+        assert resolve_n_jobs(-1) == max(os.cpu_count() or 1, 1)
+
+    def test_positive_passthrough(self):
+        assert resolve_n_jobs(3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            resolve_n_jobs(bad)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(TypeError):
+            resolve_n_jobs(2.5)
+
+
+class TestSpecNJobs:
+    def test_default_is_serial(self, step_hist):
+        assert _spec(step_hist).n_jobs == 1
+
+    def test_minus_one_allowed(self, step_hist):
+        assert _spec(step_hist, n_jobs=-1).n_jobs == -1
+
+    def test_rejects_zero(self, step_hist):
+        with pytest.raises(ValueError):
+            _spec(step_hist, n_jobs=0)
+
+    def test_rejects_bool(self, step_hist):
+        with pytest.raises(TypeError):
+            _spec(step_hist, n_jobs=True)
+
+
+class TestParallelBitIdentical:
+    @pytest.mark.parametrize("factory", [DworkIdentity, NoiseFirst,
+                                         StructureFirst])
+    def test_parallel_matches_serial(self, step_hist, factory):
+        spec = _spec(step_hist, factory=factory)
+        serial = run_matrix(spec, n_jobs=1)
+        parallel = run_matrix(spec, n_jobs=4)
+        assert len(serial) == len(parallel) == len(spec.seeds)
+        for a, b in zip(serial, parallel):
+            assert records_equal(a, b), (a.seed, b.seed)
+
+    def test_spec_n_jobs_is_the_default(self, step_hist):
+        spec = _spec(step_hist, n_jobs=2)
+        parallel = run_matrix(spec)  # no override: uses spec.n_jobs=2
+        serial = run_matrix(spec, n_jobs=1)
+        for a, b in zip(serial, parallel):
+            assert records_equal(a, b)
+
+    def test_seed_order_preserved(self, step_hist):
+        spec = _spec(step_hist, seeds=(5, 3, 11, 2))
+        records = run_matrix(spec, n_jobs=4)
+        assert [r.seed for r in records] == [5, 3, 11, 2]
+
+    def test_unpicklable_spec_falls_back_to_serial(self, step_hist):
+        spec = _spec(step_hist, factory=lambda: DworkIdentity())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            records = run_matrix(spec, n_jobs=4)
+        assert len(records) == len(spec.seeds)
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+        # Fallback still produces the same numbers as an explicit serial run.
+        serial = run_matrix(spec, n_jobs=1)
+        for a, b in zip(serial, records):
+            assert records_equal(a, b)
+
+    def test_single_seed_stays_serial(self, step_hist):
+        # No pool spin-up for one seed; result identical either way.
+        spec = _spec(step_hist, seeds=(9,))
+        a = run_matrix(spec, n_jobs=4)
+        b = run_matrix(spec, n_jobs=1)
+        assert records_equal(a[0], b[0])
+
+
+class TestRecordMetadata:
+    def test_run_once_times_publish_and_eval_separately(self, step_hist):
+        record = run_once(
+            step_hist, DworkIdentity(), 0.5,
+            [unit_queries(step_hist.size)], seed=0,
+        )
+        assert record.seconds >= 0.0
+        assert record.meta["eval_seconds"] >= 0.0
+
+    def test_run_matrix_injects_spec_epsilon(self, step_hist):
+        records = run_matrix(_spec(step_hist))
+        for record in records:
+            assert record.meta["spec_epsilon"] == 0.5
+            assert record.epsilon == 0.5
+
+    def test_strip_timing_zeroes_wallclock_only(self, step_hist):
+        record = run_matrix(_spec(step_hist, seeds=(0,)))[0]
+        stripped = strip_timing(record)
+        assert stripped.seconds == 0.0
+        assert stripped.meta["eval_seconds"] == 0.0
+        assert stripped.kl == record.kl
+        assert stripped.workload_errors == record.workload_errors
+
+    def test_records_equal_ignores_timing_by_default(self, step_hist):
+        spec = _spec(step_hist, seeds=(0,))
+        a = run_matrix(spec)[0]
+        b = run_matrix(spec)[0]
+        assert a.seconds != 0.0 or b.seconds != 0.0 or True
+        assert records_equal(a, b)
+        assert not records_equal(
+            a, b, ignore_timing=False
+        ) or a.seconds == b.seconds
+
+    def test_records_equal_detects_statistical_differences(self, step_hist):
+        spec_a = _spec(step_hist, seeds=(0,))
+        spec_b = _spec(step_hist, seeds=(1,))
+        a = run_matrix(spec_a)[0]
+        b = run_matrix(spec_b)[0]
+        assert not records_equal(a, b)
+
+
+class TestNumpyArrayMeta:
+    def test_records_equal_handles_array_meta(self, step_hist):
+        # NoiseFirst stores numpy arrays in meta; plain == would raise.
+        spec = _spec(step_hist, factory=NoiseFirst, seeds=(0,))
+        a = run_matrix(spec)[0]
+        b = run_matrix(spec)[0]
+        assert isinstance(
+            a.meta.get("noisy_sse_by_k"), (np.ndarray, type(None))
+        )
+        assert records_equal(a, b)

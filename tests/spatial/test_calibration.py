@@ -1,0 +1,84 @@
+"""Oracle-backed calibration of the 2-D (spatial) publishers.
+
+Both publishers under test have deterministic structure (identity, or a
+fixed ``m x m`` grid), so their oracles are unconditional; empirical
+per-cell MSE over many seeded trials must match the analytic prediction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.spatial.histogram2d import Histogram2D
+from repro.spatial.publishers import Identity2D, UniformGrid
+from repro.verify.calibration import check_mean
+from repro.verify.oracles import identity2d_oracle, uniformgrid_oracle
+from repro.verify.streams import StreamAllocator
+
+pytestmark = pytest.mark.statistical
+
+STREAMS = StreamAllocator(99, namespace="tests.spatial.calibration")
+N_TRIALS = 200
+EPS = 0.5
+
+
+@pytest.fixture(scope="module")
+def grid_hist():
+    rng = np.random.default_rng(11)
+    counts = rng.poisson(40.0, size=(12, 12)).astype(float)
+    return Histogram2D(counts=counts, name="poisson-grid")
+
+
+def _trial_mses(factory, hist, stream_name, n_trials=N_TRIALS):
+    mses = np.empty(n_trials)
+    for i, gen in enumerate(STREAMS.generators(stream_name, n_trials)):
+        result = factory().publish(hist, budget=EPS, rng=gen)
+        diff = result.histogram.counts - hist.counts
+        mses[i] = float(np.mean(diff**2))
+    return mses
+
+
+class TestIdentity2D:
+    def test_unit_mse_matches_oracle(self, grid_hist):
+        mses = _trial_mses(Identity2D, grid_hist, "identity2d/unit")
+        oracle = identity2d_oracle(grid_hist.shape, EPS)
+        report = check_mean(mses, oracle.unit_mse())
+        assert report.ok, str(report)
+
+    def test_oracle_is_flat_dwork(self, grid_hist):
+        oracle = identity2d_oracle(grid_hist.shape, EPS)
+        assert oracle.n == 144
+        np.testing.assert_allclose(oracle.per_bin_variance, 2.0 / EPS**2)
+
+
+class TestUniformGrid:
+    M = 4
+
+    def test_unit_mse_matches_oracle(self, grid_hist):
+        mses = _trial_mses(
+            lambda: UniformGrid(m=self.M), grid_hist, "uniformgrid/unit"
+        )
+        oracle = uniformgrid_oracle(grid_hist.counts, EPS, self.M, self.M)
+        report = check_mean(mses, oracle.unit_mse())
+        assert report.ok, str(report)
+
+    def test_block_structure_shares_noise(self, grid_hist):
+        oracle = uniformgrid_oracle(grid_hist.counts, EPS, self.M, self.M)
+        # 12/4 = 3x3 cells per block: noise variance 2/(eps^2 * 9^2),
+        # identical within a block.
+        area = 9
+        np.testing.assert_allclose(
+            oracle.per_bin_variance, 2.0 / (EPS**2 * area**2)
+        )
+        # First two cells of row 0 share a block -> full covariance.
+        assert oracle.covariance[0, 1] == pytest.approx(
+            oracle.covariance[0, 0]
+        )
+
+    def test_miscalibrated_grid_size_would_fail(self, grid_hist):
+        # Power: predicting with the wrong block size must trip the band.
+        mses = _trial_mses(
+            lambda: UniformGrid(m=self.M), grid_hist, "uniformgrid/power"
+        )
+        wrong = uniformgrid_oracle(grid_hist.counts, EPS, 6, 6)
+        report = check_mean(mses, wrong.unit_mse())
+        assert not report.ok, str(report)

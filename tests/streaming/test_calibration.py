@@ -1,0 +1,113 @@
+"""Oracle-backed calibration of the streaming release mechanisms.
+
+* UniformStream's every release is the Dwork baseline at the per-step
+  share ``eps/w`` — checked against ``uniform_stream_oracle``.
+* ThresholdStream's distance test publishes
+  ``true distance + Lap(1/(n eps_test))`` in its metadata — checked
+  distributionally with a KS test, since the test noise is the one piece
+  of the stream that never reaches the released histograms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hist.histogram import Histogram
+from repro.streaming.release import ThresholdStream, UniformStream
+from repro.verify.calibration import check_mean
+from repro.verify.oracles import uniform_stream_oracle
+from repro.verify.stats import ks_test, laplace_cdf
+from repro.verify.streams import StreamAllocator
+
+pytestmark = pytest.mark.statistical
+
+STREAMS = StreamAllocator(123, namespace="tests.streaming.calibration")
+N_TRIALS = 200
+EPS = 1.0
+W = 5
+N_BINS = 32
+
+
+@pytest.fixture(scope="module")
+def frame():
+    rng = np.random.default_rng(3)
+    return Histogram.from_counts(rng.poisson(50.0, size=N_BINS).astype(float))
+
+
+class TestUniformStream:
+    def test_single_release_matches_oracle(self, frame):
+        oracle = uniform_stream_oracle(N_BINS, EPS, W)
+        mses = np.empty(N_TRIALS)
+        for i, gen in enumerate(STREAMS.generators("uniform/one", N_TRIALS)):
+            release = UniformStream(EPS, W).release(frame, rng=gen)
+            diff = release.histogram.counts - frame.counts
+            mses[i] = float(np.mean(diff**2))
+        report = check_mean(mses, oracle.unit_mse())
+        assert report.ok, str(report)
+
+    def test_every_step_has_the_same_error_law(self, frame):
+        # The per-step share is constant, so step 3 is as noisy as step 0.
+        oracle = uniform_stream_oracle(N_BINS, EPS, W)
+        n_trials = N_TRIALS
+        mses_last = np.empty(n_trials)
+        for i, gen in enumerate(STREAMS.generators("uniform/steps", n_trials)):
+            stream = UniformStream(EPS, W)
+            for _ in range(3):
+                release = stream.release(frame, rng=gen)
+            diff = release.histogram.counts - frame.counts
+            mses_last[i] = float(np.mean(diff**2))
+        report = check_mean(mses_last, oracle.unit_mse())
+        assert report.ok, str(report)
+
+    def test_oracle_is_dwork_at_per_step_share(self):
+        oracle = uniform_stream_oracle(N_BINS, EPS, W)
+        np.testing.assert_allclose(
+            oracle.per_bin_variance, 2.0 * (W / EPS) ** 2
+        )
+
+
+class TestThresholdStreamDistanceTest:
+    TEST_FRACTION = 0.2
+
+    def _distance_noise_samples(self, frame, moved, stream_name, n):
+        """meta['distance'] minus the known true distance = test noise."""
+        true_distance = float(
+            np.abs(moved.counts - frame.counts).mean()
+        )
+        samples = np.empty(n)
+        for i, gen in enumerate(STREAMS.generators(stream_name, n)):
+            stream = ThresholdStream(
+                EPS, W, threshold=1e9, test_fraction=self.TEST_FRACTION
+            )
+            first = stream.release(frame, rng=gen)
+            assert first.fresh and first.meta["distance"] is None
+            # Huge threshold -> republish; but we must subtract the
+            # distance to the *noisy* first release, not to `frame`.
+            second = stream.release(moved, rng=gen)
+            realized = float(
+                np.abs(moved.counts - first.histogram.counts).mean()
+            )
+            samples[i] = second.meta["distance"] - realized
+        assert true_distance > 0  # the scenario really moved
+        return samples
+
+    def test_distance_noise_is_calibrated_laplace(self, frame):
+        moved = frame.with_counts(frame.counts + 4.0)
+        samples = self._distance_noise_samples(
+            frame, moved, "threshold/ks", 400
+        )
+        eps_test = (EPS / W) * self.TEST_FRACTION
+        scale = 1.0 / (N_BINS * eps_test)
+        result = ks_test(samples, lambda x: laplace_cdf(x, scale=scale))
+        assert result.passes(alpha=1e-3), STREAMS.describe("threshold/ks")
+
+    def test_wrong_sensitivity_would_be_caught(self, frame):
+        # Power: if the implementation forgot the 1/n sensitivity of the
+        # mean-L1 distance, the noise would be n times larger.
+        moved = frame.with_counts(frame.counts + 4.0)
+        samples = self._distance_noise_samples(
+            frame, moved, "threshold/power", 400
+        )
+        eps_test = (EPS / W) * self.TEST_FRACTION
+        wrong_scale = 1.0 / eps_test  # sensitivity-1 (no 1/n) law
+        result = ks_test(samples, lambda x: laplace_cdf(x, scale=wrong_scale))
+        assert not result.passes(alpha=1e-3)

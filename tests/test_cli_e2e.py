@@ -1,0 +1,112 @@
+"""End-to-end CLI tests: real ``python -m repro`` subprocesses.
+
+The in-process tests in ``test_cli.py`` cover argument parsing; these
+run the installed entry point exactly as a user would, including exit
+codes, stderr routing, and the ``--n-jobs`` parallel path (whose output
+must be byte-identical to the serial run).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+
+def run_cli(*args, timeout=300):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+
+
+@pytest.mark.slow
+class TestSubprocessRuns:
+    def test_list_prints_experiment_ids(self):
+        proc = run_cli("--list")
+        assert proc.returncode == 0
+        ids = proc.stdout.split()
+        assert "table1" in ids
+        assert "fig_point_vs_eps" in ids
+
+    def test_quick_experiment_renders_table(self):
+        proc = run_cli("table1", "--quick")
+        assert proc.returncode == 0
+        assert "table1: evaluation datasets" in proc.stdout
+
+    def test_parallel_output_identical_to_serial(self):
+        serial = run_cli("fig_point_vs_eps", "--quick", "--n-jobs", "1")
+        parallel = run_cli("fig_point_vs_eps", "--quick", "--n-jobs", "2")
+        assert serial.returncode == 0
+        assert parallel.returncode == 0
+        assert serial.stdout == parallel.stdout  # bit-identical end to end
+
+    def test_unknown_experiment_exits_2(self):
+        proc = run_cli("fig_does_not_exist")
+        assert proc.returncode == 2
+        assert "unknown experiment" in proc.stderr
+        assert "fig_point_vs_eps" in proc.stderr  # lists valid ids
+
+    def test_no_arguments_prints_help(self):
+        proc = run_cli()
+        assert proc.returncode == 2
+        assert "experiment" in proc.stdout
+
+    def test_verify_publisher_ok(self):
+        proc = run_cli(
+            "verify", "--publisher", "dwork", "--epsilon", "0.5",
+            "--trials", "40", "--bins", "32",
+        )
+        assert proc.returncode == 0
+        assert "[OK]" in proc.stdout
+
+    def test_verify_invalid_epsilon_exits_2(self):
+        proc = run_cli("verify", "--publisher", "dwork", "--epsilon", "-0.5")
+        assert proc.returncode == 2
+        assert "--epsilon" in proc.stderr
+
+    def test_verify_unknown_publisher_exits_2(self):
+        proc = run_cli("verify", "--publisher", "laplaceinator")
+        assert proc.returncode == 2
+        assert "unknown publisher" in proc.stderr
+
+
+class TestInProcessFlagValidation:
+    """Fast error-path checks that don't need a subprocess."""
+
+    def test_bad_n_jobs_rejected(self, capsys):
+        assert main(["table1", "--n-jobs", "0"]) == 2
+        assert "--n-jobs" in capsys.readouterr().err
+
+    def test_negative_one_n_jobs_accepted_with_list(self, capsys):
+        # -1 is "all CPUs"; validate it parses (run something cheap).
+        assert main(["--list"]) == 0
+
+    def test_verify_trials_validated(self, capsys):
+        assert main(["verify", "--trials", "1"]) == 2
+        assert "--trials" in capsys.readouterr().err
+
+    def test_verify_bins_validated(self, capsys):
+        assert main(["verify", "--bins", "4"]) == 2
+        assert "--bins" in capsys.readouterr().err
+
+    def test_verify_in_process_smoke(self, capsys):
+        code = main([
+            "verify", "--publisher", "uniform", "--trials", "10",
+            "--bins", "16",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[OK]" in out

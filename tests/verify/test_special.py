@@ -1,0 +1,110 @@
+"""Numpy-only special functions vs externally computed references.
+
+Reference values were computed with scipy.special / scipy.stats (which
+are deliberately *not* dependencies of this package) and hard-coded, so
+the pure-numpy implementations are pinned to an independent source.
+"""
+
+import math
+
+import pytest
+
+from repro.verify.special import (
+    chi2_sf,
+    gammainc_lower,
+    gammainc_upper,
+    kolmogorov_sf,
+    normal_sf,
+)
+
+
+class TestIncompleteGamma:
+    @pytest.mark.parametrize(
+        "a, x, expected",
+        [
+            (0.5, 0.3, 0.5614219739190003),
+            (2.0, 1.5, 0.4421745996289252),
+            (5.0, 10.0, 0.9707473119230389),   # continued-fraction branch
+            (10.0, 3.0, 0.0011024881301154815),  # series branch
+        ],
+    )
+    def test_lower_matches_scipy(self, a, x, expected):
+        assert gammainc_lower(a, x) == pytest.approx(expected, rel=1e-10)
+
+    @pytest.mark.parametrize("a, x", [(0.5, 0.3), (2.0, 1.5), (5.0, 10.0)])
+    def test_lower_plus_upper_is_one(self, a, x):
+        assert gammainc_lower(a, x) + gammainc_upper(a, x) == pytest.approx(1.0)
+
+    def test_boundaries(self):
+        assert gammainc_lower(3.0, 0.0) == 0.0
+        assert gammainc_upper(3.0, 0.0) == 1.0
+
+    def test_monotone_in_x(self):
+        values = [gammainc_lower(2.5, x) for x in (0.1, 0.5, 1.0, 3.0, 8.0)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            gammainc_lower(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            gammainc_lower(1.0, -2.0)
+
+
+class TestChi2Sf:
+    @pytest.mark.parametrize(
+        "stat, df, expected",
+        [
+            (3.0, 2, 0.22313016014842982),
+            (10.5, 4, 0.03279698999488366),
+            (1.2, 1, 0.273321678292295),
+            (25.0, 10, 0.005345505487134069),
+        ],
+    )
+    def test_matches_scipy(self, stat, df, expected):
+        assert chi2_sf(stat, df) == pytest.approx(expected, rel=1e-10)
+
+    def test_df2_closed_form(self):
+        # For df=2 the chi-square is Exp(1/2): sf(x) = exp(-x/2).
+        for x in (0.5, 2.0, 7.0):
+            assert chi2_sf(x, 2) == pytest.approx(math.exp(-x / 2), rel=1e-12)
+
+    def test_zero_statistic(self):
+        assert chi2_sf(0.0, 5) == pytest.approx(1.0)
+
+
+class TestKolmogorovSf:
+    @pytest.mark.parametrize(
+        "lam, expected",
+        [
+            (0.5, 0.9639452436648751),
+            (0.8284, 0.49870118123785884),
+            (1.0, 0.26999967167735456),
+            (1.5, 0.022217962616525127),
+            (2.0, 0.0006709252557796953),
+        ],
+    )
+    def test_matches_scipy(self, lam, expected):
+        assert kolmogorov_sf(lam) == pytest.approx(expected, rel=1e-8)
+
+    def test_tiny_lambda_saturates(self):
+        assert kolmogorov_sf(0.01) == 1.0
+
+    def test_monotone_decreasing(self):
+        values = [kolmogorov_sf(x) for x in (0.3, 0.6, 1.0, 1.6, 2.5)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestNormalSf:
+    @pytest.mark.parametrize(
+        "z, expected",
+        [
+            (0.0, 0.5),
+            (1.0, 0.15865525393145707),
+            (2.5, 0.006209665325776132),
+        ],
+    )
+    def test_matches_scipy(self, z, expected):
+        assert normal_sf(z) == pytest.approx(expected, rel=1e-12)
+
+    def test_symmetry(self):
+        assert normal_sf(-1.3) == pytest.approx(1.0 - normal_sf(1.3))

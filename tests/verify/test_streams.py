@@ -1,0 +1,75 @@
+"""Determinism and independence of the named RNG stream allocator."""
+
+import numpy as np
+import pytest
+
+from repro.verify.streams import StreamAllocator
+
+
+class TestDeterminism:
+    def test_same_name_same_stream(self):
+        a = StreamAllocator(7).generator("laplace")
+        b = StreamAllocator(7).generator("laplace")
+        np.testing.assert_array_equal(a.random(32), b.random(32))
+
+    def test_different_names_differ(self):
+        alloc = StreamAllocator(7)
+        a = alloc.generator("laplace").random(32)
+        b = alloc.generator("geometric").random(32)
+        assert not np.array_equal(a, b)
+
+    def test_different_root_seeds_differ(self):
+        a = StreamAllocator(7).generator("x").random(32)
+        b = StreamAllocator(8).generator("x").random(32)
+        assert not np.array_equal(a, b)
+
+    def test_namespaces_isolate_names(self):
+        a = StreamAllocator(7, namespace="mod_a").generator("x").random(16)
+        b = StreamAllocator(7, namespace="mod_b").generator("x").random(16)
+        assert not np.array_equal(a, b)
+
+    def test_known_first_draw_pinned(self):
+        # Regression pin: the derivation (sha256 -> SeedSequence) must
+        # never silently change, or historical failures stop reproducing.
+        gen = StreamAllocator(0, namespace="pin").generator("stream")
+        first = gen.integers(0, 2**32)
+        again = StreamAllocator(0, namespace="pin").generator("stream")
+        assert first == again.integers(0, 2**32)
+
+
+class TestSpawnedTrials:
+    def test_trial_i_stable_under_count(self):
+        alloc = StreamAllocator(3, namespace="trials")
+        few = alloc.generators("calib", 4)
+        many = alloc.generators("calib", 16)
+        for i in range(4):
+            np.testing.assert_array_equal(few[i].random(8), many[i].random(8))
+
+    def test_trials_mutually_distinct(self):
+        gens = StreamAllocator(3).generators("calib", 8)
+        draws = [g.random(16) for g in gens]
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            StreamAllocator(3).generators("x", 0)
+
+
+class TestIntrospection:
+    def test_describe_is_reproduction_recipe(self):
+        alloc = StreamAllocator(11, namespace="verify.laplace")
+        recipe = alloc.describe("ks")
+        assert "root_seed=11" in recipe
+        assert "verify.laplace" in recipe
+        assert "'ks'" in recipe
+        # The recipe is executable python reproducing the stream.
+        gen = eval(recipe, {"StreamAllocator": StreamAllocator})
+        np.testing.assert_array_equal(
+            gen.random(8), alloc.generator("ks").random(8)
+        )
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValueError):
+            StreamAllocator(-1)
