@@ -23,7 +23,7 @@ and 4 spend budget.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -62,6 +62,13 @@ class Ahp(Publisher):
         match the NF/SF convention; the successors bench sweeps it).
     threshold_const:
         ``c`` in the cutoff ``c * sqrt(log n) / eps1``.
+    kernel:
+        DP engine for the clustering step
+        (:data:`repro.perf.kernels.KERNELS`); ``None`` defers to
+        :func:`repro.perf.kernels.resolve_kernel`.  The sorted scaffold
+        certifies the Monge property, so the default engages the
+        ``O(n k log n)`` divide-and-conquer kernel — AHP is the
+        publisher this speedup targets (see ``docs/performance.md``).
     """
 
     name = "ahp"
@@ -70,12 +77,14 @@ class Ahp(Publisher):
         self,
         scaffold_fraction: float = 0.5,
         threshold_const: float = 1.0,
+        kernel: Optional[str] = None,
     ) -> None:
         check_in_range(scaffold_fraction, "scaffold_fraction", 0.0, 1.0,
                        inclusive=False)
         check_positive(threshold_const, "threshold_const")
         self.scaffold_fraction = scaffold_fraction
         self.threshold_const = threshold_const
+        self.kernel = kernel
 
     def _publish(
         self,
@@ -104,7 +113,7 @@ class Ahp(Publisher):
         sigma1_sq = 2.0 / (eps1 * eps1)
         sigma2_sq = 2.0 / (eps2 * eps2)
         max_k = min(n, 128)
-        table = voptimal_table(sorted_vals, max_k)
+        table = voptimal_table(sorted_vals, max_k, kernel=self.kernel)
         ks = np.arange(1, max_k + 1, dtype=np.float64)
         penalty = 2.0 * sigma1_sq * ks * (np.log(n / ks) + 1.0)
         remeasure = sigma2_sq * ks * ks / n

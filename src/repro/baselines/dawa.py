@@ -36,7 +36,7 @@ from repro.hist.histogram import Histogram
 from repro.mechanisms.laplace import laplace_noise
 from repro.partition.gibbs import sample_partition_em
 from repro.partition.partition import Partition
-from repro.partition.sae import sae_matrix
+from repro.perf.costrows import LazySAECost
 
 __all__ = ["DawaLite"]
 
@@ -87,9 +87,9 @@ class DawaLite(Publisher):
         else:
             eps1 = accountant.total.epsilon * self.partition_fraction
             accountant.spend(eps1, purpose="em-partition")
-            matrix = sae_matrix(histogram.counts)
+            cost = LazySAECost(histogram.counts)  # O(n) cost state
             alpha = eps1 / 2.0  # SAE utility has sensitivity exactly 1
-            partition = sample_partition_em(matrix, k, alpha, rng=rng)
+            partition = sample_partition_em(cost, k, alpha, rng=rng)
 
         eps2 = accountant.remaining.epsilon
         sums = partition.bucket_sums(histogram.counts)

@@ -22,6 +22,10 @@ Run the full evaluation (slow; this is what EXPERIMENTS.md records)::
 Check one publisher's empirical error against its closed-form oracle::
 
     python -m repro verify --publisher boost --epsilon 0.1 --trials 60
+
+Refresh the tracked performance benchmarks (and gate on regressions)::
+
+    python -m repro bench --quick --check
 """
 
 from __future__ import annotations
@@ -49,8 +53,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help="experiment id (see --list), 'all' to run everything, or "
-             "'verify' to calibrate a publisher against its error oracle",
+        help="experiment id (see --list), 'all' to run everything, "
+             "'verify' to calibrate a publisher against its error oracle, "
+             "or 'bench' to refresh the tracked performance benchmarks",
     )
     parser.add_argument(
         "--quick",
@@ -103,6 +108,21 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="root seed of the deterministic verification streams",
+    )
+    bench = parser.add_argument_group(
+        "bench options", "only used with the 'bench' experiment id"
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed BENCH_*.json baselines and "
+             "exit 1 on a >25%% calibration-normalized regression",
+    )
+    bench.add_argument(
+        "--output-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for BENCH_*.json (default: the repository root)",
     )
     return parser
 
@@ -209,6 +229,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.experiment == "verify":
         return _run_verify(args)
+
+    if args.experiment == "bench":
+        from repro.perf.bench import run_bench
+
+        return run_bench(
+            quick=args.quick, check=args.check, output_dir=args.output_dir
+        )
 
     if args.n_jobs != -1 and args.n_jobs < 1:
         print(f"error: --n-jobs must be >= 1 or -1, got {args.n_jobs}",

@@ -49,6 +49,12 @@ class NoiseFirst(Publisher):
     neighbours:
         Neighbouring-dataset convention; controls the Laplace sensitivity
         (1 for ``"unbounded"``, 2 for ``"bounded"``).
+    kernel:
+        DP engine for the post-processing v-optimal merge
+        (:data:`repro.perf.kernels.KERNELS`); ``None`` defers to
+        :func:`repro.perf.kernels.resolve_kernel`.  Noisy counts are
+        unsorted, so the exact blocked kernel is the effective engine —
+        see ``docs/performance.md``.
     """
 
     name = "noisefirst"
@@ -58,6 +64,7 @@ class NoiseFirst(Publisher):
         k: Optional[int] = None,
         max_k: int = _DEFAULT_MAX_K,
         neighbours: str = "unbounded",
+        kernel: Optional[str] = None,
     ) -> None:
         if k is not None:
             check_integer(k, "k", minimum=1)
@@ -66,6 +73,7 @@ class NoiseFirst(Publisher):
         self.max_k = max_k
         self.sensitivity = histogram_sensitivity(neighbours)
         self.neighbours = neighbours
+        self.kernel = kernel
 
     def _publish(
         self,
@@ -83,12 +91,12 @@ class NoiseFirst(Publisher):
         # Everything below is post-processing of `noisy` only.
         if self.k is not None:
             k_limit = min(self.k, n)
-            table = voptimal_table(noisy, k_limit)
+            table = voptimal_table(noisy, k_limit, kernel=self.kernel)
             chosen_k = k_limit
             estimates = None
         else:
             k_limit = min(self.max_k, n)
-            table = voptimal_table(noisy, k_limit)
+            table = voptimal_table(noisy, k_limit, kernel=self.kernel)
             estimates = noise_first_error_estimates(table, epsilon)
             chosen_k = int(np.argmin(estimates[1:]) + 1)
             # Publishing the raw noisy counts is the k = n member of the

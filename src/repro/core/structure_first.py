@@ -52,9 +52,8 @@ from repro.mechanisms.sensitivity import sse_sensitivity_bound
 from repro.partition.equiwidth import equiwidth_partition
 from repro.partition.partition import Partition
 from repro.partition.gibbs import sample_partition_em
-from repro.partition.sae import sae_matrix
-from repro.partition.sse import SegmentStats
 from repro.partition.voptimal import voptimal_partition
+from repro.perf.costrows import LazySAECost, PrefixSSECost
 
 __all__ = ["StructureFirst"]
 
@@ -190,16 +189,16 @@ class StructureFirst(Publisher):
         which realizes the exponential mechanism over all
         ``C(n-1, k-1)`` partitions exactly, in one spend of the full
         structure budget.
+
+        Costs are streamed through the lazy cost-rows providers
+        (:mod:`repro.perf.costrows`), so the draw peaks at ``O(n k)``
+        memory — never the dense ``(n, n + 1)`` cost matrix.
         """
-        n = len(counts)
         if self.score == "sae":
-            cost_matrix = sae_matrix(counts)
+            cost = LazySAECost(counts)
             sensitivity = 1.0
         else:
-            stats = SegmentStats(counts)
-            cost_matrix = np.zeros((n, n + 1), dtype=np.float64)
-            for j in range(1, n + 1):
-                cost_matrix[:j, j] = stats.sse_row(j)
+            cost = PrefixSSECost(counts)
             cap = self.count_cap if self.count_cap is not None else float(
                 np.max(np.abs(counts))
             )
@@ -207,4 +206,4 @@ class StructureFirst(Publisher):
 
         accountant.spend(eps_structure, purpose="em-structure")
         alpha = eps_structure / (2.0 * sensitivity)
-        return sample_partition_em(cost_matrix, k, alpha, rng=rng)
+        return sample_partition_em(cost, k, alpha, rng=rng)

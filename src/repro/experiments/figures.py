@@ -327,8 +327,12 @@ def fig_scalability(quick: bool = False) -> List[Table]:
     table = Table(
         title="fig_scalability: publish seconds vs domain size",
         headers=["n"] + list(ROSTER),
-        notes="NoiseFirst's adaptive search is the O(n^2 k) outlier; the "
-              "others are O(n log n) or better",
+        notes="NoiseFirst's adaptive search runs the exact blocked "
+              "O(n^2 k) DP (noisy counts are unsorted, so the Monge "
+              "divide-and-conquer kernel cannot engage; see "
+              "docs/performance.md) and remains the scaling outlier; "
+              "AHP's sorted clustering rides the O(n k log n) kernel "
+              "and the others are O(n log n) or better",
     )
     for n in sizes:
         hist = searchlogs(n_bins=n, total=100_000)

@@ -14,6 +14,16 @@ the softmax weights.  This draws from the Gibbs distribution *exactly*
 (standard forward-filter backward-sample), in ``O(n^2 k)`` time — the
 same cost as the v-optimal DP itself.
 
+Costs are consumed **one column at a time** through the cost-rows
+protocol (:mod:`repro.perf.costrows`): the forward filter only ever
+needs ``cost(i, j)`` for the current prefix ``j``, and the backward
+sampler touches ``k - 1`` columns.  Passing a lazy provider
+(:class:`~repro.perf.costrows.LazySAECost`,
+:class:`~repro.perf.costrows.PrefixSSECost`) therefore runs the whole
+draw in ``O(n k)`` memory instead of materializing the dense
+``(n, n + 1)`` cost matrix (``O(n^2)``).  A precomputed ndarray is still
+accepted and wrapped in :class:`~repro.perf.costrows.DenseCost`.
+
 At ``alpha -> 0`` the distribution degrades gracefully to uniform over
 all feasible partitions (boundaries ~ uniform order statistics), not to
 any degenerate shape; at ``alpha -> inf`` it concentrates on the
@@ -29,6 +39,7 @@ import numpy as np
 
 from repro._validation import as_rng, check_integer, check_non_negative
 from repro.partition.partition import Partition
+from repro.perf.costrows import as_cost_rows
 
 __all__ = ["sample_partition_em", "log_partition_table"]
 
@@ -43,19 +54,18 @@ def _logsumexp(values: np.ndarray) -> float:
     return float(top + np.log(np.exp(values - top).sum()))
 
 
-def log_partition_table(cost_matrix: np.ndarray, k: int, alpha: float) -> np.ndarray:
+def log_partition_table(cost, k: int, alpha: float) -> np.ndarray:
     """Forward pass: ``L[level][j] = log sum over partitions of first j bins
     into `level` buckets of exp(-alpha * cost)``.
 
-    ``cost_matrix[i, j]`` must hold the cost of the segment ``[i, j)``
-    (shape ``(n, n + 1)``, e.g. :func:`repro.partition.sae.sae_matrix`).
-    Infeasible states are ``-inf``.
+    ``cost`` is either a cost-rows provider (``.n`` and ``.column(j)``
+    returning ``cost(i, j)`` for ``i in [0, j)``) or a dense
+    ``(n, n + 1)`` matrix (e.g. :func:`repro.partition.sae.sae_matrix`).
+    Infeasible states are ``-inf``.  Peak extra memory is one column
+    plus the ``(k + 1, n + 1)`` table when a lazy provider is passed.
     """
-    if cost_matrix.ndim != 2 or cost_matrix.shape[1] != cost_matrix.shape[0] + 1:
-        raise ValueError(
-            f"cost_matrix must have shape (n, n+1), got {cost_matrix.shape}"
-        )
-    n = cost_matrix.shape[0]
+    rows = as_cost_rows(cost)
+    n = rows.n
     check_integer(k, "k", minimum=1)
     if k > n:
         raise ValueError(f"k ({k}) cannot exceed n ({n})")
@@ -68,7 +78,6 @@ def log_partition_table(cost_matrix: np.ndarray, k: int, alpha: float) -> np.nda
     # -inf entries of infeasible states propagate correctly through the
     # row-wise stable logsumexp below.
     for j in range(1, n + 1):
-        closing = alpha * cost_matrix[:j, j]
         # Only states reachable by backward sampling from (k, n) matter:
         # level <= j (enough bins before) and level >= k - (n - j)
         # (enough bins after for the remaining buckets).
@@ -76,6 +85,7 @@ def log_partition_table(cost_matrix: np.ndarray, k: int, alpha: float) -> np.nda
         bottom = max(1, k - (n - j))
         if bottom > top:
             continue
+        closing = alpha * rows.column(j)
         logits = table[bottom - 1 : top, :j] - closing[None, :]
         row_max = logits.max(axis=1)
         finite = np.isfinite(row_max)
@@ -91,7 +101,7 @@ def log_partition_table(cost_matrix: np.ndarray, k: int, alpha: float) -> np.nda
 
 
 def sample_partition_em(
-    cost_matrix: np.ndarray,
+    cost,
     k: int,
     alpha: float,
     rng: "np.random.Generator | int | None" = None,
@@ -103,16 +113,21 @@ def sample_partition_em(
     ``L[k-1][i] - alpha * cost(i, n)`` via the Gumbel-max trick, then the
     procedure recurses on the prefix.  The joint draw is exactly
     ``Pr[P] ~ exp(-alpha * cost(P))``.
+
+    ``cost`` follows the same contract as :func:`log_partition_table`
+    (lazy cost-rows provider or dense ``(n, n + 1)`` matrix).
     """
-    n = cost_matrix.shape[0]
-    table = log_partition_table(cost_matrix, k, alpha)
+    rows = as_cost_rows(cost)
+    n = rows.n
+    table = log_partition_table(rows, k, alpha)
     generator = as_rng(rng)
 
     boundaries = []
     j = n
     for level in range(k, 1, -1):
         lo = level - 1
-        logits = table[level - 1][lo:j] - alpha * cost_matrix[lo:j, j]
+        col = rows.column(j)
+        logits = table[level - 1][lo:j] - alpha * col[lo:j]
         gumbel = generator.gumbel(0.0, 1.0, size=logits.shape)
         # -inf logits stay -inf after adding Gumbel noise: never selected.
         choice = int(np.argmax(logits + gumbel))

@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro._validation import check_counts, check_integer
 from repro.partition.partition import Partition
+from repro.perf.costrows import DenseCost
+from repro.perf.kernels import dp_tables
 
 __all__ = ["sae_matrix", "L1VOptimalResult", "l1_voptimal_table", "partition_sae"]
 
@@ -89,24 +91,26 @@ class L1VOptimalResult:
         check_integer(k, "k", minimum=1)
         if k > self.max_k:
             raise ValueError(f"k={k} exceeds computed max_k={self.max_k}")
-        boundaries: List[int] = []
-        j = self.n
-        for level in range(k, 1, -1):
-            j = int(self._choices[level][j])
-            boundaries.append(j)
-        boundaries.reverse()
-        return Partition(n=self.n, boundaries=tuple(boundaries))
+        from repro.partition.voptimal import backtrack_boundaries
+
+        return Partition(
+            n=self.n, boundaries=backtrack_boundaries(self._choices, self.n, k)
+        )
 
 
 def l1_voptimal_table(
     counts: Sequence[float],
     max_k: int,
     matrix: "np.ndarray | None" = None,
+    kernel: Optional[str] = None,
 ) -> L1VOptimalResult:
     """Prefix DP minimizing total SAE; same recurrence as the SSE DP.
 
     ``matrix`` may be a precomputed :func:`sae_matrix` to share work
-    across calls.
+    across calls.  ``kernel`` dispatches the DP engine exactly as in
+    :func:`repro.partition.voptimal.voptimal_table` — the SAE cost also
+    satisfies the concave quadrangle inequality, so the
+    divide-and-conquer kernel returns bit-identical tables.
     """
     arr = check_counts(counts, "counts")
     n = len(arr)
@@ -120,25 +124,9 @@ def l1_voptimal_table(
             f"matrix shape {matrix.shape} does not match counts of length {n}"
         )
 
-    inf = np.inf
-    opt = np.full((max_k + 1, n + 1), inf, dtype=np.float64)
-    choices = np.zeros((max_k + 1, n + 1), dtype=np.int64)
-    opt[0][0] = 0.0
-    # One vectorized pass per prefix computes every k at once (the
-    # +inf entries of infeasible states propagate correctly).
-    for j in range(1, n + 1):
-        closing = matrix[:j, j]
-        opt[1][j] = closing[0]
-        choices[1][j] = 0
-        top = min(max_k, j)
-        if top >= 2:
-            candidates = opt[1:top, :j] + closing[None, :]
-            best = np.argmin(candidates, axis=1)
-            rows = np.arange(top - 1)
-            opt[2 : top + 1, j] = candidates[rows, best]
-            choices[2 : top + 1, j] = best
+    opt, choices = dp_tables(DenseCost(matrix), max_k, kernel=kernel)
 
-    sae_by_k = np.full(max_k + 1, inf, dtype=np.float64)
+    sae_by_k = np.full(max_k + 1, np.inf, dtype=np.float64)
     sae_by_k[1 : max_k + 1] = opt[1 : max_k + 1, n]
     return L1VOptimalResult(
         n=n, max_k=max_k, sae_by_k=sae_by_k, _choices=choices, _opt=opt

@@ -30,11 +30,30 @@ class SegmentStats:
         self._n = len(arr)
         self._prefix = np.concatenate(([0.0], np.cumsum(arr)))
         self._prefix_sq = np.concatenate(([0.0], np.cumsum(arr * arr)))
+        # Hoisted index buffer: sse_row slices this instead of allocating
+        # a fresh np.arange per call (the DP calls sse_row n times, which
+        # used to cost O(n^2) allocation churn per run).
+        self._indices = np.arange(self._n + 1, dtype=np.int64)
 
     @property
     def n(self) -> int:
         """Number of bins the stats cover."""
         return self._n
+
+    @property
+    def prefix(self) -> np.ndarray:
+        """Prefix sums ``P`` with ``P[j] = sum(counts[:j])`` (length n+1)."""
+        return self._prefix
+
+    @property
+    def prefix_sq(self) -> np.ndarray:
+        """Prefix sums of squares (length n+1)."""
+        return self._prefix_sq
+
+    @property
+    def indices(self) -> np.ndarray:
+        """The shared ``int64`` index buffer ``[0, 1, …, n]``."""
+        return self._indices
 
     def _check(self, start: int, stop: int) -> None:
         if not 0 <= start < stop <= self._n:
@@ -69,7 +88,7 @@ class SegmentStats:
         instead of a Python inner loop.
         """
         self._check(stop - 1, stop)
-        starts = np.arange(stop)
+        starts = self._indices[:stop]
         totals = self._prefix[stop] - self._prefix[starts]
         totals_sq = self._prefix_sq[stop] - self._prefix_sq[starts]
         widths = stop - starts
@@ -78,10 +97,22 @@ class SegmentStats:
 
 
 def partition_sse(counts: Sequence[float], partition: Partition) -> float:
-    """Total SSE of approximating ``counts`` by ``partition``'s bucket means."""
+    """Total SSE of approximating ``counts`` by ``partition``'s bucket means.
+
+    Vectorized over buckets: one prefix-diff per edge array instead of a
+    Python loop of per-bucket ``segment_sse`` calls.
+    """
     stats = SegmentStats(counts)
     if stats.n != partition.n:
         raise ValueError(
             f"counts has {stats.n} bins but partition covers {partition.n}"
         )
-    return sum(stats.segment_sse(start, stop) for start, stop in partition.buckets())
+    edges = np.empty(partition.k + 1, dtype=np.int64)
+    edges[0] = 0
+    edges[1:-1] = partition.boundaries
+    edges[-1] = partition.n
+    totals = np.diff(stats.prefix[edges])
+    totals_sq = np.diff(stats.prefix_sq[edges])
+    widths = np.diff(edges)
+    sse = totals_sq - totals * totals / widths
+    return float(np.maximum(sse, 0.0).sum())

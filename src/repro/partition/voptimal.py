@@ -1,24 +1,57 @@
 """Exact v-optimal partitioning by dynamic programming.
 
 ``voptimal_partition(counts, k)`` finds the contiguous ``k``-bucket
-partition minimizing total SSE (Jagadish et al., VLDB 1998) in
-``O(n^2 k)`` time and ``O(n k)`` space.  ``voptimal_table`` exposes the
-full DP table — the optimal SSE for *every* ``k' <= k`` — which
-NoiseFirst's adaptive bucket-count selection consumes directly.
+partition minimizing total SSE (Jagadish et al., VLDB 1998).
+``voptimal_table`` exposes the full DP table — the optimal SSE for
+*every* ``k' <= k`` — which NoiseFirst's adaptive bucket-count selection
+consumes directly.
+
+Two kernels compute the identical tables (dispatch via ``kernel=``):
+
+* ``"exact_dc"`` (default) — divide-and-conquer DP optimization over the
+  Monge/quadrangle-inequality structure of the SSE cost,
+  ``O(n k log n)`` (:mod:`repro.perf.kernels`).
+* ``"reference"`` — the original ``O(n^2 k)`` prefix loop, kept as the
+  correctness anchor.
+
+Both run the same floating-point operations per candidate and break ties
+identically, so ``sse_by_k``, the prefix table, and every reconstructed
+partition agree bit for bit (asserted by the property suite in
+``tests/perf``).  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro._validation import check_counts, check_integer
 from repro.partition.partition import Partition
 from repro.partition.sse import SegmentStats
+from repro.perf.costrows import PrefixSSECost
+from repro.perf.kernels import dp_tables
 
 __all__ = ["VOptimalResult", "voptimal_table", "voptimal_partition"]
+
+
+def backtrack_boundaries(choices: np.ndarray, n: int, k: int) -> Tuple[int, ...]:
+    """Reconstruct the ``k - 1`` boundaries from a DP choice table.
+
+    Walks ``j -> choices[level][j]`` from ``(k, n)`` down to level 2 into
+    a preallocated ``int64`` buffer — no per-level Python list append,
+    no reversal, and safe for ``n`` beyond 32-bit (the table is int64
+    end to end).  ``k = 1`` short-circuits to the empty boundary tuple.
+    """
+    if k == 1:
+        return ()
+    boundaries = np.empty(k - 1, dtype=np.int64)
+    j = np.int64(n)
+    for level in range(k, 1, -1):
+        j = choices[level, j]
+        boundaries[level - 2] = j
+    return tuple(int(b) for b in boundaries)
 
 
 @dataclass(frozen=True)
@@ -53,16 +86,16 @@ class VOptimalResult:
         check_integer(k, "k", minimum=1)
         if k > self.max_k:
             raise ValueError(f"k={k} exceeds computed max_k={self.max_k}")
-        boundaries: List[int] = []
-        j = self.n
-        for level in range(k, 1, -1):
-            j = int(self._choices[level][j])
-            boundaries.append(j)
-        boundaries.reverse()
-        return Partition(n=self.n, boundaries=tuple(boundaries))
+        return Partition(
+            n=self.n, boundaries=backtrack_boundaries(self._choices, self.n, k)
+        )
 
 
-def voptimal_table(counts: Sequence[float], max_k: int) -> VOptimalResult:
+def voptimal_table(
+    counts: Sequence[float],
+    max_k: int,
+    kernel: Optional[str] = None,
+) -> VOptimalResult:
     """Run the v-optimal DP for every bucket count ``1..max_k``.
 
     DP recurrence over prefixes: with ``OPT[k][j]`` the minimal SSE of
@@ -71,8 +104,9 @@ def voptimal_table(counts: Sequence[float], max_k: int) -> VOptimalResult:
         OPT[1][j] = SSE(0, j)
         OPT[k][j] = min_{k-1 <= i < j} OPT[k-1][i] + SSE(i, j)
 
-    The inner minimization is vectorized over ``i`` using
-    :meth:`SegmentStats.sse_row`.
+    ``kernel`` selects the DP engine (``"exact_dc"`` default,
+    ``"reference"`` for the O(n^2 k) anchor); ``None`` defers to
+    :func:`repro.perf.kernels.resolve_kernel`.
     """
     arr = check_counts(counts, "counts")
     n = len(arr)
@@ -80,29 +114,10 @@ def voptimal_table(counts: Sequence[float], max_k: int) -> VOptimalResult:
     if max_k > n:
         raise ValueError(f"max_k ({max_k}) cannot exceed the number of bins ({n})")
 
-    stats = SegmentStats(arr)
-    inf = np.inf
-    # opt[k][j]: minimal SSE for first j bins in exactly k buckets.
-    opt = np.full((max_k + 1, n + 1), inf, dtype=np.float64)
-    choices = np.zeros((max_k + 1, n + 1), dtype=np.int64)
-    opt[0][0] = 0.0
+    cost = PrefixSSECost(SegmentStats(arr))
+    opt, choices = dp_tables(cost, max_k, kernel=kernel)
 
-    # Process prefixes left to right; for each j one vectorized pass
-    # computes opt[k][j] for every k at once.  Infeasible states stay
-    # +inf automatically (opt[k-1][i] is +inf for i < k-1).
-    for j in range(1, n + 1):
-        sse_last = stats.sse_row(j)  # sse_last[i] = SSE(i, j)
-        opt[1][j] = sse_last[0]
-        choices[1][j] = 0
-        top = min(max_k, j)  # k cannot exceed the prefix length
-        if top >= 2:
-            candidates = opt[1:top, :j] + sse_last[None, :j]
-            best = np.argmin(candidates, axis=1)
-            rows = np.arange(top - 1)
-            opt[2 : top + 1, j] = candidates[rows, best]
-            choices[2 : top + 1, j] = best
-
-    sse_by_k = np.full(max_k + 1, inf, dtype=np.float64)
+    sse_by_k = np.full(max_k + 1, np.inf, dtype=np.float64)
     sse_by_k[1 : max_k + 1] = opt[1 : max_k + 1, n]
     return VOptimalResult(
         n=n, max_k=max_k, sse_by_k=sse_by_k, _choices=choices, _opt=opt
@@ -110,9 +125,11 @@ def voptimal_table(counts: Sequence[float], max_k: int) -> VOptimalResult:
 
 
 def voptimal_partition(
-    counts: Sequence[float], k: int
+    counts: Sequence[float],
+    k: int,
+    kernel: Optional[str] = None,
 ) -> Tuple[Partition, float]:
     """Optimal ``k``-bucket partition of ``counts`` and its SSE."""
-    result = voptimal_table(counts, k)
+    result = voptimal_table(counts, k, kernel=kernel)
     partition = result.partition_for(k)
     return partition, float(result.sse_by_k[k])

@@ -1,0 +1,364 @@
+"""Tracked performance benchmarks: partition kernels and publishers.
+
+``python -m repro bench`` times
+
+* the DP partition kernels (``reference`` / ``exact_blocked`` /
+  ``exact_dc``) on their honest workloads — unsorted counts for the
+  exact engines, sorted counts for the Monge-certified
+  divide-and-conquer path (AHP's clustering workload), and
+* every publisher's end-to-end ``publish`` call across domain sizes
+  ``n = 2^10 .. 2^16`` (each publisher capped at the largest size its
+  asymptotics afford; the caps are part of the tracked schema),
+
+and writes two JSON files at the repository root:
+``BENCH_partition.json`` and ``BENCH_publishers.json``.
+
+Timings are wall-clock seconds (best of ``repeats``), plus a
+*calibration-normalized* value: every run first times a fixed numpy
+workload (:func:`machine_calibration`) and divides each benchmark by it,
+so results compare meaningfully across machines of different speeds.
+``--check`` compares a fresh run against the committed files and fails
+on any matching entry that regressed more than
+:data:`REGRESSION_THRESHOLD` (25%) in normalized time — entries faster
+than :data:`TIME_FLOOR` seconds are ignored as timer noise.  The CI
+``bench-perf`` lane runs exactly this.
+
+See ``docs/performance.md`` for the file format and the measured
+speedup table.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BENCH_PARTITION",
+    "BENCH_PUBLISHERS",
+    "REGRESSION_THRESHOLD",
+    "TIME_FLOOR",
+    "machine_calibration",
+    "bench_partition",
+    "bench_publishers",
+    "check_regression",
+    "load_results",
+    "write_results",
+    "run_bench",
+]
+
+#: Tracked result files, written at the repository root.
+BENCH_PARTITION = "BENCH_partition.json"
+BENCH_PUBLISHERS = "BENCH_publishers.json"
+
+#: JSON schema version; bump when keys or semantics change.
+SCHEMA_VERSION = 1
+
+#: Relative slowdown (in calibration-normalized seconds) that fails
+#: ``--check``: fresh > (1 + threshold) * baseline.
+REGRESSION_THRESHOLD = 0.25
+
+#: Entries whose fresh wall-clock is below this many seconds are exempt
+#: from the regression gate — they are dominated by timer jitter.
+TIME_FLOOR = 0.05
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Minimum wall-clock seconds of ``repeats`` calls to ``fn``."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def machine_calibration(repeats: int = 3) -> float:
+    """Seconds for a fixed numpy workload on this machine.
+
+    The workload (strided adds, row argmins, cumulative sums — the
+    primitives the DP kernels spend their time in) is deterministic, so
+    the number is a pure machine-speed probe.  Dividing every benchmark
+    by it yields machine-portable "calibration units" that the
+    regression gate compares across runs on different hardware.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((96, 8192))
+
+    def work() -> None:
+        for _ in range(8):
+            b = a + a
+            np.argmin(b, axis=1)
+            np.cumsum(a, axis=1)
+        # Keep the optimizer honest.
+        float(b.sum())
+
+    work()  # warm-up
+    return _best_of(work, repeats)
+
+
+# ---------------------------------------------------------------------------
+# Partition-kernel benchmarks
+# ---------------------------------------------------------------------------
+
+def _partition_cases(quick: bool) -> List[Tuple[str, bool, int, int]]:
+    """(kernel, sorted_input, n, max_k) cases per profile.
+
+    The reference kernel is O(n^2 k) and exists as a correctness anchor,
+    so it is capped small; the exact blocked kernel runs the same
+    candidate set faster; the divide-and-conquer kernel only engages on
+    sorted (Monge-certified) inputs, its honest workload.
+    """
+    if quick:
+        return [
+            ("reference", False, 512, 32),
+            ("reference", False, 1024, 32),
+            ("exact_blocked", False, 512, 32),
+            ("exact_blocked", False, 1024, 32),
+            ("exact_blocked", False, 2048, 32),
+            ("exact_dc", True, 1024, 32),
+            ("exact_dc", True, 2048, 32),
+            ("exact_dc", True, 4096, 32),
+        ]
+    return [
+        ("reference", False, 1024, 128),
+        ("reference", False, 4096, 128),
+        ("exact_blocked", False, 1024, 128),
+        ("exact_blocked", False, 4096, 128),
+        ("exact_blocked", False, 8192, 128),
+        ("exact_dc", True, 1024, 128),
+        ("exact_dc", True, 4096, 128),
+        ("exact_dc", True, 16384, 128),
+        ("exact_dc", True, 65536, 128),
+    ]
+
+
+def bench_partition(
+    quick: bool = True,
+    repeats: int = 2,
+    cases: Optional[Iterable[Tuple[str, bool, int, int]]] = None,
+) -> Dict[str, float]:
+    """Time :func:`repro.partition.voptimal.voptimal_table` per kernel.
+
+    Keys: ``"voptimal/<kernel>/<sorted|unsorted>/n=<n>/k=<k>"`` mapping
+    to best-of wall-clock seconds.
+    """
+    from repro.partition.voptimal import voptimal_table
+
+    if cases is None:
+        cases = _partition_cases(quick)
+    rng = np.random.default_rng(20120401)
+    results: Dict[str, float] = {}
+    for kernel, sorted_input, n, max_k in cases:
+        counts = rng.poisson(50.0, size=n).astype(np.float64)
+        if sorted_input:
+            counts.sort()
+        label = "sorted" if sorted_input else "unsorted"
+        key = f"voptimal/{kernel}/{label}/n={n}/k={max_k}"
+        results[key] = _best_of(
+            lambda: voptimal_table(counts, max_k, kernel=kernel), repeats
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Publisher benchmarks
+# ---------------------------------------------------------------------------
+
+def _publisher_cases(quick: bool) -> List[Tuple[str, int]]:
+    """(publisher, n) cases.
+
+    Size caps reflect each publisher's asymptotics: the Gibbs samplers
+    (StructureFirst, DAWA-lite) are O(n^2 k) time — O(n k) memory since
+    the lazy cost rows — so they stop at 4096; NoiseFirst's exact
+    unsorted DP stops at 8192; AHP rides the divide-and-conquer kernel
+    to 65536 alongside the near-linear baselines.
+    """
+    cheap = ("dwork", "boost", "privelet", "ahp")
+    if quick:
+        cases = [(name, n) for name in cheap for n in (1024, 4096)]
+        cases += [("noisefirst", n) for n in (1024, 2048)]
+        cases += [(name, n) for name in ("structurefirst", "dawa-lite")
+                  for n in (256, 512)]
+        return cases
+    cases = [(name, n) for name in cheap
+             for n in (1024, 4096, 16384, 65536)]
+    cases += [("noisefirst", n) for n in (1024, 4096, 8192)]
+    cases += [(name, n) for name in ("structurefirst", "dawa-lite")
+              for n in (1024, 2048, 4096)]
+    return cases
+
+
+def _publisher_factories() -> Dict[str, Callable[[], Any]]:
+    from repro.baselines import Ahp, Boost, DawaLite, DworkIdentity, Privelet
+    from repro.core import NoiseFirst, StructureFirst
+
+    return {
+        "dwork": DworkIdentity,
+        "boost": Boost,
+        "privelet": Privelet,
+        "ahp": Ahp,
+        "noisefirst": NoiseFirst,
+        "structurefirst": lambda: StructureFirst(k=32),
+        "dawa-lite": lambda: DawaLite(k=32),
+    }
+
+
+def bench_publishers(
+    quick: bool = True,
+    repeats: int = 1,
+    epsilon: float = 0.5,
+    cases: Optional[Iterable[Tuple[str, int]]] = None,
+) -> Dict[str, float]:
+    """Time one seeded end-to-end ``publish`` per (publisher, n).
+
+    Keys: ``"publish/<publisher>/n=<n>"`` mapping to best-of wall-clock
+    seconds.  The input is a seeded shuffled-Zipf histogram (bursty,
+    unsorted — the regime the paper's figures use).
+    """
+    from repro.datasets.generators import zipf_histogram
+
+    if cases is None:
+        cases = _publisher_cases(quick)
+    factories = _publisher_factories()
+    results: Dict[str, float] = {}
+    histograms: Dict[int, Any] = {}
+    for name, n in cases:
+        if n not in histograms:
+            histograms[n] = zipf_histogram(n, total=100 * n, rng=7,
+                                           shuffle=True)
+        histogram = histograms[n]
+        publisher = factories[name]()
+        results[f"publish/{name}/n={n}"] = _best_of(
+            lambda: publisher.publish(histogram, epsilon, rng=1234), repeats
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Result files + regression gate
+# ---------------------------------------------------------------------------
+
+def _payload(entries: Dict[str, float], calibration: float,
+             profile: str) -> Dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "profile": profile,
+        "calibration_seconds": calibration,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "entries": {
+            key: {
+                "seconds": round(seconds, 6),
+                "normalized": round(seconds / calibration, 3),
+            }
+            for key, seconds in sorted(entries.items())
+        },
+    }
+
+
+def write_results(path: Path, entries: Dict[str, float],
+                  calibration: float, profile: str) -> None:
+    payload = _payload(entries, calibration, profile)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_results(path: Path) -> Optional[Dict[str, Any]]:
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def check_regression(
+    fresh: Dict[str, Any],
+    baseline: Optional[Dict[str, Any]],
+    threshold: float = REGRESSION_THRESHOLD,
+    floor: float = TIME_FLOOR,
+) -> List[str]:
+    """Regressed entry keys (normalized slowdown > ``threshold``).
+
+    Only keys present in *both* payloads are compared (new benchmarks
+    are allowed in without a baseline; retired ones don't block).
+    Entries whose fresh wall-clock is under ``floor`` seconds are
+    skipped: at that scale the gate would be testing the timer.
+    """
+    if baseline is None:
+        return []
+    failures: List[str] = []
+    base_entries = baseline.get("entries", {})
+    for key, fresh_entry in fresh.get("entries", {}).items():
+        base_entry = base_entries.get(key)
+        if base_entry is None:
+            continue
+        if fresh_entry["seconds"] < floor:
+            continue
+        base_norm = base_entry["normalized"]
+        if base_norm <= 0:
+            continue
+        ratio = fresh_entry["normalized"] / base_norm
+        if ratio > 1.0 + threshold:
+            failures.append(
+                f"{key}: {fresh_entry['normalized']:.3f} vs baseline "
+                f"{base_norm:.3f} calibration units ({ratio:.2f}x)"
+            )
+    return failures
+
+
+def run_bench(
+    quick: bool = True,
+    check: bool = False,
+    output_dir: "Path | str | None" = None,
+) -> int:
+    """Run both benches, write ``BENCH_*.json``, optionally gate.
+
+    Returns a process exit code: 0 on success, 1 when ``check`` finds a
+    regression against the previously committed files.
+    """
+    root = Path(output_dir) if output_dir is not None else _repo_root()
+    profile = "quick" if quick else "full"
+    calibration = machine_calibration()
+    print(f"calibration: {calibration:.4f}s ({profile} profile)")
+
+    exit_code = 0
+    for filename, runner in (
+        (BENCH_PARTITION, bench_partition),
+        (BENCH_PUBLISHERS, bench_publishers),
+    ):
+        path = root / filename
+        baseline = load_results(path)
+        entries = runner(quick=quick)
+        payload = _payload(entries, calibration, profile)
+        for key, entry in payload["entries"].items():
+            print(f"  {key}: {entry['seconds']:.3f}s "
+                  f"({entry['normalized']:.2f} cal)")
+        if check:
+            baseline_profile = (baseline or {}).get("profile")
+            comparable = baseline is not None and baseline_profile == profile
+            failures = check_regression(payload,
+                                        baseline if comparable else None)
+            if baseline is None:
+                print(f"  [{filename}] no baseline; writing fresh")
+            elif not comparable:
+                print(f"  [{filename}] baseline profile "
+                      f"{baseline_profile!r} != {profile!r}; skipping gate")
+            for failure in failures:
+                print(f"  REGRESSION {failure}")
+            if failures:
+                exit_code = 1
+        write_results(path, entries, calibration, profile)
+        print(f"wrote {path}")
+    return exit_code
+
+
+def _repo_root() -> Path:
+    """Repository root: nearest ancestor of this file holding ROADMAP.md,
+    falling back to the current directory (e.g. installed packages)."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "ROADMAP.md").exists():
+            return parent
+    return Path.cwd()

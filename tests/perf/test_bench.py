@@ -1,0 +1,119 @@
+"""The tracked benchmark harness: JSON schema + regression gate."""
+
+import json
+
+import pytest
+
+from repro.perf import bench
+from repro.perf.bench import (
+    BENCH_PARTITION,
+    BENCH_PUBLISHERS,
+    bench_partition,
+    bench_publishers,
+    check_regression,
+    load_results,
+    machine_calibration,
+    run_bench,
+)
+
+TINY_PARTITION = [("reference", False, 32, 4), ("exact_dc", True, 32, 4)]
+TINY_PUBLISHERS = [("dwork", 64), ("structurefirst", 32)]
+
+
+def _payload(entries):
+    return {
+        "schema": 1,
+        "entries": {
+            key: {"seconds": sec, "normalized": norm}
+            for key, (sec, norm) in entries.items()
+        },
+    }
+
+
+class TestCalibration:
+    def test_positive_and_repeatable_order(self):
+        value = machine_calibration(repeats=1)
+        assert 0.0 < value < 60.0
+
+
+class TestRunners:
+    def test_bench_partition_keys(self):
+        results = bench_partition(cases=TINY_PARTITION, repeats=1)
+        assert set(results) == {
+            "voptimal/reference/unsorted/n=32/k=4",
+            "voptimal/exact_dc/sorted/n=32/k=4",
+        }
+        assert all(v >= 0.0 for v in results.values())
+
+    def test_bench_publishers_keys(self):
+        results = bench_publishers(cases=TINY_PUBLISHERS, repeats=1)
+        assert set(results) == {
+            "publish/dwork/n=64",
+            "publish/structurefirst/n=32",
+        }
+
+
+class TestRegressionGate:
+    def test_no_baseline_passes(self):
+        fresh = _payload({"a": (1.0, 10.0)})
+        assert check_regression(fresh, None) == []
+
+    def test_regression_detected(self):
+        base = _payload({"a": (1.0, 10.0)})
+        fresh = _payload({"a": (1.5, 15.0)})
+        failures = check_regression(fresh, base)
+        assert len(failures) == 1 and failures[0].startswith("a:")
+
+    def test_within_threshold_passes(self):
+        base = _payload({"a": (1.0, 10.0)})
+        fresh = _payload({"a": (1.2, 12.0)})
+        assert check_regression(fresh, base) == []
+
+    def test_fast_entries_exempt(self):
+        base = _payload({"a": (0.001, 0.01)})
+        fresh = _payload({"a": (0.004, 0.04)})  # 4x but sub-floor
+        assert check_regression(fresh, base) == []
+
+    def test_new_and_retired_keys_ignored(self):
+        base = _payload({"old": (1.0, 10.0)})
+        fresh = _payload({"new": (9.0, 90.0)})
+        assert check_regression(fresh, base) == []
+
+    def test_improvements_pass(self):
+        base = _payload({"a": (2.0, 20.0)})
+        fresh = _payload({"a": (1.0, 10.0)})
+        assert check_regression(fresh, base) == []
+
+
+class TestRunBench:
+    @pytest.fixture()
+    def tiny(self, monkeypatch):
+        monkeypatch.setattr(bench, "_partition_cases",
+                            lambda quick: TINY_PARTITION)
+        monkeypatch.setattr(bench, "_publisher_cases",
+                            lambda quick: TINY_PUBLISHERS)
+
+    def test_writes_both_files(self, tiny, tmp_path, capsys):
+        code = run_bench(quick=True, check=False, output_dir=tmp_path)
+        assert code == 0
+        for name in (BENCH_PARTITION, BENCH_PUBLISHERS):
+            payload = json.loads((tmp_path / name).read_text())
+            assert payload["schema"] == 1
+            assert payload["profile"] == "quick"
+            assert payload["calibration_seconds"] > 0
+            for entry in payload["entries"].values():
+                assert set(entry) == {"seconds", "normalized"}
+
+    def test_check_against_own_baseline_passes(self, tiny, tmp_path):
+        assert run_bench(quick=True, output_dir=tmp_path) == 0
+        # Tiny cases all sit under the 0.05s floor, so re-checking on
+        # the same machine is deterministic.
+        assert run_bench(quick=True, check=True, output_dir=tmp_path) == 0
+
+    def test_profile_mismatch_skips_gate(self, tiny, tmp_path, capsys):
+        assert run_bench(quick=True, output_dir=tmp_path) == 0
+        assert run_bench(quick=False, check=True, output_dir=tmp_path) == 0
+        assert "skipping gate" in capsys.readouterr().out
+
+    def test_load_results_missing(self, tmp_path):
+        assert load_results(tmp_path / "nope.json") is None

@@ -1,0 +1,89 @@
+"""Lazy cost rows through the Gibbs sampler: same draws, O(n k) memory."""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.partition.gibbs import log_partition_table, sample_partition_em
+from repro.partition.sae import sae_matrix
+from repro.partition.sse import SegmentStats
+from repro.perf.costrows import LazySAECost, PrefixSSECost
+
+
+@pytest.fixture(scope="module")
+def counts():
+    rng = np.random.default_rng(5)
+    return rng.poisson(30.0, size=48).astype(np.float64)
+
+
+class TestLazyEquivalence:
+    def test_forward_table_lazy_sae_close_to_dense(self, counts):
+        dense = sae_matrix(counts)
+        t_dense = log_partition_table(dense, 6, alpha=0.3)
+        t_lazy = log_partition_table(LazySAECost(counts), 6, alpha=0.3)
+        np.testing.assert_allclose(t_lazy, t_dense, rtol=1e-10, atol=1e-9)
+
+    def test_forward_table_sse_bitequal_dense(self, counts):
+        """PrefixSSECost reuses sse_row arithmetic — no drift at all."""
+        n = len(counts)
+        stats = SegmentStats(counts)
+        dense = np.zeros((n, n + 1))
+        for j in range(1, n + 1):
+            dense[:j, j] = stats.sse_row(j)
+        t_dense = log_partition_table(dense, 5, alpha=0.01)
+        t_lazy = log_partition_table(PrefixSSECost(counts), 5, alpha=0.01)
+        assert np.array_equal(t_dense, t_lazy, equal_nan=True)
+
+    def test_sampler_sse_identical_draws(self, counts):
+        n = len(counts)
+        stats = SegmentStats(counts)
+        dense = np.zeros((n, n + 1))
+        for j in range(1, n + 1):
+            dense[:j, j] = stats.sse_row(j)
+        for seed in range(8):
+            p_dense = sample_partition_em(dense, 5, 0.05, rng=seed)
+            p_lazy = sample_partition_em(
+                PrefixSSECost(counts), 5, 0.05, rng=seed
+            )
+            assert p_dense == p_lazy
+
+    def test_sampler_accepts_ndarray_compat(self, counts):
+        """Historical call sites pass a dense matrix; still supported."""
+        partition = sample_partition_em(sae_matrix(counts), 4, 0.1, rng=0)
+        assert partition.k == 4 and partition.n == len(counts)
+
+    def test_alpha_zero_uniform_support(self, counts):
+        """At alpha=0 every feasible partition stays reachable (lazy)."""
+        seen = {
+            sample_partition_em(LazySAECost(counts), 3, 0.0, rng=s)
+            for s in range(12)
+        }
+        assert len(seen) > 1  # genuinely random, not degenerate
+
+
+class TestMemoryCeiling:
+    def test_lazy_sae_draw_stays_far_below_dense_matrix(self):
+        """StructureFirst's structure draw must not materialize O(n^2).
+
+        At n=1024 the dense SAE matrix alone is n*(n+1)*8 ≈ 8.4 MB; the
+        lazy path's live state is the (k+1, n+1) forward table plus one
+        column (~0.3 MB).  Assert a ceiling with a wide margin that a
+        dense materialization cannot fit under.
+        """
+        n, k = 1024, 16
+        rng = np.random.default_rng(9)
+        counts = rng.poisson(12.0, size=n).astype(np.float64)
+        dense_bytes = n * (n + 1) * 8
+
+        cost = LazySAECost(counts)
+        tracemalloc.start()
+        try:
+            sample_partition_em(cost, k, 0.2, rng=0)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak < dense_bytes / 2, (
+            f"lazy Gibbs draw peaked at {peak / 1e6:.1f} MB; dense matrix "
+            f"would be {dense_bytes / 1e6:.1f} MB"
+        )
