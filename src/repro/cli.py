@@ -26,6 +26,14 @@ Check one publisher's empirical error against its closed-form oracle::
 Refresh the tracked performance benchmarks (and gate on regressions)::
 
     python -m repro bench --quick --check
+
+Run a fault-tolerant, journaled publisher sweep — and resume it after a
+crash or SIGKILL, bit-identically::
+
+    python -m repro run --journal sweep.jsonl --n-jobs 4 \
+        --timeout 120 --retries 2
+    python -m repro run --journal sweep.jsonl --n-jobs 4 \
+        --timeout 120 --retries 2 --resume
 """
 
 from __future__ import annotations
@@ -55,7 +63,8 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="?",
         help="experiment id (see --list), 'all' to run everything, "
              "'verify' to calibrate a publisher against its error oracle, "
-             "or 'bench' to refresh the tracked performance benchmarks",
+             "'bench' to refresh the tracked performance benchmarks, or "
+             "'run' for a fault-tolerant journaled publisher sweep",
     )
     parser.add_argument(
         "--quick",
@@ -123,6 +132,92 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="directory for BENCH_*.json (default: the repository root)",
+    )
+    run = parser.add_argument_group(
+        "run options",
+        "only used with the 'run' experiment id (supervised sweep)",
+    )
+    run.add_argument(
+        "--dataset",
+        default="age",
+        help="sweep dataset: age, nettrace, searchlogs, socialnetwork",
+    )
+    run.add_argument(
+        "--bins-sweep",
+        dest="bins_sweep",
+        type=int,
+        default=64,
+        metavar="N",
+        help="domain size of the sweep dataset",
+    )
+    run.add_argument(
+        "--total",
+        type=int,
+        default=50_000,
+        help="total count of the sweep dataset",
+    )
+    run.add_argument(
+        "--publishers",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated publisher roster (default: the paper's "
+             "comparison roster)",
+    )
+    run.add_argument(
+        "--epsilons",
+        default="0.1,0.5",
+        metavar="E1,E2,...",
+        help="comma-separated epsilon grid",
+    )
+    run.add_argument(
+        "--sweep-seeds",
+        dest="sweep_seeds",
+        type=int,
+        default=3,
+        metavar="N",
+        help="seeds per cell (0..N-1)",
+    )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-trial wall-clock budget in seconds; hung workers are "
+             "killed and the seed retried (needs --n-jobs > 1)",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="K",
+        help="failed-attempt budget per seed before quarantine "
+             "(exponential backoff between attempts)",
+    )
+    run.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="base of the exponential retry delay",
+    )
+    run.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="JSONL checkpoint journal; every completed trial is "
+             "appended atomically the moment it finishes",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="load fingerprint-matching entries from --journal and run "
+             "only the missing seeds (bit-identical continuation)",
+    )
+    run.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail fast on the first exhausted cell instead of "
+             "quarantining it into a FailedRecord",
     )
     return parser
 
@@ -213,6 +308,68 @@ def _run_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _run_sweep(args: argparse.Namespace) -> int:
+    """Fault-tolerant, journaled publisher sweep (the 'run' id)."""
+    from repro.robust.sweep import build_sweep_specs, run_sweep, sweep_table
+
+    if args.n_jobs != -1 and args.n_jobs < 1:
+        print(f"error: --n-jobs must be >= 1 or -1, got {args.n_jobs}",
+              file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print(f"error: --retries must be >= 0, got {args.retries}",
+              file=sys.stderr)
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print(f"error: --timeout must be > 0, got {args.timeout}",
+              file=sys.stderr)
+        return 2
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    try:
+        epsilons = [float(e) for e in args.epsilons.split(",") if e.strip()]
+    except ValueError:
+        print(f"error: bad --epsilons {args.epsilons!r}", file=sys.stderr)
+        return 2
+    publishers = (
+        [p.strip() for p in args.publishers.split(",") if p.strip()]
+        if args.publishers else None
+    )
+    try:
+        specs = build_sweep_specs(
+            dataset=args.dataset,
+            n_bins=args.bins_sweep,
+            total=args.total,
+            publishers=publishers,
+            epsilons=epsilons,
+            n_seeds=args.sweep_seeds,
+            n_jobs=args.n_jobs,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results = run_sweep(
+        specs,
+        n_jobs=args.n_jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        journal=args.journal,
+        resume=args.resume,
+        strict=args.strict,
+    )
+    table, failures = sweep_table(results)
+    print(render_table(table))
+    if failures:
+        print()
+        print(f"{len(failures)} quarantined trial(s):")
+        for failed in failures:
+            print(f"  {failed.describe()}")
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -229,6 +386,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.experiment == "verify":
         return _run_verify(args)
+
+    if args.experiment == "run":
+        return _run_sweep(args)
 
     if args.experiment == "bench":
         from repro.perf.bench import run_bench

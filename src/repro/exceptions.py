@@ -15,6 +15,12 @@ __all__ = [
     "BudgetError",
     "PartitionError",
     "DomainMismatchError",
+    "RobustnessError",
+    "TrialFailureError",
+    "TrialTimeoutError",
+    "WorkerCrashError",
+    "TrialQuarantinedError",
+    "JournalError",
 ]
 
 
@@ -44,3 +50,56 @@ class PartitionError(ReproError):
 
 class DomainMismatchError(ReproError):
     """Raised when two histograms/queries disagree on their domain."""
+
+
+class RobustnessError(ReproError):
+    """Base class for fault-tolerant execution errors (``repro.robust``)."""
+
+
+class TrialFailureError(RobustnessError):
+    """One (publisher, seed, epsilon) trial failed inside the executor.
+
+    Carries the identity of the failed cell so supervisors can journal a
+    structured :class:`~repro.robust.records.FailedRecord` instead of an
+    opaque traceback.  Subclasses distinguish *how* the trial failed;
+    ``cause`` preserves the underlying error text when one exists.
+    """
+
+    def __init__(
+        self,
+        spec_name: str = "",
+        publisher: str = "",
+        seed: int = -1,
+        epsilon: float = float("nan"),
+        cause: str = "",
+        message: str = "",
+    ) -> None:
+        self.spec_name = spec_name
+        self.publisher = publisher
+        self.seed = seed
+        self.epsilon = epsilon
+        self.cause = cause
+        if not message:
+            message = (
+                f"trial failed: spec={spec_name!r} publisher={publisher!r} "
+                f"seed={seed} epsilon={epsilon:g}"
+            )
+            if cause:
+                message += f" (cause: {cause})"
+        super().__init__(message)
+
+
+class TrialTimeoutError(TrialFailureError):
+    """A trial exceeded its wall-clock timeout (hung worker)."""
+
+
+class WorkerCrashError(TrialFailureError):
+    """A worker process died abruptly (segfault, OOM-kill, ``os._exit``)."""
+
+
+class TrialQuarantinedError(TrialFailureError):
+    """A poison-pill trial exhausted its retry budget and was quarantined."""
+
+
+class JournalError(RobustnessError):
+    """Raised on unusable checkpoint-journal input (bad schema, bad path)."""

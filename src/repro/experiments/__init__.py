@@ -7,14 +7,25 @@ regenerated identically whether you run ``pytest benchmarks/`` or
 """
 
 from repro.experiments.spec import ExperimentSpec
-from repro.experiments.runner import RunRecord, run_matrix, run_once
+from repro.experiments.runner import (
+    RunRecord,
+    records_equal,
+    run_matrix,
+    run_once,
+    strip_timing,
+)
 from repro.experiments.aggregate import Aggregate, aggregate_records
 from repro.experiments.tables import Table, render_table
 from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+from repro.robust.records import FailedRecord, is_failed
 
 __all__ = [
     "ExperimentSpec",
     "RunRecord",
+    "FailedRecord",
+    "is_failed",
+    "records_equal",
+    "strip_timing",
     "run_once",
     "run_matrix",
     "Aggregate",

@@ -1,24 +1,41 @@
-"""Aggregation of raw run records across seeds."""
+"""Aggregation of raw run records across seeds.
+
+Graceful degradation: a record stream coming out of a non-strict
+supervised run may contain :class:`~repro.robust.records.FailedRecord`
+entries for quarantined cells.  :func:`aggregate_records` *skips and
+reports* them — the aggregate is computed over the successful records
+and carries ``n_failed`` so tables and figures can annotate partial
+cells instead of crashing (or, with ``strict=True``, refuse to
+aggregate a partial cell at all).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Sequence, Union
 
 import numpy as np
 
+from repro.exceptions import TrialQuarantinedError
 from repro.experiments.runner import RunRecord
+from repro.robust.records import FailedRecord, is_failed
 
 __all__ = ["Aggregate", "aggregate_records"]
 
 
 @dataclass(frozen=True)
 class Aggregate:
-    """Mean / spread summary of one metric over repeated seeds."""
+    """Mean / spread summary of one metric over repeated seeds.
+
+    ``n_failed`` counts quarantined seeds that were skipped (zero for
+    fully healthy cells); ``n`` counts only the successful records the
+    statistics are computed from.
+    """
 
     mean: float
     std: float
     n: int
+    n_failed: int = 0
 
     @property
     def sem(self) -> float:
@@ -29,18 +46,51 @@ class Aggregate:
 
     def __str__(self) -> str:
         if self.n <= 1:
-            return f"{self.mean:.4g}"
-        return f"{self.mean:.4g} ± {self.sem:.2g}"
+            text = f"{self.mean:.4g}"
+        else:
+            text = f"{self.mean:.4g} ± {self.sem:.2g}"
+        if self.n_failed:
+            text += f" [{self.n_failed} failed]"
+        return text
 
 
 def aggregate_records(
-    records: Sequence[RunRecord],
+    records: Sequence[Union[RunRecord, FailedRecord]],
     extract: Callable[[RunRecord], float],
+    strict: bool = False,
 ) -> Aggregate:
-    """Aggregate ``extract(record)`` over records (ddof=1 spread)."""
+    """Aggregate ``extract(record)`` over records (ddof=1 spread).
+
+    :class:`FailedRecord` entries are skipped and counted in
+    ``Aggregate.n_failed`` (skip-and-report).  With ``strict=True`` any
+    failed record raises :class:`~repro.exceptions.TrialQuarantinedError`
+    instead — use this to restore fail-fast aggregation.  A cell whose
+    records *all* failed raises regardless: there is no mean to report.
+    """
     if not records:
         raise ValueError("records must be non-empty")
-    values: List[float] = [float(extract(r)) for r in records]
+    failed = [r for r in records if is_failed(r)]
+    healthy = [r for r in records if not is_failed(r)]
+    if failed and strict:
+        raise TrialQuarantinedError(
+            spec_name=failed[0].spec_name,
+            publisher=failed[0].publisher,
+            seed=failed[0].seed,
+            epsilon=failed[0].epsilon,
+            cause=failed[0].cause,
+            message=(
+                f"strict aggregation: {len(failed)} failed record(s) "
+                f"present, first: {failed[0].describe()}"
+            ),
+        )
+    if not healthy:
+        raise ValueError(
+            f"all {len(failed)} records failed; nothing to aggregate "
+            f"(first: {failed[0].describe()})"
+        )
+    values: List[float] = [float(extract(r)) for r in healthy]
     arr = np.asarray(values, dtype=np.float64)
     std = float(arr.std(ddof=1)) if len(arr) > 1 else 0.0
-    return Aggregate(mean=float(arr.mean()), std=std, n=len(arr))
+    return Aggregate(
+        mean=float(arr.mean()), std=std, n=len(arr), n_failed=len(failed)
+    )

@@ -11,25 +11,34 @@ the workload evaluation, so post-processing cost is observable too.
 
 Parallelism and determinism
 ---------------------------
-``run_matrix(spec, n_jobs=4)`` fans the seeds out over a
-``ProcessPoolExecutor``.  Every seed owns an independent child RNG
-(``numpy.random.default_rng(seed)`` is constructed inside the worker
-from the integer seed alone), so a record depends only on its
-``(spec, seed)`` pair — never on which process ran it or in what order.
-Parallel results are therefore bit-identical to serial ones in every
-statistical field; only the wall-clock fields differ, and
-:func:`strip_timing` normalizes those for comparisons.
+``run_matrix(spec, n_jobs=4)`` fans the seeds out over a *supervised*
+process pool (:mod:`repro.robust.executor`).  Every seed owns an
+independent child RNG (``numpy.random.default_rng(seed)`` is
+constructed inside the worker from the integer seed alone), so a record
+depends only on its ``(spec, seed)`` pair — never on which process ran
+it, in what order, or on which retry attempt.  Parallel results are
+therefore bit-identical to serial ones in every statistical field —
+even across worker crashes, timeouts and ``--resume`` — and only the
+wall-clock fields differ; :func:`strip_timing` normalizes those for
+comparisons.
+
+Fault tolerance
+---------------
+``run_matrix`` accepts ``timeout=``, ``retries=``, ``journal=``,
+``resume=`` and ``strict=`` and forwards them to
+:func:`repro.robust.executor.run_supervised`; see ``docs/robustness.md``
+for the failure taxonomy and recovery semantics.  The defaults preserve
+the historical fail-fast behavior exactly.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import math
 import os
-import pickle
 import time
-import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro._validation import check_integer
 from repro.core.publisher import Publisher
@@ -37,6 +46,8 @@ from repro.experiments.spec import ExperimentSpec
 from repro.hist.histogram import Histogram
 from repro.metrics.divergences import kl_divergence, ks_distance
 from repro.metrics.evaluate import WorkloadErrors, evaluate_workload_error
+from repro.robust import faults
+from repro.robust.records import FailedRecord
 from repro.workloads.workload import Workload
 
 __all__ = [
@@ -119,8 +130,15 @@ def run_once(
 
 
 def _run_seed(spec: ExperimentSpec, seed: int) -> RunRecord:
-    """One seed of a spec; module-level so process pools can pickle it."""
+    """One seed of a spec; module-level so process pools can pickle it.
+
+    The two :mod:`repro.robust.faults` hooks are no-ops unless the
+    ``REPRO_FAULT_PLAN`` environment variable names an active fault
+    plan; they exist so the chaos suite can deterministically raise,
+    kill, hang, or NaN-corrupt a trial *inside* the worker process.
+    """
     publisher = spec.publisher_factory()
+    faults.maybe_inject(spec.name, publisher.name, seed)
     record = run_once(
         spec.histogram,
         publisher,
@@ -129,6 +147,7 @@ def _run_seed(spec: ExperimentSpec, seed: int) -> RunRecord:
         seed,
         spec_name=spec.name,
     )
+    record = faults.maybe_corrupt(record)
     meta = dict(record.meta)
     meta["spec_epsilon"] = spec.epsilon
     return replace(record, meta=meta)
@@ -151,9 +170,26 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
 
 
 def run_matrix(
-    spec: ExperimentSpec, n_jobs: Optional[int] = None
-) -> List[RunRecord]:
+    spec: ExperimentSpec,
+    n_jobs: Optional[int] = None,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.5,
+    journal: "Any | None" = None,
+    resume: bool = False,
+    strict: bool = True,
+    sleep: Callable[[float], None] = time.sleep,
+) -> List[Union[RunRecord, FailedRecord]]:
     """Run a spec once per seed; returns the raw records in seed order.
+
+    Execution goes through the supervised executor
+    (:func:`repro.robust.executor.run_supervised`): the spec is pickled
+    once and shipped per worker (not per seed), hung trials time out,
+    dead workers respawn the pool and re-dispatch only missing seeds,
+    and completed trials can be checkpointed to a JSONL journal.  With
+    the defaults (no timeout, no retries, ``strict=True``) the behavior
+    is exactly the historical fail-fast contract.
 
     Parameters
     ----------
@@ -166,24 +202,40 @@ def run_matrix(
         bit-identical to serial (see the module docstring); if the spec
         cannot be pickled (e.g. a lambda publisher factory) the run
         falls back to serial with a warning.
+    timeout:
+        Per-trial wall-clock budget in seconds; a hung worker is killed
+        and the seed retried.  Only enforceable with ``n_jobs > 1``.
+    retries:
+        Failed-attempt budget per seed before the cell is given up
+        (raised under ``strict``, quarantined into a
+        :class:`~repro.robust.records.FailedRecord` otherwise).
+    backoff:
+        Base of the exponential retry delay (``backoff * 2**(k-1)``
+        seconds before attempt ``k+1``, capped).
+    journal / resume:
+        A :class:`~repro.robust.journal.CheckpointJournal` (or path) to
+        append completed trials to; with ``resume=True`` matching
+        entries are loaded and only missing seeds run.
+    strict:
+        ``True`` (default): exhausting a seed's attempts raises — the
+        historical fail-fast behavior.  ``False``: the cell degrades
+        into a ``FailedRecord`` and the rest of the matrix completes.
+    sleep:
+        Injection point for the backoff sleeps (tests pass a no-op).
     """
-    workers = resolve_n_jobs(spec.n_jobs if n_jobs is None else n_jobs)
-    seeds = list(spec.seeds)
-    if workers > 1 and len(seeds) > 1:
-        try:
-            pickle.dumps(spec)
-        except Exception as exc:  # lambdas, local classes, open handles...
-            warnings.warn(
-                f"spec {spec.name!r} is not picklable ({exc}); "
-                "running serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        else:
-            with ProcessPoolExecutor(max_workers=min(workers,
-                                                     len(seeds))) as pool:
-                return list(pool.map(_run_seed, [spec] * len(seeds), seeds))
-    return [_run_seed(spec, seed) for seed in seeds]
+    from repro.robust.executor import run_supervised
+
+    return run_supervised(
+        spec,
+        n_jobs,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        journal=journal,
+        resume=resume,
+        strict=strict,
+        sleep=sleep,
+    )
 
 
 def strip_timing(record: RunRecord) -> RunRecord:
@@ -202,16 +254,40 @@ def strip_timing(record: RunRecord) -> RunRecord:
 
 
 def _values_equal(a: Any, b: Any) -> bool:
-    """Structural equality that tolerates numpy arrays anywhere."""
+    """Structural equality: array-aware, dataclass-aware, NaN-aware.
+
+    Scalar floats compare NaN == NaN (a NaN-valued metric in two
+    bit-identical records must not make them unequal); numpy arrays use
+    ``array_equal(..., equal_nan=True)`` for float dtypes; dataclasses
+    (e.g. :class:`~repro.metrics.evaluate.WorkloadErrors`) compare field
+    by field under the same rules.
+    """
     import numpy as np
 
     if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
-        return (
-            isinstance(a, np.ndarray)
-            and isinstance(b, np.ndarray)
-            and a.shape == b.shape
-            and bool(np.array_equal(a, b, equal_nan=True))
+        if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+            return False
+        if a.shape != b.shape or a.dtype != b.dtype:
+            return False
+        if np.issubdtype(a.dtype, np.inexact):
+            return bool(np.array_equal(a, b, equal_nan=True))
+        return bool(np.array_equal(a, b))
+    if (
+        dataclasses.is_dataclass(a)
+        and dataclasses.is_dataclass(b)
+        and not isinstance(a, type)
+        and not isinstance(b, type)
+    ):
+        if type(a) is not type(b):
+            return False
+        return all(
+            _values_equal(getattr(a, f.name), getattr(b, f.name))
+            for f in dataclasses.fields(a)
         )
+    if isinstance(a, float) and isinstance(b, float):
+        # Covers the NaN-valued kl/ks/metric fields: plain == is False
+        # for NaN even when both sides are bit-identical.
+        return a == b or (math.isnan(a) and math.isnan(b))
     if isinstance(a, dict) and isinstance(b, dict):
         return a.keys() == b.keys() and all(
             _values_equal(a[k], b[k]) for k in a
@@ -227,11 +303,13 @@ def _values_equal(a: Any, b: Any) -> bool:
 
 
 def records_equal(a: RunRecord, b: RunRecord, ignore_timing: bool = True) -> bool:
-    """Field-by-field record equality, array-aware.
+    """Field-by-field record equality, array- and NaN-aware.
 
     With ``ignore_timing`` (the default) both records pass through
     :func:`strip_timing` first, so the comparison asserts exactly the
     bit-identical-statistics contract of parallel ``run_matrix``.
+    NaN-valued metrics compare equal to themselves (bit-identical runs
+    that both produced NaN are still identical runs).
     """
     if ignore_timing:
         a, b = strip_timing(a), strip_timing(b)
@@ -239,10 +317,10 @@ def records_equal(a: RunRecord, b: RunRecord, ignore_timing: bool = True) -> boo
         a.spec_name == b.spec_name
         and a.publisher == b.publisher
         and a.seed == b.seed
-        and a.epsilon == b.epsilon
-        and a.seconds == b.seconds
-        and a.kl == b.kl
-        and a.ks == b.ks
-        and a.workload_errors == b.workload_errors
+        and _values_equal(float(a.epsilon), float(b.epsilon))
+        and _values_equal(float(a.seconds), float(b.seconds))
+        and _values_equal(float(a.kl), float(b.kl))
+        and _values_equal(float(a.ks), float(b.ks))
+        and _values_equal(a.workload_errors, b.workload_errors)
         and _values_equal(a.meta, b.meta)
     )

@@ -63,3 +63,15 @@ class ExperimentSpec:
         if not seeds:
             raise ValueError("seeds must be non-empty")
         object.__setattr__(self, "seeds", seeds)
+
+    def fingerprint(self) -> str:
+        """SHA-256 identity of everything that determines this spec's output.
+
+        Used by the checkpoint journal to guarantee that ``--resume``
+        only ever reuses records produced by an identical configuration
+        (same dataset bytes, publisher, budget, seeds and workloads).
+        ``n_jobs`` is excluded: parallelism does not change results.
+        """
+        from repro.robust.journal import spec_fingerprint
+
+        return spec_fingerprint(self)

@@ -37,6 +37,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.robust.atomicio import atomic_write_text
+
 __all__ = [
     "BENCH_PARTITION",
     "BENCH_PUBLISHERS",
@@ -263,8 +265,15 @@ def _payload(entries: Dict[str, float], calibration: float,
 
 def write_results(path: Path, entries: Dict[str, float],
                   calibration: float, profile: str) -> None:
+    """Write one ``BENCH_*.json`` atomically.
+
+    Goes through :func:`repro.robust.atomicio.atomic_write_text`
+    (same-directory temp file + ``os.replace``), so a crash mid-write
+    can never corrupt a committed baseline — the regression gate always
+    sees either the old payload or the new one, never a torn file.
+    """
     payload = _payload(entries, calibration, profile)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
 
 
 def load_results(path: Path) -> Optional[Dict[str, Any]]:

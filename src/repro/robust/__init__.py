@@ -1,0 +1,37 @@
+"""Fault-tolerant experiment execution.
+
+The robustness layer around :func:`repro.experiments.runner.run_matrix`:
+
+* :mod:`repro.robust.executor` — supervised process pool with per-seed
+  timeouts, bounded retry-with-backoff, crash recovery and quarantine;
+* :mod:`repro.robust.journal` — JSONL checkpoint journal enabling
+  bit-identical ``--resume`` of interrupted sweeps;
+* :mod:`repro.robust.records` — structured :class:`FailedRecord`s for
+  graceful degradation (skip-and-report instead of crash);
+* :mod:`repro.robust.faults` — deterministic fault injection
+  (raise / kill / hang / NaN) used by the chaos test suite;
+* :mod:`repro.robust.atomicio` — crash-safe write/append primitives
+  shared with the tracked benchmarks.
+
+See ``docs/robustness.md`` for the failure taxonomy, retry semantics,
+journal format, and the determinism-under-retry argument.
+"""
+
+from repro.robust.atomicio import append_line, atomic_write_text
+from repro.robust.executor import run_supervised
+from repro.robust.faults import FaultPlan, FaultRule, InjectedFault
+from repro.robust.journal import CheckpointJournal, spec_fingerprint
+from repro.robust.records import FailedRecord, is_failed
+
+__all__ = [
+    "append_line",
+    "atomic_write_text",
+    "run_supervised",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "CheckpointJournal",
+    "spec_fingerprint",
+    "FailedRecord",
+    "is_failed",
+]

@@ -1,0 +1,79 @@
+"""Crash-safe filesystem primitives shared by the robustness layer.
+
+Two write disciplines cover every persistence need of the repo:
+
+* :func:`atomic_write_text` — whole-file replacement.  The payload is
+  written to a temporary file in the *same directory* (so the final
+  ``os.replace`` is a same-filesystem rename, which POSIX guarantees to
+  be atomic), fsynced, then renamed over the target.  A crash at any
+  point leaves either the old file or the new file, never a torn mix.
+  The tracked benchmark files (``BENCH_*.json``) and any rewritten
+  artifact go through this.
+
+* :func:`append_line` — append-only journals.  The line is written with
+  a single :func:`os.write` on a descriptor opened ``O_APPEND``, then
+  fsynced.  ``O_APPEND`` makes concurrent appenders from multiple
+  processes interleave at line granularity rather than byte-shear, and a
+  crash mid-append can only produce one torn *trailing* line — which the
+  journal reader tolerates by skipping unparseable lines.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_text", "append_line"]
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Replace ``path``'s contents with ``text`` atomically.
+
+    Writes to a uniquely named sibling temp file, fsyncs it, and
+    ``os.replace``s it over ``path``.  Readers never observe a partial
+    file; a crash mid-write leaves the previous contents intact (plus,
+    at worst, an orphaned ``.tmp`` sibling that the next write ignores).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def append_line(path: PathLike, line: str) -> None:
+    """Append one ``\\n``-terminated line to ``path``, crash-tolerantly.
+
+    The line must not itself contain newlines (that would break the
+    one-record-per-line journal format).  The write is a single
+    ``os.write`` on an ``O_APPEND`` descriptor followed by ``fsync``, so
+    concurrent appenders interleave whole lines and an interrupted
+    append can only tear the final line of the file.
+    """
+    if "\n" in line:
+        raise ValueError("journal lines must not contain newlines")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = (line + "\n").encode("utf-8")
+    fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -1,0 +1,241 @@
+"""Deterministic fault injection for chaos-testing the executor.
+
+A :class:`FaultPlan` is a JSON file of rules; each rule matches trials
+by ``(spec_name, publisher, seed)`` (any field may be omitted = match
+all) and fires one of four actions *inside the worker*:
+
+``raise``
+    raise :class:`InjectedFault` from the publisher call site,
+``kill``
+    ``os._exit(exit_code)`` — an abrupt worker death the pool sees as a
+    ``BrokenProcessPool`` (models segfault/OOM-kill),
+``hang``
+    ``time.sleep(hang_seconds)`` — a stuck trial the supervisor must
+    time out,
+``nan``
+    let the trial complete but corrupt its divergence metrics to NaN
+    (models silent numerical corruption downstream code must tolerate).
+
+Activation is by environment variable so child processes inherit it:
+``REPRO_FAULT_PLAN=/path/to/plan.json``.  When the variable is unset
+the hooks are a single dict lookup — effectively free.
+
+Determinism across retries and pool respawns comes from an on-disk
+*hit ledger* (``<plan>.hits``): a rule with ``times=N`` fires exactly N
+times for a given key, counted by crash-safe appends that survive even
+``os._exit`` (the ledger line is fsynced before the action fires).
+``times=None`` means "always fire" (a poison pill).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import RobustnessError
+from repro.robust.atomicio import append_line, atomic_write_text
+
+__all__ = [
+    "ENV_VAR",
+    "ACTIONS",
+    "InjectedFault",
+    "FaultRule",
+    "FaultPlan",
+    "load_plan",
+    "write_plan",
+    "active_plan",
+    "maybe_inject",
+    "maybe_corrupt",
+]
+
+#: Environment variable naming the active plan file (inherited by
+#: worker processes, which is what makes injection work under pools).
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Recognized rule actions.
+ACTIONS = ("raise", "kill", "hang", "nan")
+
+_PLAN_VERSION = 1
+
+
+class InjectedFault(RobustnessError):
+    """The exception the ``raise`` action throws inside a worker."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One match-and-fire rule of a :class:`FaultPlan`."""
+
+    action: str
+    spec_name: Optional[str] = None
+    publisher: Optional[str] = None
+    seed: Optional[int] = None
+    times: Optional[int] = None
+    hang_seconds: float = 3600.0
+    exit_code: int = 137
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; valid: {ACTIONS}"
+            )
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+
+    def matches(self, spec_name: str, publisher: str, seed: int) -> bool:
+        return (
+            (self.spec_name is None or self.spec_name == spec_name)
+            and (self.publisher is None or self.publisher == publisher)
+            and (self.seed is None or self.seed == int(seed))
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered rule list plus the path its hit ledger lives next to."""
+
+    rules: Tuple[FaultRule, ...]
+    path: Optional[Path] = None
+
+    @property
+    def ledger_path(self) -> Optional[Path]:
+        if self.path is None:
+            return None
+        return self.path.with_name(self.path.name + ".hits")
+
+    # -- hit accounting ------------------------------------------------
+    def _hits(self, rule_index: int) -> int:
+        ledger = self.ledger_path
+        if ledger is None or not ledger.exists():
+            return 0
+        prefix = f"{rule_index}\t"
+        count = 0
+        for line in ledger.read_text(encoding="utf-8").splitlines():
+            if line.startswith(prefix):
+                count += 1
+        return count
+
+    def _consume(self, rule_index: int, spec_name: str, publisher: str,
+                 seed: int) -> None:
+        ledger = self.ledger_path
+        if ledger is None:
+            return
+        append_line(
+            ledger, f"{rule_index}\t{spec_name}\t{publisher}\t{seed}"
+        )
+
+    def pick(
+        self, spec_name: str, publisher: str, seed: int,
+        actions: Sequence[str],
+    ) -> Optional[FaultRule]:
+        """First matching rule (among ``actions``) with firings left.
+
+        Consumes one ledger hit for bounded (``times=N``) rules *before*
+        returning, so even a ``kill`` that never returns is counted.
+        """
+        for index, rule in enumerate(self.rules):
+            if rule.action not in actions:
+                continue
+            if not rule.matches(spec_name, publisher, seed):
+                continue
+            if rule.times is not None:
+                if self._hits(index) >= rule.times:
+                    continue
+                self._consume(index, spec_name, publisher, seed)
+            return rule
+        return None
+
+
+def write_plan(path: "str | Path",
+               rules: Sequence[Union[FaultRule, Dict[str, Any]]]) -> Path:
+    """Serialize ``rules`` to ``path`` atomically; returns the path.
+
+    Accepts :class:`FaultRule` instances or plain dicts.  Any stale hit
+    ledger next to ``path`` is removed so a fresh plan starts at zero
+    firings.
+    """
+    path = Path(path)
+    normalized = [
+        rule if isinstance(rule, FaultRule) else FaultRule(**rule)
+        for rule in rules
+    ]
+    payload = {
+        "version": _PLAN_VERSION,
+        "rules": [asdict(rule) for rule in normalized],
+    }
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+    ledger = path.with_name(path.name + ".hits")
+    if ledger.exists():
+        ledger.unlink()
+    return path
+
+
+def load_plan(path: "str | Path") -> FaultPlan:
+    """Load a plan file written by :func:`write_plan`."""
+    path = Path(path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != _PLAN_VERSION:
+        raise ValueError(
+            f"unsupported fault-plan version: {payload.get('version')!r}"
+        )
+    rules = tuple(FaultRule(**rule) for rule in payload.get("rules", []))
+    return FaultPlan(rules=rules, path=path)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan named by :data:`ENV_VAR`, or ``None`` when unset."""
+    plan_path = os.environ.get(ENV_VAR)
+    if not plan_path:
+        return None
+    return load_plan(plan_path)
+
+
+def maybe_inject(spec_name: str, publisher: str, seed: int) -> None:
+    """Pre-publish hook: fire any matching raise/kill/hang rule.
+
+    Called from the trial body (see ``runner._run_seed``).  No-op unless
+    :data:`ENV_VAR` is set.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    rule = plan.pick(spec_name, publisher, seed, ("raise", "kill", "hang"))
+    if rule is None:
+        return
+    if rule.action == "raise":
+        raise InjectedFault(
+            f"injected fault: spec={spec_name!r} publisher={publisher!r} "
+            f"seed={seed}"
+        )
+    if rule.action == "kill":
+        # Abrupt death: no cleanup, no exception propagation — exactly
+        # what a segfault or the OOM killer looks like from outside.
+        os._exit(rule.exit_code)
+    if rule.action == "hang":
+        time.sleep(rule.hang_seconds)
+
+
+def maybe_corrupt(record: Any) -> Any:
+    """Post-publish hook: apply any matching ``nan`` corruption rule.
+
+    Returns ``record`` (possibly with ``kl``/``ks`` replaced by NaN).
+    ``record`` must be a dataclass with ``spec_name``/``publisher``/
+    ``seed``/``kl``/``ks`` fields (i.e. a ``RunRecord``); kept duck-typed
+    to avoid an import cycle with the runner.
+    """
+    plan = active_plan()
+    if plan is None:
+        return record
+    rule = plan.pick(record.spec_name, record.publisher, record.seed, ("nan",))
+    if rule is None:
+        return record
+    import dataclasses
+
+    nan = float("nan")
+    meta = dict(record.meta)
+    meta["fault_injected"] = "nan"
+    return dataclasses.replace(record, kl=nan, ks=nan, meta=meta)

@@ -1,0 +1,295 @@
+"""JSONL checkpoint journal for resumable experiment sweeps.
+
+Every completed trial — successful :class:`~repro.experiments.runner.RunRecord`
+or structured :class:`~repro.robust.records.FailedRecord` — is appended
+to a journal file as one self-contained JSON line, keyed by
+``(spec_name, publisher, seed, epsilon)`` plus a SHA-256 *spec
+fingerprint*.  ``python -m repro run --resume`` loads the journal,
+keeps every entry whose fingerprint matches the spec being run (so a
+stale journal from a different configuration can never leak records in),
+and re-dispatches only the missing seeds.
+
+Bit-identical resume
+--------------------
+Serialization round-trips every statistical field exactly:
+
+* Python floats are emitted by :func:`json.dumps` via ``repr``, the
+  shortest round-tripping representation — ``float64`` survives exactly,
+  including ``NaN``/``inf`` (emitted as JSON5-style literals, which the
+  stdlib parser accepts).
+* numpy arrays are tagged ``{"__ndarray__": ..., "dtype": ...,
+  "shape": ...}`` and rebuilt with their original dtype, so integer and
+  float arrays in ``RunRecord.meta`` come back ``np.array_equal``
+  (``equal_nan=True``).
+
+Appends go through :func:`repro.robust.atomicio.append_line`
+(``O_APPEND`` + fsync), so a SIGKILL mid-append tears at most the final
+line; the loader skips unparseable lines and lets later entries for the
+same key win.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import JournalError
+from repro.robust.atomicio import append_line
+from repro.robust.records import FailedRecord
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "CheckpointJournal",
+    "spec_fingerprint",
+    "record_to_payload",
+    "record_from_payload",
+]
+
+JOURNAL_SCHEMA = 1
+
+#: A journal key: (spec_name, publisher, seed, epsilon).
+Key = Tuple[str, str, int, float]
+
+JournalRecord = Union["RunRecord", FailedRecord]  # noqa: F821  (fwd ref)
+
+
+# ---------------------------------------------------------------------------
+# Value (de)serialization: JSON with tagged numpy arrays
+# ---------------------------------------------------------------------------
+
+_NDARRAY_TAG = "__ndarray__"
+
+
+def _encode(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-compatible structures."""
+    if isinstance(value, np.ndarray):
+        return {
+            _NDARRAY_TAG: value.tolist(),
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+        }
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, dict):
+        return {str(k): _encode(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(v) for v in value]
+    return value
+
+
+def _decode(value: Any) -> Any:
+    """Inverse of :func:`_encode` (tuples come back as lists)."""
+    if isinstance(value, dict):
+        if _NDARRAY_TAG in value and "dtype" in value:
+            return np.asarray(
+                value[_NDARRAY_TAG], dtype=np.dtype(value["dtype"])
+            ).reshape(tuple(value.get("shape", [-1])))
+        return {k: _decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Record (de)serialization
+# ---------------------------------------------------------------------------
+
+def record_to_payload(record: JournalRecord) -> Dict[str, Any]:
+    """Serialize a run/failed record into a JSON-compatible dict."""
+    from repro.experiments.runner import RunRecord
+
+    if isinstance(record, FailedRecord):
+        return {"kind": "failed", **_encode(asdict(record))}
+    if isinstance(record, RunRecord):
+        return {
+            "kind": "record",
+            "spec_name": record.spec_name,
+            "publisher": record.publisher,
+            "seed": record.seed,
+            "epsilon": record.epsilon,
+            "seconds": record.seconds,
+            "kl": _encode(record.kl),
+            "ks": _encode(record.ks),
+            "workload_errors": {
+                name: asdict(err)
+                for name, err in record.workload_errors.items()
+            },
+            "meta": _encode(record.meta),
+        }
+    raise TypeError(f"cannot journal {type(record).__name__}")
+
+
+def record_from_payload(payload: Dict[str, Any]) -> JournalRecord:
+    """Inverse of :func:`record_to_payload`."""
+    from repro.experiments.runner import RunRecord
+    from repro.metrics.evaluate import WorkloadErrors
+
+    kind = payload.get("kind")
+    if kind == "failed":
+        return FailedRecord(
+            spec_name=payload["spec_name"],
+            publisher=payload["publisher"],
+            seed=int(payload["seed"]),
+            epsilon=float(payload["epsilon"]),
+            error=payload["error"],
+            cause=payload.get("cause", ""),
+            attempts=int(payload.get("attempts", 0)),
+            meta=_decode(payload.get("meta", {})),
+        )
+    if kind == "record":
+        return RunRecord(
+            spec_name=payload["spec_name"],
+            publisher=payload["publisher"],
+            seed=int(payload["seed"]),
+            epsilon=float(payload["epsilon"]),
+            seconds=float(payload["seconds"]),
+            kl=float(payload["kl"]),
+            ks=float(payload["ks"]),
+            workload_errors={
+                name: WorkloadErrors(**err)
+                for name, err in payload.get("workload_errors", {}).items()
+            },
+            meta=_decode(payload.get("meta", {})),
+        )
+    raise JournalError(f"unknown journal record kind: {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Spec fingerprinting
+# ---------------------------------------------------------------------------
+
+def _factory_identity(factory: Any) -> str:
+    """Stable-ish textual identity of a publisher factory."""
+    module = getattr(factory, "__module__", "")
+    qualname = getattr(
+        factory, "__qualname__", type(factory).__qualname__
+    )
+    return f"{module}:{qualname}"
+
+
+def spec_fingerprint(spec: Any) -> str:
+    """SHA-256 fingerprint of everything that determines a spec's output.
+
+    Covers the spec name, publisher-factory identity, epsilon, seed set,
+    workload names/sizes, and the full dataset (domain plus the exact
+    count bytes).  Deliberately *excludes* ``n_jobs`` — parallelism does
+    not change results (the bit-identical contract), so a sweep may be
+    resumed with a different worker count.
+    """
+    hist = spec.histogram
+    domain = hist.domain
+    descriptor = {
+        "name": spec.name,
+        "publisher_factory": _factory_identity(spec.publisher_factory),
+        "epsilon": float(spec.epsilon),
+        "seeds": [int(s) for s in spec.seeds],
+        "workloads": [[w.name, int(w.n), len(w)] for w in spec.workloads],
+        "domain": {
+            "size": domain.size,
+            "lower": domain.lower,
+            "upper": domain.upper,
+            "labels": list(domain.labels) if domain.labels else None,
+            "name": domain.name,
+        },
+    }
+    digest = hashlib.sha256()
+    digest.update(json.dumps(descriptor, sort_keys=True).encode("utf-8"))
+    digest.update(np.ascontiguousarray(hist.counts).tobytes())
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The journal
+# ---------------------------------------------------------------------------
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed trials.
+
+    One journal file may hold entries for many specs (a whole sweep);
+    the per-spec ``fingerprint`` keeps them separated on load.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CheckpointJournal({str(self.path)!r})"
+
+    def append(self, record: JournalRecord, fingerprint: str) -> None:
+        """Durably append one completed trial."""
+        entry = {
+            "schema": JOURNAL_SCHEMA,
+            "fingerprint": fingerprint,
+            "key": {
+                "spec_name": record.spec_name,
+                "publisher": record.publisher,
+                "seed": int(record.seed),
+                "epsilon": float(record.epsilon),
+            },
+            "payload": record_to_payload(record),
+        }
+        append_line(self.path, json.dumps(entry))
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """All parseable journal entries, in file order.
+
+        Unparseable lines (a torn final append, editor noise) are
+        skipped; entries with a wrong schema raise, since that signals a
+        version mismatch rather than a crash artifact.
+        """
+        if not self.path.exists():
+            return []
+        out: List[Dict[str, Any]] = []
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn trailing line from a crash mid-append
+            if not isinstance(entry, dict) or "payload" not in entry:
+                continue
+            if entry.get("schema") != JOURNAL_SCHEMA:
+                raise JournalError(
+                    f"journal {self.path} has schema "
+                    f"{entry.get('schema')!r}; expected {JOURNAL_SCHEMA}"
+                )
+            out.append(entry)
+        return out
+
+    def completed(self, fingerprint: str) -> Dict[Key, JournalRecord]:
+        """Deserialized records matching ``fingerprint``, keyed by cell.
+
+        Later entries win when a key repeats (e.g. a sweep that was
+        resumed more than once).
+        """
+        out: Dict[Key, JournalRecord] = {}
+        for entry in self.entries():
+            if entry.get("fingerprint") != fingerprint:
+                continue
+            key = entry["key"]
+            cell: Key = (
+                key["spec_name"],
+                key["publisher"],
+                int(key["seed"]),
+                float(key["epsilon"]),
+            )
+            out[cell] = record_from_payload(entry["payload"])
+        return out
+
+    def seeds_done(self, fingerprint: str) -> Dict[int, JournalRecord]:
+        """Like :meth:`completed` but keyed by seed alone (one spec)."""
+        return {
+            key[2]: record
+            for key, record in self.completed(fingerprint).items()
+        }

@@ -54,14 +54,22 @@ class TestResolveNJobs:
     def test_positive_passthrough(self):
         assert resolve_n_jobs(3) == 3
 
-    @pytest.mark.parametrize("bad", [0, -2])
+    @pytest.mark.parametrize("bad", [0, -2, -17])
     def test_rejects_nonpositive(self, bad):
         with pytest.raises(ValueError):
             resolve_n_jobs(bad)
 
-    def test_rejects_non_integer(self):
+    @pytest.mark.parametrize("bad", [2.5, "4", True])
+    def test_rejects_non_integer(self, bad):
         with pytest.raises(TypeError):
-            resolve_n_jobs(2.5)
+            resolve_n_jobs(bad)
+
+    def test_accepts_numpy_integer(self):
+        assert resolve_n_jobs(np.int64(3)) == 3
+
+    def test_oversubscription_is_allowed(self):
+        # More workers than CPUs is wasteful but legal.
+        assert resolve_n_jobs(4096) == 4096
 
 
 class TestSpecNJobs:
@@ -174,3 +182,134 @@ class TestNumpyArrayMeta:
             a.meta.get("noisy_sse_by_k"), (np.ndarray, type(None))
         )
         assert records_equal(a, b)
+
+
+class TestNaNAwareEquality:
+    """Regression: ``records_equal`` used plain ``==`` on metric floats,
+    so any record with a NaN metric compared unequal *to itself*."""
+
+    def _record(self, step_hist):
+        return run_matrix(_spec(step_hist, seeds=(0,)))[0]
+
+    def test_record_with_nan_metric_equals_itself(self, step_hist):
+        import dataclasses
+
+        nanned = dataclasses.replace(
+            self._record(step_hist), kl=float("nan"), ks=float("nan")
+        )
+        assert records_equal(nanned, nanned)
+        assert records_equal(nanned, dataclasses.replace(nanned))
+
+    def test_nan_does_not_equal_a_number(self, step_hist):
+        import dataclasses
+
+        record = self._record(step_hist)
+        nanned = dataclasses.replace(record, kl=float("nan"))
+        assert not records_equal(record, nanned)
+        assert not records_equal(nanned, record)
+
+    def test_nan_inside_array_meta_compares_equal(self, step_hist):
+        import dataclasses
+
+        record = self._record(step_hist)
+        arr = np.array([1.0, np.nan, 3.0])
+        a = dataclasses.replace(record, meta={**record.meta, "arr": arr})
+        b = dataclasses.replace(
+            record, meta={**record.meta, "arr": arr.copy()}
+        )
+        assert records_equal(a, b)
+
+    def test_array_dtype_mismatch_detected(self, step_hist):
+        import dataclasses
+
+        record = self._record(step_hist)
+        a = dataclasses.replace(
+            record,
+            meta={**record.meta, "arr": np.array([1.0, 2.0])},
+        )
+        b = dataclasses.replace(
+            record,
+            meta={**record.meta, "arr": np.array([1, 2])},
+        )
+        assert not records_equal(a, b)
+
+
+class _CountingFactory:
+    """Publisher factory that counts how often it is pickled.
+
+    The counter lives on the class in the *parent* process; workers
+    unpickle (``__setstate__``) so their side never increments it.
+    """
+
+    pickles = 0
+
+    def __getstate__(self):
+        type(self).pickles += 1
+        return {}
+
+    def __setstate__(self, state):
+        pass
+
+    def __call__(self):
+        return DworkIdentity()
+
+
+class TestSpecShippedOncePerPool:
+    """Regression for the old ``pool.map(_run_seed, [spec] * n, seeds)``
+    dispatch, which re-pickled the whole spec (histogram included) for
+    every seed.  The supervised executor ships it exactly once, through
+    the pool initializer."""
+
+    def test_spec_pickled_once_for_many_seeds(self, step_hist):
+        spec = _spec(
+            step_hist, factory=_CountingFactory(),
+            seeds=tuple(range(8)),
+        )
+        serial = run_matrix(spec, n_jobs=1)
+
+        _CountingFactory.pickles = 0
+        parallel = run_matrix(spec, n_jobs=2)
+        assert _CountingFactory.pickles == 1  # probe == payload
+        # Shipping once changes nothing statistically.
+        for a, b in zip(serial, parallel):
+            assert records_equal(a, b)
+
+    def test_serial_run_never_pickles(self, step_hist):
+        spec = _spec(step_hist, factory=_CountingFactory(), seeds=(0, 1))
+        _CountingFactory.pickles = 0
+        run_matrix(spec, n_jobs=1)
+        assert _CountingFactory.pickles == 0
+
+
+class TestSerialFallbackUnderSupervision:
+    def test_unpicklable_spec_with_journal_still_journals(
+        self, step_hist, tmp_path
+    ):
+        """The serial fallback is a full citizen of the supervised path:
+        retries, journaling and resume all still work."""
+        from repro.robust.journal import CheckpointJournal, spec_fingerprint
+
+        spec = _spec(step_hist, factory=lambda: DworkIdentity())
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            records = run_matrix(spec, n_jobs=4, journal=journal, retries=1)
+        assert any(
+            issubclass(w.category, RuntimeWarning)
+            and "not picklable" in str(w.message)
+            for w in caught
+        )
+        done = journal.seeds_done(spec_fingerprint(spec))
+        assert sorted(done) == sorted(spec.seeds)
+        resumed = run_matrix(spec, n_jobs=1, journal=journal, resume=True)
+        for a, b in zip(records, resumed):
+            assert records_equal(a, b)
+
+    def test_timeout_in_serial_mode_warns_unenforced(self, step_hist):
+        spec = _spec(step_hist, seeds=(0, 1))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_matrix(spec, n_jobs=1, timeout=5.0)
+        assert any(
+            "not enforced in serial" in str(w.message) for w in caught
+        )

@@ -1,0 +1,94 @@
+"""Crash-safe write primitives, plus the bench-file atomicity regression."""
+
+import json
+import os
+
+import pytest
+
+from repro.robust.atomicio import append_line, atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "one")
+        assert target.read_text() == "one"
+        atomic_write_text(target, "two")
+        assert target.read_text() == "two"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(target, "x")
+        assert target.read_text() == "x"
+
+    def test_no_temp_litter_on_success(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "payload")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_replace_preserves_old_contents(self, tmp_path,
+                                                   monkeypatch):
+        """A crash at the rename step must leave the old file intact."""
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+
+        def boom(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "torn half-writ")
+        assert target.read_text() == "precious"
+        # The temp sibling is cleaned up, not leaked.
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+class TestAppendLine:
+    def test_appends_in_order(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        append_line(path, "a")
+        append_line(path, "b")
+        assert path.read_text() == "a\nb\n"
+
+    def test_rejects_embedded_newlines(self, tmp_path):
+        with pytest.raises(ValueError):
+            append_line(tmp_path / "j.jsonl", "bad\nline")
+
+    def test_creates_file_and_parents(self, tmp_path):
+        path = tmp_path / "deep" / "j.jsonl"
+        append_line(path, "x")
+        assert path.read_text() == "x\n"
+
+
+class TestBenchWritesAreAtomic:
+    """Regression for the bare ``write_text`` in perf/bench.py."""
+
+    def test_write_results_round_trips(self, tmp_path):
+        from repro.perf.bench import load_results, write_results
+
+        path = tmp_path / "BENCH_test.json"
+        write_results(path, {"k/n=1": 0.25}, calibration=0.5,
+                      profile="quick")
+        payload = load_results(path)
+        assert payload["entries"]["k/n=1"]["seconds"] == 0.25
+        assert payload["entries"]["k/n=1"]["normalized"] == 0.5
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_test.json"]
+
+    def test_crash_mid_write_keeps_old_baseline(self, tmp_path,
+                                                monkeypatch):
+        from repro.perf.bench import load_results, write_results
+
+        path = tmp_path / "BENCH_test.json"
+        write_results(path, {"k/n=1": 0.25}, calibration=0.5,
+                      profile="quick")
+        before = json.loads(path.read_text())
+
+        def boom(src, dst):
+            raise OSError("simulated crash mid-replace")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            write_results(path, {"k/n=1": 99.0}, calibration=0.5,
+                          profile="quick")
+        assert json.loads(path.read_text()) == before
+        assert load_results(path) == before

@@ -1,0 +1,108 @@
+"""Fault plans: matching, hit accounting, env activation."""
+
+import math
+
+import pytest
+
+from repro.experiments.runner import run_matrix
+from repro.robust import faults
+
+
+class TestRules:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError):
+            faults.FaultRule(action="explode")
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ValueError):
+            faults.FaultRule(action="raise", times=0)
+
+    def test_matching_is_and_semantics(self):
+        rule = faults.FaultRule(action="raise", publisher="dwork", seed=3)
+        assert rule.matches("any", "dwork", 3)
+        assert not rule.matches("any", "dwork", 4)
+        assert not rule.matches("any", "boost", 3)
+
+    def test_none_fields_match_everything(self):
+        rule = faults.FaultRule(action="raise")
+        assert rule.matches("s", "p", 0)
+
+
+class TestPlanFile:
+    def test_write_load_round_trip(self, tmp_path):
+        path = faults.write_plan(
+            tmp_path / "plan.json",
+            [{"action": "hang", "seed": 1, "times": 2, "hang_seconds": 9.0}],
+        )
+        plan = faults.load_plan(path)
+        assert plan.rules[0].action == "hang"
+        assert plan.rules[0].hang_seconds == 9.0
+        assert plan.path == path
+
+    def test_write_plan_resets_hit_ledger(self, tmp_path):
+        path = tmp_path / "plan.json"
+        faults.write_plan(path, [{"action": "raise", "times": 1}])
+        plan = faults.load_plan(path)
+        assert plan.pick("s", "p", 0, ("raise",)) is not None
+        assert plan.ledger_path.exists()
+        faults.write_plan(path, [{"action": "raise", "times": 1}])
+        assert not plan.ledger_path.exists()
+
+    def test_inactive_without_env(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        assert faults.active_plan() is None
+        # The hooks are no-ops.
+        faults.maybe_inject("s", "p", 0)
+
+
+class TestHitAccounting:
+    def test_bounded_rule_fires_exactly_n_times(self, tmp_path):
+        path = faults.write_plan(
+            tmp_path / "plan.json", [{"action": "raise", "times": 2}]
+        )
+        plan = faults.load_plan(path)
+        assert plan.pick("s", "p", 0, ("raise",)) is not None
+        assert plan.pick("s", "p", 0, ("raise",)) is not None
+        assert plan.pick("s", "p", 0, ("raise",)) is None
+
+    def test_unbounded_rule_always_fires_without_ledger(self, tmp_path):
+        path = faults.write_plan(
+            tmp_path / "plan.json", [{"action": "raise"}]
+        )
+        plan = faults.load_plan(path)
+        for _ in range(5):
+            assert plan.pick("s", "p", 0, ("raise",)) is not None
+        assert not plan.ledger_path.exists()
+
+    def test_hits_survive_reload(self, tmp_path):
+        """The ledger is on disk: a respawned process sees prior firings."""
+        path = faults.write_plan(
+            tmp_path / "plan.json", [{"action": "kill", "times": 1}]
+        )
+        assert faults.load_plan(path).pick("s", "p", 0, ("kill",)) is not None
+        # A fresh load (as a respawned worker would do) sees the hit.
+        assert faults.load_plan(path).pick("s", "p", 0, ("kill",)) is None
+
+
+class TestInjection:
+    def test_raise_action_raises_injected_fault(self, make_spec, fault_env):
+        fault_env([{"action": "raise", "seed": 0}])
+        with pytest.raises(faults.InjectedFault):
+            run_matrix(make_spec(seeds=(0,)))
+
+    def test_raise_respects_seed_selector(self, make_spec, fault_env):
+        fault_env([{"action": "raise", "seed": 99}])
+        records = run_matrix(make_spec(seeds=(0, 1)))
+        assert [r.seed for r in records] == [0, 1]
+
+    def test_nan_action_corrupts_metrics_only(self, make_spec, fault_env):
+        from repro.experiments.runner import records_equal
+
+        clean = run_matrix(make_spec(seeds=(0, 1)))
+        fault_env([{"action": "nan", "seed": 1}])
+        records = run_matrix(make_spec(seeds=(0, 1)))
+        assert math.isnan(records[1].kl) and math.isnan(records[1].ks)
+        assert records[1].meta["fault_injected"] == "nan"
+        # Untouched seeds are bit-identical; workload errors survive.
+        assert records_equal(clean[0], records[0])
+        assert records[1].workload_errors == clean[1].workload_errors

@@ -30,3 +30,33 @@ class TestCli:
         assert main(["fig_budget_split", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "structure fraction" in out
+
+
+class TestRunSweepCli:
+    SWEEP = ["run", "--publishers", "dwork", "--epsilons", "0.5",
+             "--bins-sweep", "16", "--total", "5000", "--sweep-seeds", "2"]
+
+    def test_clean_sweep_exits_zero(self, capsys, tmp_path):
+        argv = self.SWEEP + ["--journal", str(tmp_path / "j.jsonl")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "supervised sweep" in out
+        assert "sweep/age/dwork/eps=0.5" in out
+
+    def test_resume_requires_journal(self, capsys):
+        assert main(self.SWEEP + ["--resume"]) == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_bad_option_values_exit_two(self, capsys):
+        assert main(self.SWEEP + ["--retries", "-1"]) == 2
+        assert main(self.SWEEP + ["--timeout", "0"]) == 2
+        assert main(self.SWEEP + ["--epsilons", "zero"]) == 2
+        assert main(["run", "--publishers", "bogus"]) == 2
+
+    def test_resume_after_complete_run_is_idempotent(self, tmp_path,
+                                                     capsys):
+        journal = str(tmp_path / "j.jsonl")
+        assert main(self.SWEEP + ["--journal", journal]) == 0
+        capsys.readouterr()
+        assert main(self.SWEEP + ["--journal", journal, "--resume"]) == 0
+        assert "sweep/age/dwork/eps=0.5" in capsys.readouterr().out
