@@ -34,6 +34,8 @@ crash or SIGKILL, bit-identically::
         --timeout 120 --retries 2
     python -m repro run --journal sweep.jsonl --n-jobs 4 \
         --timeout 120 --retries 2 --resume
+    python -m repro run --journal sweep.jsonl --n-jobs 4 \
+        --resume --retry-failed   # re-attempt quarantined seeds too
 """
 
 from __future__ import annotations
@@ -214,6 +216,14 @@ def _build_parser() -> argparse.ArgumentParser:
              "only the missing seeds (bit-identical continuation)",
     )
     run.add_argument(
+        "--retry-failed",
+        dest="retry_failed",
+        action="store_true",
+        help="with --resume: give journaled quarantined seeds fresh "
+             "attempts instead of keeping their FailedRecords (use "
+             "after fixing a transient failure, e.g. a worker OOM)",
+    )
+    run.add_argument(
         "--strict",
         action="store_true",
         help="fail fast on the first exhausted cell instead of "
@@ -327,6 +337,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
     if args.resume and not args.journal:
         print("error: --resume requires --journal", file=sys.stderr)
         return 2
+    if args.retry_failed and not args.resume:
+        print("error: --retry-failed requires --resume", file=sys.stderr)
+        return 2
     try:
         epsilons = [float(e) for e in args.epsilons.split(",") if e.strip()]
     except ValueError:
@@ -357,6 +370,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         backoff=args.backoff,
         journal=args.journal,
         resume=args.resume,
+        retry_failed=args.retry_failed,
         strict=args.strict,
     )
     table, failures = sweep_table(results)

@@ -178,6 +178,7 @@ def run_matrix(
     backoff: float = 0.5,
     journal: "Any | None" = None,
     resume: bool = False,
+    retry_failed: bool = False,
     strict: bool = True,
     sleep: Callable[[float], None] = time.sleep,
 ) -> List[Union[RunRecord, FailedRecord]]:
@@ -216,6 +217,10 @@ def run_matrix(
         A :class:`~repro.robust.journal.CheckpointJournal` (or path) to
         append completed trials to; with ``resume=True`` matching
         entries are loaded and only missing seeds run.
+    retry_failed:
+        With ``resume=True``: journaled quarantines
+        (:class:`FailedRecord` entries) get fresh attempts instead of
+        being carried forward — use after fixing a transient failure.
     strict:
         ``True`` (default): exhausting a seed's attempts raises — the
         historical fail-fast behavior.  ``False``: the cell degrades
@@ -233,6 +238,7 @@ def run_matrix(
         backoff=backoff,
         journal=journal,
         resume=resume,
+        retry_failed=retry_failed,
         strict=strict,
         sleep=sleep,
     )

@@ -17,12 +17,18 @@ per-seed futures under an explicit supervisor:
   capped), then **quarantined**: under ``strict=True`` the underlying
   error is raised (fail-fast, the historical behavior), otherwise the
   cell degrades into a :class:`~repro.robust.records.FailedRecord` and
-  the rest of the matrix keeps running;
+  the rest of the matrix keeps running.  Backoff sleeps are *deferred*:
+  a strike only schedules the delay, which is served between dispatches
+  — never inside a wave's collection loop, where it would eat the
+  shared timeout window, stall hung-worker detection, and postpone the
+  journaling of already-finished sibling results;
 * **checkpoint journal** — with a
   :class:`~repro.robust.journal.CheckpointJournal`, every completed
   trial is durably appended the moment it finishes, and ``resume=True``
   pre-loads matching entries so an interrupted sweep continues from
-  where it died.
+  where it died.  Journaled :class:`FailedRecord` quarantines are
+  honored on resume by default; ``retry_failed=True`` gives them fresh
+  attempts instead (e.g. after fixing a transient environment problem).
 
 Determinism under retry
 -----------------------
@@ -126,6 +132,7 @@ class _Supervisor:
         backoff: float,
         strict: bool,
         journal: Optional[CheckpointJournal],
+        retry_failed: bool,
         sleep: Callable[[float], None],
     ) -> None:
         self.spec = spec
@@ -135,6 +142,7 @@ class _Supervisor:
         self.backoff = backoff
         self.strict = strict
         self.journal = journal
+        self.retry_failed = retry_failed
         self.sleep = sleep
         self.fingerprint = (
             spec_fingerprint(spec) if journal is not None else ""
@@ -144,6 +152,13 @@ class _Supervisor:
         self.pending: List[int] = []
         self.probe: Set[int] = set()
         self.progress = 0  # completions + strikes + probe growth
+        #: Set on the timeout path *before* striking, so that even when
+        #: a strict-mode strike raises out of the collection loop, the
+        #: pool teardown in :meth:`run_parallel` still kills the hung
+        #: worker instead of joining it (which would deadlock).
+        self.must_kill = False
+        #: Deferred backoff delays, served between dispatches.
+        self._backoff_pending: List[float] = []
         self._publisher_name: Optional[str] = None
 
     # -- identity helpers ---------------------------------------------
@@ -160,7 +175,13 @@ class _Supervisor:
         done = self.journal.seeds_done(self.fingerprint)
         for seed in self.spec.seeds:
             if seed in done and seed not in self.results:
-                self.results[seed] = done[seed]
+                record = done[seed]
+                if self.retry_failed and isinstance(record, FailedRecord):
+                    # Journaled quarantine, but the operator asked for a
+                    # fresh attempt (the failure may have been a worker
+                    # OOM or other transient): leave the seed pending.
+                    continue
+                self.results[seed] = record
 
     def _complete(self, seed: int, record: Any) -> None:
         self.results[seed] = record
@@ -176,6 +197,13 @@ class _Supervisor:
 
         ``kind`` is ``"timeout"`` / ``"crash"`` / ``"raise"``; ``cause``
         is the underlying exception (for ``raise``) or a description.
+
+        The backoff delay is *scheduled*, not slept here: a strike can
+        happen mid-wave, and sleeping inside the collection loop would
+        both consume the wave's shared timeout budget (falsely shrinking
+        sibling deadlines) and postpone harvesting/journaling of results
+        that have already finished.  :meth:`_flush_backoff` serves the
+        delay at the next dispatch point instead.
         """
         self.attempts[seed] = self.attempts.get(seed, 0) + 1
         self.progress += 1
@@ -190,6 +218,19 @@ class _Supervisor:
             self.backoff * (2.0 ** (self.attempts[seed] - 1)), BACKOFF_CAP
         )
         if delay > 0:
+            self._backoff_pending.append(delay)
+
+    def _flush_backoff(self) -> None:
+        """Serve deferred backoff sleeps; called between dispatches.
+
+        Runs *outside* any wave-collection window, so backoff never
+        counts against a trial's timeout and never delays detection of
+        a hung sibling.  Quarantined seeds leave no residue: a pending
+        delay whose seed was given up still sleeps at most once, before
+        the next dispatch, mirroring the historical pacing.
+        """
+        pending, self._backoff_pending = self._backoff_pending, []
+        for delay in pending:
             self.sleep(delay)
 
     def _give_up(self, seed: int, kind: str, cause: Any) -> None:
@@ -230,6 +271,7 @@ class _Supervisor:
         from repro.experiments.runner import _run_seed
 
         while self.pending:
+            self._flush_backoff()
             seed = self.pending[0]
             try:
                 record = _run_seed(self.spec, seed)
@@ -248,11 +290,18 @@ class _Supervisor:
                 initializer=_init_worker,
                 initargs=(payload,),
             )
+            self.must_kill = False
             kill = False
             try:
                 kill = self._drive_pool(pool)
             finally:
-                _stop_pool(pool, kill=kill)
+                # ``kill or self.must_kill``: when a strict-mode strike
+                # raises on the timeout path, ``kill`` never gets
+                # assigned — but the worker is still hung, and a
+                # cooperative ``shutdown(wait=True)`` would join it and
+                # block until the hang (possibly never) ends.  The
+                # supervisor flag survives the exception unwind.
+                _stop_pool(pool, kill=kill or self.must_kill)
             if self.progress == progress_before and self.pending:
                 barren += 1
                 if barren >= _MAX_BARREN_GENERATIONS:
@@ -278,6 +327,7 @@ class _Supervisor:
         worker) rather than merely shut it down.
         """
         while self.pending:
+            self._flush_backoff()
             wave = self._next_wave()
             try:
                 futures = {
@@ -322,6 +372,11 @@ class _Supervisor:
                 else:
                     record = future.result()
             except FuturesTimeoutError:
+                # Flag *before* striking: under strict=True the strike
+                # may raise TrialTimeoutError straight out of this frame
+                # and the "kill" return below never happens — the pool
+                # teardown must still terminate the hung worker.
+                self.must_kill = True
                 self._strike(
                     seed,
                     "timeout",
@@ -386,6 +441,7 @@ def run_supervised(
     backoff: float = 0.5,
     journal: Optional[Union[CheckpointJournal, str]] = None,
     resume: bool = False,
+    retry_failed: bool = False,
     strict: bool = True,
     sleep: Callable[[float], None] = time.sleep,
 ) -> List[Any]:
@@ -395,6 +451,11 @@ def run_supervised(
     on success, a :class:`FailedRecord` for quarantined cells when
     ``strict=False``.  With ``strict=True`` (default) the first
     exhausted cell raises, restoring fail-fast semantics.
+
+    ``retry_failed`` (with ``resume=True``) re-runs seeds whose journal
+    entry is a quarantined :class:`FailedRecord` instead of carrying the
+    quarantine forward — the knob for resuming after a transient
+    environment failure (worker OOM, infra flake) has been fixed.
     """
     from repro.experiments.runner import resolve_n_jobs
 
@@ -404,6 +465,8 @@ def run_supervised(
         raise ValueError(f"retries must be >= 0, got {retries}")
     if backoff < 0:
         raise ValueError(f"backoff must be >= 0, got {backoff}")
+    if retry_failed and not resume:
+        raise ValueError("retry_failed requires resume=True")
     if isinstance(journal, (str,)) or hasattr(journal, "__fspath__"):
         journal = CheckpointJournal(journal)
 
@@ -416,6 +479,7 @@ def run_supervised(
         backoff=backoff,
         strict=strict,
         journal=journal,
+        retry_failed=retry_failed,
         sleep=sleep,
     )
     if resume:

@@ -20,11 +20,18 @@ Activation is by environment variable so child processes inherit it:
 ``REPRO_FAULT_PLAN=/path/to/plan.json``.  When the variable is unset
 the hooks are a single dict lookup — effectively free.
 
-Determinism across retries and pool respawns comes from an on-disk
-*hit ledger* (``<plan>.hits``): a rule with ``times=N`` fires exactly N
-times for a given key, counted by crash-safe appends that survive even
-``os._exit`` (the ledger line is fsynced before the action fires).
-``times=None`` means "always fire" (a poison pill).
+Determinism across retries and pool respawns comes from on-disk *hit
+slots*: a rule with ``times=N`` owns N slot files
+(``<plan>.hits.<rule>.<hit>``), and each firing must first *claim* a
+free slot with ``O_CREAT | O_EXCL`` — an atomic filesystem primitive —
+so two workers racing on the same rule can never both pass the
+``times=N`` check and over-fire it.  Claimed slots survive even
+``os._exit`` (file creation completes before the action fires), which
+is what keeps "kill the worker exactly twice" deterministic across pool
+respawns.  A human-readable append-only ledger (``<plan>.hits``)
+additionally records *which* trial fired each rule, for debugging.
+``times=None`` means "always fire" (a poison pill) and needs no
+accounting.
 """
 
 from __future__ import annotations
@@ -108,19 +115,45 @@ class FaultPlan:
         return self.path.with_name(self.path.name + ".hits")
 
     # -- hit accounting ------------------------------------------------
-    def _hits(self, rule_index: int) -> int:
+    def _slot_path(self, rule_index: int, hit: int) -> Optional[Path]:
         ledger = self.ledger_path
-        if ledger is None or not ledger.exists():
-            return 0
-        prefix = f"{rule_index}\t"
-        count = 0
-        for line in ledger.read_text(encoding="utf-8").splitlines():
-            if line.startswith(prefix):
-                count += 1
-        return count
+        if ledger is None:
+            return None
+        return ledger.with_name(f"{ledger.name}.{rule_index}.{hit}")
+
+    def _claim(self, rule_index: int, times: int) -> bool:
+        """Atomically claim one of the rule's ``times`` hit slots.
+
+        Each slot is a file created with ``O_CREAT | O_EXCL``: exactly
+        one process can win each slot, so the check-and-consume is a
+        single atomic operation and a bounded rule fires exactly
+        ``times`` times even when concurrent workers race on it.
+        Returns ``False`` when every slot is already taken (the rule is
+        exhausted).  A pathless in-memory plan has no slots and always
+        fires (nothing to coordinate through).
+        """
+        if self.ledger_path is None:
+            return True
+        for hit in range(times):
+            slot = self._slot_path(rule_index, hit)
+            assert slot is not None
+            try:
+                fd = os.open(
+                    str(slot), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                continue  # another process (or a prior attempt) owns it
+            os.close(fd)
+            return True
+        return False
 
     def _consume(self, rule_index: int, spec_name: str, publisher: str,
                  seed: int) -> None:
+        """Record *who* fired a rule in the human-readable ledger.
+
+        Purely observational — the slot files are the source of truth
+        for exactly-N accounting.
+        """
         ledger = self.ledger_path
         if ledger is None:
             return
@@ -134,8 +167,9 @@ class FaultPlan:
     ) -> Optional[FaultRule]:
         """First matching rule (among ``actions``) with firings left.
 
-        Consumes one ledger hit for bounded (``times=N``) rules *before*
-        returning, so even a ``kill`` that never returns is counted.
+        Bounded (``times=N``) rules claim a hit slot atomically *before*
+        returning, so even a ``kill`` that never returns is counted, and
+        concurrent workers cannot over-fire the rule past N.
         """
         for index, rule in enumerate(self.rules):
             if rule.action not in actions:
@@ -143,7 +177,7 @@ class FaultPlan:
             if not rule.matches(spec_name, publisher, seed):
                 continue
             if rule.times is not None:
-                if self._hits(index) >= rule.times:
+                if not self._claim(index, rule.times):
                     continue
                 self._consume(index, spec_name, publisher, seed)
             return rule
@@ -155,8 +189,8 @@ def write_plan(path: "str | Path",
     """Serialize ``rules`` to ``path`` atomically; returns the path.
 
     Accepts :class:`FaultRule` instances or plain dicts.  Any stale hit
-    ledger next to ``path`` is removed so a fresh plan starts at zero
-    firings.
+    ledger and claimed hit slots next to ``path`` are removed so a
+    fresh plan starts at zero firings.
     """
     path = Path(path)
     normalized = [
@@ -168,9 +202,12 @@ def write_plan(path: "str | Path",
         "rules": [asdict(rule) for rule in normalized],
     }
     atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
-    ledger = path.with_name(path.name + ".hits")
-    if ledger.exists():
-        ledger.unlink()
+    # The ledger itself plus every hit-slot file (<name>.hits.<r>.<h>).
+    for stale in path.parent.glob(path.name + ".hits*"):
+        try:
+            stale.unlink()
+        except OSError:
+            pass
     return path
 
 

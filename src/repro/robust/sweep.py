@@ -106,6 +106,7 @@ def run_sweep(
     backoff: float = 0.5,
     journal: Optional[Union[CheckpointJournal, str]] = None,
     resume: bool = False,
+    retry_failed: bool = False,
     strict: bool = False,
     sleep: Callable[[float], None] = time.sleep,
 ) -> "Dict[str, List[object]]":
@@ -115,6 +116,8 @@ def run_sweep(
     keep entries separated), so a single ``--resume`` continues all of
     it.  ``strict=False`` by default: a sweep is exactly the setting
     where one poison cell must not discard hours of completed work.
+    ``retry_failed`` (with ``resume``) gives journaled quarantines fresh
+    attempts instead of carrying them forward.
     """
     from repro.experiments.runner import run_matrix
 
@@ -130,6 +133,7 @@ def run_sweep(
             backoff=backoff,
             journal=journal,
             resume=resume,
+            retry_failed=retry_failed,
             strict=strict,
             sleep=sleep,
         )

@@ -107,12 +107,23 @@ class TestHungWorker:
     def test_perma_hang_strict_raises_trial_timeout(
         self, make_spec, fault_env, no_sleep
     ):
+        """Strict mode must raise *promptly*: the hung worker is killed
+        during pool teardown, not joined.  A cooperative shutdown would
+        block for the full 60 s hang (and forever for a true hang)."""
+        import time as _time
+
         fault_env([{"action": "hang", "seed": 0, "hang_seconds": 60}])
+        start = _time.monotonic()
         with pytest.raises(TrialTimeoutError):
             run_matrix(
                 make_spec(seeds=(0, 1)), n_jobs=2, timeout=1.0, retries=0,
                 strict=True, sleep=no_sleep,
             )
+        elapsed = _time.monotonic() - start
+        assert elapsed < 30, (
+            f"strict timeout took {elapsed:.1f}s — the teardown joined "
+            "the hung worker instead of killing it"
+        )
 
 
 class TestPoisonRaise:
@@ -157,6 +168,32 @@ class TestPoisonRaise:
                 make_spec(seeds=(0, 1)), n_jobs=2, retries=1, strict=True,
                 sleep=no_sleep,
             )
+
+    def test_backoff_is_deferred_until_the_wave_is_harvested(
+        self, make_spec, fault_env, tmp_path
+    ):
+        """A strike's backoff must not sleep inside the collection loop:
+        by the time the (deferred) sleep fires, the healthy sibling of
+        the struck seed has already been collected *and journaled* —
+        backoff can neither eat the wave's shared timeout budget nor
+        delay the durability of finished results."""
+        spec = make_spec(seeds=(0, 1))
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        fault_env([{"action": "raise", "seed": 0, "times": 1}])
+        observed = []
+
+        def recording_sleep(seconds):
+            journaled = sorted(e["key"]["seed"] for e in journal.entries())
+            observed.append((seconds, journaled))
+
+        records = run_matrix(
+            spec, n_jobs=2, retries=1, journal=journal, strict=False,
+            sleep=recording_sleep,
+        )
+        # One backoff (seed 0's single retry), served only after the
+        # sibling seed 1 was banked in the journal.
+        assert observed == [(0.5, [1])]
+        assert not any(is_failed(r) for r in records)
 
     def test_serial_path_retries_and_quarantines_too(
         self, make_spec, fault_env, no_sleep
@@ -251,6 +288,47 @@ class TestJournalResume:
         assert sorted(keys) == [0, 0, 1, 1]  # both runs journaled
         # Later entries win on load; they're identical anyway.
         assert sorted(journal.seeds_done(spec.fingerprint())) == [0, 1]
+
+    def test_resume_keeps_quarantines_unless_retry_failed(
+        self, make_spec, fault_env, no_sleep, tmp_path
+    ):
+        """Journaled FailedRecords are honored on --resume by default;
+        --retry-failed gives them fresh attempts (the transient-failure
+        recovery path: fix the environment, then retry the quarantine)."""
+        spec = make_spec(seeds=(0, 1, 2))
+        serial = run_matrix(spec, n_jobs=1)
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        fault_env([{"action": "raise", "seed": 1}])
+        first = run_matrix(
+            spec, n_jobs=2, retries=0, strict=False, journal=journal,
+            sleep=no_sleep,
+        )
+        assert is_failed(first[1])
+        fault_env([])  # the "transient" failure is fixed
+        # Default resume: the quarantine is carried forward, not re-run.
+        kept = run_matrix(
+            spec, n_jobs=2, journal=journal, resume=True, strict=False,
+            sleep=no_sleep,
+        )
+        assert is_failed(kept[1])
+        # --retry-failed: the quarantined seed gets a fresh attempt and
+        # now reproduces the serial record bit-identically.
+        retried = run_matrix(
+            spec, n_jobs=2, journal=journal, resume=True,
+            retry_failed=True, strict=False, sleep=no_sleep,
+        )
+        _assert_matches_serial(serial, retried)
+        # The success is journaled after the quarantine; later-entry-wins
+        # means subsequent plain resumes see the healed cell.
+        healed = run_matrix(
+            spec, n_jobs=2, journal=journal, resume=True, strict=False,
+            sleep=no_sleep,
+        )
+        _assert_matches_serial(serial, healed)
+
+    def test_retry_failed_requires_resume(self, make_spec):
+        with pytest.raises(ValueError, match="retry_failed"):
+            run_matrix(make_spec(seeds=(0,)), retry_failed=True)
 
     def test_stale_fingerprint_entries_are_ignored(
         self, make_spec, tmp_path, no_sleep

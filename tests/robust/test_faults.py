@@ -55,6 +55,13 @@ class TestPlanFile:
         faults.maybe_inject("s", "p", 0)
 
 
+def _pick_raise_once(path):
+    """Module-level so a process pool can pickle it (cross-process race
+    on one plan's hit slots)."""
+    plan = faults.load_plan(path)
+    return plan.pick("s", "p", 0, ("raise",)) is not None
+
+
 class TestHitAccounting:
     def test_bounded_rule_fires_exactly_n_times(self, tmp_path):
         path = faults.write_plan(
@@ -82,6 +89,33 @@ class TestHitAccounting:
         assert faults.load_plan(path).pick("s", "p", 0, ("kill",)) is not None
         # A fresh load (as a respawned worker would do) sees the hit.
         assert faults.load_plan(path).pick("s", "p", 0, ("kill",)) is None
+
+    def test_claim_lost_to_another_process_does_not_fire(self, tmp_path):
+        """The check-and-consume is one atomic O_EXCL slot claim: if a
+        concurrent worker already owns the rule's last slot, pick() must
+        come up empty rather than over-fire the bounded rule."""
+        path = faults.write_plan(
+            tmp_path / "plan.json", [{"action": "raise", "times": 1}]
+        )
+        plan = faults.load_plan(path)
+        # Simulate the race being lost: the only hit slot (rule 0,
+        # hit 0) was claimed between our match and our fire.
+        slot = plan.ledger_path.with_name(plan.ledger_path.name + ".0.0")
+        slot.touch()
+        assert plan.pick("s", "p", 0, ("raise",)) is None
+
+    def test_bounded_rule_never_over_fires_across_processes(self, tmp_path):
+        """Eight concurrent cross-process picks against times=3 fire
+        exactly three times — 'exactly N' holds under parallel pools
+        even for rules without a seed filter."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        path = faults.write_plan(
+            tmp_path / "plan.json", [{"action": "raise", "times": 3}]
+        )
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            fired = list(pool.map(_pick_raise_once, [path] * 8))
+        assert sum(fired) == 3
 
 
 class TestInjection:

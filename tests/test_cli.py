@@ -47,6 +47,12 @@ class TestRunSweepCli:
         assert main(self.SWEEP + ["--resume"]) == 2
         assert "--resume requires --journal" in capsys.readouterr().err
 
+    def test_retry_failed_requires_resume(self, capsys, tmp_path):
+        argv = self.SWEEP + ["--journal", str(tmp_path / "j.jsonl"),
+                             "--retry-failed"]
+        assert main(argv) == 2
+        assert "--retry-failed requires --resume" in capsys.readouterr().err
+
     def test_bad_option_values_exit_two(self, capsys):
         assert main(self.SWEEP + ["--retries", "-1"]) == 2
         assert main(self.SWEEP + ["--timeout", "0"]) == 2
