@@ -32,6 +32,7 @@ from repro.accounting.accountant import Accountant
 from repro.core.publisher import Publisher
 from repro.hist.histogram import Histogram
 from repro.mechanisms.laplace import laplace_noise
+from repro.obs.trace import span
 from repro.partition.voptimal import voptimal_table
 
 __all__ = ["Ahp"]
@@ -97,7 +98,9 @@ class Ahp(Publisher):
         eps2 = accountant.total.epsilon - eps1
 
         accountant.spend(eps1, purpose="scaffold-noise")
-        scaffold = histogram.counts + laplace_noise(eps1, size=n, rng=rng)
+        with span("noise.scaffold", n=n):
+            scaffold = histogram.counts + laplace_noise(
+                eps1, size=n, rng=rng)
 
         # Post-processing of the scaffold: threshold + sort + cluster.
         cutoff = self.threshold_const * np.sqrt(np.log(max(n, 2))) / eps1
@@ -113,7 +116,8 @@ class Ahp(Publisher):
         sigma1_sq = 2.0 / (eps1 * eps1)
         sigma2_sq = 2.0 / (eps2 * eps2)
         max_k = min(n, 128)
-        table = voptimal_table(sorted_vals, max_k, kernel=self.kernel)
+        with span("partition.dp", n=n, k=max_k, kernel=self.kernel):
+            table = voptimal_table(sorted_vals, max_k, kernel=self.kernel)
         ks = np.arange(1, max_k + 1, dtype=np.float64)
         penalty = 2.0 * sigma1_sq * ks * (np.log(n / ks) + 1.0)
         remeasure = sigma2_sq * ks * ks / n
@@ -123,14 +127,15 @@ class Ahp(Publisher):
         clusters = [slice(start, stop) for start, stop in partition.buckets()]
 
         accountant.spend(eps2, purpose="cluster-sums")
-        out = np.empty(n, dtype=np.float64)
-        cluster_bins = []
-        for cluster in clusters:
-            bins = order[cluster]
-            cluster_bins.append(np.array(bins, dtype=np.int64))
-            true_sum = float(histogram.counts[bins].sum())
-            noisy_sum = true_sum + float(laplace_noise(eps2, rng=rng)[0])
-            out[bins] = noisy_sum / len(bins)
+        with span("noise.cluster-sums", clusters=len(clusters)):
+            out = np.empty(n, dtype=np.float64)
+            cluster_bins = []
+            for cluster in clusters:
+                bins = order[cluster]
+                cluster_bins.append(np.array(bins, dtype=np.int64))
+                true_sum = float(histogram.counts[bins].sum())
+                noisy_sum = true_sum + float(laplace_noise(eps2, rng=rng)[0])
+                out[bins] = noisy_sum / len(bins)
 
         meta = {
             "clusters": len(clusters),

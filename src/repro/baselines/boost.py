@@ -41,6 +41,7 @@ from repro.accounting.accountant import Accountant
 from repro.core.publisher import Publisher
 from repro.hist.histogram import Histogram
 from repro.mechanisms.laplace import laplace_noise
+from repro.obs.trace import span
 
 __all__ = ["Boost", "build_tree_sums", "consistent_leaves"]
 
@@ -129,19 +130,22 @@ class Boost(Publisher):
         height = len(levels)
         eps_level = accountant.total.epsilon / height
         noisy_levels: List[np.ndarray] = []
-        for i, level in enumerate(levels):
-            # Nodes within one level partition the domain: parallel
-            # composition inside the level, sequential across levels.
-            accountant.spend(
-                eps_level, purpose=f"tree-level-{i}", parallel_group=f"level-{i}"
-            )
-            noise = laplace_noise(eps_level, size=level.shape, rng=rng)
-            noisy_levels.append(level + noise)
+        with span("noise.tree", height=height, branching=b):
+            for i, level in enumerate(levels):
+                # Nodes within one level partition the domain: parallel
+                # composition inside the level, sequential across levels.
+                accountant.spend(
+                    eps_level, purpose=f"tree-level-{i}",
+                    parallel_group=f"level-{i}",
+                )
+                noise = laplace_noise(eps_level, size=level.shape, rng=rng)
+                noisy_levels.append(level + noise)
 
-        if self.consistency:
-            leaves = consistent_leaves(noisy_levels, b)
-        else:
-            leaves = noisy_levels[0]
+        with span("postprocess.consistency", enabled=self.consistency):
+            if self.consistency:
+                leaves = consistent_leaves(noisy_levels, b)
+            else:
+                leaves = noisy_levels[0]
         meta = {
             "branching": b,
             "height": height,

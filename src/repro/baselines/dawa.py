@@ -34,6 +34,7 @@ from repro.core.kselect import default_bucket_count
 from repro.core.publisher import Publisher
 from repro.hist.histogram import Histogram
 from repro.mechanisms.laplace import laplace_noise
+from repro.obs.trace import span
 from repro.partition.gibbs import sample_partition_em
 from repro.partition.partition import Partition
 from repro.perf.costrows import LazySAECost
@@ -87,9 +88,10 @@ class DawaLite(Publisher):
         else:
             eps1 = accountant.total.epsilon * self.partition_fraction
             accountant.spend(eps1, purpose="em-partition")
-            cost = LazySAECost(histogram.counts)  # O(n) cost state
-            alpha = eps1 / 2.0  # SAE utility has sensitivity exactly 1
-            partition = sample_partition_em(cost, k, alpha, rng=rng)
+            with span("partition.em", n=n, k=k):
+                cost = LazySAECost(histogram.counts)  # O(n) cost state
+                alpha = eps1 / 2.0  # SAE sensitivity is exactly 1
+                partition = sample_partition_em(cost, k, alpha, rng=rng)
 
         eps2 = accountant.remaining.epsilon
         sums = partition.bucket_sums(histogram.counts)
@@ -107,18 +109,20 @@ class DawaLite(Publisher):
         height = len(levels)
         eps_level = eps2 / height
         noisy_levels = []
-        for i, level in enumerate(levels):
-            accountant.spend(
-                eps_level, purpose=f"bucket-tree-level-{i}",
-                parallel_group=f"bucket-level-{i}",
-            )
-            noisy_levels.append(
-                level + laplace_noise(eps_level, size=level.shape, rng=rng)
-            )
-        consistent = consistent_leaves(noisy_levels, b)[: partition.k]
-
-        widths = np.asarray(partition.bucket_sizes(), dtype=np.float64)
-        published = partition.broadcast(consistent / widths)
+        with span("noise.tree", height=height, branching=b):
+            for i, level in enumerate(levels):
+                accountant.spend(
+                    eps_level, purpose=f"bucket-tree-level-{i}",
+                    parallel_group=f"bucket-level-{i}",
+                )
+                noisy_levels.append(
+                    level
+                    + laplace_noise(eps_level, size=level.shape, rng=rng)
+                )
+        with span("postprocess.broadcast", n=n):
+            consistent = consistent_leaves(noisy_levels, b)[: partition.k]
+            widths = np.asarray(partition.bucket_sizes(), dtype=np.float64)
+            published = partition.broadcast(consistent / widths)
         meta: Dict[str, Any] = {
             "k": partition.k,
             "partition": partition,

@@ -36,6 +36,7 @@ from repro.accounting.accountant import Accountant
 from repro.core.publisher import Publisher
 from repro.hist.histogram import Histogram
 from repro.mechanisms.laplace import laplace_noise
+from repro.obs.trace import span
 
 __all__ = ["Privelet", "haar_transform", "haar_inverse"]
 
@@ -103,20 +104,25 @@ class Privelet(Publisher):
         epsilon = accountant.total.epsilon
         accountant.spend(accountant.total, purpose="wavelet-coefficients")
 
-        base, details = haar_transform(counts)
+        with span("transform.haar", m=m):
+            base, details = haar_transform(counts)
         n_levels = len(details)  # log2(m)
         rho = 1.0 + n_levels / 2.0  # generalized sensitivity
         lam = rho / epsilon
 
-        noisy_base = base + float(laplace_noise(1.0, rng=rng)[0]) * (lam / m)
-        noisy_details: List[np.ndarray] = []
-        for idx, detail in enumerate(details):
-            level = idx + 1
-            weight = 2.0 ** (level - 1)
-            noise = laplace_noise(1.0, size=detail.shape, rng=rng) * (lam / weight)
-            noisy_details.append(detail + noise)
+        with span("noise.wavelet", levels=n_levels):
+            noisy_base = base + float(
+                laplace_noise(1.0, rng=rng)[0]) * (lam / m)
+            noisy_details: List[np.ndarray] = []
+            for idx, detail in enumerate(details):
+                level = idx + 1
+                weight = 2.0 ** (level - 1)
+                noise = laplace_noise(
+                    1.0, size=detail.shape, rng=rng) * (lam / weight)
+                noisy_details.append(detail + noise)
 
-        reconstructed = haar_inverse(noisy_base, noisy_details)
+        with span("postprocess.inverse", m=m):
+            reconstructed = haar_inverse(noisy_base, noisy_details)
         meta = {
             "padded_size": m,
             "levels": n_levels,

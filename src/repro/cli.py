@@ -36,6 +36,13 @@ crash or SIGKILL, bit-identically::
         --timeout 120 --retries 2 --resume
     python -m repro run --journal sweep.jsonl --n-jobs 4 \
         --resume --retry-failed   # re-attempt quarantined seeds too
+
+Run a traced sweep with live progress and a Prometheus metrics dump,
+then render the markdown run report from its journal::
+
+    python -m repro run --journal sweep.jsonl --n-jobs 4 \
+        --trace --progress tty --metrics-out metrics.prom
+    python -m repro report sweep.jsonl --out report.md
 """
 
 from __future__ import annotations
@@ -65,8 +72,15 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="?",
         help="experiment id (see --list), 'all' to run everything, "
              "'verify' to calibrate a publisher against its error oracle, "
-             "'bench' to refresh the tracked performance benchmarks, or "
-             "'run' for a fault-tolerant journaled publisher sweep",
+             "'bench' to refresh the tracked performance benchmarks, "
+             "'run' for a fault-tolerant journaled publisher sweep, or "
+             "'report' to render a markdown run report from a journal",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="for 'report': the checkpoint-journal path to render",
     )
     parser.add_argument(
         "--quick",
@@ -229,6 +243,52 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fail fast on the first exhausted cell instead of "
              "quarantining it into a FailedRecord",
     )
+    obs = parser.add_argument_group(
+        "observability options",
+        "tracing, metrics, and live progress for 'run' (see "
+        "docs/observability.md); 'report' renders a journal afterwards",
+    )
+    obs.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-stage span trees inside every trial "
+             "(exported to workers via REPRO_TRACE; rides the journal "
+             "in timing-exempt meta, so results stay bit-identical)",
+    )
+    obs.add_argument(
+        "--trace-resources",
+        dest="trace_resources",
+        action="store_true",
+        help="also record tracemalloc peak + getrusage per trial "
+             "(REPRO_TRACE_RESOURCE; costs real time — attribution "
+             "runs only)",
+    )
+    obs.add_argument(
+        "--metrics-out",
+        dest="metrics_out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics registry after the sweep: Prometheus "
+             "textfile-collector format, or JSON when PATH ends in "
+             ".json",
+    )
+    obs.add_argument(
+        "--progress",
+        choices=("none", "tty", "jsonl"),
+        default="none",
+        help="live progress on stderr: 'tty' = one rewritten status "
+             "line with ETA and stragglers, 'jsonl' = one JSON object "
+             "per executor event (default: none)",
+    )
+    report = parser.add_argument_group(
+        "report options", "only used with the 'report' experiment id"
+    )
+    report.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the markdown report to PATH (default: stdout)",
+    )
     return parser
 
 
@@ -318,8 +378,57 @@ def _run_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _write_metrics(registry, path: str) -> None:
+    """Dump the registry to ``path``; ``.json`` selects JSON rendering."""
+    from pathlib import Path
+
+    from repro.robust.atomicio import atomic_write_text
+
+    out = Path(path)
+    if out.suffix == ".json":
+        text = registry.render_json_text()
+    else:
+        text = registry.render_prometheus()
+    atomic_write_text(out, text)
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    """Render the markdown run report from a journal (the 'report' id)."""
+    from pathlib import Path
+
+    from repro.obs.report import render_report, write_report
+
+    if not args.target:
+        print("error: report needs a journal path: "
+              "python -m repro report <journal.jsonl> [--out report.md]",
+              file=sys.stderr)
+        return 2
+    journal = Path(args.target)
+    if not journal.exists():
+        print(f"error: journal {journal} does not exist", file=sys.stderr)
+        return 2
+    if args.out:
+        write_report(journal, args.out)
+        print(f"wrote {args.out}")
+    else:
+        print(render_report(journal), end="")
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     """Fault-tolerant, journaled publisher sweep (the 'run' id)."""
+    import os
+
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+    from repro.obs.monitor import (
+        MetricsObserver,
+        MultiObserver,
+        ProgressMonitor,
+        RunStats,
+    )
+    from repro.obs.resources import ENV_VAR as RESOURCE_ENV
+    from repro.robust import faults
     from repro.robust.sweep import build_sweep_specs, run_sweep, sweep_table
 
     if args.n_jobs != -1 and args.n_jobs < 1:
@@ -362,19 +471,50 @@ def _run_sweep(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    results = run_sweep(
-        specs,
-        n_jobs=args.n_jobs,
-        timeout=args.timeout,
-        retries=args.retries,
-        backoff=args.backoff,
-        journal=args.journal,
-        resume=args.resume,
-        retry_failed=args.retry_failed,
-        strict=args.strict,
-    )
+    # Observability wiring: tracing/probes activate via environment
+    # variables so pool workers inherit them; supervisor-side events
+    # flow through the observer stack.  RunStats is always on (it feeds
+    # the end-of-run summary line); progress and metrics are opt-in.
+    if args.trace:
+        os.environ[obs_trace.ENV_VAR] = "1"
+    if args.trace_resources:
+        os.environ[RESOURCE_ENV] = "1"
+    stats = RunStats()
+    observers = [stats]
+    monitor = None
+    if args.progress != "none":
+        total_trials = sum(len(spec.seeds) for spec in specs)
+        monitor = ProgressMonitor(
+            mode=args.progress, total_trials=total_trials
+        )
+        observers.append(monitor)
+    if args.metrics_out:
+        observers.append(MetricsObserver(obs_metrics.get_registry()))
+
+    try:
+        results = run_sweep(
+            specs,
+            n_jobs=args.n_jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+            journal=args.journal,
+            resume=args.resume,
+            retry_failed=args.retry_failed,
+            strict=args.strict,
+            observer=MultiObserver(observers),
+        )
+    finally:
+        if monitor is not None:
+            monitor.close()
+        if args.metrics_out:
+            _write_metrics(obs_metrics.get_registry(), args.metrics_out)
+
     table, failures = sweep_table(results)
     print(render_table(table))
+    fault_hits = faults.total_hits() if os.environ.get(faults.ENV_VAR) \
+        else None
+    print(stats.summary_line(fault_hits=fault_hits))
     if failures:
         print()
         print(f"{len(failures)} quarantined trial(s):")
@@ -403,6 +543,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.experiment == "run":
         return _run_sweep(args)
+
+    if args.experiment == "report":
+        return _run_report(args)
 
     if args.experiment == "bench":
         from repro.perf.bench import run_bench

@@ -27,6 +27,7 @@ from repro.core.publisher import Publisher
 from repro.hist.histogram import Histogram
 from repro.mechanisms.laplace import LaplaceMechanism
 from repro.mechanisms.sensitivity import histogram_sensitivity
+from repro.obs.trace import span
 from repro.partition.voptimal import voptimal_table
 
 __all__ = ["NoiseFirst"]
@@ -86,17 +87,20 @@ class NoiseFirst(Publisher):
         accountant.spend(accountant.total, purpose="laplace-noise-per-bin")
 
         mech = LaplaceMechanism(sensitivity=self.sensitivity)
-        noisy = mech.release(histogram.counts, epsilon, rng=rng)
+        with span("noise.perbin", n=n):
+            noisy = mech.release(histogram.counts, epsilon, rng=rng)
 
         # Everything below is post-processing of `noisy` only.
         if self.k is not None:
             k_limit = min(self.k, n)
-            table = voptimal_table(noisy, k_limit, kernel=self.kernel)
+            with span("partition.dp", n=n, k=k_limit, kernel=self.kernel):
+                table = voptimal_table(noisy, k_limit, kernel=self.kernel)
             chosen_k = k_limit
             estimates = None
         else:
             k_limit = min(self.max_k, n)
-            table = voptimal_table(noisy, k_limit, kernel=self.kernel)
+            with span("partition.dp", n=n, k=k_limit, kernel=self.kernel):
+                table = voptimal_table(noisy, k_limit, kernel=self.kernel)
             estimates = noise_first_error_estimates(table, epsilon)
             chosen_k = int(np.argmin(estimates[1:]) + 1)
             # Publishing the raw noisy counts is the k = n member of the
@@ -106,12 +110,13 @@ class NoiseFirst(Publisher):
             ):
                 chosen_k = n
 
-        if chosen_k == n:
-            published = noisy
-            partition = None
-        else:
-            partition = table.partition_for(chosen_k)
-            published = partition.apply_means(noisy)
+        with span("postprocess.merge", k=chosen_k):
+            if chosen_k == n:
+                published = noisy
+                partition = None
+            else:
+                partition = table.partition_for(chosen_k)
+                published = partition.apply_means(noisy)
 
         meta: Dict[str, Any] = {
             "k": chosen_k,

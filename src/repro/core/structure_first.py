@@ -49,6 +49,7 @@ from repro.core.publisher import Publisher
 from repro.hist.histogram import Histogram
 from repro.mechanisms.laplace import LaplaceMechanism
 from repro.mechanisms.sensitivity import sse_sensitivity_bound
+from repro.obs.trace import span
 from repro.partition.equiwidth import equiwidth_partition
 from repro.partition.partition import Partition
 from repro.partition.gibbs import sample_partition_em
@@ -147,18 +148,21 @@ class StructureFirst(Publisher):
             eps_structure = 0.0
         else:
             eps_structure = accountant.total.epsilon * self.structure_fraction
-            partition = self._sample_structure(
-                histogram.counts, k, eps_structure, accountant, rng
-            )
+            with span("partition.em", n=n, k=k, score=self.score):
+                partition = self._sample_structure(
+                    histogram.counts, k, eps_structure, accountant, rng
+                )
         eps_noise = accountant.remaining.epsilon
         accountant.spend(eps_noise, purpose="laplace-noise-bucket-sums")
 
-        sums = partition.bucket_sums(histogram.counts)
-        widths = np.asarray(partition.bucket_sizes(), dtype=np.float64)
-        noisy_sums = LaplaceMechanism(sensitivity=1.0).release(
-            sums, eps_noise, rng=rng
-        )
-        published = partition.broadcast(noisy_sums / widths)
+        with span("noise.bucket-sums", k=partition.k):
+            sums = partition.bucket_sums(histogram.counts)
+            widths = np.asarray(partition.bucket_sizes(), dtype=np.float64)
+            noisy_sums = LaplaceMechanism(sensitivity=1.0).release(
+                sums, eps_noise, rng=rng
+            )
+        with span("postprocess.broadcast", n=n):
+            published = partition.broadcast(noisy_sums / widths)
 
         meta: Dict[str, Any] = {
             "k": partition.k,

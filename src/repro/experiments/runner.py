@@ -4,10 +4,23 @@
 ``run_matrix`` repeats a spec over its seeds — serially or on a process
 pool — and returns the raw records for aggregation.
 
-Timing: ``RunRecord.seconds`` wraps ``time.perf_counter`` around the
+Timing: ``RunRecord.seconds`` wraps a monotonic stopwatch around the
 publish call only (that is what the scalability figure reports), while
-``RunRecord.meta['eval_seconds']`` separately records the wall-clock of
-the workload evaluation, so post-processing cost is observable too.
+``RunRecord.meta['t_eval_seconds']`` separately records the wall-clock
+of the workload evaluation, so post-processing cost is observable too.
+
+Reserved timing-exempt meta namespace
+-------------------------------------
+Every observability output a trial produces rides inside
+``RunRecord.meta`` under a *reserved namespace* that the determinism
+comparisons ignore: keys starting with ``t_`` (``t_eval_seconds``,
+``t_peak_bytes``, ``t_ru_utime``, ...), the ``trace`` key (the
+serialized span tree from :mod:`repro.obs.trace`), and the legacy
+``eval_seconds`` spelling older journals used.
+:func:`is_timing_meta_key` is the single membership test;
+:func:`strip_timing` *removes* those keys (rather than zeroing them) so
+records from traced and untraced runs — or old and new journals —
+still compare equal in every statistical field.
 
 Parallelism and determinism
 ---------------------------
@@ -46,6 +59,9 @@ from repro.experiments.spec import ExperimentSpec
 from repro.hist.histogram import Histogram
 from repro.metrics.divergences import kl_divergence, ks_distance
 from repro.metrics.evaluate import WorkloadErrors, evaluate_workload_error
+from repro.obs import resources as _resources
+from repro.obs import trace as _trace
+from repro.obs.trace import Stopwatch
 from repro.robust import faults
 from repro.robust.records import FailedRecord
 from repro.workloads.workload import Workload
@@ -55,13 +71,29 @@ __all__ = [
     "run_once",
     "run_matrix",
     "resolve_n_jobs",
+    "is_timing_meta_key",
     "strip_timing",
     "records_equal",
 ]
 
-#: Timing-carrying fields inside ``RunRecord.meta``; excluded from
-#: determinism comparisons by :func:`strip_timing`.
-_TIMING_META_KEYS = ("eval_seconds",)
+#: Legacy timing key spelling (pre-namespace journals); still exempt.
+_LEGACY_TIMING_META_KEYS = ("eval_seconds",)
+
+
+def is_timing_meta_key(key: str) -> bool:
+    """Whether a ``RunRecord.meta`` key is in the timing-exempt namespace.
+
+    The reserved namespace is ``t_*`` (probe outputs and wall-clocks),
+    ``trace`` (the serialized span tree), and the legacy
+    ``eval_seconds`` spelling.  Anything under it is excluded from
+    :func:`strip_timing`/:func:`records_equal` — i.e. it never
+    participates in the parallel-equals-serial bit-identity contract.
+    """
+    return (
+        key.startswith("t_")
+        or key == "trace"
+        or key in _LEGACY_TIMING_META_KEYS
+    )
 
 
 @dataclass(frozen=True)
@@ -100,28 +132,41 @@ def run_once(
 ) -> RunRecord:
     """Publish once and evaluate all workloads and divergences.
 
-    ``seconds`` times the publish call only; the evaluation wall-clock is
-    reported separately as ``meta['eval_seconds']``.
+    ``seconds`` times the publish call only; the evaluation wall-clock
+    is reported separately as ``meta['t_eval_seconds']``.  With tracing
+    enabled (``REPRO_TRACE`` / ``--trace``) the trial's span tree is
+    attached as ``meta['trace']``; with the resource probe enabled the
+    ``t_peak_bytes`` / ``t_ru_*`` fields join it.  All of that lives in
+    the timing-exempt namespace (:func:`is_timing_meta_key`), so traced
+    and untraced runs stay bit-identical in every statistical field.
     """
-    start = time.perf_counter()
-    result = publisher.publish(truth, budget=epsilon, rng=seed)
-    elapsed = time.perf_counter() - start
-    eval_start = time.perf_counter()
-    errors = {
-        w.name: evaluate_workload_error(truth, result.histogram, w)
-        for w in workloads
-    }
-    kl = kl_divergence(truth.counts, result.histogram.counts)
-    ks = ks_distance(truth.counts, result.histogram.counts)
-    eval_elapsed = time.perf_counter() - eval_start
+    with _resources.sample() as probe, _trace.capture(
+        "trial", publisher=publisher.name, seed=seed, epsilon=epsilon,
+    ) as root:
+        with _trace.span("publish"):
+            with Stopwatch() as publish_sw:
+                result = publisher.publish(truth, budget=epsilon, rng=seed)
+        with _trace.span("evaluate", workloads=len(workloads)):
+            with Stopwatch() as eval_sw:
+                errors = {
+                    w.name: evaluate_workload_error(
+                        truth, result.histogram, w)
+                    for w in workloads
+                }
+                kl = kl_divergence(truth.counts, result.histogram.counts)
+                ks = ks_distance(truth.counts, result.histogram.counts)
     meta = dict(result.meta)
-    meta["eval_seconds"] = eval_elapsed
+    meta["t_eval_seconds"] = eval_sw.seconds
+    if root is not None:
+        meta["trace"] = root.to_dict()
+    if probe is not None and probe.meta:
+        meta.update(probe.meta)
     return RunRecord(
         spec_name=spec_name,
         publisher=publisher.name,
         seed=seed,
         epsilon=epsilon,
-        seconds=elapsed,
+        seconds=publish_sw.seconds,
         kl=kl,
         ks=ks,
         workload_errors=errors,
@@ -181,6 +226,7 @@ def run_matrix(
     retry_failed: bool = False,
     strict: bool = True,
     sleep: Callable[[float], None] = time.sleep,
+    observer: "Any | None" = None,
 ) -> List[Union[RunRecord, FailedRecord]]:
     """Run a spec once per seed; returns the raw records in seed order.
 
@@ -227,6 +273,11 @@ def run_matrix(
         into a ``FailedRecord`` and the rest of the matrix completes.
     sleep:
         Injection point for the backoff sleeps (tests pass a no-op).
+    observer:
+        An :class:`repro.obs.monitor.ExecutorObserver` receiving
+        executor lifecycle events (dispatches, completions, strikes,
+        pool respawns).  Observer exceptions are downgraded to warnings
+        — observability never fails a run.
     """
     from repro.robust.executor import run_supervised
 
@@ -241,21 +292,27 @@ def run_matrix(
         retry_failed=retry_failed,
         strict=strict,
         sleep=sleep,
+        observer=observer,
     )
 
 
 def strip_timing(record: RunRecord) -> RunRecord:
-    """Zero out wall-clock fields, keeping every statistical field.
+    """Drop wall-clock/observability fields, keeping every statistical one.
 
-    Wall-clock is the only part of a record that legitimately differs
-    between serial and parallel execution; compare the stripped records
-    with :func:`records_equal` to assert bit-identical results (plain
-    ``==`` trips over numpy arrays in ``meta``).
+    Wall-clock and trace output are the only parts of a record that
+    legitimately differ between serial and parallel execution (or
+    between traced and untraced runs); compare the stripped records with
+    :func:`records_equal` to assert bit-identical results (plain ``==``
+    trips over numpy arrays in ``meta``).  The exempt keys are *removed*
+    rather than zeroed so that records carrying different subsets of the
+    reserved namespace — an old journal's ``eval_seconds``, a traced
+    run's ``trace`` tree, a probed run's ``t_peak_bytes`` — still
+    compare equal.
     """
-    meta = dict(record.meta)
-    for key in _TIMING_META_KEYS:
-        if key in meta:
-            meta[key] = 0.0
+    meta = {
+        key: value for key, value in record.meta.items()
+        if not is_timing_meta_key(key)
+    }
     return replace(record, seconds=0.0, meta=meta)
 
 

@@ -1,0 +1,64 @@
+"""Observability layer: tracing, metrics, monitoring, and reports.
+
+``repro.obs`` is the instrumentation substrate for the experiment
+harness — zero external dependencies, off by default, near-free when
+disabled:
+
+* :mod:`repro.obs.trace` — nested monotonic-clock span trees
+  (``span("partition.dp", k=32)``) plus the shared low-level timers
+  (:class:`Stopwatch`, :func:`best_of`);
+* :mod:`repro.obs.metrics` — counter/gauge/histogram registry with
+  Prometheus-textfile and JSON exporters;
+* :mod:`repro.obs.resources` — opt-in per-trial ``tracemalloc`` /
+  ``getrusage`` probes;
+* :mod:`repro.obs.monitor` — executor observers: run statistics,
+  metric bridging, and the live TTY/JSONL progress monitor;
+* :mod:`repro.obs.report` — ``repro report``: markdown run reports
+  from checkpoint journals.
+
+Span naming scheme, metric catalog, and report anatomy are documented
+in ``docs/observability.md``.
+"""
+
+from repro.obs.trace import (
+    Span,
+    Stopwatch,
+    best_of,
+    capture,
+    span,
+    stage_totals,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.resources import ResourceProbe
+from repro.obs.monitor import (
+    ExecutorObserver,
+    MetricsObserver,
+    MultiObserver,
+    ProgressMonitor,
+    RunStats,
+)
+from repro.obs.report import render_report, write_report
+
+__all__ = [
+    "ExecutorObserver",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "MultiObserver",
+    "ProgressMonitor",
+    "ResourceProbe",
+    "RunStats",
+    "Span",
+    "Stopwatch",
+    "best_of",
+    "capture",
+    "get_registry",
+    "render_report",
+    "set_registry",
+    "span",
+    "stage_totals",
+    "write_report",
+]

@@ -1,0 +1,378 @@
+"""Counter / gauge / histogram registry with Prometheus + JSON export.
+
+A zero-dependency metrics substrate for the experiment harness.  The
+supervisor-side observers (:mod:`repro.obs.monitor`) feed it executor
+events — retries, quarantines, pool respawns, journal appends — and the
+trace bridge turns per-trial span trees into per-stage latency
+histograms.  ``python -m repro run --metrics-out metrics.prom`` renders
+the whole registry in the Prometheus *textfile-collector* format (drop
+the file into ``node_exporter``'s textfile directory and the numbers
+appear in Prometheus unchanged); a ``.json`` suffix selects the JSON
+rendering instead.
+
+Model
+-----
+A *family* owns a metric name, help text, and a fixed label-name tuple;
+``family.labels(stage="publish")`` returns the child holding the actual
+value.  Families with no labels proxy the child API directly
+(``registry.counter("x").inc()``).
+
+Naming follows the Prometheus conventions: ``repro_`` prefix,
+``_total`` suffix on counters, base units (seconds, bytes).  The full
+catalog lives in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "MetricFamily",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets (seconds): microbenchmark scale up through
+#: multi-minute trials, log-ish spacing.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0
+)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus exposition float formatting (+Inf/-Inf/NaN aware)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labelnames: Sequence[str], labelvalues: Sequence[str],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    if extra is not None:
+        pairs.append(f'{extra[0]}="{_escape_label(extra[1])}"')
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+# ---------------------------------------------------------------------------
+# Children: the value holders
+# ---------------------------------------------------------------------------
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (or track a running max)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def set_max(self, value: float) -> None:
+        """Keep the largest value seen (peak-memory style gauges)."""
+        self.value = max(self.value, float(value))
+
+
+class HistogramMetric:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.buckets) + 1)  # + the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[int]:
+        """Cumulative counts per bucket bound, ending with +Inf."""
+        out: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": HistogramMetric}
+
+
+# ---------------------------------------------------------------------------
+# Families + registry
+# ---------------------------------------------------------------------------
+
+class MetricFamily:
+    """One named metric with a fixed label schema and N children."""
+
+    def __init__(self, kind: str, name: str, help: str = "",
+                 labelnames: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.kind = kind
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._buckets = tuple(buckets)
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labelvalues: Any):
+        """The child for one label combination (created on first use)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if self.kind == "histogram":
+                    child = HistogramMetric(self._buckets)
+                else:
+                    child = _KINDS[self.kind]()
+                self._children[key] = child
+            return child
+
+    # Label-less convenience: proxy the single child's API.
+    def _solo(self):
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} has labels {self.labelnames}; use .labels()"
+            )
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def set_max(self, value: float) -> None:
+        self._solo().set_max(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    def children(self) -> Iterable[Tuple[Tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def total(self) -> float:
+        """Sum of all children (counters/gauges) — summary-line helper."""
+        return sum(child.value for _, child in self.children()
+                   if not isinstance(child, HistogramMetric))
+
+
+class MetricsRegistry:
+    """A process-local collection of metric families."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, kind: str, name: str, help: str,
+                  labelnames: Sequence[str],
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != tuple(
+                        labelnames):
+                    raise ValueError(
+                        f"metric {name!r} re-registered with a different "
+                        f"schema ({family.kind}/{family.labelnames} vs "
+                        f"{kind}/{tuple(labelnames)})"
+                    )
+                return family
+            family = MetricFamily(kind, name, help, labelnames, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._register("counter", name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._register("gauge", name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> MetricFamily:
+        return self._register("histogram", name, help, labelnames, buckets)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        with self._lock:
+            return self._families.get(name)
+
+    def reset(self) -> None:
+        """Drop every family (test isolation)."""
+        with self._lock:
+            self._families.clear()
+
+    # -- exporters -----------------------------------------------------
+    def render_prometheus(self) -> str:
+        """Prometheus textfile-collector exposition format."""
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            children = list(family.children())
+            if not children and family.kind != "histogram":
+                # An empty registered family still exposes a zero sample
+                # (so dashboards see the series exists).
+                if not family.labelnames:
+                    lines.append(f"{name} 0")
+                continue
+            for key, child in children:
+                labels = _render_labels(family.labelnames, key)
+                if isinstance(child, HistogramMetric):
+                    cumulative = child.cumulative()
+                    bounds = list(child.buckets) + [float("inf")]
+                    for bound, count in zip(bounds, cumulative):
+                        le = _render_labels(
+                            family.labelnames, key,
+                            extra=("le", _format_value(bound)),
+                        )
+                        lines.append(f"{name}_bucket{le} {count}")
+                    lines.append(
+                        f"{name}_sum{labels} {_format_value(child.sum)}"
+                    )
+                    lines.append(f"{name}_count{labels} {child.count}")
+                else:
+                    lines.append(
+                        f"{name}{labels} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_json(self) -> Dict[str, Any]:
+        """JSON rendering mirroring the Prometheus structure."""
+        out: Dict[str, Any] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            samples: List[Dict[str, Any]] = []
+            for key, child in family.children():
+                labels = dict(zip(family.labelnames, key))
+                if isinstance(child, HistogramMetric):
+                    samples.append({
+                        "labels": labels,
+                        "buckets": {
+                            _format_value(b): c
+                            for b, c in zip(
+                                list(child.buckets) + [float("inf")],
+                                child.cumulative(),
+                            )
+                        },
+                        "sum": child.sum,
+                        "count": child.count,
+                    })
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            out[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return out
+
+    def render_json_text(self) -> str:
+        return json.dumps(self.render_json(), indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Global default registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (CLI runs export this one)."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry; returns the previous one (tests)."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous

@@ -1,0 +1,103 @@
+"""Per-trial resource probes: ``tracemalloc`` peak and ``getrusage``.
+
+Opt-in (``REPRO_TRACE_RESOURCE=1`` or ``--trace-resources``), because
+``tracemalloc`` instruments every allocation and costs real time — the
+probe is for memory-attribution runs, not the default path.  Results
+land in the reserved timing-exempt meta namespace
+(``meta["t_peak_bytes"]``, ``meta["t_ru_utime"]``, ...) so they ride the
+existing worker pickle channel and journal without touching the
+bit-identity contract.
+
+``resource`` is POSIX-only; on platforms without it the rusage fields
+are simply omitted (the probe degrades, never raises).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+__all__ = ["ENV_VAR", "ResourceProbe", "enabled", "sample", "set_enabled"]
+
+#: Environment variable enabling the probe (inherited by pool workers).
+ENV_VAR = "REPRO_TRACE_RESOURCE"
+
+_ENABLED: Optional[bool] = None
+
+
+def set_enabled(value: Optional[bool]) -> Optional[bool]:
+    """Process-local override; ``None`` defers to the environment."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = value
+    return previous
+
+
+def enabled() -> bool:
+    if _ENABLED is not None:
+        return _ENABLED
+    return bool(os.environ.get(ENV_VAR))
+
+
+class ResourceProbe:
+    """Context manager capturing allocation peak + rusage deltas."""
+
+    def __init__(self) -> None:
+        self.meta: Dict[str, Any] = {}
+        self._started_tracemalloc = False
+        self._ru0 = None
+
+    def __enter__(self) -> "ResourceProbe":
+        try:
+            import resource
+
+            self._ru0 = resource.getrusage(resource.RUSAGE_SELF)
+        except ImportError:  # pragma: no cover - non-POSIX
+            self._ru0 = None
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        import tracemalloc
+
+        if tracemalloc.is_tracing():
+            _current, peak = tracemalloc.get_traced_memory()
+            self.meta["t_peak_bytes"] = int(peak)
+            if self._started_tracemalloc:
+                tracemalloc.stop()
+        if self._ru0 is not None:
+            import resource
+
+            ru1 = resource.getrusage(resource.RUSAGE_SELF)
+            self.meta["t_ru_utime"] = ru1.ru_utime - self._ru0.ru_utime
+            self.meta["t_ru_stime"] = ru1.ru_stime - self._ru0.ru_stime
+            # ru_maxrss is a high-water mark, not a delta (kilobytes on
+            # Linux); report the end-of-trial value.
+            self.meta["t_ru_maxrss_kb"] = int(ru1.ru_maxrss)
+        return False
+
+
+class _NullProbe:
+    __slots__ = ()
+    meta: Dict[str, Any] = {}
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL = _NullProbe()
+
+
+def sample():
+    """A :class:`ResourceProbe` when enabled, else a shared no-op."""
+    if not enabled():
+        return _NULL
+    return ResourceProbe()

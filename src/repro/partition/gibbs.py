@@ -38,6 +38,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._validation import as_rng, check_integer, check_non_negative
+from repro.obs.trace import span
 from repro.partition.partition import Partition
 from repro.perf.costrows import as_cost_rows
 
@@ -119,19 +120,21 @@ def sample_partition_em(
     """
     rows = as_cost_rows(cost)
     n = rows.n
-    table = log_partition_table(rows, k, alpha)
+    with span("gibbs.forward-filter", n=n, k=k):
+        table = log_partition_table(rows, k, alpha)
     generator = as_rng(rng)
 
-    boundaries = []
-    j = n
-    for level in range(k, 1, -1):
-        lo = level - 1
-        col = rows.column(j)
-        logits = table[level - 1][lo:j] - alpha * col[lo:j]
-        gumbel = generator.gumbel(0.0, 1.0, size=logits.shape)
-        # -inf logits stay -inf after adding Gumbel noise: never selected.
-        choice = int(np.argmax(logits + gumbel))
-        j = lo + choice
-        boundaries.append(j)
-    boundaries.reverse()
+    with span("gibbs.backward-sample", n=n, k=k):
+        boundaries = []
+        j = n
+        for level in range(k, 1, -1):
+            lo = level - 1
+            col = rows.column(j)
+            logits = table[level - 1][lo:j] - alpha * col[lo:j]
+            gumbel = generator.gumbel(0.0, 1.0, size=logits.shape)
+            # -inf logits stay -inf after Gumbel noise: never selected.
+            choice = int(np.argmax(logits + gumbel))
+            j = lo + choice
+            boundaries.append(j)
+        boundaries.reverse()
     return Partition(n=n, boundaries=tuple(boundaries))

@@ -31,12 +31,12 @@ from __future__ import annotations
 
 import json
 import platform
-import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.trace import best_of
 from repro.robust.atomicio import atomic_write_text
 
 __all__ = [
@@ -69,14 +69,11 @@ REGRESSION_THRESHOLD = 0.25
 TIME_FLOOR = 0.05
 
 
-def _best_of(fn: Callable[[], Any], repeats: int) -> float:
-    """Minimum wall-clock seconds of ``repeats`` calls to ``fn``."""
-    best = float("inf")
-    for _ in range(max(1, repeats)):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+# The repo's one best-of-N timer lives in the observability layer
+# (``repro.obs.trace.best_of``); keep the historical private name as an
+# alias so downstream callers and the tracked-baseline tooling are
+# untouched.
+_best_of = best_of
 
 
 def machine_calibration(repeats: int = 3) -> float:

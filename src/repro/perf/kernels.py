@@ -125,15 +125,20 @@ def dp_tables(
         cost is not Monge-certified), ``"exact_blocked"`` or
         ``"reference"``; ``None`` defers to :func:`resolve_kernel`.
     """
+    from repro.obs.trace import span
+
     name = resolve_kernel(kernel)
     n = cost.n
     if not 1 <= max_k <= n:
         raise ValueError(f"max_k must be in [1, {n}], got {max_k}")
     if name == "reference":
-        return _reference_tables(cost, max_k)
+        with span("kernel.dp", kernel="reference", n=n, k=max_k):
+            return _reference_tables(cost, max_k)
     if name == "exact_dc" and getattr(cost, "monge_certified", False):
-        return _dc_tables(cost, max_k)
-    return _blocked_tables(cost, max_k)
+        with span("kernel.dp", kernel="exact_dc", n=n, k=max_k):
+            return _dc_tables(cost, max_k)
+    with span("kernel.dp", kernel="exact_blocked", n=n, k=max_k):
+        return _blocked_tables(cost, max_k)
 
 
 # ---------------------------------------------------------------------------

@@ -74,6 +74,45 @@ BACKOFF_CAP = 30.0
 _MAX_BARREN_GENERATIONS = 3
 
 
+class _SafeObserver:
+    """Exception-firewalled proxy around an executor observer.
+
+    Observability must never fail a run: every hook call is wrapped,
+    and an observer exception is downgraded to a ``RuntimeWarning``.
+    ``None`` wraps to a pure no-op, so the supervisor calls hooks
+    unconditionally.  The observer is duck-typed (any object exposing
+    the :class:`repro.obs.monitor.ExecutorObserver` hook names works),
+    which keeps this module free of an ``repro.obs`` import.
+    """
+
+    __slots__ = ("_observer",)
+
+    def __init__(self, observer: Any) -> None:
+        self._observer = observer
+
+    def __getattr__(self, name: str) -> Callable[..., None]:
+        if not name.startswith("on_"):
+            raise AttributeError(name)
+        hook = getattr(self._observer, name, None) \
+            if self._observer is not None else None
+
+        if hook is None:
+            return lambda *args, **kwargs: None
+
+        def call(*args: Any, **kwargs: Any) -> None:
+            try:
+                hook(*args, **kwargs)
+            except Exception as exc:
+                warnings.warn(
+                    f"observer hook {name} failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+        return call
+
+
 # ---------------------------------------------------------------------------
 # Worker side: the spec is shipped once per process via the initializer
 # ---------------------------------------------------------------------------
@@ -134,8 +173,10 @@ class _Supervisor:
         journal: Optional[CheckpointJournal],
         retry_failed: bool,
         sleep: Callable[[float], None],
+        observer: Any = None,
     ) -> None:
         self.spec = spec
+        self.observer = _SafeObserver(observer)
         self.workers = workers
         self.timeout = timeout
         self.retries = retries
@@ -191,6 +232,8 @@ class _Supervisor:
         self.progress += 1
         if self.journal is not None:
             self.journal.append(record, self.fingerprint)
+            self.observer.on_journal_append(self.spec.name)
+        self.observer.on_seed_done(self.spec.name, seed, record)
 
     def _strike(self, seed: int, kind: str, cause: Any) -> None:
         """Record one failed attempt; quarantine when the budget is out.
@@ -207,7 +250,11 @@ class _Supervisor:
         """
         self.attempts[seed] = self.attempts.get(seed, 0) + 1
         self.progress += 1
-        if self.attempts[seed] > self.retries:
+        will_retry = self.attempts[seed] <= self.retries
+        self.observer.on_strike(
+            self.spec.name, seed, kind, self.attempts[seed], will_retry
+        )
+        if not will_retry:
             self._give_up(seed, kind, cause)
             return
         # Re-dispatch later: move to the end so healthy seeds go first.
@@ -273,6 +320,7 @@ class _Supervisor:
         while self.pending:
             self._flush_backoff()
             seed = self.pending[0]
+            self.observer.on_dispatch(self.spec.name, [seed])
             try:
                 record = _run_seed(self.spec, seed)
             except Exception as exc:
@@ -283,7 +331,11 @@ class _Supervisor:
     # -- parallel path -------------------------------------------------
     def run_parallel(self, payload: bytes) -> None:
         barren = 0
+        generation = 0
         while self.pending:
+            if generation > 0:
+                self.observer.on_pool_respawn(self.spec.name)
+            generation += 1
             progress_before = self.progress
             pool = ProcessPoolExecutor(
                 max_workers=min(self.workers, len(self.pending)),
@@ -329,6 +381,7 @@ class _Supervisor:
         while self.pending:
             self._flush_backoff()
             wave = self._next_wave()
+            self.observer.on_dispatch(self.spec.name, wave)
             try:
                 futures = {
                     seed: pool.submit(_worker_run_seed, seed)
@@ -444,6 +497,7 @@ def run_supervised(
     retry_failed: bool = False,
     strict: bool = True,
     sleep: Callable[[float], None] = time.sleep,
+    observer: Any = None,
 ) -> List[Any]:
     """Run a spec's seeds under supervision; see the module docstring.
 
@@ -456,6 +510,12 @@ def run_supervised(
     entry is a quarantined :class:`FailedRecord` instead of carrying the
     quarantine forward — the knob for resuming after a transient
     environment failure (worker OOM, infra flake) has been fixed.
+
+    ``observer`` receives lifecycle events (see
+    :class:`repro.obs.monitor.ExecutorObserver`): run start/end,
+    dispatched waves, completions (including quarantines), strikes with
+    their taxonomy kind, pool respawns and journal appends.  Hooks are
+    exception-firewalled — a broken observer warns, never fails a run.
     """
     from repro.experiments.runner import resolve_n_jobs
 
@@ -481,6 +541,7 @@ def run_supervised(
         journal=journal,
         retry_failed=retry_failed,
         sleep=sleep,
+        observer=observer,
     )
     if resume:
         supervisor.load_resume()
@@ -488,31 +549,37 @@ def run_supervised(
         seed for seed in spec.seeds if seed not in supervisor.results
     ]
 
-    parallel = workers > 1 and len(supervisor.pending) > 1
-    payload: Optional[bytes] = None
-    if parallel:
-        try:
-            payload = pickle.dumps(spec)
-        except Exception as exc:  # lambdas, local classes, open handles...
-            warnings.warn(
-                f"spec {spec.name!r} is not picklable ({exc}); "
-                "running serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            parallel = False
+    supervisor.observer.on_run_start(
+        spec.name, len(spec.seeds), len(supervisor.results)
+    )
+    try:
+        parallel = workers > 1 and len(supervisor.pending) > 1
+        payload: Optional[bytes] = None
+        if parallel:
+            try:
+                payload = pickle.dumps(spec)
+            except Exception as exc:  # lambdas, local classes, handles...
+                warnings.warn(
+                    f"spec {spec.name!r} is not picklable ({exc}); "
+                    "running serially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                parallel = False
 
-    if parallel:
-        assert payload is not None
-        supervisor.run_parallel(payload)
-    else:
-        if timeout is not None and supervisor.pending:
-            warnings.warn(
-                "timeout is not enforced in serial execution; run with "
-                "n_jobs > 1 for hang protection",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        supervisor.run_serial()
+        if parallel:
+            assert payload is not None
+            supervisor.run_parallel(payload)
+        else:
+            if timeout is not None and supervisor.pending:
+                warnings.warn(
+                    "timeout is not enforced in serial execution; run "
+                    "with n_jobs > 1 for hang protection",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            supervisor.run_serial()
+    finally:
+        supervisor.observer.on_run_end(spec.name)
 
     return [supervisor.results[seed] for seed in spec.seeds]

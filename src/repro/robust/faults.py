@@ -57,6 +57,8 @@ __all__ = [
     "active_plan",
     "maybe_inject",
     "maybe_corrupt",
+    "hit_counts",
+    "total_hits",
 ]
 
 #: Environment variable naming the active plan file (inherited by
@@ -254,6 +256,42 @@ def maybe_inject(spec_name: str, publisher: str, seed: int) -> None:
         os._exit(rule.exit_code)
     if rule.action == "hang":
         time.sleep(rule.hang_seconds)
+
+
+def hit_counts(plan: "FaultPlan | str | Path | None" = None) -> Dict[int, int]:
+    """Per-rule firing counts from the plan's on-disk hit ledger.
+
+    Fault rules fire *inside worker processes*, so the parent cannot
+    count them through in-process state; the append-only ledger
+    (``<plan>.hits``, one tab-separated line per firing) is the channel
+    that survives worker death — even ``os._exit``, because the slot
+    claim and ledger append complete before the action fires.
+
+    ``plan`` may be a :class:`FaultPlan`, a plan path, or ``None`` for
+    the :data:`ENV_VAR`-active plan.  Returns ``{rule_index: count}``;
+    empty when there is no plan, no ledger, or no firings.
+    """
+    if plan is None:
+        plan = active_plan()
+        if plan is None:
+            return {}
+    if not isinstance(plan, FaultPlan):
+        plan = load_plan(plan)
+    ledger = plan.ledger_path
+    if ledger is None or not ledger.exists():
+        return {}
+    counts: Dict[int, int] = {}
+    for line in ledger.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        rule_index = int(line.split("\t", 1)[0])
+        counts[rule_index] = counts.get(rule_index, 0) + 1
+    return counts
+
+
+def total_hits(plan: "FaultPlan | str | Path | None" = None) -> int:
+    """Total fault firings across every rule (see :func:`hit_counts`)."""
+    return sum(hit_counts(plan).values())
 
 
 def maybe_corrupt(record: Any) -> Any:

@@ -63,10 +63,25 @@ JournalRecord = Union["RunRecord", FailedRecord]  # noqa: F821  (fwd ref)
 # ---------------------------------------------------------------------------
 
 _NDARRAY_TAG = "__ndarray__"
+_PARTITION_TAG = "__partition__"
+_OPAQUE_TAG = "__opaque__"
 
 
 def _encode(value: Any) -> Any:
-    """Recursively convert ``value`` into JSON-compatible structures."""
+    """Recursively convert ``value`` into JSON-compatible structures.
+
+    Knows the repo's meta value types: numpy scalars/arrays round-trip
+    exactly (tagged, dtype-preserving) and :class:`Partition` objects —
+    which the structure publishers put in ``meta["partition"]`` — are
+    tagged ``(n, boundaries)`` pairs that decode back to equal
+    ``Partition`` instances.  Anything else unrecognized degrades to a
+    tagged ``repr`` string rather than crashing the journal append: a
+    checkpoint that loses one exotic meta field beats a sweep that dies
+    mid-run (such fields decode to the tagged dict, never silently to
+    the original object).
+    """
+    from repro.partition.partition import Partition
+
     if isinstance(value, np.ndarray):
         return {
             _NDARRAY_TAG: value.tolist(),
@@ -79,11 +94,20 @@ def _encode(value: Any) -> Any:
         return float(value)
     if isinstance(value, np.bool_):
         return bool(value)
+    if isinstance(value, Partition):
+        return {
+            _PARTITION_TAG: {
+                "n": int(value.n),
+                "boundaries": [int(b) for b in value.boundaries],
+            }
+        }
     if isinstance(value, dict):
         return {str(k): _encode(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [_encode(v) for v in value]
-    return value
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return {_OPAQUE_TAG: repr(value), "type": type(value).__name__}
 
 
 def _decode(value: Any) -> Any:
@@ -93,6 +117,16 @@ def _decode(value: Any) -> Any:
             return np.asarray(
                 value[_NDARRAY_TAG], dtype=np.dtype(value["dtype"])
             ).reshape(tuple(value.get("shape", [-1])))
+        if _PARTITION_TAG in value:
+            from repro.partition.partition import Partition
+
+            payload = value[_PARTITION_TAG]
+            return Partition(
+                n=int(payload["n"]),
+                boundaries=tuple(
+                    int(b) for b in payload.get("boundaries", [])
+                ),
+            )
         return {k: _decode(v) for k, v in value.items()}
     if isinstance(value, list):
         return [_decode(v) for v in value]

@@ -109,6 +109,7 @@ def run_sweep(
     retry_failed: bool = False,
     strict: bool = False,
     sleep: Callable[[float], None] = time.sleep,
+    observer: Optional[object] = None,
 ) -> "Dict[str, List[object]]":
     """Run every spec through the supervised executor; records by spec name.
 
@@ -118,6 +119,12 @@ def run_sweep(
     where one poison cell must not discard hours of completed work.
     ``retry_failed`` (with ``resume``) gives journaled quarantines fresh
     attempts instead of carrying them forward.
+
+    ``observer`` (an :class:`repro.obs.monitor.ExecutorObserver`) is
+    shared across every spec in the sweep — the hooks all carry the
+    spec name, so one :class:`~repro.obs.monitor.RunStats` or
+    :class:`~repro.obs.monitor.ProgressMonitor` follows the whole
+    matrix.
     """
     from repro.experiments.runner import run_matrix
 
@@ -136,6 +143,7 @@ def run_sweep(
             retry_failed=retry_failed,
             strict=strict,
             sleep=sleep,
+            observer=observer,
         )
     return results
 

@@ -1,0 +1,98 @@
+"""Shared fixtures for the observability test suite."""
+
+import pytest
+
+from repro.experiments.runner import RunRecord
+from repro.metrics.evaluate import WorkloadErrors
+from repro.obs import trace
+from repro.robust.records import FailedRecord
+
+
+@pytest.fixture
+def tracing_enabled():
+    """Force tracing on for one test, restoring the previous state."""
+    previous = trace.set_enabled(True)
+    yield
+    trace.set_enabled(previous)
+
+
+@pytest.fixture
+def tracing_disabled(monkeypatch):
+    """Force tracing off (ignore any ambient REPRO_TRACE)."""
+    monkeypatch.delenv(trace.ENV_VAR, raising=False)
+    previous = trace.set_enabled(None)
+    yield
+    trace.set_enabled(previous)
+
+
+@pytest.fixture
+def make_record():
+    """Factory for plausible successful ``RunRecord`` instances."""
+
+    def _make(publisher="noisefirst", seed=0, epsilon=0.5, seconds=0.25,
+              meta=None, spec_name="spec"):
+        errors = {
+            "unit": WorkloadErrors(
+                workload="unit", n_queries=4, mae=1.0, mse=2.0,
+                scaled=0.5, max_abs=3.0,
+            )
+        }
+        return RunRecord(
+            spec_name=spec_name,
+            publisher=publisher,
+            seed=seed,
+            epsilon=epsilon,
+            seconds=seconds,
+            kl=0.1,
+            ks=0.2,
+            workload_errors=errors,
+            meta=dict(meta or {}),
+        )
+
+    return _make
+
+
+@pytest.fixture
+def make_failed():
+    """Factory for quarantined ``FailedRecord`` instances."""
+
+    def _make(publisher="boost", seed=2, epsilon=0.5,
+              error="TrialTimeoutError", cause="timed out after 5.0s",
+              attempts=3, spec_name="spec"):
+        return FailedRecord(
+            spec_name=spec_name,
+            publisher=publisher,
+            seed=seed,
+            epsilon=epsilon,
+            error=error,
+            cause=cause,
+            attempts=attempts,
+        )
+
+    return _make
+
+
+@pytest.fixture
+def trace_tree():
+    """A serialized span tree shaped like a real traced trial."""
+    return {
+        "name": "trial",
+        "seconds": 1.0,
+        "attrs": {"publisher": "noisefirst", "seed": 0},
+        "children": [
+            {
+                "name": "publish",
+                "seconds": 0.8,
+                "children": [
+                    {"name": "noise.perbin", "seconds": 0.1},
+                    {
+                        "name": "partition.dp",
+                        "seconds": 0.6,
+                        "attrs": {"n": 32, "k": 8},
+                    },
+                    {"name": "postprocess.merge", "seconds": 0.05},
+                ],
+            },
+            {"name": "evaluate", "seconds": 0.15},
+        ],
+    }

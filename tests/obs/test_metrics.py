@@ -1,0 +1,172 @@
+"""Metrics registry and the Prometheus/JSON exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    HistogramMetric,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestChildren:
+    def test_counter_only_goes_up(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4.0
+
+    def test_gauge_set_max_keeps_peak(self):
+        g = Gauge()
+        g.set_max(10)
+        g.set_max(3)
+        assert g.value == 10.0
+
+    def test_histogram_bucket_placement(self):
+        h = HistogramMetric(buckets=(0.1, 1.0))
+        h.observe(0.05)   # <= 0.1
+        h.observe(0.5)    # <= 1.0
+        h.observe(100.0)  # +Inf
+        assert h.counts == [1, 1, 1]
+        assert h.cumulative() == [1, 2, 3]
+        assert h.sum == pytest.approx(100.55)
+        assert h.count == 3
+
+    def test_histogram_needs_buckets(self):
+        with pytest.raises(ValueError):
+            HistogramMetric(buckets=())
+
+
+class TestFamilies:
+    def test_labels_create_children_on_first_use(self):
+        r = MetricsRegistry()
+        fam = r.counter("x_total", labelnames=("kind",))
+        fam.labels(kind="a").inc()
+        fam.labels(kind="a").inc()
+        fam.labels(kind="b").inc(3)
+        assert fam.labels(kind="a").value == 2.0
+        assert fam.total() == 5.0
+
+    def test_wrong_label_set_rejected(self):
+        fam = MetricsRegistry().counter("x_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            fam.labels(other="a")
+
+    def test_labelless_family_proxies_child(self):
+        fam = MetricsRegistry().gauge("g")
+        fam.set(7)
+        assert fam.value == 7.0
+
+    def test_labelled_family_rejects_proxy_use(self):
+        fam = MetricsRegistry().counter("x_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            fam.inc()
+
+    def test_invalid_names_rejected(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.counter("bad name")
+        with pytest.raises(ValueError):
+            r.counter("ok_total", labelnames=("bad-label",))
+
+
+class TestRegistry:
+    def test_reregistration_same_schema_returns_same_family(self):
+        r = MetricsRegistry()
+        a = r.counter("x_total", labelnames=("kind",))
+        b = r.counter("x_total", labelnames=("kind",))
+        assert a is b
+
+    def test_schema_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("x_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            r.gauge("x_total")
+        with pytest.raises(ValueError):
+            r.counter("x_total", labelnames=("other",))
+
+    def test_reset_drops_everything(self):
+        r = MetricsRegistry()
+        r.counter("x_total").inc()
+        r.reset()
+        assert r.get("x_total") is None
+
+    def test_default_registry_swap(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+
+class TestPrometheusExposition:
+    def _registry(self):
+        r = MetricsRegistry()
+        g = r.gauge("repro_peak_bytes", "Peak.")
+        g.set(1024)
+        h = r.histogram(
+            "repro_stage_seconds", "Stage.", ("stage",), buckets=(0.1, 1.0)
+        )
+        h.labels(stage="publish").observe(0.05)
+        h.labels(stage="publish").observe(5.0)
+        c = r.counter("repro_trials_total", "Terminal trial outcomes.",
+                      ("outcome",))
+        c.labels(outcome="ok").inc(3)
+        return r
+
+    def test_golden_exposition(self):
+        expected = (
+            "# HELP repro_peak_bytes Peak.\n"
+            "# TYPE repro_peak_bytes gauge\n"
+            "repro_peak_bytes 1024\n"
+            "# HELP repro_stage_seconds Stage.\n"
+            "# TYPE repro_stage_seconds histogram\n"
+            'repro_stage_seconds_bucket{stage="publish",le="0.1"} 1\n'
+            'repro_stage_seconds_bucket{stage="publish",le="1"} 1\n'
+            'repro_stage_seconds_bucket{stage="publish",le="+Inf"} 2\n'
+            'repro_stage_seconds_sum{stage="publish"} 5.05\n'
+            'repro_stage_seconds_count{stage="publish"} 2\n'
+            "# HELP repro_trials_total Terminal trial outcomes.\n"
+            "# TYPE repro_trials_total counter\n"
+            'repro_trials_total{outcome="ok"} 3\n'
+        )
+        assert self._registry().render_prometheus() == expected
+
+    def test_empty_labelless_family_exposes_zero(self):
+        r = MetricsRegistry()
+        r.counter("x_total", "Zero so far.")
+        text = r.render_prometheus()
+        assert "x_total 0\n" in text
+
+    def test_label_values_escaped(self):
+        r = MetricsRegistry()
+        fam = r.counter("x_total", labelnames=("path",))
+        fam.labels(path='a"b\\c\nd').inc()
+        text = r.render_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_json_mirrors_prometheus(self):
+        payload = json.loads(self._registry().render_json_text())
+        assert payload["repro_trials_total"]["kind"] == "counter"
+        sample = payload["repro_trials_total"]["samples"][0]
+        assert sample == {"labels": {"outcome": "ok"}, "value": 3.0}
+        hist = payload["repro_stage_seconds"]["samples"][0]
+        assert hist["labels"] == {"stage": "publish"}
+        assert hist["buckets"] == {"0.1": 1, "1": 1, "+Inf": 2}
+        assert hist["count"] == 2

@@ -1,0 +1,236 @@
+"""Executor observers: RunStats, MetricsObserver, ProgressMonitor."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import (
+    ExecutorObserver,
+    MetricsObserver,
+    MultiObserver,
+    ProgressMonitor,
+    RunStats,
+)
+
+
+class _Clock:
+    """Injectable monotonic clock for deterministic ETA/straggler math."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def _drive(observer, ok_record, failed_record):
+    """A canonical little event stream: 1 ok, 1 quarantined after retries."""
+    observer.on_run_start("spec", 4, 0)
+    observer.on_dispatch("spec", [0, 1, 2, 3])
+    observer.on_strike("spec", 1, "timeout", 1, True)
+    observer.on_strike("spec", 1, "crash", 2, True)
+    observer.on_strike("spec", 1, "crash", 3, False)
+    observer.on_seed_done("spec", 0, ok_record)
+    observer.on_seed_done("spec", 1, failed_record)
+    observer.on_pool_respawn("spec")
+    observer.on_journal_append("spec")
+    observer.on_run_end("spec")
+
+
+class TestRunStats:
+    def test_counts_the_event_stream(self, make_record, make_failed):
+        stats = RunStats()
+        _drive(stats, make_record(), make_failed())
+        assert stats.ok == 1
+        assert stats.failed == 1
+        assert stats.quarantined == 1
+        assert stats.retries == {"timeout": 1, "crash": 1}
+        assert stats.retries_total == 2
+        assert stats.respawns == 1
+        assert stats.journal_appends == 1
+        assert stats.specs == 1
+
+    def test_summary_line(self, make_record, make_failed):
+        stats = RunStats()
+        _drive(stats, make_record(), make_failed())
+        assert stats.summary_line() == (
+            "summary: 1 ok | 1 failed | retries: 2 (crash=1, timeout=1) | "
+            "quarantined: 1 | pool respawns: 1 | journal appends: 1"
+        )
+        assert stats.summary_line(fault_hits=2).endswith("| fault hits: 2")
+
+    def test_summary_line_quiet_run(self):
+        assert RunStats().summary_line() == (
+            "summary: 0 ok | 0 failed | retries: 0 | quarantined: 0"
+        )
+
+
+class TestMetricsObserver:
+    def test_event_stream_lands_in_registry(self, make_record, make_failed,
+                                            trace_tree):
+        registry = MetricsRegistry()
+        observer = MetricsObserver(registry)
+        ok = make_record(meta={
+            "trace": trace_tree,
+            "t_eval_seconds": 0.15,
+            "t_peak_bytes": 4096,
+        })
+        _drive(observer, ok, make_failed())
+
+        trials = registry.get("repro_trials_total")
+        assert trials.labels(outcome="ok").value == 1.0
+        assert trials.labels(outcome="failed").value == 1.0
+        retries = registry.get("repro_retries_total")
+        assert retries.labels(kind="timeout").value == 1.0
+        assert retries.labels(kind="crash").value == 1.0
+        assert registry.get("repro_quarantines_total").value == 1.0
+        assert registry.get("repro_pool_respawns_total").value == 1.0
+        assert registry.get("repro_journal_appends_total").value == 1.0
+        assert registry.get("repro_specs_total").value == 1.0
+
+        trial_seconds = registry.get("repro_trial_seconds")
+        assert trial_seconds.labels(publisher="noisefirst").count == 1
+        eval_seconds = registry.get("repro_eval_seconds")
+        assert eval_seconds.labels(publisher="noisefirst").sum == 0.15
+        peak = registry.get("repro_trial_peak_bytes_max")
+        assert peak.labels(publisher="noisefirst").value == 4096.0
+
+        stages = registry.get("repro_stage_seconds")
+        publish = stages.labels(publisher="noisefirst", stage="trial/publish")
+        assert publish.count == 1
+        assert publish.sum == pytest.approx(0.8)
+
+    def test_legacy_eval_seconds_fallback(self, make_record):
+        registry = MetricsRegistry()
+        observer = MetricsObserver(registry)
+        observer.on_seed_done("spec", 0,
+                              make_record(meta={"eval_seconds": 0.3}))
+        fam = registry.get("repro_eval_seconds")
+        assert fam.labels(publisher="noisefirst").sum == 0.3
+
+    def test_failed_record_skips_latency_histograms(self, make_failed):
+        registry = MetricsRegistry()
+        MetricsObserver(registry).on_seed_done("spec", 0, make_failed())
+        assert not list(registry.get("repro_trial_seconds").children())
+
+    def test_exposition_covers_the_acceptance_metrics(self, make_record,
+                                                      make_failed,
+                                                      trace_tree):
+        registry = MetricsRegistry()
+        observer = MetricsObserver(registry)
+        _drive(observer, make_record(meta={"trace": trace_tree}),
+               make_failed())
+        text = registry.render_prometheus()
+        assert 'repro_retries_total{kind="timeout"} 1' in text
+        assert "repro_quarantines_total 1" in text
+        assert ('repro_stage_seconds_bucket{publisher="noisefirst",'
+                'stage="trial/publish/partition.dp"') in text
+
+
+class TestMultiObserver:
+    def test_fans_out_in_order(self, make_record, make_failed):
+        a, b = RunStats(), RunStats()
+        _drive(MultiObserver([a, b]), make_record(), make_failed())
+        assert a.ok == b.ok == 1
+        assert a.retries == b.retries == {"timeout": 1, "crash": 1}
+
+    def test_base_observer_is_a_noop(self, make_record, make_failed):
+        _drive(ExecutorObserver(), make_record(), make_failed())  # no raise
+
+
+class TestProgressMonitorJsonl:
+    def _monitor(self, clock, **kwargs):
+        buf = io.StringIO()
+        monitor = ProgressMonitor(
+            mode="jsonl", stream=buf, total_trials=4, clock=clock,
+            straggler_after=5.0, **kwargs,
+        )
+        return monitor, buf
+
+    def test_events_are_self_contained_json(self, make_record):
+        clock = _Clock()
+        monitor, buf = self._monitor(clock)
+        monitor.on_run_start("spec", 4, 1)
+        clock.t = 1.0
+        monitor.on_dispatch("spec", [0, 1])
+        clock.t = 10.0
+        monitor.on_seed_done("spec", 0, make_record())
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert [l["event"] for l in lines] == [
+            "run_start", "dispatch", "seed_done",
+        ]
+        assert lines[0]["resumed"] == 1
+        assert lines[1]["seeds"] == [0, 1]
+        done = lines[2]
+        assert done["seed"] == 0 and done["ok"] is True
+        assert done["done"] == 1 and done["total"] == 4
+
+    def test_eta_from_completed_rate(self, make_record):
+        clock = _Clock()
+        monitor, buf = self._monitor(clock)
+        monitor.on_run_start("spec", 4, 0)
+        clock.t = 10.0
+        monitor.on_seed_done("spec", 0, make_record())
+        # 1 trial in 10s, 3 remaining -> 30s.
+        assert monitor.eta_seconds() == pytest.approx(30.0)
+        last = json.loads(buf.getvalue().splitlines()[-1])
+        assert last["eta_seconds"] == pytest.approx(30.0)
+
+    def test_stragglers_listed_after_threshold(self, make_record):
+        clock = _Clock()
+        monitor, _ = self._monitor(clock)
+        monitor.on_run_start("spec", 4, 0)
+        clock.t = 1.0
+        monitor.on_dispatch("spec", [0, 7])
+        clock.t = 10.0
+        monitor.on_seed_done("spec", 0, make_record())
+        assert monitor.stragglers() == [{"seed": 7, "age_seconds": 9.0}]
+
+    def test_strike_pops_in_flight_and_counts_retry(self):
+        clock = _Clock()
+        monitor, buf = self._monitor(clock)
+        monitor.on_dispatch("spec", [3])
+        monitor.on_strike("spec", 3, "crash", 1, True)
+        assert monitor.retries == 1
+        assert monitor.stragglers() == []
+        last = json.loads(buf.getvalue().splitlines()[-1])
+        assert last["kind"] == "crash" and last["will_retry"] is True
+
+    def test_failed_record_counts_as_failed(self, make_failed):
+        clock = _Clock()
+        monitor, buf = self._monitor(clock)
+        monitor.on_seed_done("spec", 2, make_failed())
+        assert monitor.failed == 1
+        assert json.loads(buf.getvalue().splitlines()[-1])["ok"] is False
+
+
+class TestProgressMonitorTty:
+    def test_rewrites_one_line_and_closes(self, make_record):
+        buf = io.StringIO()
+        monitor = ProgressMonitor(mode="tty", stream=buf, total_trials=4,
+                                  clock=_Clock())
+        monitor.on_run_start("spec", 4, 0)
+        monitor.on_seed_done("spec", 0, make_record())
+        out = buf.getvalue()
+        assert out.startswith("\r")
+        assert "1/4 done" in out
+        assert "\n" not in out
+        monitor.close()
+        assert buf.getvalue().endswith("\n")
+        monitor.close()  # idempotent
+        assert buf.getvalue().count("\n") == 1
+
+    def test_line_truncated_to_width(self, make_record):
+        buf = io.StringIO()
+        monitor = ProgressMonitor(mode="tty", stream=buf, total_trials=4,
+                                  clock=_Clock(), width=20)
+        monitor.on_run_start("a-very-long-spec-name", 4, 0)
+        line = buf.getvalue().splitlines()[-1].lstrip("\r")
+        assert len(line) <= 20
+        assert line.rstrip().endswith("…")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressMonitor(mode="csv")

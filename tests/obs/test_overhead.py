@@ -1,0 +1,52 @@
+"""Disabled-mode overhead guard: tracing must be near-free when off.
+
+The acceptance bar: the instrumentation a traced trial would execute
+costs under 5% of a representative publish when tracing is disabled.
+The disabled ``span()`` path is one thread-local read returning a shared
+null context manager, so a generous per-trial span budget should be
+orders of magnitude below the bar.
+"""
+
+import pytest
+
+from repro.core import NoiseFirst
+from repro.datasets.generators import step_histogram
+from repro.obs.trace import best_of, capture, span
+
+#: Far more spans than any instrumented trial actually opens.
+SPANS_PER_TRIAL = 200
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off(tracing_disabled):
+    """All overhead tests measure the disabled path."""
+
+
+def test_disabled_span_allocates_nothing():
+    assert span("noise.perbin", n=128) is span("partition.dp")
+
+
+def test_disabled_capture_is_the_same_singleton():
+    assert capture("trial") is span("x")
+
+
+def test_disabled_overhead_under_five_percent():
+    hist = step_histogram(128, 4, total=50_000, rng=0)
+    publisher = NoiseFirst()
+    publish_seconds = best_of(
+        lambda: publisher.publish(hist, budget=0.5, rng=0), 3
+    )
+
+    calls = 2_000
+
+    def spam_spans():
+        for _ in range(calls):
+            with span("noise.perbin"):
+                pass
+
+    per_call = best_of(spam_spans, 5) / calls
+    overhead = per_call * SPANS_PER_TRIAL
+    assert overhead < 0.05 * publish_seconds, (
+        f"disabled tracing overhead {overhead:.3e}s per trial vs "
+        f"publish {publish_seconds:.3e}s"
+    )

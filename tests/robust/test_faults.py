@@ -118,6 +118,47 @@ class TestHitAccounting:
         assert sum(fired) == 3
 
 
+class TestHitCounts:
+    """``hit_counts``/``total_hits``: the parent-side view of firings."""
+
+    def test_empty_before_any_firing(self, tmp_path):
+        path = faults.write_plan(
+            tmp_path / "plan.json", [{"action": "raise", "times": 2}]
+        )
+        assert faults.hit_counts(path) == {}
+        assert faults.total_hits(path) == 0
+
+    def test_counts_per_rule(self, tmp_path):
+        path = faults.write_plan(
+            tmp_path / "plan.json",
+            [
+                {"action": "raise", "seed": 0, "times": 2},
+                {"action": "nan", "seed": 1, "times": 1},
+            ],
+        )
+        plan = faults.load_plan(path)
+        assert plan.pick("s", "p", 0, ("raise",)) is not None
+        assert plan.pick("s", "p", 0, ("raise",)) is not None
+        assert plan.pick("s", "p", 1, ("nan",)) is not None
+        assert faults.hit_counts(path) == {0: 2, 1: 1}
+        assert faults.total_hits(plan) == 3
+
+    def test_env_active_plan_is_the_default(self, tmp_path, monkeypatch):
+        path = faults.write_plan(
+            tmp_path / "plan.json", [{"action": "raise", "times": 1}]
+        )
+        monkeypatch.setenv(faults.ENV_VAR, str(path))
+        faults.load_plan(path).pick("s", "p", 0, ("raise",))
+        assert faults.total_hits() == 1
+        monkeypatch.delenv(faults.ENV_VAR)
+        assert faults.hit_counts() == {}
+
+    def test_injected_runs_are_counted(self, make_spec, fault_env):
+        fault_env([{"action": "nan", "seed": 1, "times": 1}])
+        run_matrix(make_spec(seeds=(0, 1)))
+        assert faults.total_hits() == 1
+
+
 class TestInjection:
     def test_raise_action_raises_injected_fault(self, make_spec, fault_env):
         fault_env([{"action": "raise", "seed": 0}])

@@ -58,6 +58,65 @@ class TestRoundTrip:
             record_from_payload({"kind": "mystery"})
 
 
+class TestMetaCodec:
+    """Tagged encoding of non-JSON meta values (Partition, opaque)."""
+
+    def _clone(self, record):
+        # Force a real JSON round-trip, exactly as the journal file does.
+        payload = json.loads(json.dumps(record_to_payload(record)))
+        return record_from_payload(payload)
+
+    def test_partition_meta_round_trips_to_equal_partition(self, make_spec):
+        import dataclasses
+
+        from repro.partition.partition import Partition
+
+        record = run_matrix(make_spec(seeds=(0,)))[0]
+        partition = Partition(n=8, boundaries=(3, 5))
+        record = dataclasses.replace(
+            record, meta={**record.meta, "partition": partition}
+        )
+        clone = self._clone(record)
+        assert isinstance(clone.meta["partition"], Partition)
+        assert clone.meta["partition"] == partition
+        assert records_equal(record, clone, ignore_timing=False)
+
+    def test_publisher_partition_meta_is_journal_safe(self, make_spec):
+        """Regression: structure publishers put a Partition into meta;
+        journaling such a record used to crash json.dumps."""
+        record = run_matrix(make_spec(seeds=(0,), factory=NoiseFirst))[0]
+        assert "partition" in record.meta
+        clone = self._clone(record)
+        assert clone.meta["partition"] == record.meta["partition"]
+
+    def test_unknown_meta_value_degrades_to_tagged_repr(self, make_spec):
+        import dataclasses
+
+        class Exotic:
+            def __repr__(self):
+                return "Exotic()"
+
+        record = run_matrix(make_spec(seeds=(0,)))[0]
+        record = dataclasses.replace(
+            record, meta={**record.meta, "exotic": Exotic()}
+        )
+        clone = self._clone(record)  # must not crash the append path
+        assert clone.meta["exotic"] == {
+            "__opaque__": "Exotic()", "type": "Exotic",
+        }
+
+    def test_trace_tree_meta_round_trips(self, make_spec):
+        import dataclasses
+
+        record = run_matrix(make_spec(seeds=(0,)))[0]
+        tree = {"name": "trial", "seconds": 0.5,
+                "children": [{"name": "publish", "seconds": 0.4}]}
+        record = dataclasses.replace(
+            record, meta={**record.meta, "trace": tree}
+        )
+        assert self._clone(record).meta["trace"] == tree
+
+
 class TestFingerprint:
     def test_stable_across_calls(self, make_spec):
         assert spec_fingerprint(make_spec()) == spec_fingerprint(make_spec())
