@@ -43,6 +43,15 @@ then render the markdown run report from its journal::
     python -m repro run --journal sweep.jsonl --n-jobs 4 \
         --trace --progress tty --metrics-out metrics.prom
     python -m repro report sweep.jsonl --out report.md
+
+Accumulate a run-history trajectory and watch it for accuracy/perf
+drift (the regression radar; see docs/observability.md)::
+
+    python -m repro run --journal sweep.jsonl --history h.sqlite
+    python -m repro bench --quick --check --history h.sqlite
+    python -m repro history ingest sweep.jsonl --db h.sqlite
+    python -m repro history drift --db h.sqlite --json verdicts.json
+    python -m repro history dash --db h.sqlite --out dash.md
 """
 
 from __future__ import annotations
@@ -73,8 +82,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="experiment id (see --list), 'all' to run everything, "
              "'verify' to calibrate a publisher against its error oracle, "
              "'bench' to refresh the tracked performance benchmarks, "
-             "'run' for a fault-tolerant journaled publisher sweep, or "
-             "'report' to render a markdown run report from a journal",
+             "'run' for a fault-tolerant journaled publisher sweep, "
+             "'report' to render a markdown run report from a journal, "
+             "or 'history' for the regression radar (run 'python -m "
+             "repro history --help' for its ingest/drift/dash "
+             "subcommands)",
     )
     parser.add_argument(
         "target",
@@ -280,6 +292,27 @@ def _build_parser() -> argparse.ArgumentParser:
              "line with ETA and stragglers, 'jsonl' = one JSON object "
              "per executor event (default: none)",
     )
+    obs.add_argument(
+        "--straggler-factor",
+        dest="straggler_factor",
+        type=float,
+        default=None,
+        metavar="F",
+        help="adaptive straggler threshold for --progress: flag a "
+             "seed after F x the mean completed-trial duration "
+             "(default: fixed 10s; env REPRO_STRAGGLER_FACTOR)",
+    )
+    obs.add_argument(
+        "--history",
+        default=None,
+        metavar="DB",
+        help="run-history SQLite store (regression radar): 'run' "
+             "auto-ingests its sweep results, metrics totals, and "
+             "straggler alerts; 'bench' appends trajectory entries "
+             "and gates --check against the history median; 'report' "
+             "adds the vs-previous-runs delta section (see 'python "
+             "-m repro history --help')",
+    )
     report = parser.add_argument_group(
         "report options", "only used with the 'report' experiment id"
     )
@@ -408,11 +441,217 @@ def _run_report(args: argparse.Namespace) -> int:
         print(f"error: journal {journal} does not exist", file=sys.stderr)
         return 2
     if args.out:
-        write_report(journal, args.out)
+        write_report(journal, args.out, history=args.history)
         print(f"wrote {args.out}")
     else:
-        print(render_report(journal), end="")
+        print(render_report(journal, history=args.history), end="")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# The 'history' subcommand family (regression radar)
+# ---------------------------------------------------------------------------
+
+def _build_history_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dphist history",
+        description="Regression radar: ingest run artifacts into the "
+                    "SQLite run-history store, detect accuracy/perf "
+                    "drift against the closed-form error oracles, and "
+                    "render trend dashboards (docs/observability.md).",
+    )
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="ingest checkpoint journals, BENCH_*.json snapshots, "
+             "and --metrics-out JSON exports (type auto-detected; "
+             "re-ingesting the same artifact is a no-op)",
+    )
+    ingest.add_argument("sources", nargs="+", metavar="PATH",
+                        help="artifacts to ingest")
+    ingest.add_argument("--db", required=True, metavar="DB",
+                        help="history store path (created on first use)")
+    ingest.add_argument("--commit", default=None, metavar="SHA",
+                        help="commit stamp for the new rows (default: "
+                             "REPRO_COMMIT, then git rev-parse HEAD)")
+    ingest.add_argument("--bins", type=int, default=64, metavar="N",
+                        help="sweep dataset size for offline oracle "
+                             "anchoring (must match the sweep's "
+                             "--bins-sweep; default 64)")
+    ingest.add_argument("--total", type=int, default=50_000, metavar="N",
+                        help="sweep dataset total for offline oracle "
+                             "anchoring (default 50000)")
+
+    drift = sub.add_parser(
+        "drift",
+        help="evaluate drift verdicts; exit 1 on confirmed drift "
+             "(oracle-band violation / sustained perf CUSUM), 0 on "
+             "ok/watch/no-data",
+    )
+    drift.add_argument("--db", required=True, metavar="DB")
+    drift.add_argument("--json", default=None, metavar="PATH",
+                       help="write the machine-readable verdict "
+                            "document to PATH")
+    drift.add_argument("--window", type=int, default=5, metavar="N",
+                       help="trailing window for the longitudinal "
+                            "z-score (default 5)")
+    drift.add_argument("--z", type=float, default=4.0, metavar="Z",
+                       help="z-score threshold for 'watch' (default 4)")
+    drift.add_argument("--band-z", dest="band_z", type=float,
+                       default=4.0, metavar="Z",
+                       help="sigma multiplier of the oracle tolerance "
+                            "band (default 4)")
+    drift.add_argument("--cusum-h", dest="cusum_h", type=float,
+                       default=5.0, metavar="H",
+                       help="CUSUM alarm threshold for bench "
+                            "trajectories (default 5)")
+
+    dash = sub.add_parser(
+        "dash",
+        help="render the deterministic trend dashboard (markdown, or "
+             "HTML when --out ends in .html)",
+    )
+    dash.add_argument("--db", required=True, metavar="DB")
+    dash.add_argument("--out", default=None, metavar="PATH",
+                      help="write to PATH instead of stdout")
+    dash.add_argument("--format", choices=("md", "html"), default=None,
+                      help="force the output format (default: from the "
+                           "--out suffix, else markdown)")
+    return parser
+
+
+def _history_main(argv: List[str]) -> int:
+    """Entry point for ``python -m repro history <subcommand> ...``."""
+    from pathlib import Path
+
+    from repro.exceptions import HistoryError
+    from repro.obs.history import HistoryStore
+
+    args = _build_history_parser().parse_args(argv)
+
+    if args.subcommand == "ingest":
+        missing = [s for s in args.sources if not Path(s).exists()]
+        if missing:
+            print(f"error: no such file(s): {', '.join(missing)}",
+                  file=sys.stderr)
+            return 2
+        try:
+            with HistoryStore(args.db) as store:
+                for source in args.sources:
+                    result = store.ingest(
+                        source, commit=args.commit,
+                        n_bins=args.bins, total=args.total,
+                    )
+                    print(f"{source}: {result.describe()}")
+        except HistoryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    if not Path(args.db).exists():
+        print(f"error: history store {args.db} does not exist "
+              "(ingest something first)", file=sys.stderr)
+        return 2
+
+    if args.subcommand == "drift":
+        import json as json_mod
+
+        from repro.obs.drift import (
+            detect_drift,
+            has_confirmed_drift,
+            render_verdicts,
+        )
+        from repro.robust.atomicio import atomic_write_text
+
+        with HistoryStore(args.db) as store:
+            verdicts = detect_drift(
+                store, window=args.window, z_thresh=args.z,
+                band_z=args.band_z, cusum_h=args.cusum_h,
+            )
+        if args.json:
+            doc = render_verdicts(verdicts)
+            atomic_write_text(
+                Path(args.json),
+                json_mod.dumps(doc, indent=2, sort_keys=True) + "\n",
+            )
+            print(f"wrote {args.json}")
+        by_status: Dict[str, int] = {}
+        for verdict in verdicts:
+            by_status[verdict.status] = by_status.get(verdict.status, 0) + 1
+        summary = ", ".join(f"{by_status[s]} {s}"
+                            for s in sorted(by_status)) or "no cells"
+        print(f"drift: {summary}")
+        for verdict in verdicts:
+            if verdict.status in ("drift", "watch"):
+                detail = "; ".join(verdict.details)
+                print(f"  [{verdict.status}] {verdict.cell}: {detail}")
+        return 1 if has_confirmed_drift(verdicts) else 0
+
+    if args.subcommand == "dash":
+        from repro.obs.dashboard import render_dashboard, write_dashboard
+
+        if args.out:
+            path = write_dashboard(args.db, args.out, fmt=args.format)
+            print(f"wrote {path}")
+        else:
+            print(render_dashboard(args.db, fmt=args.format or "md"),
+                  end="")
+        return 0
+
+    raise AssertionError(f"unhandled subcommand {args.subcommand!r}")
+
+
+def _ingest_sweep_history(args, specs, results, monitor, obs_metrics) -> None:
+    """Append a finished sweep to the run-history store (``--history``).
+
+    The sweep itself already succeeded; history bookkeeping must never
+    flip its exit code, so every failure here degrades to a warning on
+    stderr (mirroring the observer firewall in ``repro.obs.monitor``).
+    """
+    from repro.obs.history import (
+        HistoryStore,
+        default_commit,
+        trial_row_from_record,
+    )
+    from repro.robust.journal import spec_fingerprint
+
+    try:
+        store = HistoryStore(args.history)
+        try:
+            commit = default_commit()
+            rows = []
+            by_name = {spec.name: spec for spec in specs}
+            for spec_name in sorted(results):
+                spec = by_name.get(spec_name)
+                histogram = spec.histogram if spec is not None else None
+                fingerprint = (
+                    spec_fingerprint(spec) if spec is not None else ""
+                )
+                for record in results[spec_name]:
+                    rows.append(trial_row_from_record(
+                        record, fingerprint, commit, histogram=histogram,
+                    ))
+            outcomes = [store.add_trials(
+                rows, source=str(args.journal or "run")
+            )]
+            outcomes.append(store.ingest_registry(
+                obs_metrics.get_registry(),
+                source=str(args.journal or "run"),
+                commit=commit,
+            ))
+            if monitor is not None and monitor.alerts:
+                outcomes.append(store.add_alerts(
+                    monitor.alerts,
+                    source=str(args.journal or "run"),
+                    commit=commit,
+                ))
+            summary = "; ".join(o.describe() for o in outcomes)
+            print(f"history: {args.history}: {summary}")
+        finally:
+            store.close()
+    except Exception as exc:  # pragma: no cover - defensive firewall
+        print(f"warning: history ingest failed: {exc}", file=sys.stderr)
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
@@ -484,11 +723,17 @@ def _run_sweep(args: argparse.Namespace) -> int:
     monitor = None
     if args.progress != "none":
         total_trials = sum(len(spec.seeds) for spec in specs)
-        monitor = ProgressMonitor(
-            mode=args.progress, total_trials=total_trials
-        )
+        try:
+            monitor = ProgressMonitor(
+                mode=args.progress,
+                total_trials=total_trials,
+                straggler_factor=args.straggler_factor,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         observers.append(monitor)
-    if args.metrics_out:
+    if args.metrics_out or args.history:
         observers.append(MetricsObserver(obs_metrics.get_registry()))
 
     try:
@@ -515,6 +760,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
     fault_hits = faults.total_hits() if os.environ.get(faults.ENV_VAR) \
         else None
     print(stats.summary_line(fault_hits=fault_hits))
+    if args.history:
+        _ingest_sweep_history(args, specs, results, monitor, obs_metrics)
     if failures:
         print()
         print(f"{len(failures)} quarantined trial(s):")
@@ -526,8 +773,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    if raw and raw[0] == "history":
+        return _history_main(raw[1:])
+
     parser = _build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw)
 
     if args.list_experiments:
         for name in list_experiments():
@@ -551,7 +802,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.perf.bench import run_bench
 
         return run_bench(
-            quick=args.quick, check=args.check, output_dir=args.output_dir
+            quick=args.quick,
+            check=args.check,
+            output_dir=args.output_dir,
+            history=args.history,
         )
 
     if args.n_jobs != -1 and args.n_jobs < 1:

@@ -21,6 +21,7 @@ __all__ = [
     "WorkerCrashError",
     "TrialQuarantinedError",
     "JournalError",
+    "HistoryError",
 ]
 
 
@@ -103,3 +104,9 @@ class TrialQuarantinedError(TrialFailureError):
 
 class JournalError(RobustnessError):
     """Raised on unusable checkpoint-journal input (bad schema, bad path)."""
+
+
+class HistoryError(ReproError):
+    """Raised on unusable run-history input (``repro.obs.history``):
+    an unclassifiable ingest source, or a store written by a newer
+    schema than this build understands."""

@@ -14,10 +14,17 @@ disabled:
 * :mod:`repro.obs.monitor` — executor observers: run statistics,
   metric bridging, and the live TTY/JSONL progress monitor;
 * :mod:`repro.obs.report` — ``repro report``: markdown run reports
-  from checkpoint journals.
+  from checkpoint journals;
+* :mod:`repro.obs.history` — the regression radar's append-only
+  SQLite run-history store (``repro history ingest``);
+* :mod:`repro.obs.drift` — oracle-anchored accuracy drift detection
+  plus longitudinal z-score / CUSUM perf alarms
+  (``repro history drift``);
+* :mod:`repro.obs.dashboard` — deterministic trend dashboards with
+  unicode sparklines (``repro history dash``).
 
-Span naming scheme, metric catalog, and report anatomy are documented
-in ``docs/observability.md``.
+Span naming scheme, metric catalog, report anatomy, and the
+regression radar are documented in ``docs/observability.md``.
 """
 
 from repro.obs.trace import (
@@ -42,9 +49,33 @@ from repro.obs.monitor import (
     RunStats,
 )
 from repro.obs.report import render_report, write_report
+from repro.obs.history import (
+    HistoryStore,
+    IngestResult,
+    TrialRow,
+    default_commit,
+    sniff_source,
+    trial_row_from_record,
+)
+from repro.obs.drift import (
+    DriftVerdict,
+    cusum_positive,
+    detect_drift,
+    has_confirmed_drift,
+    render_verdicts,
+    rolling_z,
+)
+from repro.obs.dashboard import (
+    render_dashboard,
+    sparkline,
+    write_dashboard,
+)
 
 __all__ = [
+    "DriftVerdict",
     "ExecutorObserver",
+    "HistoryStore",
+    "IngestResult",
     "MetricsObserver",
     "MetricsRegistry",
     "MultiObserver",
@@ -53,12 +84,24 @@ __all__ = [
     "RunStats",
     "Span",
     "Stopwatch",
+    "TrialRow",
     "best_of",
     "capture",
+    "cusum_positive",
+    "default_commit",
+    "detect_drift",
     "get_registry",
+    "has_confirmed_drift",
+    "render_dashboard",
     "render_report",
+    "render_verdicts",
+    "rolling_z",
     "set_registry",
+    "sniff_source",
     "span",
+    "sparkline",
     "stage_totals",
+    "trial_row_from_record",
+    "write_dashboard",
     "write_report",
 ]

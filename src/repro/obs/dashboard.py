@@ -1,0 +1,451 @@
+"""Trend dashboards from the run-history store: ``repro history dash``.
+
+Renders the store's longitudinal trajectories as a deterministic
+markdown (or HTML) document:
+
+* **Accuracy trends** — one row per experiment cell with a unicode
+  sparkline of the per-batch mean unit MSE, the latest observation,
+  the oracle prediction, and the observed/oracle ratio;
+* **Worst offenders** — cells ranked by how far their latest
+  observation sits from the oracle anchor, and bench keys ranked by
+  their latest-vs-reference slowdown;
+* **Performance trends** — per bench key sparkline of
+  calibration-normalized seconds with the latest delta;
+* **Per-commit deltas** — mean accuracy/wall-clock movement between
+  consecutive commits in the store;
+* **Drift verdicts** — the current :mod:`repro.obs.drift` verdict per
+  cell, plus straggler-alert and ingestion-batch summaries.
+
+Determinism: the renderer never prints timestamps, batch ids are
+monotonic by construction, floats are formatted with fixed precision,
+and every table is sorted — the same store contents always render the
+same bytes (snapshot-tested in ``tests/obs/test_dashboard.py``).
+"""
+
+from __future__ import annotations
+
+import html as _html
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.drift import DriftVerdict, detect_drift
+from repro.obs.history import HistoryStore
+
+__all__ = [
+    "render_dashboard",
+    "sparkline",
+    "write_dashboard",
+]
+
+#: Eight-level block characters; a constant series renders mid-level.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+_STATUS_BADGE = {
+    "ok": "✓ ok",
+    "watch": "⚠ watch",
+    "drift": "✗ drift",
+    "no-data": "· no-data",
+}
+
+
+def sparkline(values: Sequence[float], width: int = 16) -> str:
+    """Unicode sparkline of a numeric series (empty series -> ``""``).
+
+    Series longer than ``width`` keep their most recent points; a
+    constant series renders flat at the middle level so "no movement"
+    is visually distinct from "low".
+    """
+    vals = [float(v) for v in values][-width:]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return _SPARK_LEVELS[3] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1) + 0.5)
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def _fmt(value: Optional[float], digits: int = 4) -> str:
+    if value is None:
+        return "—"
+    return f"{float(value):.{digits}g}"
+
+
+def _md_table(headers: Sequence[str],
+              rows: Sequence[Sequence[Any]]) -> List[str]:
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    sep = "|" + "|".join(" --- " for _ in headers) + "|"
+    body = ["| " + " | ".join(str(c) for c in row) + " |" for row in rows]
+    return [head, sep, *body]
+
+
+def _short_commit(sha: str) -> str:
+    return sha[:10] if len(sha) > 10 else sha
+
+
+# ---------------------------------------------------------------------------
+# Sections
+# ---------------------------------------------------------------------------
+
+def _accuracy_section(store: HistoryStore) -> List[str]:
+    lines = ["## Accuracy trends", ""]
+    cells = store.trial_cells()
+    if not cells:
+        lines.append("_No trial history ingested yet._")
+        return lines
+    rows = []
+    for spec_name, publisher, epsilon in cells:
+        series = store.trial_series(spec_name, publisher, epsilon)
+        mses = [p["mean_mse"] for p in series if p["mean_mse"] is not None]
+        latest = series[-1]
+        oracle = latest["oracle_mse"]
+        ratio = None
+        if oracle and latest["mean_mse"] is not None and oracle > 0:
+            ratio = float(latest["mean_mse"]) / float(oracle)
+        rows.append((
+            spec_name,
+            f"{epsilon:g}",
+            len(series),
+            sparkline(mses) or "—",
+            _fmt(latest["mean_mse"]),
+            _fmt(oracle),
+            _fmt(ratio, digits=3),
+            int(latest["n_ok"] or 0),
+            int(latest["n_failed"] or 0),
+        ))
+    lines.extend(_md_table(
+        ["cell", "ε", "batches", "mean unit MSE trend", "latest",
+         "oracle", "obs/oracle", "ok", "failed"],
+        rows,
+    ))
+    lines.append("")
+    lines.append(
+        "_Sparklines plot per-batch mean unit MSE, oldest → newest; "
+        "`oracle` is the closed-form expected MSE conditioned on the "
+        "realized structure (`repro.verify.oracles`)._"
+    )
+    return lines
+
+
+def _worst_offenders(store: HistoryStore,
+                     verdicts: Sequence[DriftVerdict]) -> List[str]:
+    lines = ["## Worst offenders", ""]
+    acc = [
+        v for v in verdicts
+        if v.kind == "accuracy" and v.ratio is not None
+    ]
+    acc.sort(key=lambda v: (-abs(_log_ratio(v.ratio)), v.cell))
+    perf = [
+        v for v in verdicts
+        if v.kind == "perf" and v.ratio is not None
+    ]
+    perf.sort(key=lambda v: (-(v.ratio or 0.0), v.cell))
+    if not acc and not perf:
+        lines.append("_Nothing ranked yet (no anchored trajectories)._")
+        return lines
+    if acc:
+        lines.append("### Accuracy (distance from oracle)")
+        lines.append("")
+        lines.extend(_md_table(
+            ["cell", "obs/oracle", "band", "status"],
+            [
+                (v.cell, _fmt(v.ratio, 3), f"±{_fmt(v.band, 2)}",
+                 _STATUS_BADGE.get(v.status, v.status))
+                for v in acc[:10]
+            ],
+        ))
+        lines.append("")
+    if perf:
+        lines.append("### Performance (latest vs reference)")
+        lines.append("")
+        lines.extend(_md_table(
+            ["bench key", "latest/ref", "CUSUM", "status"],
+            [
+                (v.cell, _fmt(v.ratio, 3), _fmt(v.cusum, 3),
+                 _STATUS_BADGE.get(v.status, v.status))
+                for v in perf[:10]
+            ],
+        ))
+    return lines
+
+
+def _log_ratio(ratio: Optional[float]) -> float:
+    import math
+
+    if ratio is None or ratio <= 0:
+        return 0.0
+    return math.log(ratio)
+
+
+def _perf_section(store: HistoryStore) -> List[str]:
+    lines = ["## Performance trends", ""]
+    keys = store.bench_keys()
+    if not keys:
+        lines.append("_No bench history ingested yet._")
+        return lines
+    rows = []
+    for key in keys:
+        series = store.bench_series(key)
+        values = [float(p["normalized"]) for p in series]
+        latest = values[-1]
+        prev = values[-2] if len(values) > 1 else None
+        delta = None
+        if prev is not None and prev > 0:
+            delta = (latest / prev - 1.0) * 100.0
+        rows.append((
+            key,
+            len(values),
+            sparkline(values) or "—",
+            f"{latest:.3f}",
+            "—" if delta is None else f"{delta:+.1f}%",
+        ))
+    lines.extend(_md_table(
+        ["bench key", "points", "normalized trend", "latest",
+         "Δ vs previous"],
+        rows,
+    ))
+    lines.append("")
+    lines.append(
+        "_Values are calibration-normalized seconds "
+        "(`repro.perf.bench.machine_calibration`), so trajectories are "
+        "comparable across machines._"
+    )
+    return lines
+
+
+def _commit_deltas(store: HistoryStore) -> List[str]:
+    lines = ["## Per-commit deltas", ""]
+    rows = store._conn.execute(
+        """
+        SELECT MIN(batch_id) AS first_batch, commit_sha,
+               AVG(CASE WHEN ok THEN unit_mse END) AS mean_mse,
+               AVG(CASE WHEN ok THEN seconds END) AS mean_seconds,
+               COUNT(*) AS n_trials
+        FROM trials GROUP BY commit_sha ORDER BY first_batch
+        """
+    ).fetchall()
+    if len(rows) < 1:
+        lines.append("_No trial history ingested yet._")
+        return lines
+    table = []
+    prev = None
+    for row in rows:
+        mse, secs = row["mean_mse"], row["mean_seconds"]
+        d_mse = d_secs = "—"
+        if prev is not None:
+            if prev["mean_mse"] and mse is not None:
+                d_mse = f"{(mse / prev['mean_mse'] - 1) * 100:+.1f}%"
+            if prev["mean_seconds"] and secs is not None:
+                d_secs = (
+                    f"{(secs / prev['mean_seconds'] - 1) * 100:+.1f}%"
+                )
+        table.append((
+            _short_commit(row["commit_sha"]), int(row["n_trials"]),
+            _fmt(mse), d_mse, _fmt(secs), d_secs,
+        ))
+        prev = row
+    lines.extend(_md_table(
+        ["commit", "trials", "mean unit MSE", "Δ MSE", "mean publish s",
+         "Δ s"],
+        table,
+    ))
+    return lines
+
+
+def _verdict_section(verdicts: Sequence[DriftVerdict]) -> List[str]:
+    lines = ["## Drift verdicts", ""]
+    if not verdicts:
+        lines.append("_No verdicts (empty store)._")
+        return lines
+    rows = []
+    for v in sorted(verdicts, key=lambda v: (v.kind, v.cell)):
+        rows.append((
+            v.kind,
+            v.cell,
+            _STATUS_BADGE.get(v.status, v.status),
+            "; ".join(v.details) if v.details else "—",
+        ))
+    lines.extend(_md_table(["kind", "cell", "status", "details"], rows))
+    lines.append("")
+    counts: Dict[str, int] = {}
+    for v in verdicts:
+        counts[v.status] = counts.get(v.status, 0) + 1
+    summary = ", ".join(
+        f"{counts[s]} {s}" for s in sorted(counts)
+    )
+    lines.append(f"**{summary}** — only `drift` fails the radar lane; "
+                 "see `docs/observability.md` for the semantics.")
+    return lines
+
+
+def _operations_section(store: HistoryStore) -> List[str]:
+    lines = ["## Operations", ""]
+    counts = store.counts()
+    lines.append(
+        f"- store rows: {counts['trials']} trials, "
+        f"{counts['bench_entries']} bench entries, "
+        f"{counts['metric_totals']} metric totals, "
+        f"{counts['alerts']} alerts, {counts['batches']} batches "
+        f"(schema v{store.schema_version})"
+    )
+    alerts = store.alert_rows()
+    if alerts:
+        lines.append("")
+        lines.append("### Straggler alerts")
+        lines.append("")
+        lines.extend(_md_table(
+            ["commit", "spec", "seed", "age s", "threshold s"],
+            [
+                (_short_commit(a["commit_sha"]), a["spec_name"],
+                 a["seed"], _fmt(a["age_seconds"], 3),
+                 _fmt(a["threshold"], 3))
+                for a in alerts
+            ],
+        ))
+    totals = store.metric_series("repro_trials_total")
+    if totals:
+        lines.append("")
+        lines.append("### Executor totals (latest batches)")
+        lines.append("")
+        lines.extend(_md_table(
+            ["commit", "labels", "value"],
+            [
+                (_short_commit(t["commit_sha"]), t["labels"],
+                 _fmt(t["value"], 6))
+                for t in totals[-10:]
+            ],
+        ))
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+def render_dashboard(
+    store: Union[HistoryStore, str, Path],
+    fmt: str = "md",
+    title: Optional[str] = None,
+) -> str:
+    """Render the trend dashboard (``fmt`` = ``"md"`` or ``"html"``)."""
+    if fmt not in ("md", "html"):
+        raise ValueError(f"fmt must be 'md' or 'html', got {fmt!r}")
+    owned = not isinstance(store, HistoryStore)
+    if owned:
+        store = HistoryStore(store)
+    try:
+        verdicts = detect_drift(store)
+        name = title if title is not None else store.path.name
+        sections: List[str] = [f"# Regression radar — `{name}`", ""]
+        sections.extend(_accuracy_section(store))
+        sections.append("")
+        sections.extend(_worst_offenders(store, verdicts))
+        sections.append("")
+        sections.extend(_perf_section(store))
+        sections.append("")
+        sections.extend(_commit_deltas(store))
+        sections.append("")
+        sections.extend(_verdict_section(verdicts))
+        sections.append("")
+        sections.extend(_operations_section(store))
+        text = "\n".join(sections) + "\n"
+    finally:
+        if owned:
+            store.close()
+    if fmt == "html":
+        return _markdown_to_html(text)
+    return text
+
+
+def write_dashboard(
+    store: Union[HistoryStore, str, Path],
+    out: Union[str, Path],
+    fmt: Optional[str] = None,
+) -> Path:
+    """Render and atomically write the dashboard; returns the path.
+
+    ``fmt`` defaults from the output suffix (``.html`` selects HTML).
+    """
+    from repro.robust.atomicio import atomic_write_text
+
+    out = Path(out)
+    if fmt is None:
+        fmt = "html" if out.suffix.lower() in (".html", ".htm") else "md"
+    atomic_write_text(out, render_dashboard(store, fmt=fmt))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Minimal markdown -> HTML (headings, tables, paragraphs)
+# ---------------------------------------------------------------------------
+
+def _markdown_to_html(markdown: str) -> str:
+    """Tiny, deterministic subset-converter for the dashboard's markdown.
+
+    Handles exactly what the renderer emits — ``#``/``##``/``###``
+    headings, pipe tables, and paragraphs — so the HTML artifact CI
+    uploads is viewable without a markdown renderer.  Inline code
+    backticks become ``<code>``; everything is HTML-escaped first.
+    """
+    def inline(text: str) -> str:
+        escaped = _html.escape(text, quote=False)
+        out = []
+        parts = escaped.split("`")
+        for i, part in enumerate(parts):
+            if i % 2 == 1:
+                out.append(f"<code>{part}</code>")
+            else:
+                out.append(part)
+        return "".join(out)
+
+    body: List[str] = []
+    lines = markdown.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if not line.strip():
+            i += 1
+            continue
+        if line.startswith("#"):
+            level = len(line) - len(line.lstrip("#"))
+            level = min(level, 6)
+            body.append(
+                f"<h{level}>{inline(line[level:].strip())}</h{level}>"
+            )
+            i += 1
+            continue
+        if line.startswith("|"):
+            table = []
+            while i < len(lines) and lines[i].startswith("|"):
+                table.append(lines[i])
+                i += 1
+            body.append("<table>")
+            for j, row in enumerate(table):
+                if j == 1 and set(row.replace("|", "").strip()) <= \
+                        set("- :"):
+                    continue
+                cells = [c.strip() for c in row.strip("|").split("|")]
+                tag = "th" if j == 0 else "td"
+                body.append(
+                    "<tr>" + "".join(
+                        f"<{tag}>{inline(c)}</{tag}>" for c in cells
+                    ) + "</tr>"
+                )
+            body.append("</table>")
+            continue
+        body.append(f"<p>{inline(line.strip())}</p>")
+        i += 1
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        "<title>Regression radar</title>\n"
+        "<style>body{font-family:monospace;margin:2em}"
+        "table{border-collapse:collapse}"
+        "td,th{border:1px solid #999;padding:2px 8px;text-align:left}"
+        "</style></head>\n<body>\n"
+        + "\n".join(body)
+        + "\n</body></html>\n"
+    )

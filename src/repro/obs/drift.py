@@ -1,0 +1,371 @@
+"""Drift detection over the run-history store: the regression radar.
+
+The store (:mod:`repro.obs.history`) holds longitudinal trajectories —
+per-cell observed accuracy, per-key bench timings.  This module turns
+them into machine-readable *verdicts* with two complementary detectors:
+
+**Oracle anchoring (accuracy).**  Every ingested trial carries the
+closed-form expected unit MSE of its publisher configuration
+(:mod:`repro.verify.oracles`).  A cell *confirms* drift when its latest
+observed mean MSE leaves the calibrated tolerance band around that
+prediction.  The band is derived from the sampling variance of an
+empirical MSE: a mean of roughly ``seeds × effective-bins`` squared
+Laplace draws has relative standard deviation
+``sqrt(Var(X²))/E(X²) / sqrt(m) = sqrt(5) / sqrt(m)`` (for Laplace,
+``E X⁴ = 24b⁴`` against ``(E X²)² = 4b⁴``), so the band is
+``z · sqrt(5) / sqrt(m)`` with a floor — multi-seed runs tighten it,
+correlated noise (few buckets) widens it via the effective-bin count.
+A publisher releasing Laplace noise at ``2/ε`` instead of ``1/ε``
+quadruples its MSE and blows through any reasonable band; honest
+seed-to-seed noise does not.  ``upper_bound`` oracles only flag from
+above; ``exact`` oracles also flag *under*-shooting (less noise than ε
+affords is a privacy smell, not a win).
+
+**Longitudinal statistics.**  Independently of the oracle, each cell's
+per-batch trajectory is scored with a z-score of the latest point
+against a trailing window, and each bench key's calibration-normalized
+seconds with a one-sided CUSUM (slow drifts that never trip a single
+25% gate still accumulate).  Because sweep results are bit-identical
+by construction, an accuracy trajectory is *constant* until a real
+behavioral change — the z-score degenerates to an exact change
+detector with zero false alarms from run-to-run noise.
+
+Verdict semantics (what CI acts on):
+
+* ``drift`` — confirmed: oracle band violated, or perf CUSUM alarm
+  with a material latest-point regression.  The radar lane fails.
+* ``watch`` — longitudinal anomaly without oracle confirmation (or a
+  CUSUM alarm the latest point has already recovered from).  Reported,
+  never fatal: this is the "not on noise" half of the contract.
+* ``ok`` / ``no-data`` — nothing to see / not enough trajectory yet.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.history import HistoryStore
+
+__all__ = [
+    "DriftVerdict",
+    "REL_STD_SQUARED_LAPLACE",
+    "accuracy_verdicts",
+    "cusum_positive",
+    "detect_drift",
+    "has_confirmed_drift",
+    "oracle_band",
+    "perf_verdicts",
+    "render_verdicts",
+    "rolling_z",
+]
+
+#: Relative standard deviation of a squared Laplace draw:
+#: ``sqrt(E X^4 - (E X^2)^2) / E X^2 = sqrt(24 - 4) / 2 = sqrt(5)``.
+REL_STD_SQUARED_LAPLACE = math.sqrt(5.0)
+
+#: Band never shrinks below this relative width — guards against a
+#: huge-cell band so tight that float/bias wrinkles trip it.
+MIN_BAND = 0.2
+
+#: Perf: a CUSUM alarm only confirms drift when the latest point is
+#: also at least this much above the reference (mirrors the bench
+#: gate's 25% threshold).
+PERF_MIN_RATIO = 0.25
+
+
+@dataclass
+class DriftVerdict:
+    """One machine-readable drift verdict (see module docstring)."""
+
+    cell: str
+    kind: str  # "accuracy" | "perf"
+    status: str  # "ok" | "watch" | "drift" | "no-data"
+    observed: Optional[float] = None
+    expected: Optional[float] = None
+    ratio: Optional[float] = None
+    band: Optional[float] = None
+    z: Optional[float] = None
+    cusum: Optional[float] = None
+    n_points: int = 0
+    details: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = {
+            "cell": self.cell,
+            "kind": self.kind,
+            "status": self.status,
+            "n_points": self.n_points,
+            "details": list(self.details),
+        }
+        for name in ("observed", "expected", "ratio", "band", "z",
+                     "cusum"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = None if _nan(value) else round(value, 6)
+        return out
+
+
+def _nan(value: float) -> bool:
+    return isinstance(value, float) and math.isnan(value)
+
+
+# ---------------------------------------------------------------------------
+# Detector primitives (pure functions — golden-tested)
+# ---------------------------------------------------------------------------
+
+def rolling_z(
+    values: Sequence[float], window: int = 5
+) -> Optional[float]:
+    """Z-score of the last value against its trailing window.
+
+    Uses up to ``window`` points immediately preceding the last one.
+    With a degenerate (zero-variance) window — the normal case for
+    bit-identical reruns — returns ``0.0`` when the last value equals
+    the window mean and ``inf`` (signed) when it moved at all: a
+    deterministic pipeline that changed output *is* the anomaly.
+    Returns ``None`` with fewer than 2 trailing points.
+    """
+    if len(values) < 3:
+        return None
+    tail = list(values[:-1])[-window:]
+    if len(tail) < 2:
+        return None
+    mean = sum(tail) / len(tail)
+    var = sum((v - mean) ** 2 for v in tail) / (len(tail) - 1)
+    latest = values[-1]
+    if var <= 0.0:
+        if latest == mean:
+            return 0.0
+        return math.copysign(math.inf, latest - mean)
+    return (latest - mean) / math.sqrt(var)
+
+
+def cusum_positive(
+    values: Sequence[float],
+    slack: float = 0.5,
+    sigma_floor_frac: float = 0.05,
+    reference: Optional[float] = None,
+) -> float:
+    """One-sided (upward) CUSUM statistic of a series, in sigmas.
+
+    ``S_i = max(0, S_{i-1} + (x_i - mu)/sigma - slack)`` with ``mu``
+    the reference level (default: median of all but the last point)
+    and ``sigma`` a *robust* scale estimate — ``1.4826 × MAD`` around
+    the reference, so the very shift being hunted cannot inflate its
+    own yardstick — floored at ``sigma_floor_frac·mu`` so that an
+    almost noiseless series (calibration-normalized bench timings are
+    tight) still needs a *sustained* shift to accumulate.  Returns the
+    final ``S`` value; compare against a threshold ``h`` (≈5) to alarm.
+    """
+    if len(values) < 2:
+        return 0.0
+    history = sorted(values[:-1])
+    if reference is None:
+        reference = _median(history)
+    deviations = sorted(abs(v - reference) for v in history)
+    sigma = max(
+        1.4826 * _median(deviations),
+        abs(reference) * sigma_floor_frac,
+        1e-12,
+    )
+    s = 0.0
+    for x in values:
+        s = max(0.0, s + (x - reference) / sigma - slack)
+    return s
+
+
+def _median(ordered: Sequence[float]) -> float:
+    """Median of an already-sorted non-empty sequence."""
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def oracle_band(
+    n_ok: int,
+    n_bins: Optional[int],
+    k: Optional[int],
+    z: float = 4.0,
+) -> float:
+    """Relative half-width of the oracle tolerance band.
+
+    ``m = n_ok × effective_bins`` independent squared-noise samples
+    back the observed mean MSE; correlated noise inside merged buckets
+    reduces the effective count to the bucket count ``k`` when the
+    publisher reported one.  The band is
+    ``max(MIN_BAND, z · sqrt(5) / sqrt(m))``.
+    """
+    effective_bins = 1
+    if k is not None and k > 0:
+        effective_bins = int(k)
+    elif n_bins is not None and n_bins > 0:
+        effective_bins = int(n_bins)
+    m = max(1, int(n_ok)) * max(1, effective_bins)
+    return max(MIN_BAND, z * REL_STD_SQUARED_LAPLACE / math.sqrt(m))
+
+
+# ---------------------------------------------------------------------------
+# Store-level detectors
+# ---------------------------------------------------------------------------
+
+def accuracy_verdicts(
+    store: HistoryStore,
+    window: int = 5,
+    z_thresh: float = 4.0,
+    band_z: float = 4.0,
+) -> List[DriftVerdict]:
+    """One verdict per trial cell in the store (sorted by cell)."""
+    verdicts: List[DriftVerdict] = []
+    for spec_name, publisher, epsilon in store.trial_cells():
+        series = store.trial_series(spec_name, publisher, epsilon)
+        cell = f"{spec_name} [{publisher}, eps={epsilon:g}]"
+        verdict = DriftVerdict(cell=cell, kind="accuracy", status="ok",
+                               n_points=len(series))
+        points = [p for p in series if p["mean_mse"] is not None]
+        if not points:
+            verdict.status = "no-data"
+            verdict.details.append("no successful trials in any batch")
+            verdicts.append(verdict)
+            continue
+        latest = points[-1]
+        observed = float(latest["mean_mse"])
+        verdict.observed = observed
+        verdict.n_points = len(points)
+
+        # Oracle anchoring: the confirmed-drift detector.
+        oracle = latest["oracle_mse"]
+        if oracle is not None and oracle > 0:
+            kind = latest.get("oracle_kind") or "exact"
+            band = oracle_band(
+                int(latest["n_ok"] or 0), latest.get("n"),
+                latest.get("k"), z=band_z,
+            )
+            ratio = observed / float(oracle)
+            verdict.expected = float(oracle)
+            verdict.ratio = ratio
+            verdict.band = band
+            if ratio > 1.0 + band:
+                verdict.status = "drift"
+                verdict.details.append(
+                    f"observed MSE {observed:.6g} exceeds oracle "
+                    f"{float(oracle):.6g} by {ratio:.2f}x "
+                    f"(band ±{band:.2f})"
+                )
+            elif kind == "exact" and ratio < 1.0 / (1.0 + band):
+                verdict.status = "drift"
+                verdict.details.append(
+                    f"observed MSE {observed:.6g} sits {1 / ratio:.2f}x "
+                    f"below the exact oracle {float(oracle):.6g} — "
+                    f"under-noised release? (band ±{band:.2f})"
+                )
+        else:
+            verdict.details.append(
+                "no oracle anchor for this cell (longitudinal only)"
+            )
+
+        # Longitudinal z-score: anomaly -> watch (never fatal alone).
+        z = rolling_z([float(p["mean_mse"]) for p in points], window)
+        if z is not None:
+            verdict.z = z
+            if abs(z) > z_thresh and verdict.status == "ok":
+                verdict.status = "watch"
+                verdict.details.append(
+                    f"latest mean MSE departs the trailing window "
+                    f"(z={z:.3g}) but stays inside the oracle band"
+                )
+        verdicts.append(verdict)
+    return verdicts
+
+
+def perf_verdicts(
+    store: HistoryStore,
+    slack: float = 0.5,
+    h: float = 5.0,
+    min_points: int = 3,
+) -> List[DriftVerdict]:
+    """One verdict per bench key (CUSUM on normalized seconds)."""
+    verdicts: List[DriftVerdict] = []
+    for key in store.bench_keys():
+        series = store.bench_series(key)
+        values = [float(p["normalized"]) for p in series]
+        verdict = DriftVerdict(cell=key, kind="perf", status="ok",
+                               n_points=len(values))
+        if len(values) < min_points:
+            verdict.status = "no-data"
+            verdict.details.append(
+                f"only {len(values)} trajectory point(s); need "
+                f"{min_points} before the CUSUM is meaningful"
+            )
+            verdicts.append(verdict)
+            continue
+        reference = _median(sorted(values[:-1]))
+        latest = values[-1]
+        s = cusum_positive(values, slack=slack)
+        ratio = latest / reference if reference > 0 else None
+        verdict.observed = latest
+        verdict.expected = reference
+        verdict.ratio = ratio
+        verdict.cusum = s
+        if s > h:
+            if ratio is not None and ratio > 1.0 + PERF_MIN_RATIO:
+                verdict.status = "drift"
+                verdict.details.append(
+                    f"CUSUM {s:.2f} > {h:g} and latest normalized time "
+                    f"{latest:.3f} is {ratio:.2f}x the reference "
+                    f"{reference:.3f}"
+                )
+            else:
+                verdict.status = "watch"
+                verdict.details.append(
+                    f"CUSUM {s:.2f} > {h:g} but the latest point has "
+                    f"recovered to {latest:.3f} "
+                    f"(reference {reference:.3f})"
+                )
+        verdicts.append(verdict)
+    return verdicts
+
+
+def detect_drift(
+    store: HistoryStore,
+    window: int = 5,
+    z_thresh: float = 4.0,
+    band_z: float = 4.0,
+    cusum_h: float = 5.0,
+) -> List[DriftVerdict]:
+    """All verdicts: accuracy cells first, then bench keys."""
+    out = accuracy_verdicts(
+        store, window=window, z_thresh=z_thresh, band_z=band_z
+    )
+    out.extend(perf_verdicts(store, h=cusum_h))
+    return out
+
+
+def has_confirmed_drift(verdicts: Sequence[DriftVerdict]) -> bool:
+    """True when any verdict is a confirmed ``drift`` (CI fails then)."""
+    return any(v.status == "drift" for v in verdicts)
+
+
+def render_verdicts(verdicts: Sequence[DriftVerdict]) -> Dict[str, Any]:
+    """Machine-readable verdict document (stable key order)."""
+    counts: Dict[str, int] = {}
+    for verdict in verdicts:
+        counts[verdict.status] = counts.get(verdict.status, 0) + 1
+    return {
+        "schema": 1,
+        "summary": {
+            "total": len(verdicts),
+            "by_status": {k: counts[k] for k in sorted(counts)},
+            "confirmed_drift": has_confirmed_drift(verdicts),
+        },
+        "verdicts": [v.as_dict() for v in verdicts],
+    }
+
+
+def render_verdicts_text(verdicts: Sequence[DriftVerdict]) -> str:
+    """JSON text of :func:`render_verdicts` (CLI ``--json`` output)."""
+    return json.dumps(render_verdicts(verdicts), indent=2,
+                      sort_keys=True) + "\n"

@@ -38,20 +38,37 @@ depend on it without cycles.
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
-from typing import Any, Dict, List, Optional, Sequence, TextIO
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
 
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import stage_totals
 
 __all__ = [
+    "ENV_STRAGGLER_FACTOR",
     "ExecutorObserver",
     "MetricsObserver",
     "MultiObserver",
     "ProgressMonitor",
     "RunStats",
 ]
+
+#: Environment default for :class:`ProgressMonitor`'s adaptive
+#: straggler factor (the ``--straggler-factor`` CLI flag wins).
+ENV_STRAGGLER_FACTOR = "REPRO_STRAGGLER_FACTOR"
+
+
+def _env_straggler_factor() -> Optional[float]:
+    raw = os.environ.get(ENV_STRAGGLER_FACTOR)
+    if not raw:
+        return None
+    try:
+        factor = float(raw)
+    except ValueError:
+        return None
+    return factor if factor > 0 else None
 
 
 def _is_failed(record: Any) -> bool:
@@ -295,7 +312,19 @@ class MetricsObserver(ExecutorObserver):
 # ---------------------------------------------------------------------------
 
 class ProgressMonitor(ExecutorObserver):
-    """TTY single-line / JSONL machine-mode progress reporter."""
+    """TTY single-line / JSONL machine-mode progress reporter.
+
+    Straggler detection is threshold-based: a seed in flight longer
+    than :meth:`straggler_threshold` seconds is reported.  The
+    threshold is ``straggler_after`` (a fixed floor) until trials
+    complete; with ``straggler_factor`` set (``--straggler-factor`` /
+    ``REPRO_STRAGGLER_FACTOR``) it becomes *adaptive* — ``factor ×``
+    the mean completed-trial duration, never below the floor — so slow
+    publishers don't spam alerts and fast sweeps still catch hangs.
+    Every alert that fires is recorded in :attr:`alerts` (one entry per
+    ``(spec, seed)``, age updated to the worst observation) so
+    ``run --history`` can persist them into the history store.
+    """
 
     MODES = ("tty", "jsonl")
 
@@ -305,6 +334,7 @@ class ProgressMonitor(ExecutorObserver):
         stream: Optional[TextIO] = None,
         total_trials: Optional[int] = None,
         straggler_after: float = 10.0,
+        straggler_factor: Optional[float] = None,
         clock=time.monotonic,
         width: int = 100,
     ) -> None:
@@ -312,16 +342,27 @@ class ProgressMonitor(ExecutorObserver):
             raise ValueError(
                 f"mode must be one of {self.MODES}, got {mode!r}"
             )
+        if straggler_factor is None:
+            straggler_factor = _env_straggler_factor()
+        if straggler_factor is not None and straggler_factor <= 0:
+            raise ValueError(
+                f"straggler_factor must be > 0, got {straggler_factor}"
+            )
         self.mode = mode
         self.stream = stream if stream is not None else sys.stderr
         self.total = total_trials
         self.straggler_after = straggler_after
+        self.straggler_factor = straggler_factor
         self.clock = clock
         self.width = width
         self.done = 0
         self.failed = 0
         self.retries = 0
         self.spec_name = ""
+        self.alerts: List[Dict[str, Any]] = []
+        self._alerted: set = set()
+        self._durations_sum = 0.0
+        self._durations_n = 0
         self._start: Optional[float] = None
         self._in_flight: Dict[int, float] = {}
         self._line_open = False
@@ -335,15 +376,46 @@ class ProgressMonitor(ExecutorObserver):
         rate = (self.clock() - self._start) / self.done
         return remaining * rate
 
+    def straggler_threshold(self) -> float:
+        """Current straggler age threshold in seconds (see class docs)."""
+        if self.straggler_factor is None or self._durations_n == 0:
+            return self.straggler_after
+        mean = self._durations_sum / self._durations_n
+        return max(self.straggler_after, self.straggler_factor * mean)
+
     def stragglers(self) -> List[Dict[str, Any]]:
-        """In-flight seeds older than ``straggler_after`` seconds."""
+        """In-flight seeds older than :meth:`straggler_threshold`."""
         now = self.clock()
+        threshold = self.straggler_threshold()
         out = [
             {"seed": seed, "age_seconds": round(now - t0, 3)}
             for seed, t0 in sorted(self._in_flight.items())
-            if now - t0 >= self.straggler_after
+            if now - t0 >= threshold
         ]
         return out
+
+    def _note_stragglers(
+        self, stragglers: Sequence[Dict[str, Any]]
+    ) -> None:
+        """Record fired straggler alerts (once per spec/seed, worst age)."""
+        threshold = self.straggler_threshold()
+        for item in stragglers:
+            key: Tuple[str, int] = (self.spec_name, int(item["seed"]))
+            if key in self._alerted:
+                for alert in self.alerts:
+                    if (alert["spec"], alert["seed"]) == key:
+                        alert["age_seconds"] = max(
+                            alert["age_seconds"], item["age_seconds"]
+                        )
+                continue
+            self._alerted.add(key)
+            self.alerts.append({
+                "kind": "straggler",
+                "spec": self.spec_name,
+                "seed": int(item["seed"]),
+                "age_seconds": item["age_seconds"],
+                "threshold": round(threshold, 3),
+            })
 
     # -- events --------------------------------------------------------
     def on_run_start(self, spec_name, total_seeds, resumed):
@@ -360,7 +432,10 @@ class ProgressMonitor(ExecutorObserver):
         self._emit("dispatch", seeds=[int(s) for s in seeds])
 
     def on_seed_done(self, spec_name, seed, record):
-        self._in_flight.pop(int(seed), None)
+        started = self._in_flight.pop(int(seed), None)
+        if started is not None:
+            self._durations_sum += max(self.clock() - started, 0.0)
+            self._durations_n += 1
         self.done += 1
         if _is_failed(record):
             self.failed += 1
@@ -403,6 +478,7 @@ class ProgressMonitor(ExecutorObserver):
         stragglers = self.stragglers()
         if stragglers:
             snap["stragglers"] = stragglers
+            self._note_stragglers(stragglers)
         return snap
 
     def _emit(self, event: str, **fields: Any) -> None:
@@ -426,6 +502,7 @@ class ProgressMonitor(ExecutorObserver):
             parts.append(f"ETA {eta:.0f}s")
         stragglers = self.stragglers()
         if stragglers:
+            self._note_stragglers(stragglers)
             worst = stragglers[-1]
             parts.append(
                 f"straggler seed {worst['seed']} "

@@ -222,17 +222,100 @@ def _epsilon_ledger(records: List[Any]) -> List[str]:
     return lines
 
 
+def _history_deltas(records: List[Any], history: Any) -> List[str]:
+    """"vs. previous runs of this spec": accuracy + wall-clock deltas.
+
+    Compares each cell's mean unit MSE and publish wall-clock against
+    the mean of *prior* observations of the same
+    ``(spec, publisher, ε)`` cell in the run-history store
+    (:mod:`repro.obs.history`).  The journal's own rows are excluded by
+    content hash, so ingesting this very journal first does not wash
+    the deltas out.  Output is deterministic for a given store.
+    """
+    from repro.obs.history import HistoryStore, trial_content_sha
+
+    lines = ["## History deltas", ""]
+    owned = not isinstance(history, HistoryStore)
+    store = HistoryStore(history) if owned else history
+    try:
+        cells: Dict[Tuple[str, str, float], List[Any]] = {}
+        for r in records:
+            key = (r.spec_name, r.publisher,
+                   float(r.meta.get("spec_epsilon", r.epsilon)))
+            cells.setdefault(key, []).append(r)
+        rows = []
+        for key in sorted(cells):
+            spec_name, publisher, eps = key
+            group = cells[key]
+            shas = [trial_content_sha(r) for r in group]
+            mse = sum(r.metric("unit", "mse") for r in group
+                      if "unit" in r.workload_errors)
+            n_mse = sum(1 for r in group if "unit" in r.workload_errors)
+            mean_mse = mse / n_mse if n_mse else None
+            mean_secs = sum(r.seconds for r in group) / len(group)
+            prior = store.prior_cell_stats(
+                spec_name, publisher, eps, exclude_shas=shas
+            )
+            if prior is None:
+                rows.append((spec_name, f"{eps:g}",
+                             _fmt_metric(mean_mse), "—",
+                             _fmt_seconds(mean_secs), "—", 0))
+                continue
+            d_mse = _delta(mean_mse, prior.get("mean_mse"))
+            d_secs = _delta(mean_secs, prior.get("mean_seconds"))
+            rows.append((
+                spec_name, f"{eps:g}", _fmt_metric(mean_mse), d_mse,
+                _fmt_seconds(mean_secs), d_secs, prior["n_trials"],
+            ))
+        if not rows:
+            lines.append("No successful trials to compare.")
+            return lines
+        lines.append(_md_table(
+            ["cell", "ε", "mean unit MSE", "Δ vs history",
+             "mean publish s", "Δ vs history", "prior trials"],
+            rows,
+        ))
+        lines.append("")
+        lines.append(
+            "_Deltas compare this journal against the mean of prior "
+            "observations of the same cell in the run-history store "
+            "(`python -m repro history`); the journal's own rows are "
+            "excluded by content hash._"
+        )
+    finally:
+        if owned:
+            store.close()
+    return lines
+
+
+def _fmt_metric(value: Any) -> str:
+    if value is None:
+        return "—"
+    return f"{float(value):.6g}"
+
+
+def _delta(current: Any, prior: Any) -> str:
+    if current is None or prior is None or prior == 0:
+        return "—"
+    return f"{(float(current) / float(prior) - 1.0) * 100.0:+.1f}%"
+
+
 # ---------------------------------------------------------------------------
 # Public API
 # ---------------------------------------------------------------------------
 
-def render_report(journal: Union[str, Path, Any]) -> str:
+def render_report(
+    journal: Union[str, Path, Any],
+    history: Union[str, Path, Any, None] = None,
+) -> str:
     """Render the markdown run report for ``journal``.
 
     ``journal`` is a path or a
     :class:`repro.robust.journal.CheckpointJournal`.  Later journal
     entries win per cell (same rule ``--resume`` uses), so a journal
     that healed a quarantine on a second pass reports the healed state.
+    ``history`` (a path or :class:`repro.obs.history.HistoryStore`)
+    appends the "vs. previous runs of this spec" delta section.
     """
     from repro.robust.journal import CheckpointJournal, record_from_payload
     from repro.robust.records import is_failed
@@ -274,14 +357,18 @@ def render_report(journal: Union[str, Path, Any]) -> str:
     sections.extend(_failure_taxonomy(failures))
     sections.append("")
     sections.extend(_epsilon_ledger(records))
+    if history is not None:
+        sections.append("")
+        sections.extend(_history_deltas(records, history))
     return "\n".join(sections) + "\n"
 
 
 def write_report(journal: Union[str, Path, Any],
-                 out: Union[str, Path]) -> Path:
+                 out: Union[str, Path],
+                 history: Union[str, Path, Any, None] = None) -> Path:
     """Render and atomically write the report; returns the path."""
     from repro.robust.atomicio import atomic_write_text
 
     out = Path(out)
-    atomic_write_text(out, render_report(journal))
+    atomic_write_text(out, render_report(journal, history=history))
     return out

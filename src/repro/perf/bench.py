@@ -42,8 +42,10 @@ from repro.robust.atomicio import atomic_write_text
 __all__ = [
     "BENCH_PARTITION",
     "BENCH_PUBLISHERS",
+    "HISTORY_CHECK_WINDOW",
     "REGRESSION_THRESHOLD",
     "TIME_FLOOR",
+    "history_baseline",
     "machine_calibration",
     "bench_partition",
     "bench_publishers",
@@ -67,6 +69,13 @@ REGRESSION_THRESHOLD = 0.25
 #: Entries whose fresh wall-clock is below this many seconds are exempt
 #: from the regression gate — they are dominated by timer jitter.
 TIME_FLOOR = 0.05
+
+#: With ``--history``, ``--check`` gates against the *median* of this
+#: many most-recent history entries per key instead of the single
+#: committed snapshot — one noisy baseline run can no longer mask (or
+#: fake) a regression, and a trajectory accumulates instead of being
+#: clobbered in place.
+HISTORY_CHECK_WINDOW = 5
 
 
 # The repo's one best-of-N timer lives in the observability layer
@@ -314,49 +323,129 @@ def check_regression(
     return failures
 
 
+def history_baseline(
+    store: Any,
+    profile: str,
+    bench_file: str,
+    window: int = HISTORY_CHECK_WINDOW,
+) -> Optional[Dict[str, Any]]:
+    """Synthetic baseline payload from the run-history trajectory.
+
+    For every key the store has seen for ``bench_file`` under the same
+    profile, the baseline entry is the *median* of the last ``window``
+    normalized (and raw-seconds) observations.  Returns ``None`` when
+    the store holds no matching trajectory yet, so callers can fall
+    back to the committed snapshot file.
+    """
+    import statistics
+
+    entries: Dict[str, Any] = {}
+    for key in store.bench_keys():
+        series = [
+            point for point in store.bench_series(key)
+            if point["profile"] == profile
+            and point["bench_file"] == bench_file
+        ]
+        if not series:
+            continue
+        tail = series[-window:]
+        entries[key] = {
+            "normalized": statistics.median(
+                float(p["normalized"]) for p in tail
+            ),
+            "seconds": statistics.median(
+                float(p["seconds"]) for p in tail
+            ),
+            "window": len(tail),
+        }
+    if not entries:
+        return None
+    return {"profile": profile, "entries": entries}
+
+
 def run_bench(
     quick: bool = True,
     check: bool = False,
     output_dir: "Path | str | None" = None,
+    history: "Path | str | None" = None,
+    history_window: int = HISTORY_CHECK_WINDOW,
 ) -> int:
     """Run both benches, write ``BENCH_*.json``, optionally gate.
 
+    The fresh snapshot is always written *atomically* (temp file +
+    ``os.replace``); with ``history`` set, every entry is additionally
+    appended — dated and commit-stamped — to the run-history store, so
+    a trajectory accumulates instead of each run clobbering the last.
+    ``check`` then gates against the median of the last
+    ``history_window`` history entries per key (falling back to the
+    committed snapshot while the trajectory is still empty).
+
     Returns a process exit code: 0 on success, 1 when ``check`` finds a
-    regression against the previously committed files.
+    regression.
     """
     root = Path(output_dir) if output_dir is not None else _repo_root()
     profile = "quick" if quick else "full"
     calibration = machine_calibration()
     print(f"calibration: {calibration:.4f}s ({profile} profile)")
 
+    store = None
+    if history is not None:
+        from repro.obs.history import HistoryStore
+
+        store = HistoryStore(history)
+
     exit_code = 0
-    for filename, runner in (
-        (BENCH_PARTITION, bench_partition),
-        (BENCH_PUBLISHERS, bench_publishers),
-    ):
-        path = root / filename
-        baseline = load_results(path)
-        entries = runner(quick=quick)
-        payload = _payload(entries, calibration, profile)
-        for key, entry in payload["entries"].items():
-            print(f"  {key}: {entry['seconds']:.3f}s "
-                  f"({entry['normalized']:.2f} cal)")
-        if check:
-            baseline_profile = (baseline or {}).get("profile")
-            comparable = baseline is not None and baseline_profile == profile
-            failures = check_regression(payload,
-                                        baseline if comparable else None)
-            if baseline is None:
-                print(f"  [{filename}] no baseline; writing fresh")
-            elif not comparable:
-                print(f"  [{filename}] baseline profile "
-                      f"{baseline_profile!r} != {profile!r}; skipping gate")
-            for failure in failures:
-                print(f"  REGRESSION {failure}")
-            if failures:
-                exit_code = 1
-        write_results(path, entries, calibration, profile)
-        print(f"wrote {path}")
+    try:
+        for filename, runner in (
+            (BENCH_PARTITION, bench_partition),
+            (BENCH_PUBLISHERS, bench_publishers),
+        ):
+            path = root / filename
+            entries = runner(quick=quick)
+            payload = _payload(entries, calibration, profile)
+            for key, entry in payload["entries"].items():
+                print(f"  {key}: {entry['seconds']:.3f}s "
+                      f"({entry['normalized']:.2f} cal)")
+            if check:
+                baseline = None
+                source = "no baseline"
+                if store is not None:
+                    baseline = history_baseline(
+                        store, profile, filename, window=history_window
+                    )
+                    if baseline is not None:
+                        source = (
+                            f"history median (window "
+                            f"{history_window})"
+                        )
+                if baseline is None:
+                    file_baseline = load_results(path)
+                    baseline_profile = (file_baseline or {}).get("profile")
+                    if file_baseline is not None \
+                            and baseline_profile == profile:
+                        baseline = file_baseline
+                        source = "committed snapshot"
+                    elif file_baseline is not None:
+                        print(f"  [{filename}] baseline profile "
+                              f"{baseline_profile!r} != {profile!r}; "
+                              f"skipping gate")
+                failures = check_regression(payload, baseline)
+                if baseline is None:
+                    print(f"  [{filename}] no baseline; writing fresh")
+                else:
+                    print(f"  [{filename}] gate baseline: {source}")
+                for failure in failures:
+                    print(f"  REGRESSION {failure}")
+                if failures:
+                    exit_code = 1
+            write_results(path, entries, calibration, profile)
+            print(f"wrote {path}")
+            if store is not None:
+                result = store.ingest_bench_payload(payload, filename)
+                print(f"  history: {result.describe()}")
+    finally:
+        if store is not None:
+            store.close()
     return exit_code
 
 

@@ -1,0 +1,150 @@
+"""The trend dashboard: sparklines, section anatomy, determinism."""
+
+import pytest
+
+from repro.obs.dashboard import (
+    render_dashboard,
+    sparkline,
+    write_dashboard,
+)
+from repro.obs.history import HistoryStore, TrialRow
+
+EPS = 0.5
+ORACLE = 2.0 / EPS ** 2
+
+
+@pytest.fixture
+def store(tmp_path):
+    with HistoryStore(tmp_path / "h.sqlite") as s:
+        yield s
+
+
+@pytest.fixture
+def populated(store):
+    """Two commits of trials plus a bench trajectory and an alert."""
+    for i, commit in enumerate(("c1", "c2")):
+        store.add_trials([
+            TrialRow(
+                commit=commit, fingerprint="f" * 64,
+                spec_name="sweep/age/dwork/eps=0.5", publisher="dwork",
+                epsilon=EPS, seed=seed, ok=True, dataset="age", n=64,
+                seconds=0.01 + 0.001 * i, kl=0.0, ks=0.0,
+                unit_mse=8.0 + i, unit_mae=2.0, oracle_mse=ORACLE,
+                oracle_kind="exact", content_sha=f"{commit}/{seed}",
+            )
+            for seed in range(2)
+        ])
+        store.ingest_bench_payload(
+            {"profile": "quick", "calibration_seconds": 0.03,
+             "entries": {"publish/dwork/n=1024": {
+                 "seconds": 0.2, "normalized": 6.5 + i,
+             }}},
+            "BENCH_publishers.json", commit=commit,
+        )
+    store.add_alerts(
+        [{"kind": "straggler", "spec": "sweep/age/dwork/eps=0.5",
+          "seed": 1, "age_seconds": 42.0, "threshold": 10.0}],
+        commit="c2",
+    )
+    return store
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp_uses_full_range(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series_renders_flat_mid_level(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_truncates_to_most_recent_points(self):
+        line = sparkline(list(range(100)), width=4)
+        assert len(line) == 4
+
+    def test_deterministic(self):
+        vals = [3.1, 2.9, 8.0, 1.0]
+        assert sparkline(vals) == sparkline(vals)
+
+
+class TestRenderDashboard:
+    def test_all_sections_present(self, populated):
+        text = render_dashboard(populated)
+        assert text.startswith("# Regression radar — `h.sqlite`")
+        for heading in (
+            "## Accuracy trends", "## Worst offenders",
+            "## Performance trends", "## Per-commit deltas",
+            "## Drift verdicts", "## Operations",
+        ):
+            assert heading in text
+
+    def test_accuracy_row_carries_oracle_ratio(self, populated):
+        text = render_dashboard(populated)
+        # latest mean MSE 9, oracle 8 -> ratio 1.12 (3 sig figs)
+        assert "| sweep/age/dwork/eps=0.5 | 0.5 | 2 |" in text
+        assert "| 9 | 8 | 1.12 |" in text
+
+    def test_per_commit_deltas_listed_in_order(self, populated):
+        text = render_dashboard(populated)
+        c1 = text.index("| c1 |")
+        c2 = text.index("| c2 |")
+        assert c1 < c2
+
+    def test_operations_counts_rows(self, populated):
+        text = render_dashboard(populated)
+        assert ("- store rows: 4 trials, 2 bench entries, "
+                "0 metric totals, 1 alerts, 5 batches (schema v2)") in text
+
+    def test_empty_store_renders_placeholders(self, store):
+        text = render_dashboard(store)
+        assert "_No trial history ingested yet._" in text
+        assert "_No bench history ingested yet._" in text
+
+    def test_deterministic_bytes(self, populated):
+        assert render_dashboard(populated) == render_dashboard(populated)
+
+    def test_no_timestamps(self, populated):
+        import re
+
+        text = render_dashboard(populated)
+        assert not re.search(r"\d{4}-\d{2}-\d{2}", text)
+
+    def test_accepts_a_path(self, populated):
+        populated._conn.commit()
+        assert render_dashboard(str(populated.path)) == \
+            render_dashboard(populated)
+
+    def test_bad_format_rejected(self, populated):
+        with pytest.raises(ValueError, match="fmt"):
+            render_dashboard(populated, fmt="pdf")
+
+
+class TestHtml:
+    def test_html_output_is_a_document(self, populated):
+        doc = render_dashboard(populated, fmt="html")
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "<table>" in doc
+        assert "Regression radar" in doc
+
+    def test_cell_text_is_escaped(self, populated):
+        populated.add_trials([TrialRow(
+            commit="c3", fingerprint="f" * 64,
+            spec_name="sweep/age/<b>sneaky</b>/eps=0.5",
+            publisher="<b>sneaky</b>", epsilon=EPS, seed=0, ok=True,
+            unit_mse=1.0, content_sha="c3/0",
+        )])
+        doc = render_dashboard(populated, fmt="html")
+        assert "<b>sneaky</b>" not in doc
+        assert "&lt;b&gt;sneaky&lt;/b&gt;" in doc
+
+
+class TestWriteDashboard:
+    def test_markdown_by_default(self, populated, tmp_path):
+        out = write_dashboard(populated, tmp_path / "dash.md")
+        assert out.read_text().startswith("# Regression radar")
+
+    def test_html_from_suffix(self, populated, tmp_path):
+        out = write_dashboard(populated, tmp_path / "dash.html")
+        assert out.read_text().startswith("<!DOCTYPE html>")

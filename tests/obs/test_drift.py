@@ -1,0 +1,253 @@
+"""The drift engine: golden detector math and end-to-end verdicts.
+
+The two contract tests the radar must pass (see ISSUE acceptance
+criteria): a publisher whose Laplace noise is mis-scaled to ``2/eps``
+is flagged as confirmed drift, and honest seed-to-seed Laplace noise
+across a multi-seed sweep is *not*.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.drift import (
+    MIN_BAND,
+    REL_STD_SQUARED_LAPLACE,
+    DriftVerdict,
+    accuracy_verdicts,
+    cusum_positive,
+    detect_drift,
+    has_confirmed_drift,
+    oracle_band,
+    perf_verdicts,
+    render_verdicts,
+    rolling_z,
+)
+from repro.obs.history import HistoryStore, TrialRow
+
+EPS = 0.5
+N_BINS = 64
+ORACLE = 2.0 / EPS ** 2  # dwork's exact per-bin MSE
+
+
+@pytest.fixture
+def store(tmp_path):
+    with HistoryStore(tmp_path / "h.sqlite") as s:
+        yield s
+
+
+def _trial(commit, seed, mse, oracle=ORACLE, kind="exact",
+           spec="sweep/age/dwork/eps=0.5", publisher="dwork"):
+    return TrialRow(
+        commit=commit, fingerprint="f" * 64, spec_name=spec,
+        publisher=publisher, epsilon=EPS, seed=seed, ok=True,
+        dataset="age", n=N_BINS, seconds=0.01, kl=0.0, ks=0.0,
+        unit_mse=float(mse), unit_mae=1.0, oracle_mse=oracle,
+        oracle_kind=kind, content_sha=f"{commit}/{seed}/{mse}",
+    )
+
+
+def _empirical_mse(rng, scale, n_draws):
+    """Mean squared error of ``n_draws`` Laplace draws at ``scale``."""
+    return float(np.mean(rng.laplace(0.0, scale, n_draws) ** 2))
+
+
+class TestRollingZ:
+    def test_needs_three_points(self):
+        assert rolling_z([1.0]) is None
+        assert rolling_z([1.0, 2.0]) is None
+
+    def test_golden_value(self):
+        # Window [1, 2, 3]: mean 2, sample std 1; latest 5 -> z = 3.
+        assert rolling_z([1.0, 2.0, 3.0, 5.0]) == pytest.approx(3.0)
+
+    def test_window_truncates(self):
+        # Only the trailing 2 points [10, 10] back the score.
+        z = rolling_z([0.0, 10.0, 10.0, 10.0], window=2)
+        assert z == pytest.approx(0.0)
+
+    def test_constant_history_is_an_exact_change_detector(self):
+        assert rolling_z([4.0, 4.0, 4.0, 4.0]) == 0.0
+        assert rolling_z([4.0, 4.0, 4.0, 4.1]) == math.inf
+        assert rolling_z([4.0, 4.0, 4.0, 3.9]) == -math.inf
+
+
+class TestCusum:
+    def test_flat_series_accumulates_nothing(self):
+        assert cusum_positive([1.0] * 8) == 0.0
+
+    def test_single_shift_golden_value(self):
+        # History is all-flat -> sigma floored at 0.05 x reference 1.0;
+        # the one shifted closing point adds (0.2/0.05 - 0.5) = 3.5.
+        assert cusum_positive([1.0] * 9 + [1.2]) == pytest.approx(3.5)
+
+    def test_sustained_shift_accumulates(self):
+        # Reference = median of history = 1.0 and the robust MAD sigma
+        # is 0 -> floored at 0.05; three closing points at 1.2 add
+        # (0.2/0.05 - 0.5) = 3.5 each.  The shift cannot inflate its
+        # own sigma (that's the point of the MAD estimate).
+        series = [1.0] * 5 + [1.2, 1.2, 1.2]
+        assert cusum_positive(series) == pytest.approx(10.5)
+
+    def test_single_spike_then_recovery_decays(self):
+        spike = cusum_positive([1.0] * 5 + [1.3, 1.0, 1.0, 1.0])
+        sustained = cusum_positive([1.0] * 5 + [1.3, 1.3, 1.3, 1.3])
+        assert spike < sustained
+
+    def test_short_series_is_zero(self):
+        assert cusum_positive([1.0]) == 0.0
+
+
+class TestOracleBand:
+    def test_floor_guards_huge_cells(self):
+        # 100 seeds x 10k bins would give a ~0.009 band; the floor
+        # keeps float/bias wrinkles from tripping it.
+        assert oracle_band(100, 10_000, None) == MIN_BAND
+
+    def test_single_sample_band_is_huge(self):
+        # One squared draw backs the mean: z * sqrt(5) relative width.
+        assert oracle_band(1, None, None) == pytest.approx(
+            4.0 * REL_STD_SQUARED_LAPLACE
+        )
+
+    def test_multi_seed_full_bins(self):
+        expected = 4.0 * REL_STD_SQUARED_LAPLACE / math.sqrt(3 * 64)
+        assert oracle_band(3, 64, None) == pytest.approx(
+            max(MIN_BAND, expected)
+        )
+
+    def test_bucketed_publishers_get_wider_bands(self):
+        assert oracle_band(3, 64, 4) > oracle_band(3, 64, None)
+
+
+class TestAccuracyVerdicts:
+    def test_misscaled_publisher_is_confirmed_drift(self, store):
+        """Laplace at 2/eps quadruples the MSE: the radar's raison d'etre."""
+        rng = np.random.default_rng(7)
+        rows = [
+            _trial("c1", seed,
+                   _empirical_mse(rng, 2.0 / EPS, N_BINS))
+            for seed in range(3)
+        ]
+        store.add_trials(rows)
+        verdicts = accuracy_verdicts(store)
+        assert len(verdicts) == 1
+        v = verdicts[0]
+        assert v.status == "drift"
+        assert v.ratio == pytest.approx(4.0, rel=0.35)
+        assert has_confirmed_drift(verdicts)
+
+    def test_honest_laplace_noise_passes(self, store):
+        """Correctly-scaled noise stays inside the band over many commits."""
+        rng = np.random.default_rng(11)
+        for i in range(8):
+            rows = [
+                _trial(f"c{i}", seed,
+                       _empirical_mse(rng, 1.0 / EPS, N_BINS))
+                for seed in range(3)
+            ]
+            store.add_trials(rows)
+        verdicts = accuracy_verdicts(store)
+        assert [v.status for v in verdicts] == ["ok"]
+        assert not has_confirmed_drift(verdicts)
+
+    def test_undernoised_exact_oracle_flags_from_below(self, store):
+        """An exact oracle treats too-little noise as a privacy smell."""
+        store.add_trials([
+            _trial("c1", seed, ORACLE / 5.0) for seed in range(3)
+        ])
+        v = accuracy_verdicts(store)[0]
+        assert v.status == "drift"
+        assert "under-noised" in "; ".join(v.details)
+
+    def test_upper_bound_oracles_never_flag_from_below(self, store):
+        store.add_trials([
+            _trial("c1", seed, ORACLE / 5.0, kind="upper_bound")
+            for seed in range(3)
+        ])
+        assert accuracy_verdicts(store)[0].status == "ok"
+
+    def test_unanchored_regression_is_watch_not_drift(self, store):
+        """No oracle: a longitudinal jump reports 'watch', never fails CI."""
+        for i, mse in enumerate((2.0, 2.0, 2.0, 8.0)):
+            store.add_trials([
+                _trial(f"c{i}", seed, mse, oracle=None, kind=None)
+                for seed in range(2)
+            ])
+        v = accuracy_verdicts(store)[0]
+        assert v.status == "watch"
+        assert v.z == math.inf
+        assert not has_confirmed_drift([v])
+
+    def test_empty_cell_reports_no_data(self, store, make_failed):
+        from repro.obs.history import trial_row_from_record
+
+        row = trial_row_from_record(
+            make_failed(spec_name="sweep/age/boost/eps=0.5"),
+            "f" * 64, "c1",
+        )
+        store.add_trials([row])
+        assert accuracy_verdicts(store)[0].status == "no-data"
+
+
+class TestPerfVerdicts:
+    def _bench(self, store, values, key="publish/dwork/n=1024"):
+        for i, normalized in enumerate(values):
+            store.ingest_bench_payload(
+                {
+                    "profile": "quick", "calibration_seconds": 0.03,
+                    "entries": {key: {
+                        "seconds": normalized * 0.03,
+                        "normalized": normalized,
+                    }},
+                },
+                "BENCH.json", commit=f"c{i}",
+            )
+
+    def test_flat_trajectory_is_ok(self, store):
+        self._bench(store, [6.5, 6.5, 6.5, 6.5, 6.5])
+        assert [v.status for v in perf_verdicts(store)] == ["ok"]
+
+    def test_sustained_regression_is_drift(self, store):
+        self._bench(store, [6.5] * 5 + [9.5, 9.5, 9.5])
+        v = perf_verdicts(store)[0]
+        assert v.status == "drift"
+        assert v.cusum > 5.0
+        assert v.ratio == pytest.approx(9.5 / 6.5)
+
+    def test_recovered_spike_is_watch(self, store):
+        # Big accumulated excursion whose latest point came back down.
+        self._bench(store, [6.5] * 5 + [12.0, 12.0, 12.0, 6.6])
+        v = perf_verdicts(store)[0]
+        assert v.status == "watch"
+        assert not has_confirmed_drift([v])
+
+    def test_short_trajectory_is_no_data(self, store):
+        self._bench(store, [6.5, 6.5])
+        assert [v.status for v in perf_verdicts(store)] == ["no-data"]
+
+
+class TestRenderVerdicts:
+    def test_document_shape(self):
+        verdicts = [
+            DriftVerdict(cell="a", kind="accuracy", status="ok"),
+            DriftVerdict(cell="b", kind="perf", status="drift",
+                         ratio=1.5, details=["slow"]),
+        ]
+        doc = render_verdicts(verdicts)
+        assert doc["schema"] == 1
+        assert doc["summary"]["total"] == 2
+        assert doc["summary"]["by_status"] == {"drift": 1, "ok": 1}
+        assert doc["summary"]["confirmed_drift"] is True
+        assert doc["verdicts"][1]["ratio"] == 1.5
+
+    def test_detect_drift_combines_both_detectors(self, store):
+        store.add_trials([_trial("c1", 0, ORACLE)])
+        store.ingest_bench_payload(
+            {"profile": "quick", "calibration_seconds": 0.03,
+             "entries": {"k": {"seconds": 0.2, "normalized": 6.5}}},
+            "BENCH.json", commit="c1",
+        )
+        verdicts = detect_drift(store)
+        assert [v.kind for v in verdicts] == ["accuracy", "perf"]

@@ -1,0 +1,392 @@
+"""The run-history store: schema migration, idempotent ingestion, oracles."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.exceptions import HistoryError
+from repro.obs.history import (
+    HISTORY_SCHEMA,
+    HistoryStore,
+    TrialRow,
+    default_commit,
+    parse_sweep_spec_name,
+    sniff_source,
+    trial_content_sha,
+    trial_row_from_record,
+)
+from repro.robust.journal import CheckpointJournal
+
+FP = "a" * 64
+
+
+@pytest.fixture
+def store(tmp_path):
+    with HistoryStore(tmp_path / "h.sqlite") as s:
+        yield s
+
+
+@pytest.fixture
+def journal(tmp_path, make_record, make_failed):
+    """A journal following the sweep naming convention (2 ok, 1 failed)."""
+    j = CheckpointJournal(tmp_path / "sweep.jsonl")
+    name = "sweep/age/noisefirst/eps=0.5"
+    j.append(make_record(seed=0, spec_name=name), FP)
+    j.append(make_record(seed=1, spec_name=name), FP)
+    j.append(make_failed(seed=2, spec_name=name, publisher="noisefirst"), FP)
+    return j
+
+
+class TestSchema:
+    def test_fresh_store_lands_on_current_schema(self, store):
+        assert store.schema_version == HISTORY_SCHEMA
+        assert store.counts() == {
+            "batches": 0, "trials": 0, "bench_entries": 0,
+            "metric_totals": 0, "alerts": 0,
+        }
+
+    def test_v1_database_migrates_forward(self, tmp_path):
+        """A store written before the alerts table gains it on open."""
+        path = tmp_path / "old.sqlite"
+        from repro.obs.history import _migrate_0_to_1
+
+        conn = sqlite3.connect(str(path))
+        _migrate_0_to_1(conn)
+        conn.execute(
+            "INSERT INTO meta (key, value) VALUES ('schema_version', '1')"
+        )
+        # A v1-era trial row (no oracle_kind column yet).
+        conn.execute(
+            "INSERT INTO batches (kind, source, commit_sha, ingested_at) "
+            "VALUES ('journal', 'old.jsonl', 'c0ffee', 0.0)"
+        )
+        conn.execute(
+            "INSERT INTO trials (batch_id, commit_sha, fingerprint, "
+            "spec_name, publisher, epsilon, seed, ok, content_sha, "
+            "dedup_key) VALUES (1, 'c0ffee', ?, 'spec', 'dwork', 0.5, 0, "
+            "1, 'sha', 'dk')",
+            (FP,),
+        )
+        conn.commit()
+        conn.close()
+
+        with HistoryStore(path) as migrated:
+            assert migrated.schema_version == HISTORY_SCHEMA
+            # Old rows survive; the new column reads as NULL.
+            cells = migrated.trial_cells()
+            assert cells == [("spec", "dwork", 0.5)]
+            series = migrated.trial_series("spec", "dwork", 0.5)
+            assert series[0]["oracle_kind"] is None
+            # And the v2 alerts table exists.
+            assert migrated.alert_rows() == []
+
+    def test_newer_schema_is_refused(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        conn = sqlite3.connect(str(path))
+        conn.execute(
+            "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        conn.execute(
+            "INSERT INTO meta VALUES ('schema_version', ?)",
+            (str(HISTORY_SCHEMA + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(HistoryError, match="newer"):
+            HistoryStore(path)
+
+
+class TestCommitStamp:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMMIT", "feedbeef")
+        assert default_commit() == "feedbeef"
+
+    def test_unknown_outside_any_repo(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_COMMIT", raising=False)
+        assert default_commit(tmp_path) == "unknown"
+
+
+class TestSpecNameParsing:
+    def test_sweep_convention(self):
+        parsed = parse_sweep_spec_name("sweep/age/boost/eps=0.1")
+        assert parsed == {
+            "dataset": "age", "publisher": "boost", "eps": "0.1",
+        }
+
+    def test_non_sweep_names_return_none(self):
+        assert parse_sweep_spec_name("fig_point_vs_eps/boost") is None
+        assert parse_sweep_spec_name("spec") is None
+
+
+class TestJournalIngestion:
+    def test_rows_and_counts(self, store, journal, monkeypatch):
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        result = store.ingest_journal(journal.path)
+        assert result.kind == "journal"
+        assert result.new_rows == 3
+        assert result.duplicate_rows == 0
+        counts = store.counts()
+        assert counts["trials"] == 3
+        assert counts["batches"] == 1
+
+    def test_reingest_is_a_noop(self, store, journal, monkeypatch):
+        """The acceptance contract: same journal twice changes no rows."""
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        store.ingest_journal(journal.path)
+        before = store.counts()
+        result = store.ingest_journal(journal.path)
+        assert result.new_rows == 0
+        assert result.duplicate_rows == 3
+        assert result.batch_id is None  # not even a batch row
+        assert store.counts() == before
+
+    def test_new_commit_is_a_new_trajectory_point(
+        self, store, journal, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        store.ingest_journal(journal.path)
+        monkeypatch.setenv("REPRO_COMMIT", "c2")
+        result = store.ingest_journal(journal.path)
+        assert result.new_rows == 3
+        series = store.trial_series(
+            "sweep/age/noisefirst/eps=0.5", "noisefirst", 0.5
+        )
+        assert len(series) == 2
+        assert [p["commit_sha"] for p in series] == ["c1", "c2"]
+
+    def test_failed_records_keep_null_metrics(
+        self, store, journal, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        store.ingest_journal(journal.path)
+        series = store.trial_series(
+            "sweep/age/noisefirst/eps=0.5", "noisefirst", 0.5
+        )
+        assert series[0]["n_ok"] == 2
+        assert series[0]["n_failed"] == 1
+        assert series[0]["mean_mse"] == pytest.approx(2.0)
+
+    def test_dataset_column_from_spec_name(self, store, journal,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        store.ingest_journal(journal.path)
+        row = store._conn.execute(
+            "SELECT dataset FROM trials WHERE ok = 1 LIMIT 1"
+        ).fetchone()
+        assert row["dataset"] == "age"
+
+
+class TestOracleAnchoring:
+    def test_dwork_row_carries_the_exact_oracle(self, make_record):
+        """dwork's closed-form MSE is 2/eps^2 per bin, independent of data."""
+        from repro.datasets import standard
+
+        hist = standard.age(n_bins=64, total=50_000)
+        record = make_record(
+            publisher="dwork", epsilon=0.5,
+            spec_name="sweep/age/dwork/eps=0.5",
+        )
+        row = trial_row_from_record(record, FP, "c1", histogram=hist)
+        assert row.oracle_kind == "exact"
+        assert row.oracle_mse == pytest.approx(2.0 / 0.5 ** 2)
+        assert row.n == 64
+
+    def test_unknown_publisher_degrades_to_null(self, make_record):
+        from repro.datasets import standard
+
+        hist = standard.age(n_bins=64, total=50_000)
+        record = make_record(
+            publisher="nonesuch", spec_name="sweep/age/nonesuch/eps=0.5"
+        )
+        row = trial_row_from_record(record, FP, "c1", histogram=hist)
+        assert row.oracle_mse is None
+        assert row.oracle_kind is None
+
+    def test_offline_reconstruction_matches_in_memory(
+        self, store, tmp_path, make_record, monkeypatch
+    ):
+        """ingest_journal rebuilds the dataset from the spec name."""
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        j = CheckpointJournal(tmp_path / "dwork.jsonl")
+        j.append(
+            make_record(publisher="dwork", epsilon=0.5, seed=0,
+                        spec_name="sweep/age/dwork/eps=0.5"),
+            FP,
+        )
+        store.ingest_journal(j.path, n_bins=64, total=50_000)
+        series = store.trial_series(
+            "sweep/age/dwork/eps=0.5", "dwork", 0.5
+        )
+        assert series[0]["oracle_mse"] == pytest.approx(2.0 / 0.5 ** 2)
+
+    def test_non_sweep_spec_names_stay_unanchored(self, store, tmp_path,
+                                                  make_record, monkeypatch):
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        j = CheckpointJournal(tmp_path / "adhoc.jsonl")
+        j.append(make_record(seed=0, spec_name="spec"), FP)
+        store.ingest_journal(j.path)
+        series = store.trial_series("spec", "noisefirst", 0.5)
+        assert series[0]["oracle_mse"] is None
+
+
+class TestBenchIngestion:
+    PAYLOAD = {
+        "profile": "quick",
+        "calibration_seconds": 0.03,
+        "entries": {
+            "publish/dwork/n=1024": {"seconds": 0.2, "normalized": 6.5},
+            "publish/boost/n=1024": {"seconds": 0.4, "normalized": 13.0},
+        },
+    }
+
+    def test_appends_one_row_per_key(self, store):
+        result = store.ingest_bench_payload(
+            dict(self.PAYLOAD), "BENCH_publishers.json", commit="c1"
+        )
+        assert result.new_rows == 2
+        assert store.bench_keys() == [
+            "publish/boost/n=1024", "publish/dwork/n=1024",
+        ]
+
+    def test_reingest_is_a_noop(self, store):
+        store.ingest_bench_payload(
+            dict(self.PAYLOAD), "BENCH_publishers.json", commit="c1"
+        )
+        before = store.counts()
+        result = store.ingest_bench_payload(
+            dict(self.PAYLOAD), "BENCH_publishers.json", commit="c1"
+        )
+        assert result.new_rows == 0
+        assert store.counts() == before
+
+    def test_series_is_ordered_oldest_first(self, store):
+        for i, commit in enumerate(("c1", "c2", "c3")):
+            payload = dict(self.PAYLOAD)
+            payload["entries"] = {
+                "publish/dwork/n=1024": {
+                    "seconds": 0.2, "normalized": 6.5 + i,
+                }
+            }
+            store.ingest_bench_payload(payload, "BENCH.json", commit=commit)
+        series = store.bench_series("publish/dwork/n=1024")
+        assert [p["normalized"] for p in series] == [6.5, 7.5, 8.5]
+
+
+class TestMetricsIngestion:
+    PAYLOAD = {
+        "repro_trials_total": {
+            "kind": "counter", "help": "trials",
+            "samples": [{"labels": {"status": "ok"}, "value": 12}],
+        },
+        "repro_trial_seconds": {
+            "kind": "histogram", "help": "latency",
+            "samples": [{"labels": {}, "sum": 3.5, "count": 12,
+                         "buckets": {"0.1": 2}}],
+        },
+    }
+
+    def test_totals_land_and_histograms_split(self, store):
+        result = store.ingest_metrics_payload(
+            dict(self.PAYLOAD), "m.json", commit="c1"
+        )
+        assert result.new_rows == 3  # counter + histogram sum/count
+        assert [p["value"] for p in
+                store.metric_series("repro_trials_total")] == [12.0]
+        assert [p["value"] for p in
+                store.metric_series("repro_trial_seconds_sum")] == [3.5]
+
+    def test_reingest_is_a_noop(self, store):
+        store.ingest_metrics_payload(dict(self.PAYLOAD), "m.json",
+                                     commit="c1")
+        before = store.counts()
+        store.ingest_metrics_payload(dict(self.PAYLOAD), "m.json",
+                                     commit="c1")
+        assert store.counts() == before
+
+
+class TestAlerts:
+    ALERT = {
+        "kind": "straggler", "spec": "sweep/age/boost/eps=0.1",
+        "seed": 3, "age_seconds": 42.0, "threshold": 10.0,
+    }
+
+    def test_alerts_round_trip(self, store):
+        result = store.add_alerts([dict(self.ALERT)], commit="c1")
+        assert result.new_rows == 1
+        rows = store.alert_rows()
+        assert rows[0]["spec_name"] == "sweep/age/boost/eps=0.1"
+        assert rows[0]["age_seconds"] == 42.0
+
+    def test_duplicate_alerts_skipped(self, store):
+        store.add_alerts([dict(self.ALERT)], commit="c1")
+        result = store.add_alerts([dict(self.ALERT)], commit="c1")
+        assert result.new_rows == 0
+
+
+class TestSniffing:
+    def test_journal(self, journal):
+        assert sniff_source(journal.path) == "journal"
+
+    def test_bench(self, tmp_path):
+        path = tmp_path / "BENCH_publishers.json"
+        path.write_text(json.dumps(TestBenchIngestion.PAYLOAD))
+        assert sniff_source(path) == "bench"
+
+    def test_metrics(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(TestMetricsIngestion.PAYLOAD))
+        assert sniff_source(path) == "metrics"
+
+    def test_garbage_raises(self, tmp_path):
+        path = tmp_path / "junk.txt"
+        path.write_text("not an artifact\n")
+        with pytest.raises(HistoryError, match="cannot classify"):
+            sniff_source(path)
+
+    def test_dispatching_ingest(self, store, journal, tmp_path,
+                                monkeypatch):
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        bench = tmp_path / "BENCH.json"
+        bench.write_text(json.dumps(TestBenchIngestion.PAYLOAD))
+        assert store.ingest(journal.path).kind == "journal"
+        assert store.ingest(bench).kind == "bench"
+
+
+class TestContentHashing:
+    def test_timing_does_not_change_the_hash(self, make_record):
+        fast = make_record(seed=0, seconds=0.1)
+        slow = make_record(seed=0, seconds=99.0)
+        assert trial_content_sha(fast) == trial_content_sha(slow)
+
+    def test_statistics_do(self, make_record):
+        a = make_record(seed=0)
+        b = make_record(seed=1)
+        assert trial_content_sha(a) != trial_content_sha(b)
+
+    def test_dedup_key_mixes_commit_and_fingerprint(self):
+        row = TrialRow(commit="c1", fingerprint=FP, spec_name="s",
+                       publisher="p", epsilon=0.5, seed=0, ok=True,
+                       content_sha="x")
+        other = TrialRow(commit="c2", fingerprint=FP, spec_name="s",
+                         publisher="p", epsilon=0.5, seed=0, ok=True,
+                         content_sha="x")
+        assert row.dedup_key != other.dedup_key
+
+
+class TestPriorCellStats:
+    def test_excludes_by_content_sha(self, store, journal, make_record,
+                                     monkeypatch):
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        store.ingest_journal(journal.path)
+        name = "sweep/age/noisefirst/eps=0.5"
+        own = [trial_content_sha(make_record(seed=s, spec_name=name))
+               for s in (0, 1)]
+        # Excluding the journal's own rows leaves nothing prior.
+        assert store.prior_cell_stats(
+            name, "noisefirst", 0.5, exclude_shas=own
+        ) is None
+        # Without exclusions the two ok rows aggregate.
+        stats = store.prior_cell_stats(name, "noisefirst", 0.5)
+        assert stats["n_trials"] == 2
+        assert stats["mean_mse"] == pytest.approx(2.0)

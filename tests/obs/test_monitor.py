@@ -206,6 +206,109 @@ class TestProgressMonitorJsonl:
         assert json.loads(buf.getvalue().splitlines()[-1])["ok"] is False
 
 
+class TestStragglerThreshold:
+    def _monitor(self, clock, **kwargs):
+        return ProgressMonitor(
+            mode="jsonl", stream=io.StringIO(), total_trials=8,
+            clock=clock, straggler_after=5.0, **kwargs,
+        )
+
+    def test_fixed_threshold_without_factor(self):
+        monitor = self._monitor(_Clock())
+        assert monitor.straggler_threshold() == 5.0
+
+    def test_factor_needs_completed_trials(self, make_record):
+        clock = _Clock()
+        monitor = self._monitor(clock, straggler_factor=3.0)
+        # No completions yet: the fixed floor applies.
+        assert monitor.straggler_threshold() == 5.0
+        monitor.on_dispatch("spec", [0])
+        clock.t = 4.0
+        monitor.on_seed_done("spec", 0, make_record())
+        # Mean duration 4s x factor 3 = 12s.
+        assert monitor.straggler_threshold() == pytest.approx(12.0)
+
+    def test_factor_never_drops_below_the_floor(self, make_record):
+        clock = _Clock()
+        monitor = self._monitor(clock, straggler_factor=2.0)
+        monitor.on_dispatch("spec", [0])
+        clock.t = 0.1
+        monitor.on_seed_done("spec", 0, make_record())
+        # 0.1s mean x 2 = 0.2s, floored at straggler_after=5.
+        assert monitor.straggler_threshold() == 5.0
+
+    def test_adaptive_threshold_gates_stragglers(self, make_record):
+        clock = _Clock()
+        monitor = self._monitor(clock, straggler_factor=3.0)
+        monitor.on_dispatch("spec", [0, 1])
+        clock.t = 4.0
+        monitor.on_seed_done("spec", 0, make_record())
+        clock.t = 10.0  # seed 1 is 10s old: past the 5s floor but
+        assert monitor.stragglers() == []  # inside 3 x 4s = 12s
+        clock.t = 16.1
+        assert monitor.stragglers() == [
+            {"seed": 1, "age_seconds": 16.1}
+        ]
+
+    def test_env_var_fallback(self, monkeypatch, make_record):
+        from repro.obs.monitor import ENV_STRAGGLER_FACTOR
+
+        monkeypatch.setenv(ENV_STRAGGLER_FACTOR, "3.0")
+        monitor = self._monitor(_Clock())
+        assert monitor.straggler_factor == 3.0
+
+    def test_explicit_factor_beats_env(self, monkeypatch):
+        from repro.obs.monitor import ENV_STRAGGLER_FACTOR
+
+        monkeypatch.setenv(ENV_STRAGGLER_FACTOR, "9.0")
+        monitor = self._monitor(_Clock(), straggler_factor=2.0)
+        assert monitor.straggler_factor == 2.0
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError, match="straggler_factor"):
+            self._monitor(_Clock(), straggler_factor=0.0)
+
+    def test_invalid_env_factor_ignored(self, monkeypatch):
+        from repro.obs.monitor import ENV_STRAGGLER_FACTOR
+
+        monkeypatch.setenv(ENV_STRAGGLER_FACTOR, "not-a-number")
+        assert self._monitor(_Clock()).straggler_factor is None
+
+
+class TestStragglerAlerts:
+    def _monitor(self, clock):
+        return ProgressMonitor(
+            mode="jsonl", stream=io.StringIO(), total_trials=4,
+            clock=clock, straggler_after=5.0,
+        )
+
+    def test_alert_recorded_once_with_worst_age(self, make_record):
+        clock = _Clock()
+        monitor = self._monitor(clock)
+        monitor.on_run_start("spec", 4, 0)
+        monitor.on_dispatch("spec", [0, 7])
+        clock.t = 6.0
+        monitor.on_seed_done("spec", 0, make_record())  # snapshot fires
+        clock.t = 9.0
+        monitor.on_pool_respawn("spec")  # seed 7 still stuck: age grows
+        assert len(monitor.alerts) == 1
+        alert = monitor.alerts[0]
+        assert alert["kind"] == "straggler"
+        assert alert["spec"] == "spec"
+        assert alert["seed"] == 7
+        assert alert["age_seconds"] == pytest.approx(9.0)
+        assert alert["threshold"] == pytest.approx(5.0)
+
+    def test_no_alerts_under_threshold(self, make_record):
+        clock = _Clock()
+        monitor = self._monitor(clock)
+        monitor.on_run_start("spec", 4, 0)
+        monitor.on_dispatch("spec", [0])
+        clock.t = 1.0
+        monitor.on_seed_done("spec", 0, make_record())
+        assert monitor.alerts == []
+
+
 class TestProgressMonitorTty:
     def test_rewrites_one_line_and_closes(self, make_record):
         buf = io.StringIO()

@@ -117,3 +117,56 @@ class TestReportCli:
 
         assert main(["report"]) == 2
         assert "needs a journal path" in capsys.readouterr().err
+
+
+class TestHistoryDeltas:
+    @pytest.fixture
+    def store_path(self, tmp_path, journal, monkeypatch):
+        """A history store holding one prior commit of the same cells."""
+        from repro.obs.history import HistoryStore
+
+        monkeypatch.setenv("REPRO_COMMIT", "prior")
+        with HistoryStore(tmp_path / "h.sqlite") as store:
+            store.ingest_journal(journal.path)
+        return tmp_path / "h.sqlite"
+
+    def test_no_section_without_history(self, journal):
+        assert "## History deltas" not in render_report(journal)
+
+    def test_self_comparison_yields_no_priors(self, journal, store_path):
+        """The journal's own rows are excluded: deltas read em-dash."""
+        report = render_report(journal, history=store_path)
+        assert "## History deltas" in report
+        assert "| spec | 0.5 | 2 | — |" in report
+        assert "excluded by content hash" in report
+
+    def test_delta_against_a_prior_run(self, tmp_path, journal,
+                                       make_record, monkeypatch):
+        """A genuinely prior observation produces a percentage delta."""
+        from repro.metrics.evaluate import WorkloadErrors
+        from repro.obs.history import HistoryStore, trial_row_from_record
+
+        store = HistoryStore(tmp_path / "h2.sqlite")
+        # Prior run of the same cell with double the MSE (mse=4 vs 2).
+        prior = make_record(seed=9)
+        errors = prior.workload_errors["unit"]
+        prior.workload_errors["unit"] = WorkloadErrors(
+            workload="unit", n_queries=errors.n_queries, mae=errors.mae,
+            mse=4.0, scaled=errors.scaled, max_abs=errors.max_abs,
+        )
+        store.add_trials([
+            trial_row_from_record(prior, "b" * 64, "prior-commit")
+        ])
+        store.close()
+        report = render_report(journal, history=tmp_path / "h2.sqlite")
+        # This journal's mean MSE is 2, prior mean is 4: -50%.
+        assert "| spec | 0.5 | 2 | -50.0% |" in report
+        assert "| 1 |" in report  # one prior trial
+
+    def test_cli_passes_history_through(self, journal, store_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "report", str(journal.path), "--history", str(store_path),
+        ]) == 0
+        assert "## History deltas" in capsys.readouterr().out

@@ -117,3 +117,118 @@ class TestRunBench:
 
     def test_load_results_missing(self, tmp_path):
         assert load_results(tmp_path / "nope.json") is None
+
+
+class TestHistoryBaseline:
+    def _store_with(self, tmp_path, values, key="publish/dwork/n=64",
+                    profile="quick", bench_file=BENCH_PUBLISHERS):
+        from repro.obs.history import HistoryStore
+
+        store = HistoryStore(tmp_path / "h.sqlite")
+        for i, normalized in enumerate(values):
+            store.ingest_bench_payload(
+                {"profile": profile, "calibration_seconds": 0.03,
+                 "entries": {key: {"seconds": normalized * 0.03,
+                                   "normalized": normalized}}},
+                bench_file, commit=f"c{i}",
+            )
+        return store
+
+    def test_median_of_window(self, tmp_path):
+        store = self._store_with(tmp_path, [6.0, 7.0, 100.0, 8.0, 9.0])
+        baseline = bench.history_baseline(
+            store, "quick", BENCH_PUBLISHERS, window=5
+        )
+        store.close()
+        entry = baseline["entries"]["publish/dwork/n=64"]
+        assert entry["normalized"] == 8.0  # median shrugs off the spike
+        assert entry["window"] == 5
+
+    def test_window_keeps_most_recent(self, tmp_path):
+        store = self._store_with(tmp_path, [100.0, 1.0, 2.0, 3.0])
+        baseline = bench.history_baseline(
+            store, "quick", BENCH_PUBLISHERS, window=3
+        )
+        store.close()
+        assert baseline["entries"]["publish/dwork/n=64"]["normalized"] == 2.0
+
+    def test_profile_and_file_filtered(self, tmp_path):
+        store = self._store_with(tmp_path, [6.0], profile="full")
+        assert bench.history_baseline(
+            store, "quick", BENCH_PUBLISHERS
+        ) is None
+        assert bench.history_baseline(
+            store, "full", BENCH_PARTITION
+        ) is None
+        store.close()
+
+    def test_empty_store_returns_none(self, tmp_path):
+        from repro.obs.history import HistoryStore
+
+        with HistoryStore(tmp_path / "h.sqlite") as store:
+            assert bench.history_baseline(
+                store, "quick", BENCH_PUBLISHERS
+            ) is None
+
+
+class TestRunBenchHistory:
+    @pytest.fixture()
+    def tiny(self, monkeypatch):
+        monkeypatch.setattr(bench, "_partition_cases",
+                            lambda quick: TINY_PARTITION)
+        monkeypatch.setattr(bench, "_publisher_cases",
+                            lambda quick: TINY_PUBLISHERS)
+        monkeypatch.setenv("REPRO_COMMIT", "bench-test")
+
+    def test_history_appends_a_trajectory(self, tiny, tmp_path, capsys):
+        from repro.obs.history import HistoryStore
+
+        db = tmp_path / "h.sqlite"
+        assert run_bench(quick=True, output_dir=tmp_path,
+                         history=db) == 0
+        assert "history:" in capsys.readouterr().out
+        with HistoryStore(db) as store:
+            first = store.counts()["bench_entries"]
+            assert first == 4  # 2 partition + 2 publisher keys
+        # The snapshot files were still written (append, not replace).
+        assert (tmp_path / BENCH_PARTITION).exists()
+        assert (tmp_path / BENCH_PUBLISHERS).exists()
+
+    def test_same_commit_rerun_does_not_duplicate_identical_rows(
+        self, tiny, tmp_path, monkeypatch
+    ):
+        """Timings differ run to run, so rows normally accumulate; but
+        a bit-identical payload at the same commit deduplicates."""
+        from repro.obs.history import HistoryStore
+
+        db = tmp_path / "h.sqlite"
+        payload = {"profile": "quick", "calibration_seconds": 0.03,
+                   "entries": {"k": {"seconds": 0.2, "normalized": 6.5}}}
+        with HistoryStore(db) as store:
+            store.ingest_bench_payload(dict(payload), "B.json",
+                                       commit="c1")
+            result = store.ingest_bench_payload(dict(payload), "B.json",
+                                                commit="c1")
+            assert result.new_rows == 0
+
+    def test_check_prefers_history_median(self, tiny, tmp_path, capsys):
+        from repro.obs.history import HistoryStore
+
+        db = tmp_path / "h.sqlite"
+        # Seed a trajectory so the gate has a history baseline.
+        assert run_bench(quick=True, output_dir=tmp_path,
+                         history=db) == 0
+        capsys.readouterr()
+        assert run_bench(quick=True, check=True, output_dir=tmp_path,
+                         history=db) == 0
+        out = capsys.readouterr().out
+        assert "gate baseline: history median" in out
+
+    def test_check_falls_back_to_snapshot_without_history(
+        self, tiny, tmp_path, capsys
+    ):
+        assert run_bench(quick=True, output_dir=tmp_path) == 0
+        capsys.readouterr()
+        assert run_bench(quick=True, check=True,
+                         output_dir=tmp_path) == 0
+        assert "committed snapshot" in capsys.readouterr().out
