@@ -9,6 +9,8 @@ checked, not merely asserted in a docstring.
 
 from __future__ import annotations
 
+import threading
+
 from repro.accounting.budget import EPS_TOL, PrivacyBudget
 from repro.accounting.ledger import Ledger, SpendRecord
 from repro.exceptions import BudgetExceededError
@@ -18,6 +20,12 @@ __all__ = ["Accountant"]
 
 class Accountant:
     """Tracks and enforces spends against a fixed total budget.
+
+    The overdraft check and the ledger append are atomic under an
+    internal lock, so concurrent spenders (e.g. the query service's
+    per-request handler threads debiting one tenant) can never race two
+    debits past the total: sequential composition holds even when the
+    spends themselves are issued in parallel.
 
     Example
     -------
@@ -39,6 +47,8 @@ class Accountant:
             )
         self._total = total
         self._ledger = Ledger()
+        # Reentrant so spend_all can hold it across remaining + spend.
+        self._lock = threading.RLock()
 
     @property
     def total(self) -> PrivacyBudget:
@@ -80,26 +90,28 @@ class Accountant:
             raise TypeError(
                 f"budget must be a PrivacyBudget or number, got {type(budget).__name__}"
             )
-        candidate = Ledger(list(self._ledger.records))
-        candidate.append(SpendRecord(budget, purpose, parallel_group))
-        projected = candidate.total()
-        if (
-            projected.epsilon > self._total.epsilon + EPS_TOL
-            or projected.delta > self._total.delta + EPS_TOL
-        ):
-            raise BudgetExceededError(
-                requested=budget.epsilon,
-                remaining=self.remaining.epsilon,
-            )
-        self._ledger.append(SpendRecord(budget, purpose, parallel_group))
+        with self._lock:
+            candidate = Ledger(list(self._ledger.records))
+            candidate.append(SpendRecord(budget, purpose, parallel_group))
+            projected = candidate.total()
+            if (
+                projected.epsilon > self._total.epsilon + EPS_TOL
+                or projected.delta > self._total.delta + EPS_TOL
+            ):
+                raise BudgetExceededError(
+                    requested=budget.epsilon,
+                    remaining=self.remaining.epsilon,
+                )
+            self._ledger.append(SpendRecord(budget, purpose, parallel_group))
         return budget
 
     def spend_all(self, purpose: str) -> PrivacyBudget:
         """Withdraw everything that remains, in one spend."""
-        remaining = self.remaining
-        if remaining.epsilon <= 0 and remaining.delta <= 0:
-            raise BudgetExceededError(requested=0.0, remaining=0.0)
-        return self.spend(remaining, purpose)
+        with self._lock:
+            remaining = self.remaining
+            if remaining.epsilon <= 0 and remaining.delta <= 0:
+                raise BudgetExceededError(requested=0.0, remaining=0.0)
+            return self.spend(remaining, purpose)
 
     def __repr__(self) -> str:
         return (

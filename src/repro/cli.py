@@ -52,6 +52,15 @@ drift (the regression radar; see docs/observability.md)::
     python -m repro history ingest sweep.jsonl --db h.sqlite
     python -m repro history drift --db h.sqlite --json verdicts.json
     python -m repro history dash --db h.sqlite --out dash.md
+
+Stand up the DP histogram query service and drive it with a
+deterministic workload-trace replay whose p50/p99 latency feeds the
+regression radar (docs/serving.md)::
+
+    python -m repro serve --port 8377 --cache-entries 16
+    python -m repro replay examples/manifests/tiny_replay.json \
+        --history h.sqlite --metrics-out replay-metrics.json \
+        --transcript transcript.json
 """
 
 from __future__ import annotations
@@ -84,9 +93,10 @@ def _build_parser() -> argparse.ArgumentParser:
              "'bench' to refresh the tracked performance benchmarks, "
              "'run' for a fault-tolerant journaled publisher sweep, "
              "'report' to render a markdown run report from a journal, "
-             "or 'history' for the regression radar (run 'python -m "
-             "repro history --help' for its ingest/drift/dash "
-             "subcommands)",
+             "'history' for the regression radar, 'serve' for the DP "
+             "histogram query service, or 'replay' for the "
+             "deterministic workload-trace load harness (each has its "
+             "own --help)",
     )
     parser.add_argument(
         "target",
@@ -449,6 +459,183 @@ def _run_report(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# The 'serve' / 'replay' subcommands (query service + load harness)
+# ---------------------------------------------------------------------------
+
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dphist serve",
+        description="Long-lived DP histogram query service: publish "
+                    "once per (dataset, publisher, epsilon, k) spec, "
+                    "cache artifacts in a fingerprint-keyed LRU, and "
+                    "answer point/range count queries under per-tenant "
+                    "epsilon-budget ledgers (docs/serving.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8377,
+                        help="bind port; 0 picks an ephemeral port "
+                             "(default 8377)")
+    parser.add_argument("--cache-entries", dest="cache_entries", type=int,
+                        default=8, metavar="N",
+                        help="max cached artifacts before LRU eviction "
+                             "(default 8)")
+    parser.add_argument("--cache-bytes", dest="cache_bytes", type=int,
+                        default=None, metavar="B",
+                        help="optional byte bound on cached artifact "
+                             "arrays (evicts LRU-first)")
+    parser.add_argument("--tenant-budget", dest="tenant_budget",
+                        type=float, default=100.0, metavar="EPS",
+                        help="default epsilon budget for tenants that "
+                             "were never explicitly registered "
+                             "(default 100)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log one line per request to stderr")
+    return parser
+
+
+def _serve_main(argv: List[str]) -> int:
+    """Entry point for ``python -m repro serve ...``."""
+    from repro.serve.server import make_server, run_server
+    from repro.serve.service import QueryService
+
+    args = _build_serve_parser().parse_args(argv)
+    if args.port < 0:
+        print(f"error: --port must be >= 0, got {args.port}",
+              file=sys.stderr)
+        return 2
+    try:
+        service = QueryService(
+            cache_entries=args.cache_entries,
+            cache_bytes=args.cache_bytes,
+            default_tenant_budget=args.tenant_budget,
+        )
+        server = make_server(args.host, args.port, service,
+                             verbose=args.verbose)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # The parseable startup line the e2e tests and scripts wait for.
+    print(f"serving on {server.url}", flush=True)
+    return run_server(server)
+
+
+def _build_replay_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dphist replay",
+        description="Deterministic workload-trace replay against the "
+                    "query service: same manifest + seed => identical "
+                    "query-answer transcript; p50/p99 latency and "
+                    "throughput land in the metrics registry and the "
+                    "run-history store (docs/serving.md).",
+    )
+    parser.add_argument("manifest", metavar="MANIFEST",
+                        help="replay manifest (JSON; see "
+                             "examples/manifests/)")
+    parser.add_argument("--server", default=None, metavar="URL",
+                        help="replay against a running server instead "
+                             "of self-hosting a fresh in-process one "
+                             "(self-hosting is what the determinism "
+                             "guarantee is stated against)")
+    parser.add_argument("--time-scale", dest="time_scale", type=float,
+                        default=None, metavar="F",
+                        help="scale the manifest's arrival gaps "
+                             "(0 = issue as fast as the slots allow; "
+                             "default: the manifest's time_scale)")
+    parser.add_argument("--retries", type=int, default=2, metavar="K",
+                        help="transport retries per query before the "
+                             "tenant worker quarantines its trace "
+                             "(default 2)")
+    parser.add_argument("--transcript", default=None, metavar="PATH",
+                        help="write the deterministic transcript JSON "
+                             "to PATH")
+    parser.add_argument("--metrics-out", dest="metrics_out", default=None,
+                        metavar="PATH",
+                        help="write the replay metrics registry: "
+                             "Prometheus text, or JSON when PATH ends "
+                             "in .json")
+    parser.add_argument("--history", default=None, metavar="DB",
+                        help="ingest replay latency/throughput into "
+                             "the run-history store (rendered by "
+                             "'repro history dash')")
+    parser.add_argument("--cache-entries", dest="cache_entries", type=int,
+                        default=8, metavar="N",
+                        help="artifact cache size of the self-hosted "
+                             "server (ignored with --server)")
+    return parser
+
+
+def _replay_main(argv: List[str]) -> int:
+    """Entry point for ``python -m repro replay <manifest> ...``."""
+    import json as json_mod
+    from pathlib import Path
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.robust.atomicio import atomic_write_text
+    from repro.serve.replay import (
+        load_manifest,
+        record_replay_metrics,
+        run_replay,
+    )
+
+    args = _build_replay_parser().parse_args(argv)
+    manifest_path = Path(args.manifest)
+    if not manifest_path.exists():
+        print(f"error: manifest {manifest_path} does not exist",
+              file=sys.stderr)
+        return 2
+    try:
+        manifest = load_manifest(manifest_path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print(f"error: --retries must be >= 0, got {args.retries}",
+              file=sys.stderr)
+        return 2
+    try:
+        result = run_replay(
+            manifest,
+            base_url=args.server,
+            time_scale=args.time_scale,
+            retries=args.retries,
+            cache_entries=args.cache_entries,
+        )
+    except (RuntimeError, TimeoutError, OSError) as exc:
+        print(f"error: replay failed: {exc}", file=sys.stderr)
+        return 1
+    registry = MetricsRegistry()
+    record_replay_metrics(result, registry)
+    for line in result.summary_lines():
+        print(line)
+    if args.transcript:
+        atomic_write_text(
+            Path(args.transcript),
+            json_mod.dumps(result.transcript(), indent=2,
+                           sort_keys=True) + "\n",
+        )
+        print(f"wrote {args.transcript}")
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    if args.history:
+        from repro.obs.history import HistoryStore, default_commit
+
+        try:
+            with HistoryStore(args.history) as store:
+                outcome = store.ingest_metrics_payload(
+                    registry.render_json(),
+                    source=f"replay:{manifest.name}",
+                    commit=default_commit(),
+                )
+            print(f"history: {args.history}: {outcome.describe()}")
+        except Exception as exc:  # pragma: no cover - defensive firewall
+            print(f"warning: history ingest failed: {exc}",
+                  file=sys.stderr)
+    return 1 if result.had_server_errors() else 0
+
+
+# ---------------------------------------------------------------------------
 # The 'history' subcommand family (regression radar)
 # ---------------------------------------------------------------------------
 
@@ -776,6 +963,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     raw = list(argv) if argv is not None else sys.argv[1:]
     if raw and raw[0] == "history":
         return _history_main(raw[1:])
+    if raw and raw[0] == "serve":
+        return _serve_main(raw[1:])
+    if raw and raw[0] == "replay":
+        return _replay_main(raw[1:])
 
     parser = _build_parser()
     args = parser.parse_args(raw)

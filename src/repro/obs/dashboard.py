@@ -282,6 +282,61 @@ def _verdict_section(verdicts: Sequence[DriftVerdict]) -> List[str]:
     return lines
 
 
+def _serving_section(store: HistoryStore) -> List[str]:
+    """Replay latency/throughput trajectories (``repro replay --history``).
+
+    Rows join the three replay gauges on ``(batch_id, labels)`` so one
+    line shows a whole replay run; the section is omitted entirely when
+    no replay was ever ingested.
+    """
+    import json as json_mod
+
+    series = {
+        name: store.metric_series(name)
+        for name in (
+            "repro_replay_latency_p50_seconds",
+            "repro_replay_latency_p99_seconds",
+            "repro_replay_throughput_qps",
+        )
+    }
+    if not any(series.values()):
+        return []
+    joined: "dict[tuple[int, str], dict]" = {}
+    for name, rows in series.items():
+        for row in rows:
+            key = (row["batch_id"], row["labels"])
+            entry = joined.setdefault(
+                key, {"commit": row["commit_sha"], "labels": row["labels"]}
+            )
+            entry[name] = row["value"]
+    table_rows = []
+    for (_batch, labels), entry in sorted(joined.items()):
+        try:
+            manifest = json_mod.loads(labels).get("manifest", labels)
+        except (ValueError, AttributeError):
+            manifest = labels
+        table_rows.append((
+            _short_commit(entry["commit"]),
+            manifest,
+            _fmt(entry.get("repro_replay_latency_p50_seconds"), 5),
+            _fmt(entry.get("repro_replay_latency_p99_seconds"), 5),
+            _fmt(entry.get("repro_replay_throughput_qps"), 5),
+        ))
+    p50s = [r["value"]
+            for r in series["repro_replay_latency_p50_seconds"]]
+    lines = [
+        "## Serving replay",
+        "",
+        f"- p50 trend: `{sparkline(p50s)}`" if p50s else "- no data",
+        "",
+    ]
+    lines.extend(_md_table(
+        ["commit", "manifest", "p50 s", "p99 s", "q/s"],
+        table_rows[-12:],
+    ))
+    return lines
+
+
 def _operations_section(store: HistoryStore) -> List[str]:
     lines = ["## Operations", ""]
     counts = store.counts()
@@ -351,6 +406,10 @@ def render_dashboard(
         sections.append("")
         sections.extend(_verdict_section(verdicts))
         sections.append("")
+        serving = _serving_section(store)
+        if serving:
+            sections.extend(serving)
+            sections.append("")
         sections.extend(_operations_section(store))
         text = "\n".join(sections) + "\n"
     finally:

@@ -89,45 +89,58 @@ def _render_labels(labelnames: Sequence[str], labelvalues: Sequence[str],
 # ---------------------------------------------------------------------------
 
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count.
 
-    __slots__ = ("value",)
+    Updates are lock-guarded: ``value += amount`` is not atomic in
+    CPython, and the serving layer increments counters from many
+    handler threads at once — the concurrency tests assert the totals
+    sum exactly.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counters only go up; got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A value that can go up and down (or track a running max)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def set_max(self, value: float) -> None:
         """Keep the largest value seen (peak-memory style gauges)."""
-        self.value = max(self.value, float(value))
+        with self._lock:
+            self.value = max(self.value, float(value))
 
 
 class HistogramMetric:
     """Cumulative-bucket histogram (Prometheus semantics)."""
 
-    __slots__ = ("buckets", "counts", "sum", "count")
+    __slots__ = ("buckets", "counts", "sum", "count", "_lock")
 
     def __init__(self, buckets: Sequence[float]) -> None:
         self.buckets = tuple(sorted(float(b) for b in buckets))
@@ -136,22 +149,26 @@ class HistogramMetric:
         self.counts = [0] * (len(self.buckets) + 1)  # + the +Inf bucket
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.sum += value
-        self.count += 1
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
 
     def cumulative(self) -> List[int]:
         """Cumulative counts per bucket bound, ending with +Inf."""
         out: List[int] = []
         running = 0
-        for c in self.counts:
+        with self._lock:
+            counts = list(self.counts)
+        for c in counts:
             running += c
             out.append(running)
         return out

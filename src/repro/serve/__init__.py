@@ -1,0 +1,48 @@
+"""The serving wing: a DP histogram query service plus trace replay.
+
+``python -m repro serve`` stands up a long-lived HTTP/JSON service that
+publishes once per (dataset, publisher, ε, k) spec, caches artifacts in
+a size-bounded LRU keyed by the journal's SHA-256 spec fingerprint, and
+answers point/range count queries under per-tenant ε-budget ledgers.
+``python -m repro replay <manifest>`` drives it with a deterministic
+workload trace and lands p50/p99 latency + throughput in the metrics
+registry and the run-history store.  See docs/serving.md.
+"""
+
+from repro.serve.artifacts import PublishedArtifact, publish_artifact
+from repro.serve.cache import ArtifactCache
+from repro.serve.client import ServeClient
+from repro.serve.replay import (
+    ReplayManifest,
+    ReplayResult,
+    build_schedule,
+    load_manifest,
+    record_replay_metrics,
+    run_replay,
+)
+from repro.serve.server import HistogramHTTPServer, make_server, run_server
+from repro.serve.service import QueryService, RequestError
+from repro.serve.spec import SERVE_DATASETS, ServeSpec, serve_roster
+from repro.serve.tenants import TenantLedgers
+
+__all__ = [
+    "SERVE_DATASETS",
+    "ArtifactCache",
+    "HistogramHTTPServer",
+    "PublishedArtifact",
+    "QueryService",
+    "ReplayManifest",
+    "ReplayResult",
+    "RequestError",
+    "ServeClient",
+    "ServeSpec",
+    "TenantLedgers",
+    "build_schedule",
+    "load_manifest",
+    "make_server",
+    "publish_artifact",
+    "record_replay_metrics",
+    "run_replay",
+    "run_server",
+    "serve_roster",
+]

@@ -1,0 +1,194 @@
+"""Size-bounded LRU cache of published artifacts, keyed by fingerprint.
+
+Publishing is seconds-scale for the structure publishers while a cache
+hit is microseconds, so the cache is the difference between a service
+that can absorb millions of queries and one that re-runs dynamic
+programs per request.  Two properties matter beyond plain LRU:
+
+* **Single-flight publishing.**  When N handler threads miss on the
+  same fingerprint simultaneously, exactly one runs the publisher; the
+  rest block on a per-key :class:`threading.Event` and receive the same
+  artifact object.  Without this, a cold-start stampede multiplies the
+  most expensive operation in the system by the thread count.
+* **Bounded memory.**  ``max_entries`` bounds the artifact count and
+  ``max_bytes`` (optional) the resident array bytes; eviction is
+  strictly least-recently-*used* (reads refresh recency).  Evicted
+  artifacts stay valid for requests already holding a reference —
+  artifacts are immutable, so there is nothing to tear.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.serve.artifacts import PublishedArtifact, publish_artifact
+from repro.serve.spec import ServeSpec
+
+__all__ = ["ArtifactCache", "CacheStats"]
+
+
+class CacheStats:
+    """Monotonic cache counters (snapshot via :meth:`ArtifactCache.stats`)."""
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class _InFlight:
+    """One pending publish: an event plus its eventual outcome."""
+
+    __slots__ = ("event", "artifact", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.artifact: Optional[PublishedArtifact] = None
+        self.error: Optional[BaseException] = None
+
+
+class ArtifactCache:
+    """Thread-safe LRU of :class:`PublishedArtifact` by fingerprint."""
+
+    def __init__(
+        self,
+        max_entries: int = 8,
+        max_bytes: Optional[int] = None,
+        publish: Callable[[ServeSpec], PublishedArtifact] = publish_artifact,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = int(max_entries)
+        self.max_bytes = max_bytes
+        self._publish = publish
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, PublishedArtifact]" = OrderedDict()
+        self._inflight: Dict[str, _InFlight] = {}
+        self._bytes = 0
+        self._stats = CacheStats()
+
+    # -- internal (lock held) ------------------------------------------
+    def _evict_over_bounds(self) -> int:
+        evicted = 0
+        while len(self._entries) > self.max_entries or (
+            self.max_bytes is not None
+            and self._bytes > self.max_bytes
+            and len(self._entries) > 1
+        ):
+            _fp, artifact = self._entries.popitem(last=False)
+            self._bytes -= artifact.nbytes
+            evicted += 1
+        self._stats.evictions += evicted
+        return evicted
+
+    def _put_locked(self, artifact: PublishedArtifact) -> int:
+        fp = artifact.fingerprint
+        if fp in self._entries:
+            self._entries.move_to_end(fp)
+            return 0
+        self._entries[fp] = artifact
+        self._bytes += artifact.nbytes
+        return self._evict_over_bounds()
+
+    # -- public --------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[PublishedArtifact]:
+        """The cached artifact (refreshing recency), or ``None``.
+
+        A miss here does *not* publish — only :meth:`get_or_publish`
+        knows how to rebuild an artifact from its spec.
+        """
+        with self._lock:
+            artifact = self._entries.get(fingerprint)
+            if artifact is None:
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end(fingerprint)
+            self._stats.hits += 1
+            return artifact
+
+    def get_or_publish(
+        self, spec: ServeSpec, fingerprint: Optional[str] = None
+    ) -> Tuple[PublishedArtifact, bool, int]:
+        """The artifact for ``spec``, publishing at most once per key.
+
+        Returns ``(artifact, was_hit, evicted_count)``.  Concurrent
+        callers that miss on the same fingerprint all block on the one
+        in-flight publish; a failed publish propagates its exception to
+        every waiter and leaves the cache unchanged.
+        """
+        fp = fingerprint if fingerprint is not None else spec.fingerprint()
+        while True:
+            with self._lock:
+                artifact = self._entries.get(fp)
+                if artifact is not None:
+                    self._entries.move_to_end(fp)
+                    self._stats.hits += 1
+                    return artifact, True, 0
+                pending = self._inflight.get(fp)
+                if pending is None:
+                    pending = _InFlight()
+                    self._inflight[fp] = pending
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                pending.event.wait()
+                if pending.error is not None:
+                    raise pending.error
+                # The publish succeeded but the artifact may already be
+                # evicted; loop so the waiter republishes if needed.
+                if pending.artifact is not None:
+                    return pending.artifact, True, 0
+                continue
+            try:
+                artifact = self._publish(spec)
+            except BaseException as exc:
+                with self._lock:
+                    self._inflight.pop(fp, None)
+                pending.error = exc
+                pending.event.set()
+                raise
+            with self._lock:
+                self._stats.misses += 1
+                evicted = self._put_locked(artifact)
+                self._inflight.pop(fp, None)
+            pending.artifact = artifact
+            pending.event.set()
+            return artifact, False, evicted
+
+    def put(self, artifact: PublishedArtifact) -> int:
+        """Insert a pre-built artifact; returns the eviction count."""
+        with self._lock:
+            return self._put_locked(artifact)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def fingerprints(self) -> Tuple[str, ...]:
+        """Cached keys, least- to most-recently used."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters + occupancy snapshot (stable key set for /v1/stats)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes if self.max_bytes else 0,
+                "hits": self._stats.hits,
+                "misses": self._stats.misses,
+                "evictions": self._stats.evictions,
+            }

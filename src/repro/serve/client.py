@@ -1,0 +1,126 @@
+"""Minimal stdlib HTTP client for the query service.
+
+Used by the replay driver, the e2e tests, and anyone scripting against
+a running ``python -m repro serve``.  Every call returns the decoded
+JSON payload; expected application statuses (429 budget refusals, 404
+unknown fingerprints) come back as ``(status, payload)`` rather than
+exceptions so callers can treat refusal as data — transport failures
+(connection refused, timeouts) still raise ``URLError``/``OSError``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Talk to one server; thread-safe (no shared mutable state)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # -- wire ----------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                body = response.read()
+                status = response.status
+        except urllib.error.HTTPError as exc:
+            # 4xx/5xx with a JSON body: surface as data, not exception.
+            body = exc.read()
+            status = exc.code
+        try:
+            decoded = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            decoded = {"error": body.decode("utf-8", "replace")}
+        if not isinstance(decoded, dict):
+            decoded = {"value": decoded}
+        return status, decoded
+
+    def _text(self, path: str) -> str:
+        request = urllib.request.Request(
+            self.base_url + path, method="GET"
+        )
+        with urllib.request.urlopen(
+            request, timeout=self.timeout
+        ) as response:
+            return response.read().decode("utf-8")
+
+    # -- API -----------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        status, payload = self._request("GET", "/healthz")
+        payload["_status"] = status
+        return payload
+
+    def wait_ready(self, deadline_seconds: float = 10.0) -> None:
+        """Poll ``/healthz`` until the server answers (startup races)."""
+        deadline = time.monotonic() + deadline_seconds
+        last: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                if self.health().get("status") == "ok":
+                    return
+            except (urllib.error.URLError, OSError) as exc:
+                last = exc
+            time.sleep(0.05)
+        raise TimeoutError(
+            f"server at {self.base_url} not ready after "
+            f"{deadline_seconds}s: {last}"
+        )
+
+    def publish(self, spec: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        return self._request("POST", "/v1/publish", {"spec": spec})
+
+    def register_tenant(
+        self, name: str, budget: Optional[float] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        body: Dict[str, Any] = {"name": name}
+        if budget is not None:
+            body["budget"] = budget
+        return self._request("POST", "/v1/tenants", body)
+
+    def query(
+        self,
+        tenant: str,
+        queries: List[Dict[str, Any]],
+        fingerprint: Optional[str] = None,
+        spec: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        body: Dict[str, Any] = {"tenant": tenant, "queries": queries}
+        if fingerprint is not None:
+            body["fingerprint"] = fingerprint
+        if spec is not None:
+            body["spec"] = spec
+        return self._request("POST", "/v1/query", body)
+
+    def stats(self) -> Dict[str, Any]:
+        _status, payload = self._request("GET", "/v1/stats")
+        return payload
+
+    def metrics_text(self) -> str:
+        return self._text("/metrics")
+
+    def shutdown(self) -> Tuple[int, Dict[str, Any]]:
+        return self._request("POST", "/v1/shutdown", {})

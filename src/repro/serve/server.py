@@ -1,0 +1,224 @@
+"""Zero-dependency HTTP/JSON transport for the query service.
+
+A :class:`ThreadingHTTPServer` (stdlib) hosting :class:`QueryService`.
+One thread per in-flight request; the service layer is fully
+thread-safe (locked cache, locked accountants, locked metric children),
+so there is no global request lock and cache hits stay microseconds
+under concurrency.
+
+Response bytes are deterministic: JSON is rendered with sorted keys and
+stdlib ``repr`` floats, so two servers publishing the same spec return
+byte-identical bodies — a property the replay transcript hashing and
+the e2e determinism tests rely on.
+
+Routes
+------
+==========  ====================  ========================================
+method      path                  handler
+==========  ====================  ========================================
+``GET``     ``/healthz``          liveness probe
+``GET``     ``/metrics``          Prometheus exposition
+``GET``     ``/v1/stats``         cache / tenant / uptime snapshot
+``POST``    ``/v1/publish``       materialize an artifact from a spec
+``POST``    ``/v1/tenants``       register a tenant with an ε budget
+``POST``    ``/v1/query``         answer point/range count queries
+``POST``    ``/v1/shutdown``      graceful stop (responds, then exits)
+==========  ====================  ========================================
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.service import QueryService, RequestError
+
+__all__ = ["HistogramHTTPServer", "make_server", "run_server"]
+
+#: Request bodies above this size are refused (413) before parsing.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _encode(payload: Dict[str, Any]) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests into the service; never raises to the socket."""
+
+    protocol_version = "HTTP/1.1"
+    server: "HistogramHTTPServer"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:
+            sys.stderr.write(
+                "serve: %s - %s\n" % (self.address_string(), format % args)
+            )
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = _encode(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; version=0.0.4") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise RequestError(413, f"body larger than {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise RequestError(400, "empty request body")
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(400, f"bad JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise RequestError(400, "body must be a JSON object")
+        return payload
+
+    # -- dispatch ------------------------------------------------------
+    def _dispatch(self, method: str) -> Tuple[str, int]:
+        """Route one request; returns ``(endpoint, status)``."""
+        service = self.server.service
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if method == "GET":
+                if path == "/healthz":
+                    status, payload = service.health()
+                    self._send_json(status, payload)
+                    return "healthz", status
+                if path == "/metrics":
+                    self._send_text(200, service.metrics_text())
+                    return "metrics", 200
+                if path == "/v1/stats":
+                    status, payload = service.stats()
+                    self._send_json(status, payload)
+                    return "stats", status
+                raise RequestError(404, f"no such endpoint: GET {path}")
+            if method == "POST":
+                if path == "/v1/shutdown":
+                    # Drain any body so the keep-alive stream stays sane.
+                    length = int(self.headers.get("Content-Length", 0) or 0)
+                    if 0 < length <= MAX_BODY_BYTES:
+                        self.rfile.read(length)
+                    self._send_json(200, {"status": "shutting down"})
+                    self.server.request_shutdown()
+                    return "shutdown", 200
+                body = self._read_body()
+                if path == "/v1/publish":
+                    status, payload = service.publish(body)
+                elif path == "/v1/tenants":
+                    status, payload = service.register_tenant(body)
+                elif path == "/v1/query":
+                    status, payload = service.query(body)
+                else:
+                    raise RequestError(
+                        404, f"no such endpoint: POST {path}"
+                    )
+                self._send_json(status, payload)
+                return path.rsplit("/", 1)[-1], status
+            raise RequestError(405, f"method {method} not allowed")
+        except RequestError as exc:
+            self._send_json(exc.status, {"error": exc.message})
+            return path.rsplit("/", 1)[-1] or "root", exc.status
+        except BrokenPipeError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - last-ditch 500 firewall
+            self._send_json(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+            return path.rsplit("/", 1)[-1] or "root", 500
+
+    def _handle(self, method: str) -> None:
+        started = time.perf_counter()
+        try:
+            endpoint, status = self._dispatch(method)
+        except BrokenPipeError:  # client went away mid-response
+            return
+        self.server.service.observe_request(
+            endpoint, status, time.perf_counter() - started
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+
+class HistogramHTTPServer(ThreadingHTTPServer):
+    """The serving socket: one daemon thread per request."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: QueryService,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def request_shutdown(self) -> None:
+        """Stop the serve loop without deadlocking the calling handler."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: Optional[QueryService] = None,
+    verbose: bool = False,
+) -> HistogramHTTPServer:
+    """Bind a server (``port=0`` picks an ephemeral port)."""
+    if service is None:
+        service = QueryService()
+    return HistogramHTTPServer((host, port), service, verbose=verbose)
+
+
+def run_server(server: HistogramHTTPServer) -> int:
+    """Serve until SIGINT/SIGTERM or ``POST /v1/shutdown``; returns 0.
+
+    Signal handlers are installed only on the main thread (the CLI
+    path); embedded servers should call ``server.shutdown()`` directly.
+    """
+    if threading.current_thread() is threading.main_thread():
+        def _stop(_signum: int, _frame: Any) -> None:
+            server.request_shutdown()
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(sig, _stop)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+    return 0

@@ -1,0 +1,322 @@
+"""The query service's application layer (transport-agnostic).
+
+:class:`QueryService` owns the artifact cache, the tenant ledgers, and
+the serve metric families; the HTTP layer (:mod:`repro.serve.server`)
+is a thin adapter that decodes JSON, calls one method here, and encodes
+the ``(status, payload)`` it gets back.  Keeping the logic off the
+socket makes the unit/property tests fast (no ports) while the e2e
+suite exercises the real wire path.
+
+Budget semantics
+----------------
+Each *answered* query debits the querying tenant's ledger by the
+artifact's publication ε — deliberately worst-case accounting (no
+post-processing discount), which gives every tenant a hard quota of
+``floor(budget / ε)`` answers per artifact class and makes exhaustion
+deterministic and testable.  A refused query spends nothing.  See
+docs/serving.md for the full semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import BudgetExceededError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.artifacts import PublishedArtifact
+from repro.serve.cache import ArtifactCache
+from repro.serve.spec import ServeSpec
+from repro.serve.tenants import TenantLedgers
+
+__all__ = ["QueryService", "RequestError"]
+
+#: Latency buckets tuned to serving (sub-millisecond hits through
+#: seconds-scale cold publishes).
+SERVE_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0
+)
+
+
+class RequestError(Exception):
+    """A client error the HTTP layer should map to ``status`` (4xx)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = str(message)
+
+
+def _parse_query(
+    item: Any, index: int, n_bins: int
+) -> Tuple[str, int, int]:
+    """Validate one wire query; returns ``(kind, lo, hi)`` half-open.
+
+    Point queries normalize to the one-bin range ``[bin, bin + 1)``.
+    """
+    if not isinstance(item, dict):
+        raise RequestError(
+            400, f"query #{index}: must be an object, got "
+                 f"{type(item).__name__}"
+        )
+    has_bin = "bin" in item
+    has_range = "lo" in item or "hi" in item
+    if has_bin == has_range:
+        raise RequestError(
+            400, f"query #{index}: give either 'bin' or 'lo'+'hi'"
+        )
+    def _as_int(value: Any, field: str) -> int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise RequestError(
+                400, f"query #{index}: {field} must be an integer"
+            )
+        return value
+    if has_bin:
+        bin_index = _as_int(item["bin"], "bin")
+        if not 0 <= bin_index < n_bins:
+            raise RequestError(
+                400, f"query #{index}: bin {bin_index} outside domain "
+                     f"of {n_bins} bins"
+            )
+        return "point", bin_index, bin_index + 1
+    if "lo" not in item or "hi" not in item:
+        raise RequestError(
+            400, f"query #{index}: range needs both 'lo' and 'hi'"
+        )
+    lo = _as_int(item["lo"], "lo")
+    hi = _as_int(item["hi"], "hi")
+    if not 0 <= lo <= hi <= n_bins:
+        raise RequestError(
+            400, f"query #{index}: range [{lo}, {hi}) outside domain "
+                 f"of {n_bins} bins"
+        )
+    return "range", lo, hi
+
+
+class QueryService:
+    """Publish-once, query-many DP histogram serving logic."""
+
+    def __init__(
+        self,
+        cache_entries: int = 8,
+        cache_bytes: Optional[int] = None,
+        default_tenant_budget: float = 100.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.cache = ArtifactCache(
+            max_entries=cache_entries, max_bytes=cache_bytes
+        )
+        self.tenants = TenantLedgers(default_budget=default_tenant_budget)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.started = time.time()
+        self._known_specs: Dict[str, ServeSpec] = {}
+        self._specs_lock = threading.Lock()
+        reg = self.registry
+        self._requests = reg.counter(
+            "repro_serve_requests_total",
+            "HTTP requests handled by the query service",
+            labelnames=("endpoint", "code"),
+        )
+        self._queries = reg.counter(
+            "repro_serve_queries_total",
+            "individual count queries, by outcome",
+            labelnames=("status",),
+        )
+        self._cache_events = reg.counter(
+            "repro_serve_cache_events_total",
+            "artifact cache hits / misses / evictions",
+            labelnames=("event",),
+        )
+        self._denials = reg.counter(
+            "repro_serve_budget_denials_total",
+            "queries refused because a tenant's ε budget was exhausted",
+            labelnames=("tenant",),
+        )
+        self._request_seconds = reg.histogram(
+            "repro_serve_request_seconds",
+            "request handling latency by endpoint",
+            labelnames=("endpoint",),
+            buckets=SERVE_BUCKETS,
+        )
+        self._publish_seconds = reg.histogram(
+            "repro_serve_publish_seconds",
+            "cold publisher runtime per artifact",
+            buckets=SERVE_BUCKETS,
+        )
+
+    # -- bookkeeping ---------------------------------------------------
+    def observe_request(
+        self, endpoint: str, code: int, seconds: float
+    ) -> None:
+        """Per-request accounting (called by the transport layer)."""
+        self._requests.labels(endpoint=endpoint, code=str(code)).inc()
+        self._request_seconds.labels(endpoint=endpoint).observe(seconds)
+
+    def _resolve_artifact(
+        self, payload: Dict[str, Any]
+    ) -> Tuple[PublishedArtifact, bool]:
+        """The artifact a request targets, via fingerprint or inline spec."""
+        fingerprint = payload.get("fingerprint")
+        spec_payload = payload.get("spec")
+        if fingerprint is None and spec_payload is None:
+            raise RequestError(400, "give 'fingerprint' or 'spec'")
+        if fingerprint is not None:
+            if not isinstance(fingerprint, str):
+                raise RequestError(400, "fingerprint must be a string")
+            artifact = self.cache.get(fingerprint)
+            if artifact is not None:
+                self._cache_events.labels(event="hit").inc()
+                return artifact, True
+            with self._specs_lock:
+                spec = self._known_specs.get(fingerprint)
+            if spec is None:
+                self._cache_events.labels(event="miss").inc()
+                raise RequestError(
+                    404, f"unknown fingerprint {fingerprint[:16]}…; "
+                         "publish its spec first"
+                )
+            # Known spec, evicted artifact: republish transparently.
+            return self._publish_spec(spec, fingerprint)
+        try:
+            spec = ServeSpec.from_payload(spec_payload)
+        except ValueError as exc:
+            raise RequestError(400, f"bad spec: {exc}") from exc
+        return self._publish_spec(spec, None)
+
+    def _publish_spec(
+        self, spec: ServeSpec, fingerprint: Optional[str]
+    ) -> Tuple[PublishedArtifact, bool]:
+        artifact, hit, evicted = self.cache.get_or_publish(
+            spec, fingerprint
+        )
+        self._cache_events.labels(event="hit" if hit else "miss").inc()
+        if evicted:
+            self._cache_events.labels(event="eviction").inc(evicted)
+        if not hit:
+            self._publish_seconds.observe(artifact.publish_seconds)
+        with self._specs_lock:
+            self._known_specs.setdefault(artifact.fingerprint, spec)
+        return artifact, hit
+
+    # -- endpoints -----------------------------------------------------
+    def publish(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """``POST /v1/publish``: materialize (or re-touch) an artifact."""
+        if not isinstance(payload, dict):
+            raise RequestError(400, "body must be a JSON object")
+        try:
+            spec = ServeSpec.from_payload(payload.get("spec", payload))
+        except ValueError as exc:
+            raise RequestError(400, f"bad spec: {exc}") from exc
+        artifact, hit = self._publish_spec(spec, None)
+        return 200, {
+            "fingerprint": artifact.fingerprint,
+            "cached": hit,
+            "n_bins": artifact.n_bins,
+            "epsilon": spec.epsilon,
+            "epsilon_spent": artifact.epsilon_spent,
+            "publish_seconds": artifact.publish_seconds,
+            "spec_name": spec.name,
+        }
+
+    def register_tenant(
+        self, payload: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``POST /v1/tenants``: pre-register a tenant with a budget."""
+        if not isinstance(payload, dict):
+            raise RequestError(400, "body must be a JSON object")
+        name = payload.get("name")
+        budget = payload.get("budget")
+        if budget is not None and (
+            not isinstance(budget, (int, float))
+            or isinstance(budget, bool)
+        ):
+            raise RequestError(400, "budget must be a number")
+        try:
+            accountant = self.tenants.register(name, budget)
+        except ValueError as exc:
+            status = 409 if "already registered" in str(exc) else 400
+            raise RequestError(status, str(exc)) from exc
+        return 200, {
+            "tenant": name,
+            "budget": accountant.total.epsilon,
+            "remaining": accountant.remaining.epsilon,
+        }
+
+    def query(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """``POST /v1/query``: answer a batch of point/range queries.
+
+        Queries are processed strictly in order; each successful answer
+        debits the tenant's ledger exactly once.  The response carries
+        one result per query; the HTTP status is 200 when every query
+        was answered and 429 when at least one was refused for budget.
+        """
+        if not isinstance(payload, dict):
+            raise RequestError(400, "body must be a JSON object")
+        tenant = payload.get("tenant")
+        if not isinstance(tenant, str) or not tenant.strip():
+            raise RequestError(400, "tenant must be a non-empty string")
+        queries = payload.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise RequestError(400, "queries must be a non-empty list")
+        artifact, _hit = self._resolve_artifact(payload)
+        epsilon = artifact.spec.epsilon
+        parsed = [
+            _parse_query(item, i, artifact.n_bins)
+            for i, item in enumerate(queries)
+        ]
+        results: List[Dict[str, Any]] = []
+        refused = 0
+        for index, (kind, lo, hi) in enumerate(parsed):
+            try:
+                remaining = self.tenants.charge(
+                    tenant, epsilon,
+                    purpose=f"query/{artifact.fingerprint[:12]}",
+                )
+            except BudgetExceededError:
+                refused += 1
+                self._queries.labels(status="exhausted").inc()
+                self._denials.labels(tenant=tenant).inc()
+                results.append({
+                    "index": index,
+                    "status": "exhausted",
+                    "error": "tenant budget exhausted",
+                })
+                continue
+            except ValueError as exc:
+                raise RequestError(400, str(exc)) from exc
+            value = artifact.range(lo, hi)
+            self._queries.labels(status="ok").inc()
+            results.append({
+                "index": index,
+                "status": "ok",
+                "kind": kind,
+                "value": value,
+                "remaining": remaining,
+            })
+        status = 429 if refused else 200
+        return status, {
+            "fingerprint": artifact.fingerprint,
+            "tenant": tenant,
+            "epsilon_per_query": epsilon,
+            "answered": len(parsed) - refused,
+            "refused": refused,
+            "results": results,
+        }
+
+    def stats(self) -> Tuple[int, Dict[str, Any]]:
+        """``GET /v1/stats``: cache occupancy, tenants, uptime."""
+        return 200, {
+            "uptime_seconds": time.time() - self.started,
+            "cache": self.cache.stats(),
+            "tenants": self.tenants.snapshot(),
+            "known_specs": len(self._known_specs),
+        }
+
+    def health(self) -> Tuple[int, Dict[str, Any]]:
+        """``GET /healthz``."""
+        return 200, {"status": "ok"}
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: Prometheus exposition of the registry."""
+        return self.registry.render_prometheus()

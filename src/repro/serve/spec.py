@@ -1,0 +1,227 @@
+"""Serving specs: what exactly does one published artifact contain?
+
+A :class:`ServeSpec` pins down everything that determines a served
+histogram — dataset (name, domain size, total), publisher, epsilon,
+the structure parameter ``k``, and the publish seed.  Its SHA-256
+fingerprint is computed through the *same* machinery the checkpoint
+journal uses (:func:`repro.robust.journal.spec_fingerprint`), so an
+artifact cache key covers the exact dataset bytes, not just the
+request's field values: two specs that name the same dataset but
+produce different counts can never collide.
+
+Specs cross the wire as flat JSON objects (:meth:`ServeSpec.to_payload`
+/ :meth:`ServeSpec.from_payload`); validation happens on construction
+so a malformed request dies with a :class:`ValueError` the HTTP layer
+turns into a 400 long before any budget is touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable, Dict, Optional
+
+from repro.experiments.spec import ExperimentSpec
+from repro.hist.histogram import Histogram
+
+__all__ = [
+    "SERVE_DATASETS",
+    "ServeSpec",
+    "serve_roster",
+    "publisher_factory",
+]
+
+#: Datasets the service can publish; values come from
+#: :mod:`repro.datasets.standard` with (n_bins, total) applied.
+SERVE_DATASETS = ("age", "nettrace", "searchlogs", "socialnetwork")
+
+#: Publishers that accept the structure parameter ``k``.
+_K_PUBLISHERS = ("noisefirst", "structurefirst", "dawa-lite")
+
+
+def serve_roster() -> Dict[str, Callable[..., object]]:
+    """Publishers the service can run, by stable wire name."""
+    from repro.baselines import (
+        Ahp,
+        Boost,
+        DawaLite,
+        DworkIdentity,
+        FourierPublisher,
+        Privelet,
+        UniformFlat,
+    )
+    from repro.core import NoiseFirst, StructureFirst
+
+    return {
+        "dwork": DworkIdentity,
+        "uniform": UniformFlat,
+        "boost": Boost,
+        "privelet": Privelet,
+        "ahp": Ahp,
+        "fourier": FourierPublisher,
+        "noisefirst": NoiseFirst,
+        "structurefirst": StructureFirst,
+        "dawa-lite": DawaLite,
+    }
+
+
+def publisher_factory(
+    publisher: str, k: Optional[int] = None
+) -> Callable[[], object]:
+    """A zero-argument factory for ``publisher`` with ``k`` applied.
+
+    ``k`` is only legal for the structure publishers
+    (``noisefirst``/``structurefirst``/``dawa-lite``); passing it to an
+    identity-style baseline is a spec error, not a silent ignore.
+    """
+    roster = serve_roster()
+    if publisher not in roster:
+        raise ValueError(
+            f"unknown publisher {publisher!r}; available: "
+            f"{', '.join(sorted(roster))}"
+        )
+    cls = roster[publisher]
+    if k is None:
+        return cls
+    if publisher not in _K_PUBLISHERS:
+        raise ValueError(
+            f"publisher {publisher!r} does not take k "
+            f"(k-publishers: {', '.join(_K_PUBLISHERS)})"
+        )
+    return lambda: cls(k=k)
+
+
+@lru_cache(maxsize=32)
+def _dataset_histogram(dataset: str, n_bins: int, total: int) -> Histogram:
+    """The (deterministic, seeded) standard dataset for one serve spec.
+
+    Cached because fingerprinting re-reads the full count vector and the
+    standard generators rebuild it from scratch each call.
+    """
+    from repro.datasets import standard
+
+    if dataset not in SERVE_DATASETS:
+        raise ValueError(
+            f"unknown dataset {dataset!r}; available: "
+            f"{', '.join(SERVE_DATASETS)}"
+        )
+    return getattr(standard, dataset)(n_bins=n_bins, total=total)
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """One publishable cell: (dataset, publisher, ε, k, seed).
+
+    ``seed`` is the root of the publish's random stream, so the same
+    spec always yields a bit-identical artifact — the contract the
+    replay determinism tests pin down.
+    """
+
+    dataset: str
+    publisher: str
+    epsilon: float
+    k: Optional[int] = None
+    n_bins: int = 64
+    total: int = 50_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dataset not in SERVE_DATASETS:
+            raise ValueError(
+                f"unknown dataset {self.dataset!r}; available: "
+                f"{', '.join(SERVE_DATASETS)}"
+            )
+        if not isinstance(self.epsilon, (int, float)) or isinstance(
+            self.epsilon, bool
+        ):
+            raise ValueError("epsilon must be a number")
+        if float(self.epsilon) <= 0:
+            raise ValueError(f"epsilon must be > 0, got {self.epsilon}")
+        object.__setattr__(self, "epsilon", float(self.epsilon))
+        for name, minimum in (("n_bins", 2), ("total", 1)):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(f"{name} must be an int")
+            if value < minimum:
+                raise ValueError(f"{name} must be >= {minimum}, got {value}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError("seed must be an int")
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        if self.k is not None:
+            if not isinstance(self.k, int) or isinstance(self.k, bool):
+                raise ValueError("k must be an int or null")
+            if self.k < 1:
+                raise ValueError(f"k must be >= 1, got {self.k}")
+        # Fails fast on unknown publisher / illegal (publisher, k) pairs.
+        publisher_factory(self.publisher, self.k)
+
+    @property
+    def name(self) -> str:
+        """Stable display name, mirroring the sweep naming convention."""
+        k_text = "auto" if self.k is None else str(self.k)
+        return (
+            f"serve/{self.dataset}/{self.publisher}/eps={self.epsilon:g}"
+            f"/k={k_text}/n={self.n_bins}/seed={self.seed}"
+        )
+
+    def histogram(self) -> Histogram:
+        """The true (pre-noise) dataset histogram for this spec."""
+        return _dataset_histogram(self.dataset, self.n_bins, self.total)
+
+    def to_experiment_spec(self) -> ExperimentSpec:
+        """Bridge into the experiment-runner world (fingerprinting)."""
+        return ExperimentSpec(
+            name=self.name,
+            histogram=self.histogram(),
+            publisher_factory=publisher_factory(self.publisher, self.k),
+            epsilon=self.epsilon,
+            workloads=(),
+            seeds=(self.seed,),
+        )
+
+    def fingerprint(self) -> str:
+        """SHA-256 identity over the spec *and* the dataset bytes."""
+        return self.to_experiment_spec().fingerprint()
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Wire representation (inverse of :meth:`from_payload`)."""
+        return {
+            "dataset": self.dataset,
+            "publisher": self.publisher,
+            "epsilon": self.epsilon,
+            "k": self.k,
+            "n_bins": self.n_bins,
+            "total": self.total,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ServeSpec":
+        """Build a validated spec from a request body dict."""
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"spec must be an object, got {type(payload).__name__}"
+            )
+        known = {
+            "dataset", "publisher", "epsilon", "k", "n_bins", "total",
+            "seed",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown spec field(s): {', '.join(unknown)}")
+        missing = [f for f in ("dataset", "publisher", "epsilon")
+                   if f not in payload]
+        if missing:
+            raise ValueError(
+                f"spec missing required field(s): {', '.join(missing)}"
+            )
+        return cls(
+            dataset=payload["dataset"],
+            publisher=payload["publisher"],
+            epsilon=payload["epsilon"],
+            k=payload.get("k"),
+            n_bins=payload.get("n_bins", 64),
+            total=payload.get("total", 50_000),
+            seed=payload.get("seed", 0),
+        )

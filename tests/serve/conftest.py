@@ -1,0 +1,64 @@
+"""Shared fixtures for the serving test suite.
+
+Two tiers of harness: ``service`` gives the transport-free application
+layer (fast unit/property tests), ``live_server`` runs the real
+ThreadingHTTPServer on an ephemeral port inside this process (wire-path
+tests without subprocess cost).  The true subprocess path lives in
+``test_e2e.py`` and is marked slow.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.server import make_server
+from repro.serve.service import QueryService
+from repro.serve.spec import ServeSpec
+
+
+def tiny_spec(**overrides) -> ServeSpec:
+    """A cheap-to-publish spec (identity publisher, small domain)."""
+    params = dict(
+        dataset="age", publisher="dwork", epsilon=0.5,
+        n_bins=16, total=2_000, seed=3,
+    )
+    params.update(overrides)
+    return ServeSpec(**params)
+
+
+@pytest.fixture
+def spec() -> ServeSpec:
+    return tiny_spec()
+
+
+@pytest.fixture
+def service() -> QueryService:
+    """A transport-free service with a small cache and budget."""
+    return QueryService(cache_entries=4, default_tenant_budget=10.0)
+
+
+@pytest.fixture
+def live_server():
+    """A real HTTP server on an ephemeral port, torn down after the test.
+
+    Yields ``(server, client)``; the service behind it uses the same
+    small defaults as the ``service`` fixture.
+    """
+    service = QueryService(cache_entries=4, default_tenant_budget=10.0)
+    server = make_server("127.0.0.1", 0, service)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05},
+        daemon=True,
+    )
+    thread.start()
+    client = ServeClient(server.url)
+    client.wait_ready()
+    try:
+        yield server, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)

@@ -1,0 +1,101 @@
+"""Published artifacts: determinism, prefix-sum answers, immutability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.artifacts import PublishedArtifact, publish_artifact
+
+from tests.serve.conftest import tiny_spec
+
+
+class TestPublishDeterminism:
+    def test_same_spec_bit_identical_artifact(self):
+        a = publish_artifact(tiny_spec())
+        b = publish_artifact(tiny_spec())
+        assert a.fingerprint == b.fingerprint
+        np.testing.assert_array_equal(a.counts, b.counts)
+        np.testing.assert_array_equal(a.prefix, b.prefix)
+
+    def test_different_seed_different_noise(self):
+        a = publish_artifact(tiny_spec(seed=3))
+        b = publish_artifact(tiny_spec(seed=4))
+        assert not np.array_equal(a.counts, b.counts)
+
+    def test_epsilon_spent_is_recorded(self):
+        artifact = publish_artifact(tiny_spec(epsilon=0.5))
+        assert artifact.epsilon_spent == pytest.approx(0.5)
+
+    def test_structure_publisher_publishes(self):
+        artifact = publish_artifact(
+            tiny_spec(publisher="noisefirst", k=4)
+        )
+        assert artifact.n_bins == 16
+        assert artifact.publish_seconds > 0
+
+
+class TestQueryAnswers:
+    def test_prefix_matches_numpy_cumsum(self):
+        artifact = publish_artifact(tiny_spec())
+        expected = np.concatenate(([0.0], np.cumsum(artifact.counts)))
+        np.testing.assert_allclose(artifact.prefix, expected)
+
+    def test_point_equals_counts_entry(self):
+        artifact = publish_artifact(tiny_spec())
+        for i in range(artifact.n_bins):
+            assert artifact.point(i) == float(artifact.counts[i])
+
+    def test_range_equals_direct_sum(self):
+        artifact = publish_artifact(tiny_spec())
+        assert artifact.range(3, 9) == pytest.approx(
+            float(artifact.counts[3:9].sum())
+        )
+
+    def test_empty_range_is_zero(self):
+        artifact = publish_artifact(tiny_spec())
+        assert artifact.range(5, 5) == 0.0
+
+    def test_full_domain_range(self):
+        artifact = publish_artifact(tiny_spec())
+        assert artifact.range(0, artifact.n_bins) == pytest.approx(
+            float(artifact.counts.sum())
+        )
+
+    @pytest.mark.parametrize("lo,hi", [(-1, 4), (4, 17), (9, 3)])
+    def test_out_of_domain_range_rejected(self, lo, hi):
+        artifact = publish_artifact(tiny_spec())
+        with pytest.raises(ValueError, match="outside domain"):
+            artifact.range(lo, hi)
+
+    @pytest.mark.parametrize("bin_index", [-1, 16])
+    def test_out_of_domain_point_rejected(self, bin_index):
+        artifact = publish_artifact(tiny_spec())
+        with pytest.raises(ValueError, match="outside domain"):
+            artifact.point(bin_index)
+
+
+class TestImmutability:
+    def test_arrays_are_frozen(self):
+        artifact = publish_artifact(tiny_spec())
+        with pytest.raises(ValueError):
+            artifact.counts[0] = 1.0
+        with pytest.raises(ValueError):
+            artifact.prefix[0] = 1.0
+
+    def test_nbytes_counts_both_arrays(self):
+        artifact = publish_artifact(tiny_spec())
+        assert artifact.nbytes == (
+            artifact.counts.nbytes + artifact.prefix.nbytes
+        )
+
+    def test_mismatched_prefix_length_rejected(self):
+        with pytest.raises(ValueError, match="prefix has"):
+            PublishedArtifact(
+                spec=tiny_spec(),
+                fingerprint="f" * 64,
+                counts=np.zeros(4),
+                prefix=np.zeros(4),  # must be n + 1
+                epsilon_spent=0.5,
+                publish_seconds=0.0,
+            )

@@ -1,0 +1,197 @@
+"""ArtifactCache: LRU order, bounds, and single-flight publishing."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.artifacts import PublishedArtifact
+from repro.serve.cache import ArtifactCache
+
+from tests.serve.conftest import tiny_spec
+
+
+def fake_artifact(fingerprint: str, n_bins: int = 8) -> PublishedArtifact:
+    counts = np.arange(n_bins, dtype=np.float64)
+    return PublishedArtifact(
+        spec=tiny_spec(),
+        fingerprint=fingerprint,
+        counts=counts,
+        prefix=np.concatenate(([0.0], np.cumsum(counts))),
+        epsilon_spent=0.5,
+        publish_seconds=0.001,
+    )
+
+
+def fake_publish(spec):
+    return fake_artifact(spec.fingerprint())
+
+
+class TestLRU:
+    def test_get_miss_returns_none(self):
+        cache = ArtifactCache(max_entries=2, publish=fake_publish)
+        assert cache.get("nope") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = ArtifactCache(max_entries=2, publish=fake_publish)
+        cache.put(fake_artifact("a"))
+        cache.put(fake_artifact("b"))
+        evicted = cache.put(fake_artifact("c"))
+        assert evicted == 1
+        assert cache.fingerprints() == ("b", "c")
+
+    def test_read_refreshes_recency(self):
+        cache = ArtifactCache(max_entries=2, publish=fake_publish)
+        cache.put(fake_artifact("a"))
+        cache.put(fake_artifact("b"))
+        cache.get("a")  # a is now most recent; b should evict next
+        cache.put(fake_artifact("c"))
+        assert cache.fingerprints() == ("a", "c")
+
+    def test_reinsert_refreshes_not_duplicates(self):
+        cache = ArtifactCache(max_entries=2, publish=fake_publish)
+        cache.put(fake_artifact("a"))
+        cache.put(fake_artifact("b"))
+        cache.put(fake_artifact("a"))
+        assert len(cache) == 2
+        assert cache.fingerprints() == ("b", "a")
+
+    def test_byte_bound_evicts_but_keeps_one(self):
+        one = fake_artifact("a").nbytes
+        cache = ArtifactCache(
+            max_entries=8, max_bytes=one + 1, publish=fake_publish
+        )
+        cache.put(fake_artifact("a"))
+        cache.put(fake_artifact("b"))
+        assert cache.fingerprints() == ("b",)
+        # A single over-budget artifact still stays resident.
+        big = fake_artifact("huge", n_bins=1024)
+        cache.put(big)
+        assert "huge" in cache
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_entries=0)
+        with pytest.raises(ValueError):
+            ArtifactCache(max_bytes=0)
+
+    def test_stats_snapshot_keys(self):
+        cache = ArtifactCache(max_entries=2, publish=fake_publish)
+        cache.put(fake_artifact("a"))
+        stats = cache.stats()
+        assert set(stats) == {
+            "entries", "bytes", "max_entries", "max_bytes",
+            "hits", "misses", "evictions",
+        }
+        assert stats["entries"] == 1
+        assert stats["bytes"] == fake_artifact("a").nbytes
+
+
+class TestGetOrPublish:
+    def test_publishes_once_then_hits(self):
+        calls = []
+
+        def publish(spec):
+            calls.append(spec)
+            return fake_artifact(spec.fingerprint())
+
+        cache = ArtifactCache(max_entries=2, publish=publish)
+        spec = tiny_spec()
+        _, hit1, _ = cache.get_or_publish(spec)
+        _, hit2, _ = cache.get_or_publish(spec)
+        assert (hit1, hit2) == (False, True)
+        assert len(calls) == 1
+
+    def test_explicit_fingerprint_skips_recompute(self):
+        cache = ArtifactCache(max_entries=2, publish=fake_publish)
+        spec = tiny_spec()
+        fp = spec.fingerprint()
+        artifact, hit, _ = cache.get_or_publish(spec, fingerprint=fp)
+        assert not hit
+        assert cache.get(fp) is artifact
+
+    def test_failed_publish_leaves_cache_unchanged(self):
+        def publish(spec):
+            raise RuntimeError("publisher exploded")
+
+        cache = ArtifactCache(max_entries=2, publish=publish)
+        with pytest.raises(RuntimeError, match="publisher exploded"):
+            cache.get_or_publish(tiny_spec())
+        assert len(cache) == 0
+        # The key is not poisoned: a later attempt re-runs the publish.
+        with pytest.raises(RuntimeError):
+            cache.get_or_publish(tiny_spec())
+
+    def test_single_flight_under_concurrency(self):
+        """N concurrent misses on one key run the publisher exactly once."""
+        n_threads = 8
+        entered = threading.Event()
+        release = threading.Event()
+        calls = []
+        lock = threading.Lock()
+
+        def publish(spec):
+            with lock:
+                calls.append(spec)
+            entered.set()
+            release.wait(timeout=10.0)
+            return fake_artifact(spec.fingerprint())
+
+        cache = ArtifactCache(max_entries=2, publish=publish)
+        spec = tiny_spec()
+        results = []
+
+        def worker():
+            results.append(cache.get_or_publish(spec))
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        assert entered.wait(timeout=10.0)
+        release.set()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert len(calls) == 1
+        assert len(results) == n_threads
+        artifacts = {id(artifact) for artifact, _, _ in results}
+        assert len(artifacts) == 1  # every waiter got the same object
+        hits = sum(1 for _, hit, _ in results if hit)
+        assert hits == n_threads - 1
+
+    def test_failed_publish_propagates_to_all_waiters(self):
+        n_threads = 4
+        entered = threading.Event()
+        release = threading.Event()
+
+        def publish(spec):
+            entered.set()
+            release.wait(timeout=10.0)
+            raise RuntimeError("boom")
+
+        cache = ArtifactCache(max_entries=2, publish=publish)
+        spec = tiny_spec()
+        errors = []
+        lock = threading.Lock()
+
+        def worker():
+            try:
+                cache.get_or_publish(spec)
+            except RuntimeError as exc:
+                with lock:
+                    errors.append(str(exc))
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        assert entered.wait(timeout=10.0)
+        release.set()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert errors.count("boom") == n_threads

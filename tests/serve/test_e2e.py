@@ -1,0 +1,227 @@
+"""End-to-end serving tests: real ``python -m repro`` subprocesses.
+
+The server runs exactly as a user would start it (``repro serve`` on an
+ephemeral port); the replay driver runs as its own process against it.
+These pin the full wire path: startup banner parsing, deterministic
+transcripts across independent process pairs, budget refusal over real
+sockets, LRU eviction under a 1-slot cache, and clean shutdown exit
+codes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+from tests.serve.conftest import tiny_spec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SRC = str(REPO_ROOT / "src")
+
+TINY_MANIFEST = {
+    "name": "e2e",
+    "seed": 7,
+    "issue_slots": 2,
+    "time_scale": 0.0,
+    "spec": tiny_spec().to_payload(),
+    "tenants": [
+        {"name": "alpha", "budget": 50.0, "weight": 2.0},
+        {"name": "beta", "budget": 50.0, "weight": 1.0},
+    ],
+    "phases": [
+        {"name": "warm", "queries": 10, "point_fraction": 0.5},
+        {"name": "burst", "queries": 14, "point_fraction": 0.25},
+    ],
+}
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_cli(*args, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=timeout,
+        env=cli_env(), cwd=str(REPO_ROOT),
+    )
+
+
+class ServerProcess:
+    """A ``repro serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, *extra_args):
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             *extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=cli_env(), cwd=str(REPO_ROOT),
+        )
+        # The startup banner is the parseable contract: "serving on URL".
+        deadline = time.monotonic() + 30.0
+        line = ""
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if line:
+                break
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"server died at startup: {self.proc.stderr.read()}"
+                )
+        assert line.startswith("serving on http://"), line
+        self.url = line.split("serving on ", 1)[1].strip()
+        self.client = ServeClient(self.url)
+        self.client.wait_ready()
+
+    def stop(self, timeout=15.0):
+        """Graceful shutdown via the API; returns the exit code."""
+        if self.proc.poll() is None:
+            self.client.shutdown()
+        try:
+            return self.proc.wait(timeout=timeout)
+        finally:
+            if self.proc.poll() is None:
+                self.proc.kill()
+                self.proc.wait(timeout=5.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+
+@pytest.mark.slow
+class TestServeSubprocess:
+    def test_serve_round_trip_and_clean_shutdown(self):
+        with ServerProcess() as server:
+            code, published = server.client.publish(
+                tiny_spec().to_payload()
+            )
+            assert code == 200
+            code, answered = server.client.query(
+                "t", [{"bin": 3}, {"lo": 0, "hi": 16}],
+                fingerprint=published["fingerprint"],
+            )
+            assert code == 200
+            assert answered["answered"] == 2
+            exit_code = server.stop()
+        assert exit_code == 0  # non-clean shutdown would fail CI too
+
+    def test_budget_refusal_over_real_sockets(self):
+        with ServerProcess("--tenant-budget", "1.1") as server:
+            code, published = server.client.publish(
+                tiny_spec().to_payload()  # epsilon 0.5: quota 2
+            )
+            code, payload = server.client.query(
+                "walk-in", [{"bin": i} for i in range(4)],
+                fingerprint=published["fingerprint"],
+            )
+            assert code == 429
+            assert payload["answered"] == 2
+            assert payload["refused"] == 2
+
+    def test_lru_eviction_under_one_slot_cache(self):
+        with ServerProcess("--cache-entries", "1") as server:
+            first = tiny_spec(seed=3).to_payload()
+            second = tiny_spec(seed=4).to_payload()
+            _code, a = server.client.publish(first)
+            _code, b = server.client.publish(second)
+            stats = server.client.stats()
+            assert stats["cache"]["entries"] == 1
+            assert stats["cache"]["evictions"] == 1
+            # The evicted artifact still answers (transparent republish).
+            code, payload = server.client.query(
+                "t", [{"bin": 0}], fingerprint=a["fingerprint"]
+            )
+            assert code == 200
+            assert server.client.stats()["cache"]["evictions"] == 2
+
+    def test_metrics_endpoint_over_http(self):
+        with ServerProcess() as server:
+            server.client.publish(tiny_spec().to_payload())
+            with urllib.request.urlopen(
+                server.url + "/metrics", timeout=10.0
+            ) as response:
+                text = response.read().decode("utf-8")
+            assert "repro_serve_requests_total" in text
+
+    def test_sigterm_is_clean_shutdown(self):
+        server = ServerProcess()
+        server.proc.terminate()
+        assert server.proc.wait(timeout=15.0) == 0
+
+
+@pytest.mark.slow
+class TestReplaySubprocess:
+    def _write_manifest(self, tmp_path):
+        path = tmp_path / "e2e.json"
+        path.write_text(json.dumps(TINY_MANIFEST))
+        return path
+
+    def test_replay_self_hosted_exit_zero(self, tmp_path):
+        manifest = self._write_manifest(tmp_path)
+        proc = run_cli("replay", str(manifest))
+        assert proc.returncode == 0, proc.stderr
+        assert "replay e2e: 24 queries" in proc.stdout
+        assert "transcript sha256:" in proc.stdout
+
+    def test_two_replays_identical_transcripts(self, tmp_path):
+        """The acceptance bar: same manifest + seed ⇒ same transcript."""
+        manifest = self._write_manifest(tmp_path)
+        transcripts = []
+        for name in ("t1.json", "t2.json"):
+            out = tmp_path / name
+            proc = run_cli(
+                "replay", str(manifest), "--transcript", str(out)
+            )
+            assert proc.returncode == 0, proc.stderr
+            transcripts.append(out.read_text())
+        assert transcripts[0] == transcripts[1]
+        payload = json.loads(transcripts[0])
+        assert len(payload["records"]) == 24
+
+    def test_replay_against_running_server(self, tmp_path):
+        manifest = self._write_manifest(tmp_path)
+        with ServerProcess() as server:
+            proc = run_cli("replay", str(manifest),
+                           "--server", server.url)
+            assert proc.returncode == 0, proc.stderr
+            # The server saw the replay's queries.
+            stats = server.client.stats()
+            assert stats["tenants"]["alpha"]["queries"] > 0
+
+    def test_replay_metrics_and_history_outputs(self, tmp_path):
+        manifest = self._write_manifest(tmp_path)
+        metrics_out = tmp_path / "metrics.json"
+        history = tmp_path / "history.sqlite"
+        proc = run_cli(
+            "replay", str(manifest),
+            "--metrics-out", str(metrics_out),
+            "--history", str(history),
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(metrics_out.read_text())
+        assert "repro_replay_throughput_qps" in payload
+        assert "repro_replay_request_seconds" in payload
+        from repro.obs.history import HistoryStore
+
+        store = HistoryStore(history)
+        series = store.metric_series("repro_replay_latency_p50_seconds")
+        assert len(series) == 1
+
+    def test_missing_manifest_exits_nonzero(self, tmp_path):
+        proc = run_cli("replay", str(tmp_path / "nope.json"))
+        assert proc.returncode != 0
+        assert proc.stdout == "" or "error" in proc.stderr.lower()

@@ -1,0 +1,158 @@
+"""The real wire path: ThreadingHTTPServer + ServeClient in-process."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.server import make_server
+from repro.serve.service import QueryService
+
+from tests.serve.conftest import tiny_spec
+
+
+class TestRoutes:
+    def test_healthz(self, live_server):
+        _server, client = live_server
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["_status"] == 200
+
+    def test_publish_query_round_trip(self, live_server):
+        _server, client = live_server
+        code, published = client.publish(tiny_spec().to_payload())
+        assert code == 200
+        code, answered = client.query(
+            "t", [{"bin": 3}, {"lo": 0, "hi": 16}],
+            fingerprint=published["fingerprint"],
+        )
+        assert code == 200
+        assert answered["answered"] == 2
+        assert all(r["status"] == "ok" for r in answered["results"])
+
+    def test_budget_refusal_is_http_429(self, live_server):
+        _server, client = live_server
+        code, published = client.publish(tiny_spec().to_payload())
+        client.register_tenant("capped", 0.6)  # one 0.5-eps answer
+        code, payload = client.query(
+            "capped", [{"bin": 0}, {"bin": 1}],
+            fingerprint=published["fingerprint"],
+        )
+        assert code == 429
+        assert payload["answered"] == 1
+        assert payload["refused"] == 1
+
+    def test_tenant_conflict_is_http_409(self, live_server):
+        _server, client = live_server
+        assert client.register_tenant("a", 2.0)[0] == 200
+        code, payload = client.register_tenant("a", 3.0)
+        assert code == 409
+        assert "already registered" in payload["error"]
+
+    def test_unknown_fingerprint_is_http_404(self, live_server):
+        _server, client = live_server
+        code, payload = client.query(
+            "t", [{"bin": 0}], fingerprint="f" * 64
+        )
+        assert code == 404
+        assert "publish its spec first" in payload["error"]
+
+    def test_unknown_path_is_http_404(self, live_server):
+        server, _client = live_server
+        code, payload = ServeClient(server.url)._request(
+            "GET", "/v1/nope"
+        )
+        assert code == 404
+        assert "no such endpoint" in payload["error"]
+
+    def test_bad_json_body_is_http_400(self, live_server):
+        server, _client = live_server
+        request = urllib.request.Request(
+            server.url + "/v1/publish",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert exc_info.value.code == 400
+
+    def test_empty_body_is_http_400(self, live_server):
+        server, _client = live_server
+        code, payload = ServeClient(server.url)._request(
+            "POST", "/v1/publish"
+        )
+        assert code == 400
+        assert "empty request body" in payload["error"]
+
+    def test_stats_endpoint(self, live_server):
+        _server, client = live_server
+        client.publish(tiny_spec().to_payload())
+        stats = client.stats()
+        assert stats["cache"]["entries"] == 1
+        assert stats["known_specs"] == 1
+
+    def test_metrics_exposition(self, live_server):
+        _server, client = live_server
+        client.publish(tiny_spec().to_payload())
+        text = client.metrics_text()
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert 'repro_serve_cache_events_total{event="miss"} 1' in text
+
+
+class TestWireDeterminism:
+    def test_two_servers_same_spec_identical_bodies(self):
+        """Fresh servers publishing the same spec answer byte-identically."""
+        bodies = []
+        for _ in range(2):
+            service = QueryService(cache_entries=2,
+                                   default_tenant_budget=10.0)
+            server = make_server("127.0.0.1", 0, service)
+            thread = threading.Thread(
+                target=server.serve_forever,
+                kwargs={"poll_interval": 0.05}, daemon=True,
+            )
+            thread.start()
+            try:
+                client = ServeClient(server.url)
+                client.wait_ready()
+                _code, published = client.publish(tiny_spec().to_payload())
+                _code, answered = client.query(
+                    "t", [{"lo": 2, "hi": 13}],
+                    fingerprint=published["fingerprint"],
+                )
+                # publish_seconds is wall clock — the one intentionally
+                # non-deterministic field in the publish response.
+                published.pop("publish_seconds")
+                bodies.append(json.dumps(
+                    (published, answered), sort_keys=True
+                ))
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5.0)
+        assert bodies[0] == bodies[1]
+
+
+class TestShutdown:
+    def test_shutdown_endpoint_stops_the_server(self):
+        service = QueryService(cache_entries=2, default_tenant_budget=10.0)
+        server = make_server("127.0.0.1", 0, service)
+        thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        client = ServeClient(server.url)
+        client.wait_ready()
+        code, payload = client.shutdown()
+        assert code == 200
+        assert payload["status"] == "shutting down"
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        server.server_close()

@@ -1,0 +1,111 @@
+"""Property tests: served answers are exactly numpy sums.
+
+For any half-open interval ``[lo, hi)`` over the domain — including the
+empty range and the full domain — the service's answer must equal the
+direct ``counts[lo:hi].sum()`` over the published histogram.  Both
+sides are float64 and the prefix array is a plain cumulative sum, so
+the comparison tolerance is the worst-case float accumulation error,
+not a statistical band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.serve.artifacts import publish_artifact  # noqa: E402
+from repro.serve.service import QueryService  # noqa: E402
+
+from tests.serve.conftest import tiny_spec  # noqa: E402
+
+N_BINS = 16
+_SPEC = tiny_spec(n_bins=N_BINS)
+_ARTIFACT = publish_artifact(_SPEC)
+
+
+def _service_with_artifact():
+    service = QueryService(cache_entries=2, default_tenant_budget=1e9)
+    status, payload = service.publish({"spec": _SPEC.to_payload()})
+    assert status == 200
+    return service, payload["fingerprint"]
+
+
+_SERVICE, _FP = _service_with_artifact()
+
+intervals = st.tuples(
+    st.integers(min_value=0, max_value=N_BINS),
+    st.integers(min_value=0, max_value=N_BINS),
+).map(lambda pair: (min(pair), max(pair)))
+
+
+@given(interval=intervals)
+@settings(max_examples=200, deadline=None)
+def test_range_answer_equals_numpy_sum(interval):
+    lo, hi = interval
+    status, payload = _SERVICE.query({
+        "tenant": "prop", "fingerprint": _FP,
+        "queries": [{"lo": lo, "hi": hi}],
+    })
+    assert status == 200
+    expected = float(np.sum(_ARTIFACT.counts[lo:hi]))
+    assert payload["results"][0]["value"] == pytest.approx(
+        expected, abs=1e-9 * max(1.0, abs(expected))
+    )
+
+
+@given(bin_index=st.integers(min_value=0, max_value=N_BINS - 1))
+@settings(max_examples=50, deadline=None)
+def test_point_answer_equals_counts_entry(bin_index):
+    status, payload = _SERVICE.query({
+        "tenant": "prop", "fingerprint": _FP,
+        "queries": [{"bin": bin_index}],
+    })
+    assert status == 200
+    value = payload["results"][0]["value"]
+    # Point answers come off the prefix array (bit-exact against it);
+    # vs. the raw counts entry they can differ in the last ulp.
+    assert value == float(
+        _ARTIFACT.prefix[bin_index + 1] - _ARTIFACT.prefix[bin_index]
+    )
+    assert value == pytest.approx(float(_ARTIFACT.counts[bin_index]))
+
+
+@given(interval=intervals)
+@settings(max_examples=100, deadline=None)
+def test_range_decomposes_additively(interval):
+    """[lo, hi) equals [lo, mid) + [mid, hi) for the split at midpoint."""
+    lo, hi = interval
+    mid = (lo + hi) // 2
+    status, payload = _SERVICE.query({
+        "tenant": "prop", "fingerprint": _FP,
+        "queries": [
+            {"lo": lo, "hi": hi}, {"lo": lo, "hi": mid},
+            {"lo": mid, "hi": hi},
+        ],
+    })
+    assert status == 200
+    whole, left, right = (r["value"] for r in payload["results"])
+    assert whole == pytest.approx(left + right, abs=1e-9)
+
+
+def test_empty_range_everywhere_is_zero():
+    queries = [{"lo": i, "hi": i} for i in range(N_BINS + 1)]
+    status, payload = _SERVICE.query({
+        "tenant": "prop", "fingerprint": _FP, "queries": queries,
+    })
+    assert status == 200
+    assert all(r["value"] == 0.0 for r in payload["results"])
+
+
+def test_full_domain_equals_total_mass():
+    status, payload = _SERVICE.query({
+        "tenant": "prop", "fingerprint": _FP,
+        "queries": [{"lo": 0, "hi": N_BINS}],
+    })
+    assert status == 200
+    assert payload["results"][0]["value"] == pytest.approx(
+        float(_ARTIFACT.counts.sum())
+    )

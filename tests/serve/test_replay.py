@@ -1,0 +1,273 @@
+"""Replay harness: manifests, schedules, transcripts, metrics.
+
+The central guarantee under test: replaying the same manifest against a
+fresh server yields a bit-identical transcript (queries, statuses,
+answers) — including when budget exhaustion kicks in mid-trace —
+because the schedule is fully pre-generated and each tenant issues its
+queries serially.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.history import HistoryStore
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.replay import (
+    ReplayManifest,
+    ReplayPhase,
+    ReplayTenant,
+    build_schedule,
+    load_manifest,
+    record_replay_metrics,
+    run_replay,
+)
+
+from tests.serve.conftest import tiny_spec
+
+
+def tiny_manifest(**overrides) -> ReplayManifest:
+    params = dict(
+        name="unit",
+        seed=11,
+        spec=tiny_spec(),
+        tenants=(
+            ReplayTenant("alpha", budget=100.0, weight=2.0),
+            ReplayTenant("beta", budget=100.0, weight=1.0),
+        ),
+        phases=(
+            ReplayPhase("warm", queries=12, point_fraction=0.5),
+            ReplayPhase("burst", queries=18, point_fraction=0.25),
+        ),
+        issue_slots=2,
+        time_scale=0.0,  # ignore arrival gaps: fast tests
+    )
+    params.update(overrides)
+    return ReplayManifest(**params)
+
+
+class TestManifestModel:
+    def test_validation_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="at least one tenant"):
+            tiny_manifest(tenants=())
+        with pytest.raises(ValueError, match="duplicate tenant"):
+            tiny_manifest(tenants=(
+                ReplayTenant("a"), ReplayTenant("a"),
+            ))
+        with pytest.raises(ValueError, match="at least one phase"):
+            tiny_manifest(phases=())
+        with pytest.raises(ValueError, match="issue_slots"):
+            tiny_manifest(issue_slots=0)
+        with pytest.raises(ValueError, match="gap_distribution"):
+            tiny_manifest(gap_distribution="uniform")
+        with pytest.raises(ValueError, match="point_fraction"):
+            ReplayPhase("p", queries=1, point_fraction=1.5)
+        with pytest.raises(ValueError, match="weight"):
+            ReplayTenant("t", weight=0.0)
+
+    def test_total_queries_sums_phases(self):
+        assert tiny_manifest().total_queries == 30
+
+    def test_load_manifest_round_trip(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({
+            "name": "file",
+            "seed": 5,
+            "spec": tiny_spec().to_payload(),
+            "tenants": [{"name": "a", "budget": 10.0, "weight": 2}],
+            "phases": [{"name": "p", "queries": 4,
+                        "point_fraction": 0.25, "mean_gap_ms": 2.0}],
+            "issue_slots": 3,
+            "arrival": {"distribution": "fixed", "mean_gap_ms": 1.5},
+            "time_scale": 0.5,
+        }))
+        manifest = load_manifest(path)
+        assert manifest.name == "file"
+        assert manifest.seed == 5
+        assert manifest.spec == tiny_spec()
+        assert manifest.tenants[0].weight == 2.0
+        assert manifest.phases[0].mean_gap_ms == 2.0
+        assert manifest.gap_distribution == "fixed"
+        assert manifest.mean_gap_ms == 1.5
+        assert manifest.time_scale == 0.5
+
+    def test_load_manifest_rejects_unknown_fields(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({
+            "name": "x", "spec": tiny_spec().to_payload(),
+            "phases": [{"queries": 1}], "clients": 4,
+        }))
+        with pytest.raises(ValueError, match="unknown field"):
+            load_manifest(path)
+
+    def test_load_manifest_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_manifest(path)
+
+    def test_load_manifest_requires_core_fields(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"name": "x"}))
+        with pytest.raises(ValueError, match="missing field"):
+            load_manifest(path)
+
+
+class TestSchedule:
+    def test_same_manifest_same_schedule(self):
+        assert build_schedule(tiny_manifest()) == build_schedule(
+            tiny_manifest()
+        )
+
+    def test_different_seed_different_schedule(self):
+        assert build_schedule(tiny_manifest(seed=11)) != build_schedule(
+            tiny_manifest(seed=12)
+        )
+
+    def test_schedule_shape_and_domains(self):
+        manifest = tiny_manifest()
+        schedule = build_schedule(manifest)
+        assert len(schedule) == manifest.total_queries
+        assert [q.index for q in schedule] == list(range(len(schedule)))
+        n = manifest.spec.n_bins
+        tenant_names = {t.name for t in manifest.tenants}
+        clock = 0.0
+        for q in schedule:
+            assert q.tenant in tenant_names
+            assert 0 <= q.lo <= q.hi <= n
+            if q.kind == "point":
+                assert q.hi == q.lo + 1
+            assert q.at_ms >= clock
+            clock = q.at_ms
+
+    def test_weights_skew_tenant_mix(self):
+        schedule = build_schedule(tiny_manifest(phases=(
+            ReplayPhase("big", queries=600),
+        )))
+        alpha = sum(1 for q in schedule if q.tenant == "alpha")
+        # alpha has weight 2 of 3: expect ~400 of 600.
+        assert 330 <= alpha <= 470
+
+    def test_point_fraction_zero_and_one(self):
+        all_ranges = build_schedule(tiny_manifest(phases=(
+            ReplayPhase("r", queries=20, point_fraction=0.0),
+        )))
+        assert all(q.kind == "range" for q in all_ranges)
+        all_points = build_schedule(tiny_manifest(phases=(
+            ReplayPhase("p", queries=20, point_fraction=1.0),
+        )))
+        assert all(q.kind == "point" for q in all_points)
+
+    def test_wire_query_forms(self):
+        for q in build_schedule(tiny_manifest()):
+            wire = q.wire_query()
+            if q.kind == "point":
+                assert wire == {"bin": q.lo}
+            else:
+                assert wire == {"lo": q.lo, "hi": q.hi}
+
+
+class TestRunReplay:
+    def test_self_hosted_replay_all_ok(self):
+        result = run_replay(tiny_manifest())
+        assert result.n_queries == 30
+        assert result.status_counts() == {"ok": 30}
+        assert not result.had_server_errors()
+        assert result.latencies.size == 30
+        assert result.throughput_qps > 0
+
+    def test_transcripts_bit_identical_across_replays(self):
+        first = run_replay(tiny_manifest())
+        second = run_replay(tiny_manifest())
+        assert first.transcript() == second.transcript()
+        assert first.transcript_sha() == second.transcript_sha()
+
+    def test_transcript_excludes_timing(self):
+        result = run_replay(tiny_manifest())
+        transcript = result.transcript()
+        assert set(transcript) == {"manifest", "seed", "fingerprint",
+                                   "records"}
+        for record in transcript["records"]:
+            assert "latency" not in record
+            assert "at_ms" not in record
+
+    def test_budget_exhaustion_is_deterministic(self):
+        """A starved tenant's ok→exhausted flip lands identically."""
+        manifest = tiny_manifest(tenants=(
+            ReplayTenant("alpha", budget=2.0, weight=2.0),  # 4 answers
+            ReplayTenant("beta", budget=100.0, weight=1.0),
+        ))
+        first = run_replay(manifest)
+        second = run_replay(manifest)
+        counts = first.status_counts()
+        assert counts["exhausted"] > 0
+        assert counts["ok"] + counts["exhausted"] == 30
+        alpha_ok = [
+            r for r in first.records
+            if r["tenant"] == "alpha" and r["status"] == "ok"
+        ]
+        assert len(alpha_ok) == 4  # floor(2.0 / 0.5)
+        assert first.transcript() == second.transcript()
+
+    def test_replay_against_external_server(self, live_server):
+        server, _client = live_server
+        manifest = tiny_manifest(phases=(
+            ReplayPhase("only", queries=8),
+        ))
+        result = run_replay(manifest, base_url=server.url)
+        assert result.status_counts() == {"ok": 8}
+
+    def test_summary_lines_mention_sha_and_status(self):
+        result = run_replay(tiny_manifest(phases=(
+            ReplayPhase("only", queries=4),
+        )))
+        text = "\n".join(result.summary_lines())
+        assert "4 queries" in text
+        assert "transcript sha256" in text
+        assert "4 ok" in text
+
+
+class TestReplayMetrics:
+    def test_metrics_land_in_registry(self):
+        result = run_replay(tiny_manifest())
+        registry = record_replay_metrics(result, MetricsRegistry())
+        queries = registry.get("repro_replay_queries_total")
+        assert queries.labels(manifest="unit", status="ok").value == 30
+        p50 = registry.get("repro_replay_latency_p50_seconds")
+        assert p50.labels(manifest="unit").value == pytest.approx(
+            result.p50_seconds
+        )
+        qps = registry.get("repro_replay_throughput_qps")
+        assert qps.labels(manifest="unit").value > 0
+        latency = registry.get("repro_replay_request_seconds")
+        child = dict(latency.children())[("unit",)]
+        assert child.count == 30
+        assert child.sum == pytest.approx(float(result.latencies.sum()))
+
+    def test_nan_percentiles_are_skipped(self):
+        result = run_replay(tiny_manifest())
+        result.latencies = np.asarray([], dtype=np.float64)
+        registry = record_replay_metrics(result, MetricsRegistry())
+        p50 = registry.get("repro_replay_latency_p50_seconds")
+        assert dict(p50.children()) == {}
+
+    def test_history_ingestion_round_trip(self, tmp_path):
+        """Replay gauges flow into the run-history store's metric series."""
+        result = run_replay(tiny_manifest(phases=(
+            ReplayPhase("only", queries=6),
+        )))
+        registry = record_replay_metrics(result, MetricsRegistry())
+        store = HistoryStore(tmp_path / "history.sqlite")
+        ingest = store.ingest_metrics_payload(
+            registry.render_json(), source="replay:unit", commit="c0ffee"
+        )
+        assert ingest.new_rows > 0
+        series = store.metric_series("repro_replay_throughput_qps")
+        assert len(series) == 1
+        assert json.loads(series[0]["labels"]) == {"manifest": "unit"}
+        assert series[0]["value"] == pytest.approx(result.throughput_qps)
+        p99 = store.metric_series("repro_replay_latency_p99_seconds")
+        assert p99[0]["value"] == pytest.approx(result.p99_seconds)

@@ -1,0 +1,127 @@
+"""ServeSpec validation, wire round-trips, and fingerprint identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.spec import (
+    SERVE_DATASETS,
+    ServeSpec,
+    publisher_factory,
+    serve_roster,
+)
+
+from tests.serve.conftest import tiny_spec
+
+
+class TestValidation:
+    def test_valid_spec_constructs(self):
+        spec = tiny_spec()
+        assert spec.dataset == "age"
+        assert spec.epsilon == 0.5
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            tiny_spec(dataset="census")
+
+    def test_unknown_publisher_rejected(self):
+        with pytest.raises(ValueError, match="unknown publisher"):
+            tiny_spec(publisher="magic")
+
+    @pytest.mark.parametrize("epsilon", [0.0, -1.0, "high", True])
+    def test_bad_epsilon_rejected(self, epsilon):
+        with pytest.raises(ValueError):
+            tiny_spec(epsilon=epsilon)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("n_bins", 1), ("n_bins", 2.5), ("total", 0),
+         ("seed", -1), ("seed", 1.5)],
+    )
+    def test_bad_domain_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            tiny_spec(**{field: value})
+
+    def test_k_on_identity_publisher_rejected(self):
+        with pytest.raises(ValueError, match="does not take k"):
+            tiny_spec(publisher="dwork", k=4)
+
+    @pytest.mark.parametrize(
+        "publisher", ["noisefirst", "structurefirst", "dawa-lite"]
+    )
+    def test_k_publishers_accept_k(self, publisher):
+        spec = tiny_spec(publisher=publisher, k=4)
+        assert spec.k == 4
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError, match="k must be"):
+            tiny_spec(publisher="noisefirst", k=0)
+
+    def test_roster_covers_all_wire_names(self):
+        roster = serve_roster()
+        for name in roster:
+            assert callable(publisher_factory(name))
+
+    def test_all_datasets_buildable(self):
+        for dataset in SERVE_DATASETS:
+            hist = tiny_spec(dataset=dataset).histogram()
+            assert len(hist.counts) == 16
+
+
+class TestPayloadRoundTrip:
+    def test_round_trip_is_identity(self):
+        spec = tiny_spec(publisher="noisefirst", k=4)
+        assert ServeSpec.from_payload(spec.to_payload()) == spec
+
+    def test_defaults_applied(self):
+        spec = ServeSpec.from_payload(
+            {"dataset": "age", "publisher": "dwork", "epsilon": 1.0}
+        )
+        assert spec.n_bins == 64
+        assert spec.total == 50_000
+        assert spec.seed == 0
+        assert spec.k is None
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec field"):
+            ServeSpec.from_payload(
+                {"dataset": "age", "publisher": "dwork",
+                 "epsilon": 1.0, "bins": 64}
+            )
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ValueError, match="missing required"):
+            ServeSpec.from_payload({"dataset": "age"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            ServeSpec.from_payload(["age"])
+
+
+class TestFingerprint:
+    def test_same_spec_same_fingerprint(self):
+        assert tiny_spec().fingerprint() == tiny_spec().fingerprint()
+
+    def test_fingerprint_is_sha256_hex(self):
+        fp = tiny_spec().fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)  # hex-decodable
+
+    @pytest.mark.parametrize(
+        "override",
+        [{"epsilon": 1.0}, {"seed": 4}, {"dataset": "nettrace"},
+         {"publisher": "uniform"}, {"total": 2_001}],
+    )
+    def test_any_field_change_changes_fingerprint(self, override):
+        assert tiny_spec().fingerprint() != tiny_spec(
+            **override
+        ).fingerprint()
+
+    def test_k_changes_fingerprint(self):
+        a = tiny_spec(publisher="noisefirst", k=4).fingerprint()
+        b = tiny_spec(publisher="noisefirst", k=5).fingerprint()
+        assert a != b
+
+    def test_name_encodes_the_cell(self):
+        name = tiny_spec(publisher="noisefirst", k=4).name
+        assert name == "serve/age/noisefirst/eps=0.5/k=4/n=16/seed=3"
