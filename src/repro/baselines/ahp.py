@@ -128,14 +128,23 @@ class Ahp(Publisher):
 
         accountant.spend(eps2, purpose="cluster-sums")
         with span("noise.cluster-sums", clusters=len(clusters)):
+            # Clusters are contiguous slices of the sorted order, so the
+            # whole merge is three vectorized passes: gather counts into
+            # sorted order, segment-sum via reduceat, scatter the noisy
+            # means back.  One batched Laplace draw consumes the rng
+            # stream exactly as the former per-cluster draws did.
+            starts = np.array([c.start for c in clusters], dtype=np.int64)
+            stops = np.array([c.stop for c in clusters], dtype=np.int64)
+            widths = stops - starts
+            gathered = histogram.counts[order]
+            true_sums = np.add.reduceat(gathered, starts)
+            noise = laplace_noise(eps2, size=len(clusters), rng=rng)
+            means = (true_sums + noise) / widths
             out = np.empty(n, dtype=np.float64)
-            cluster_bins = []
-            for cluster in clusters:
-                bins = order[cluster]
-                cluster_bins.append(np.array(bins, dtype=np.int64))
-                true_sum = float(histogram.counts[bins].sum())
-                noisy_sum = true_sum + float(laplace_noise(eps2, rng=rng)[0])
-                out[bins] = noisy_sum / len(bins)
+            out[order] = np.repeat(means, widths)
+            cluster_bins = [
+                order[c].astype(np.int64, copy=True) for c in clusters
+            ]
 
         meta = {
             "clusters": len(clusters),

@@ -35,7 +35,10 @@ from repro.core.publisher import Publisher
 from repro.hist.histogram import Histogram
 from repro.mechanisms.laplace import laplace_noise
 from repro.obs.trace import span
-from repro.partition.gibbs import sample_partition_em
+from repro.partition.coarsen import (
+    COARSE_MAX_CELLS,
+    coarse_sample_partition_em,
+)
 from repro.partition.partition import Partition
 from repro.perf.costrows import LazySAECost
 
@@ -54,6 +57,13 @@ class DawaLite(Publisher):
         DAWA's recommended partition-light split.
     branching:
         Fan-out of the stage-2 interval tree.
+    max_cells:
+        Big-n ceiling for the stage-1 EM draw: above this many bins the
+        partition is sampled over a data-independent uniform grid and
+        mapped back (:mod:`repro.partition.coarsen`); at or below it the
+        draw is the exact sampler, bit-identical to the historical
+        behaviour.  SAE keeps sensitivity 1 under cell aggregation, so
+        ``alpha`` is unchanged.
     """
 
     name = "dawa-lite"
@@ -63,15 +73,18 @@ class DawaLite(Publisher):
         k: Optional[int] = None,
         partition_fraction: float = 0.25,
         branching: int = 2,
+        max_cells: int = COARSE_MAX_CELLS,
     ) -> None:
         if k is not None:
             check_integer(k, "k", minimum=1)
         check_in_range(partition_fraction, "partition_fraction", 0.0, 1.0,
                        inclusive=False)
         check_integer(branching, "branching", minimum=2)
+        check_integer(max_cells, "max_cells", minimum=1)
         self.k = k
         self.partition_fraction = partition_fraction
         self.branching = branching
+        self.max_cells = max_cells
 
     def _publish(
         self,
@@ -89,9 +102,15 @@ class DawaLite(Publisher):
             eps1 = accountant.total.epsilon * self.partition_fraction
             accountant.spend(eps1, purpose="em-partition")
             with span("partition.em", n=n, k=k):
-                cost = LazySAECost(histogram.counts)  # O(n) cost state
                 alpha = eps1 / 2.0  # SAE sensitivity is exactly 1
-                partition = sample_partition_em(cost, k, alpha, rng=rng)
+                partition = coarse_sample_partition_em(
+                    histogram.counts,
+                    k,
+                    alpha,
+                    rng=rng,
+                    max_cells=self.max_cells,
+                    cost_factory=LazySAECost,  # O(n) cost state
+                )
 
         eps2 = accountant.remaining.epsilon
         sums = partition.bucket_sums(histogram.counts)

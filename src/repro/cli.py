@@ -171,6 +171,23 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="directory for BENCH_*.json (default: the repository root)",
     )
+    bench.add_argument(
+        "--profile",
+        default=None,
+        choices=("quick", "full", "bign"),
+        help="benchmark profile (overrides --quick): 'quick' is the CI "
+             "gate, 'full' the long exact-kernel sweep, 'bign' the "
+             "2^14..2^20 scaling grid written to BENCH_bign.json",
+    )
+    bench.add_argument(
+        "--max-n",
+        type=int,
+        default=None,
+        metavar="N",
+        help="slice the requested bench grid at this domain size; "
+             "dropped cases are recorded as skipped coverage gaps "
+             "(the CI bench-bign lane stops at 2^18)",
+    )
     run = parser.add_argument_group(
         "run options",
         "only used with the 'run' experiment id (supervised sweep)",
@@ -997,6 +1014,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             check=args.check,
             output_dir=args.output_dir,
             history=args.history,
+            profile=args.profile,
+            max_n=args.max_n,
         )
 
     if args.n_jobs != -1 and args.n_jobs < 1:

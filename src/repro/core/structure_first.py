@@ -50,9 +50,14 @@ from repro.hist.histogram import Histogram
 from repro.mechanisms.laplace import LaplaceMechanism
 from repro.mechanisms.sensitivity import sse_sensitivity_bound
 from repro.obs.trace import span
+from repro.partition.coarsen import (
+    COARSE_MAX_CELLS,
+    coarsen_counts,
+    uniform_cell_edges,
+)
+from repro.partition.gibbs import sample_partition_em
 from repro.partition.equiwidth import equiwidth_partition
 from repro.partition.partition import Partition
-from repro.partition.gibbs import sample_partition_em
 from repro.partition.voptimal import voptimal_partition
 from repro.perf.costrows import LazySAECost, PrefixSSECost
 
@@ -88,6 +93,14 @@ class StructureFirst(Publisher):
         counts *without* privacy protection; NOT differentially private,
         provided only as the upper-bound arm of the ``abl_sf_sampling``
         ablation.
+    max_cells:
+        Big-n ceiling for the EM draw: above this many bins the
+        partition is sampled over a data-independent uniform grid of at
+        most ``max_cells`` super-cells and mapped back
+        (:mod:`repro.partition.coarsen`) — same privacy guarantee,
+        grid-aligned boundary support, ``k`` capped at the cell count.
+        At or below the ceiling the draw is the exact sampler,
+        bit-identical to the historical behaviour.
     """
 
     name = "structurefirst"
@@ -102,6 +115,7 @@ class StructureFirst(Publisher):
         score: str = "sae",
         count_cap: Optional[float] = None,
         structure_mode: str = "em",
+        max_cells: int = COARSE_MAX_CELLS,
     ) -> None:
         if k is not None:
             check_integer(k, "k", minimum=1)
@@ -118,11 +132,13 @@ class StructureFirst(Publisher):
                 f"structure_mode must be one of {self._MODES}, "
                 f"got {structure_mode!r}"
             )
+        check_integer(max_cells, "max_cells", minimum=1)
         self.k = k
         self.structure_fraction = structure_fraction
         self.score = score
         self.count_cap = count_cap
         self.structure_mode = structure_mode
+        self.max_cells = max_cells
 
     def _publish(
         self,
@@ -196,18 +212,40 @@ class StructureFirst(Publisher):
 
         Costs are streamed through the lazy cost-rows providers
         (:mod:`repro.perf.costrows`), so the draw peaks at ``O(n k)``
-        memory — never the dense ``(n, n + 1)`` cost matrix.
+        memory — never the dense ``(n, n + 1)`` cost matrix.  Beyond
+        ``max_cells`` bins the draw runs over the data-independent
+        uniform grid (:mod:`repro.partition.coarsen`): the utility's
+        sensitivity is computed on the coarsened counts (for the SSE
+        score a cell aggregates up to cell-width capped bins, so the
+        cap scales by the widest cell) and the sampled cell boundaries
+        map back to bin indices.
         """
+        n = len(counts)
+        edges = None
+        scored = counts
+        if n > self.max_cells:
+            edges = uniform_cell_edges(n, self.max_cells)
+            scored = coarsen_counts(counts, edges)
+            k = min(k, len(scored))
+
         if self.score == "sae":
-            cost = LazySAECost(counts)
+            cost = LazySAECost(scored)
             sensitivity = 1.0
         else:
-            cost = PrefixSSECost(counts)
-            cap = self.count_cap if self.count_cap is not None else float(
-                np.max(np.abs(counts))
-            )
+            cost = PrefixSSECost(scored)
+            if self.count_cap is not None:
+                cap = self.count_cap
+                if edges is not None:
+                    cap *= float(np.max(np.diff(edges)))
+            else:
+                cap = float(np.max(np.abs(scored)))
             sensitivity = sse_sensitivity_bound(cap)
 
         accountant.spend(eps_structure, purpose="em-structure")
         alpha = eps_structure / (2.0 * sensitivity)
-        return sample_partition_em(cost, k, alpha, rng=rng)
+        drawn = sample_partition_em(cost, k, alpha, rng=rng)
+        if edges is None:
+            return drawn
+        return Partition(
+            n=n, boundaries=tuple(int(edges[b]) for b in drawn.boundaries)
+        )

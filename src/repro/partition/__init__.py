@@ -11,7 +11,12 @@ on the machinery in this package.
 
 from repro.partition.partition import Partition
 from repro.partition.sse import SegmentStats, partition_sse
-from repro.partition.voptimal import VOptimalResult, voptimal_partition, voptimal_table
+from repro.partition.voptimal import (
+    ApproxVOptimalResult,
+    VOptimalResult,
+    voptimal_partition,
+    voptimal_table,
+)
 from repro.partition.greedy import greedy_partition
 from repro.partition.equiwidth import equiwidth_partition
 
@@ -20,6 +25,7 @@ __all__ = [
     "SegmentStats",
     "partition_sse",
     "VOptimalResult",
+    "ApproxVOptimalResult",
     "voptimal_partition",
     "voptimal_table",
     "greedy_partition",

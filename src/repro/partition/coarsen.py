@@ -1,0 +1,112 @@
+"""Coarse-grid exponential-mechanism sampling for big-n structure draws.
+
+The exact Gibbs sampler (:mod:`repro.partition.gibbs`) runs its forward
+filter over every prefix — ``O(n^2)`` cost-column work — which is a
+quadratic wall for StructureFirst and DAWA-lite beyond a few thousand
+bins.  This module bounds the filter by sampling the partition over a
+**data-independent uniform grid** of at most ``max_cells`` super-cells
+and mapping the sampled cell boundaries back to bin indices.
+
+Privacy is unchanged: the grid depends only on ``n`` (public), the
+coarsened histogram is a fixed linear projection of the data, and one
+record still changes exactly one cell count by 1 — so the SAE utility
+keeps sensitivity exactly 1 and the draw remains a valid exponential
+mechanism at the same ``alpha``.  For SSE utilities the per-cell count
+cap scales with the cell width (a cell holds up to ``width`` capped
+bins); callers must widen their sensitivity bound accordingly
+(:class:`repro.core.structure_first.StructureFirst` does).
+
+What changes is the *support*: boundaries land on cell edges, so the
+sampled partition is the Gibbs draw over the restricted (but still
+exponentially large) family of grid-aligned partitions, and the bucket
+count is capped at the cell count.  The concession is **resolution**:
+structure finer than one cell width ``w = ceil(n / max_cells)`` —
+single-bin spikes, step edges between grid lines — cannot be isolated,
+and the structural cost exceeds the exact sampler's by at most ``w``
+times the counts' total variation (each boundary slides at most ``w``
+bins).  That additive band, not a relative one, is what the big-n
+suite (``tests/perf/test_bign.py``) holds the coarse draw to; it also
+checks that the loss shrinks monotonically as ``max_cells`` grows.  At
+the default ``max_cells = 2048`` a ``n = 2^20`` draw runs in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro._validation import check_counts, check_integer
+from repro.partition.gibbs import sample_partition_em
+from repro.partition.partition import Partition
+
+__all__ = [
+    "COARSE_MAX_CELLS",
+    "uniform_cell_edges",
+    "coarsen_counts",
+    "coarse_sample_partition_em",
+]
+
+#: Default ceiling on the number of super-cells the Gibbs filter sees.
+#: 2048 keeps the O(cells^2) forward filter in seconds while leaving
+#: boundary resolution far below the noise floor at bench epsilons.
+COARSE_MAX_CELLS = 2048
+
+
+def uniform_cell_edges(n: int, max_cells: int) -> np.ndarray:
+    """Edges of ``min(n, max_cells)`` near-equal cells covering ``[0, n)``.
+
+    Pure integer arithmetic on public quantities (``edges[c] = c * n //
+    m``), so the grid is data-independent — the privacy argument above
+    rests on this.  Cell widths differ by at most one bin.
+    """
+    check_integer(n, "n", minimum=1)
+    check_integer(max_cells, "max_cells", minimum=1)
+    cells = min(n, max_cells)
+    return np.arange(cells + 1, dtype=np.int64) * n // cells
+
+
+def coarsen_counts(counts: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Sum ``counts`` within each cell of ``edges`` (one reduceat pass)."""
+    return np.add.reduceat(counts, edges[:-1])
+
+
+def coarse_sample_partition_em(
+    counts,
+    k: int,
+    alpha: float,
+    rng: "np.random.Generator | int | None" = None,
+    max_cells: int = COARSE_MAX_CELLS,
+    cost_factory: Optional[Callable[[np.ndarray], object]] = None,
+) -> Partition:
+    """Gibbs partition draw, coarsened to ``max_cells`` when ``n`` exceeds it.
+
+    At or below ``max_cells`` bins this is exactly
+    :func:`repro.partition.gibbs.sample_partition_em` — bit-identical,
+    same rng stream.  Above it, the draw runs on the uniform-grid
+    coarsening and the sampled boundaries are mapped back to bin
+    indices; the bucket count is capped at the cell count.
+
+    ``cost_factory`` builds the cost-rows provider from a counts vector
+    (defaults to the sensitivity-1 :class:`~repro.perf.costrows.
+    LazySAECost`); it is applied to the *coarsened* counts, so
+    data-dependent sensitivity bounds must already account for cell
+    aggregation (see the module docstring).
+    """
+    arr = check_counts(counts, "counts")
+    n = len(arr)
+    check_integer(k, "k", minimum=1)
+    if cost_factory is None:
+        from repro.perf.costrows import LazySAECost
+
+        cost_factory = LazySAECost
+
+    if n <= max_cells:
+        return sample_partition_em(cost_factory(arr), min(k, n), alpha, rng=rng)
+
+    edges = uniform_cell_edges(n, max_cells)
+    cells = coarsen_counts(arr, edges)
+    k_eff = min(k, len(cells))
+    coarse = sample_partition_em(cost_factory(cells), k_eff, alpha, rng=rng)
+    boundaries = tuple(int(edges[b]) for b in coarse.boundaries)
+    return Partition(n=n, boundaries=boundaries)

@@ -23,10 +23,17 @@ import numpy as np
 
 from repro._validation import check_counts, check_integer
 from repro.partition.partition import Partition
+from repro.perf.approx import ApproxDP, approx_tables
 from repro.perf.costrows import DenseCost
-from repro.perf.kernels import dp_tables
+from repro.perf.kernels import dp_tables, resolve_table_kernel
 
-__all__ = ["sae_matrix", "L1VOptimalResult", "l1_voptimal_table", "partition_sae"]
+__all__ = [
+    "sae_matrix",
+    "L1VOptimalResult",
+    "ApproxL1VOptimalResult",
+    "l1_voptimal_table",
+    "partition_sae",
+]
 
 
 def sae_matrix(counts: Sequence[float]) -> np.ndarray:
@@ -98,19 +105,57 @@ class L1VOptimalResult:
         )
 
 
+@dataclass(frozen=True)
+class ApproxL1VOptimalResult:
+    """Sparse L1 result from the approximate (1+delta) kernel.
+
+    Duck-types :class:`L1VOptimalResult` minus the dense prefix table
+    (mirrors :class:`repro.partition.voptimal.ApproxVOptimalResult`).
+    """
+
+    n: int
+    max_k: int
+    sae_by_k: np.ndarray
+    _dp: ApproxDP
+
+    @property
+    def delta(self) -> float:
+        return self._dp.delta
+
+    @property
+    def delta_certified_by_k(self) -> np.ndarray:
+        return self._dp.delta_certified_by_k
+
+    def sae_prefix_table(self) -> np.ndarray:
+        raise NotImplementedError(
+            "the approx kernel keeps no dense prefix table; use an exact "
+            "kernel when the full opt[k][j] table is required"
+        )
+
+    def partition_for(self, k: int) -> Partition:
+        """Materialize the approx ``k``-bucket L1 partition."""
+        check_integer(k, "k", minimum=1)
+        if k > self.max_k:
+            raise ValueError(f"k={k} exceeds computed max_k={self.max_k}")
+        return Partition(n=self.n, boundaries=self._dp.boundaries_for(k))
+
+
 def l1_voptimal_table(
     counts: Sequence[float],
     max_k: int,
     matrix: "np.ndarray | None" = None,
     kernel: Optional[str] = None,
-) -> L1VOptimalResult:
+) -> "L1VOptimalResult | ApproxL1VOptimalResult":
     """Prefix DP minimizing total SAE; same recurrence as the SSE DP.
 
     ``matrix`` may be a precomputed :func:`sae_matrix` to share work
     across calls.  ``kernel`` dispatches the DP engine exactly as in
     :func:`repro.partition.voptimal.voptimal_table` — the SAE cost also
     satisfies the concave quadrangle inequality, so the
-    divide-and-conquer kernel returns bit-identical tables.
+    divide-and-conquer kernel returns bit-identical tables; ``"auto"``
+    beyond the threshold and ``"approx"`` return the sparse
+    :class:`ApproxL1VOptimalResult` (SAE's single-bin cost is zero, so
+    the (1+delta) wavefront bound applies verbatim).
     """
     arr = check_counts(counts, "counts")
     n = len(arr)
@@ -124,6 +169,14 @@ def l1_voptimal_table(
             f"matrix shape {matrix.shape} does not match counts of length {n}"
         )
 
+    if resolve_table_kernel(kernel, n) == "approx":
+        from repro.obs.trace import span
+
+        with span("kernel.dp", kernel="approx", n=n, k=max_k):
+            dp = approx_tables(DenseCost(matrix), max_k)
+        return ApproxL1VOptimalResult(
+            n=n, max_k=max_k, sae_by_k=dp.sse_by_k, _dp=dp
+        )
     opt, choices = dp_tables(DenseCost(matrix), max_k, kernel=kernel)
 
     sae_by_k = np.full(max_k + 1, np.inf, dtype=np.float64)

@@ -85,15 +85,24 @@ class SegmentStats:
         """Vector of ``segment_sse(i, stop)`` for all ``i in [0, stop)``.
 
         Used by the dynamic program to process a whole DP row with numpy
-        instead of a Python inner loop.
+        instead of a Python inner loop.  The hot path of the exact
+        kernels calls this once per prefix, so it avoids every avoidable
+        pass: the prefix tables are read through basic slices (no index
+        gather), widths come from a reversed view of the shared index
+        buffer, and the arithmetic runs in-place on the two unavoidable
+        difference arrays — same operations in the same order as the
+        closed form, so results are bit-identical to the historical
+        ``totals_sq - totals * totals / widths``.
         """
         self._check(stop - 1, stop)
-        starts = self._indices[:stop]
-        totals = self._prefix[stop] - self._prefix[starts]
-        totals_sq = self._prefix_sq[stop] - self._prefix_sq[starts]
-        widths = stop - starts
-        sse = totals_sq - totals * totals / widths
-        return np.maximum(sse, 0.0)
+        totals = self._prefix[stop] - self._prefix[:stop]
+        np.multiply(totals, totals, out=totals)
+        widths = self._indices[stop:0:-1]  # stop - i for i in [0, stop)
+        np.divide(totals, widths, out=totals)
+        sse = self._prefix_sq[stop] - self._prefix_sq[:stop]
+        np.subtract(sse, totals, out=sse)
+        np.maximum(sse, 0.0, out=sse)
+        return sse
 
 
 def partition_sse(counts: Sequence[float], partition: Partition) -> float:

@@ -30,10 +30,16 @@ import numpy as np
 from repro._validation import check_counts, check_integer
 from repro.partition.partition import Partition
 from repro.partition.sse import SegmentStats
+from repro.perf.approx import ApproxDP, approx_tables
 from repro.perf.costrows import PrefixSSECost
-from repro.perf.kernels import dp_tables
+from repro.perf.kernels import dp_tables, resolve_table_kernel
 
-__all__ = ["VOptimalResult", "voptimal_table", "voptimal_partition"]
+__all__ = [
+    "VOptimalResult",
+    "ApproxVOptimalResult",
+    "voptimal_table",
+    "voptimal_partition",
+]
 
 
 def backtrack_boundaries(choices: np.ndarray, n: int, k: int) -> Tuple[int, ...]:
@@ -91,11 +97,59 @@ class VOptimalResult:
         )
 
 
+@dataclass(frozen=True)
+class ApproxVOptimalResult:
+    """Sparse v-optimal result from the approximate (1+delta) kernel.
+
+    Duck-types :class:`VOptimalResult` for every quantity the
+    publishers consume — ``n``, ``max_k``, ``sse_by_k``,
+    ``partition_for`` — without the ``O(k n)`` dense tables (2 GB at
+    ``n = 2^20, k = 128``).  ``sse_by_k[k]`` is an upper bound on the
+    exact optimum within the factor ``1 + delta_certified_by_k[k]``
+    (:mod:`repro.perf.approx`); the materialized partition's true cost
+    never exceeds it.  ``sse_prefix_table`` is deliberately absent —
+    callers that need full prefix tables must request an exact kernel.
+    """
+
+    n: int
+    max_k: int
+    sse_by_k: np.ndarray
+    _dp: ApproxDP
+
+    @property
+    def delta(self) -> float:
+        """The configured target slack."""
+        return self._dp.delta
+
+    @property
+    def delta_certified_by_k(self) -> np.ndarray:
+        """Achieved multiplicative bound per bucket count."""
+        return self._dp.delta_certified_by_k
+
+    def sse_prefix_table(self) -> np.ndarray:
+        raise NotImplementedError(
+            "the approx kernel keeps no dense prefix table; use an exact "
+            "kernel (exact_dc / exact_blocked / reference) when the full "
+            "opt[k][j] table is required"
+        )
+
+    def partition_for(self, k: int) -> Partition:
+        """Materialize the approx ``k``-bucket partition.
+
+        True cost of the returned partition is at most ``sse_by_k[k]``
+        (boundary truncation + refinement only ever decrease cost).
+        """
+        check_integer(k, "k", minimum=1)
+        if k > self.max_k:
+            raise ValueError(f"k={k} exceeds computed max_k={self.max_k}")
+        return Partition(n=self.n, boundaries=self._dp.boundaries_for(k))
+
+
 def voptimal_table(
     counts: Sequence[float],
     max_k: int,
     kernel: Optional[str] = None,
-) -> VOptimalResult:
+) -> "VOptimalResult | ApproxVOptimalResult":
     """Run the v-optimal DP for every bucket count ``1..max_k``.
 
     DP recurrence over prefixes: with ``OPT[k][j]`` the minimal SSE of
@@ -104,9 +158,13 @@ def voptimal_table(
         OPT[1][j] = SSE(0, j)
         OPT[k][j] = min_{k-1 <= i < j} OPT[k-1][i] + SSE(i, j)
 
-    ``kernel`` selects the DP engine (``"exact_dc"`` default,
-    ``"reference"`` for the O(n^2 k) anchor); ``None`` defers to
-    :func:`repro.perf.kernels.resolve_kernel`.
+    ``kernel`` selects the DP engine: ``"auto"`` (default) runs
+    ``exact_dc`` up to :data:`repro.perf.kernels.AUTO_APPROX_THRESHOLD`
+    bins — bit-identical to the historical behavior — and the sparse
+    approximate (1+delta) engine beyond it, returning an
+    :class:`ApproxVOptimalResult`; ``"approx"`` forces the approximate
+    engine at any size; ``"reference"`` is the O(n^2 k) anchor; ``None``
+    defers to :func:`repro.perf.kernels.resolve_kernel`.
     """
     arr = check_counts(counts, "counts")
     n = len(arr)
@@ -115,6 +173,14 @@ def voptimal_table(
         raise ValueError(f"max_k ({max_k}) cannot exceed the number of bins ({n})")
 
     cost = PrefixSSECost(SegmentStats(arr))
+    if resolve_table_kernel(kernel, n) == "approx":
+        from repro.obs.trace import span
+
+        with span("kernel.dp", kernel="approx", n=n, k=max_k):
+            dp = approx_tables(cost, max_k)
+        return ApproxVOptimalResult(
+            n=n, max_k=max_k, sse_by_k=dp.sse_by_k, _dp=dp
+        )
     opt, choices = dp_tables(cost, max_k, kernel=kernel)
 
     sse_by_k = np.full(max_k + 1, np.inf, dtype=np.float64)

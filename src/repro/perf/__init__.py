@@ -27,6 +27,12 @@ tables (:mod:`repro.perf.kernels`):
   default.  Where it engages it is floating-point bit-identical to the
   reference (same per-candidate arithmetic, leftmost tie-break).
 
+Beyond the exact engines, ``"approx"`` (:mod:`repro.perf.approx`) runs
+a sparse candidate-thinning DP with a provable ``(1+delta)``
+multiplicative cost bound in near-linear time — the engine behind the
+``"auto"`` default at large ``n``, where every exact kernel hits the
+quadratic wall.
+
 :mod:`repro.perf.costrows` supplies the segment-cost providers the
 kernels and the Gibbs sampler consume lazily (one column at a time), so
 StructureFirst no longer materializes an ``O(n^2)`` cost matrix.
@@ -36,10 +42,19 @@ root.  See ``docs/performance.md``.
 """
 
 from repro.perf.kernels import (
+    AUTO_APPROX_THRESHOLD,
+    EXACT_KERNELS,
     KERNELS,
     dp_tables,
     resolve_kernel,
+    resolve_table_kernel,
     set_default_kernel,
+)
+from repro.perf.approx import (
+    APPROX_DELTA,
+    APPROX_MAX_RUNGS,
+    ApproxDP,
+    approx_tables,
 )
 from repro.perf.costrows import (
     DenseCost,
@@ -50,9 +65,16 @@ from repro.perf.costrows import (
 
 __all__ = [
     "KERNELS",
+    "EXACT_KERNELS",
+    "AUTO_APPROX_THRESHOLD",
     "dp_tables",
     "resolve_kernel",
+    "resolve_table_kernel",
     "set_default_kernel",
+    "APPROX_DELTA",
+    "APPROX_MAX_RUNGS",
+    "ApproxDP",
+    "approx_tables",
     "DenseCost",
     "LazySAECost",
     "PrefixSSECost",

@@ -3,15 +3,26 @@
 ``python -m repro bench`` times
 
 * the DP partition kernels (``reference`` / ``exact_blocked`` /
-  ``exact_dc``) on their honest workloads — unsorted counts for the
-  exact engines, sorted counts for the Monge-certified
-  divide-and-conquer path (AHP's clustering workload), and
-* every publisher's end-to-end ``publish`` call across domain sizes
-  ``n = 2^10 .. 2^16`` (each publisher capped at the largest size its
-  asymptotics afford; the caps are part of the tracked schema),
+  ``exact_dc`` / ``approx``) on their honest workloads — unsorted
+  counts for the exact engines, sorted counts for the Monge-certified
+  divide-and-conquer path (AHP's clustering workload), both for the
+  sparse ``(1 + delta)`` engine — and
+* every publisher's end-to-end ``publish`` call across the profile's
+  domain-size grid,
 
-and writes two JSON files at the repository root:
-``BENCH_partition.json`` and ``BENCH_publishers.json``.
+under one of three profiles: ``quick`` (CI gate, seconds),
+``full`` (the long exact-kernel sweep), and ``bign`` (the big-n grid
+``n = 2^14 .. 2^20`` every structure-aware publisher now traverses via
+the approx kernel and the coarse Gibbs grid).  ``quick``/``full``
+write ``BENCH_partition.json`` and ``BENCH_publishers.json``; ``bign``
+writes both kinds of entries into a third tracked artifact,
+``BENCH_bign.json``.
+
+A requested case whose domain size exceeds the engine's honest ceiling
+(:data:`KERNEL_CEILINGS` / :data:`PUBLISHER_CEILINGS`) is **skipped,
+never silently capped**: the dropped key is logged and recorded under
+the payload's ``"skipped"`` map, so coverage gaps are visible in the
+tracked JSON instead of masquerading as smaller runs.
 
 Timings are wall-clock seconds (best of ``repeats``), plus a
 *calibration-normalized* value: every run first times a fixed numpy
@@ -40,9 +51,13 @@ from repro.obs.trace import best_of
 from repro.robust.atomicio import atomic_write_text
 
 __all__ = [
+    "BENCH_BIGN",
     "BENCH_PARTITION",
     "BENCH_PUBLISHERS",
     "HISTORY_CHECK_WINDOW",
+    "KERNEL_CEILINGS",
+    "PROFILES",
+    "PUBLISHER_CEILINGS",
     "REGRESSION_THRESHOLD",
     "TIME_FLOOR",
     "history_baseline",
@@ -58,9 +73,45 @@ __all__ = [
 #: Tracked result files, written at the repository root.
 BENCH_PARTITION = "BENCH_partition.json"
 BENCH_PUBLISHERS = "BENCH_publishers.json"
+BENCH_BIGN = "BENCH_bign.json"
+
+#: Benchmark profiles: ``quick`` is the CI gate, ``full`` the long
+#: exact-kernel sweep, ``bign`` the ``2^14 .. 2^20`` scaling grid.
+PROFILES = ("quick", "full", "bign")
 
 #: JSON schema version; bump when keys or semantics change.
-SCHEMA_VERSION = 1
+#: v2 added the ``"skipped"`` coverage-gap map.
+SCHEMA_VERSION = 2
+
+#: Largest domain size each partition kernel is benched at — its honest
+#: wall, not a tuning knob: ``reference`` is the O(n^2 k) correctness
+#: anchor, ``exact_blocked`` the same candidate set with blocked sweeps,
+#: ``exact_dc`` holds O(n k log n) only on Monge inputs but pays dense
+#: O(n k) tables (45 s and ~140 MB at 2^16), and the sparse ``approx``
+#: engine runs the whole big-n grid in seconds.  Requests beyond a
+#: ceiling are skipped and logged, never capped.
+KERNEL_CEILINGS = {
+    "reference": 4096,
+    "exact_blocked": 8192,
+    "exact_dc": 65536,
+    "approx": 1 << 20,
+    "auto": 1 << 20,
+}
+
+#: Largest domain size each publisher is benched at.  Since the approx
+#: kernel and the coarse Gibbs grid landed, every publisher traverses
+#: the full ``2^20`` grid; the table stays so a future entry that
+#: cannot reach a requested size is *skipped and logged* rather than
+#: silently capped (the historical behaviour this replaced).
+PUBLISHER_CEILINGS = {
+    "dwork": 1 << 20,
+    "boost": 1 << 20,
+    "privelet": 1 << 20,
+    "ahp": 1 << 20,
+    "noisefirst": 1 << 20,
+    "structurefirst": 1 << 20,
+    "dawa-lite": 1 << 20,
+}
 
 #: Relative slowdown (in calibration-normalized seconds) that fails
 #: ``--check``: fresh > (1 + threshold) * baseline.
@@ -113,15 +164,22 @@ def machine_calibration(repeats: int = 3) -> float:
 # Partition-kernel benchmarks
 # ---------------------------------------------------------------------------
 
-def _partition_cases(quick: bool) -> List[Tuple[str, bool, int, int]]:
+def _partition_cases(profile: str) -> List[Tuple[str, bool, int, int]]:
     """(kernel, sorted_input, n, max_k) cases per profile.
 
     The reference kernel is O(n^2 k) and exists as a correctness anchor,
     so it is capped small; the exact blocked kernel runs the same
     candidate set faster; the divide-and-conquer kernel only engages on
-    sorted (Monge-certified) inputs, its honest workload.
+    sorted (Monge-certified) inputs, its honest workload; the sparse
+    approx engine covers both workloads and owns the big-n grid.
+
+    The ``bign`` profile deliberately *requests* every kernel at every
+    grid size — the exact kernels fall over their
+    :data:`KERNEL_CEILINGS` there, so the tracked ``BENCH_bign.json``
+    records them as skipped coverage gaps rather than quietly shrinking
+    the grid.
     """
-    if quick:
+    if profile == "quick":
         return [
             ("reference", False, 512, 32),
             ("reference", False, 1024, 32),
@@ -131,7 +189,16 @@ def _partition_cases(quick: bool) -> List[Tuple[str, bool, int, int]]:
             ("exact_dc", True, 1024, 32),
             ("exact_dc", True, 2048, 32),
             ("exact_dc", True, 4096, 32),
+            ("approx", False, 2048, 32),
+            ("approx", False, 4096, 32),
         ]
+    if profile == "bign":
+        kernels = [("reference", False), ("exact_blocked", False),
+                   ("exact_dc", True), ("approx", False),
+                   ("approx", True)]
+        return [(kernel, sorted_input, 1 << p, 128)
+                for p in (14, 16, 18, 20)
+                for kernel, sorted_input in kernels]
     return [
         ("reference", False, 1024, 128),
         ("reference", False, 4096, 128),
@@ -142,6 +209,9 @@ def _partition_cases(quick: bool) -> List[Tuple[str, bool, int, int]]:
         ("exact_dc", True, 4096, 128),
         ("exact_dc", True, 16384, 128),
         ("exact_dc", True, 65536, 128),
+        ("approx", False, 4096, 128),
+        ("approx", False, 16384, 128),
+        ("approx", False, 65536, 128),
     ]
 
 
@@ -149,24 +219,35 @@ def bench_partition(
     quick: bool = True,
     repeats: int = 2,
     cases: Optional[Iterable[Tuple[str, bool, int, int]]] = None,
+    profile: Optional[str] = None,
+    skipped: Optional[Dict[str, str]] = None,
 ) -> Dict[str, float]:
     """Time :func:`repro.partition.voptimal.voptimal_table` per kernel.
 
     Keys: ``"voptimal/<kernel>/<sorted|unsorted>/n=<n>/k=<k>"`` mapping
-    to best-of wall-clock seconds.
+    to best-of wall-clock seconds.  Cases whose ``n`` exceeds the
+    kernel's :data:`KERNEL_CEILINGS` entry are dropped; pass ``skipped``
+    (a dict) to collect ``{key: reason}`` for the dropped cases.
     """
     from repro.partition.voptimal import voptimal_table
 
     if cases is None:
-        cases = _partition_cases(quick)
+        cases = _partition_cases(profile or ("quick" if quick else "full"))
     rng = np.random.default_rng(20120401)
     results: Dict[str, float] = {}
     for kernel, sorted_input, n, max_k in cases:
+        label = "sorted" if sorted_input else "unsorted"
+        key = f"voptimal/{kernel}/{label}/n={n}/k={max_k}"
+        ceiling = KERNEL_CEILINGS.get(kernel, 1 << 20)
+        if n > ceiling:
+            if skipped is not None:
+                skipped[key] = (
+                    f"n={n} exceeds the {kernel} kernel ceiling {ceiling}"
+                )
+            continue
         counts = rng.poisson(50.0, size=n).astype(np.float64)
         if sorted_input:
             counts.sort()
-        label = "sorted" if sorted_input else "unsorted"
-        key = f"voptimal/{kernel}/{label}/n={n}/k={max_k}"
         results[key] = _best_of(
             lambda: voptimal_table(counts, max_k, kernel=kernel), repeats
         )
@@ -177,28 +258,24 @@ def bench_partition(
 # Publisher benchmarks
 # ---------------------------------------------------------------------------
 
-def _publisher_cases(quick: bool) -> List[Tuple[str, int]]:
-    """(publisher, n) cases.
+def _publisher_cases(profile: str) -> List[Tuple[str, int]]:
+    """(publisher, n) cases: one uniform grid per profile.
 
-    Size caps reflect each publisher's asymptotics: the Gibbs samplers
-    (StructureFirst, DAWA-lite) are O(n^2 k) time — O(n k) memory since
-    the lazy cost rows — so they stop at 4096; NoiseFirst's exact
-    unsorted DP stops at 8192; AHP rides the divide-and-conquer kernel
-    to 65536 alongside the near-linear baselines.
+    Every publisher gets the *same* requested grid; a publisher that
+    cannot reach a size falls over its :data:`PUBLISHER_CEILINGS` entry
+    and is skipped with a logged, payload-recorded gap.  (Historically
+    each publisher had a hand-capped private grid — the caps silently
+    shrank coverage; since the approx kernel and the coarse Gibbs grid,
+    all publishers traverse the full big-n grid anyway.)
     """
-    cheap = ("dwork", "boost", "privelet", "ahp")
-    if quick:
-        cases = [(name, n) for name in cheap for n in (1024, 4096)]
-        cases += [("noisefirst", n) for n in (1024, 2048)]
-        cases += [(name, n) for name in ("structurefirst", "dawa-lite")
-                  for n in (256, 512)]
-        return cases
-    cases = [(name, n) for name in cheap
-             for n in (1024, 4096, 16384, 65536)]
-    cases += [("noisefirst", n) for n in (1024, 4096, 8192)]
-    cases += [(name, n) for name in ("structurefirst", "dawa-lite")
-              for n in (1024, 2048, 4096)]
-    return cases
+    if profile == "quick":
+        sizes: Tuple[int, ...] = (1024, 4096)
+    elif profile == "bign":
+        sizes = (1 << 14, 1 << 16, 1 << 18, 1 << 20)
+    else:
+        sizes = (1024, 4096, 16384, 65536)
+    return [(name, n) for name in sorted(PUBLISHER_CEILINGS)
+            for n in sizes]
 
 
 def _publisher_factories() -> Dict[str, Callable[[], Any]]:
@@ -221,27 +298,39 @@ def bench_publishers(
     repeats: int = 1,
     epsilon: float = 0.5,
     cases: Optional[Iterable[Tuple[str, int]]] = None,
+    profile: Optional[str] = None,
+    skipped: Optional[Dict[str, str]] = None,
 ) -> Dict[str, float]:
     """Time one seeded end-to-end ``publish`` per (publisher, n).
 
     Keys: ``"publish/<publisher>/n=<n>"`` mapping to best-of wall-clock
     seconds.  The input is a seeded shuffled-Zipf histogram (bursty,
-    unsorted — the regime the paper's figures use).
+    unsorted — the regime the paper's figures use).  Cases beyond the
+    publisher's :data:`PUBLISHER_CEILINGS` entry are dropped; pass
+    ``skipped`` (a dict) to collect ``{key: reason}`` for them.
     """
     from repro.datasets.generators import zipf_histogram
 
     if cases is None:
-        cases = _publisher_cases(quick)
+        cases = _publisher_cases(profile or ("quick" if quick else "full"))
     factories = _publisher_factories()
     results: Dict[str, float] = {}
     histograms: Dict[int, Any] = {}
     for name, n in cases:
+        key = f"publish/{name}/n={n}"
+        ceiling = PUBLISHER_CEILINGS.get(name, 1 << 20)
+        if n > ceiling:
+            if skipped is not None:
+                skipped[key] = (
+                    f"n={n} exceeds the {name} publisher ceiling {ceiling}"
+                )
+            continue
         if n not in histograms:
             histograms[n] = zipf_histogram(n, total=100 * n, rng=7,
                                            shuffle=True)
         histogram = histograms[n]
         publisher = factories[name]()
-        results[f"publish/{name}/n={n}"] = _best_of(
+        results[key] = _best_of(
             lambda: publisher.publish(histogram, epsilon, rng=1234), repeats
         )
     return results
@@ -252,8 +341,9 @@ def bench_publishers(
 # ---------------------------------------------------------------------------
 
 def _payload(entries: Dict[str, float], calibration: float,
-             profile: str) -> Dict[str, Any]:
-    return {
+             profile: str,
+             skipped: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
+    payload = {
         "schema": SCHEMA_VERSION,
         "profile": profile,
         "calibration_seconds": calibration,
@@ -267,10 +357,14 @@ def _payload(entries: Dict[str, float], calibration: float,
             for key, seconds in sorted(entries.items())
         },
     }
+    if skipped:
+        payload["skipped"] = dict(sorted(skipped.items()))
+    return payload
 
 
 def write_results(path: Path, entries: Dict[str, float],
-                  calibration: float, profile: str) -> None:
+                  calibration: float, profile: str,
+                  skipped: Optional[Dict[str, str]] = None) -> None:
     """Write one ``BENCH_*.json`` atomically.
 
     Goes through :func:`repro.robust.atomicio.atomic_write_text`
@@ -278,7 +372,7 @@ def write_results(path: Path, entries: Dict[str, float],
     can never corrupt a committed baseline — the regression gate always
     sees either the old payload or the new one, never a torn file.
     """
-    payload = _payload(entries, calibration, profile)
+    payload = _payload(entries, calibration, profile, skipped=skipped)
     atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
 
 
@@ -363,14 +457,55 @@ def history_baseline(
     return {"profile": profile, "entries": entries}
 
 
+def _filter_max_n(cases: List[Tuple], max_n: Optional[int],
+                  key_fn: Callable[[Tuple], str],
+                  skipped: Dict[str, str]) -> List[Tuple]:
+    """Drop cases whose ``n`` (second-to-last int field) exceeds ``max_n``.
+
+    Deliberate slicing (e.g. the CI ``bench-bign`` lane stops at 2^18)
+    is still a coverage gap, so the dropped keys are recorded alongside
+    the ceiling skips.
+    """
+    if max_n is None:
+        return cases
+    kept = []
+    for case in cases:
+        n = case[2] if len(case) == 4 else case[1]
+        if n > max_n:
+            skipped[key_fn(case)] = f"n={n} beyond --max-n {max_n}"
+        else:
+            kept.append(case)
+    return kept
+
+
+def _partition_key(case: Tuple[str, bool, int, int]) -> str:
+    kernel, sorted_input, n, max_k = case
+    label = "sorted" if sorted_input else "unsorted"
+    return f"voptimal/{kernel}/{label}/n={n}/k={max_k}"
+
+
+def _publisher_key(case: Tuple[str, int]) -> str:
+    name, n = case
+    return f"publish/{name}/n={n}"
+
+
 def run_bench(
     quick: bool = True,
     check: bool = False,
     output_dir: "Path | str | None" = None,
     history: "Path | str | None" = None,
     history_window: int = HISTORY_CHECK_WINDOW,
+    profile: Optional[str] = None,
+    max_n: Optional[int] = None,
 ) -> int:
-    """Run both benches, write ``BENCH_*.json``, optionally gate.
+    """Run the benches, write ``BENCH_*.json``, optionally gate.
+
+    ``profile`` overrides the ``quick`` flag when given (one of
+    :data:`PROFILES`).  The ``quick``/``full`` profiles write the
+    partition and publisher files; ``bign`` merges both runners into
+    ``BENCH_bign.json``.  ``max_n`` slices the requested grid (dropped
+    keys are recorded as skips), which is how the CI ``bench-bign``
+    lane stops at 2^18.
 
     The fresh snapshot is always written *atomically* (temp file +
     ``os.replace``); with ``history`` set, every entry is additionally
@@ -384,7 +519,11 @@ def run_bench(
     regression.
     """
     root = Path(output_dir) if output_dir is not None else _repo_root()
-    profile = "quick" if quick else "full"
+    if profile is None:
+        profile = "quick" if quick else "full"
+    if profile not in PROFILES:
+        raise ValueError(f"profile must be one of {PROFILES}, "
+                         f"got {profile!r}")
     calibration = machine_calibration()
     print(f"calibration: {calibration:.4f}s ({profile} profile)")
 
@@ -394,18 +533,42 @@ def run_bench(
 
         store = HistoryStore(history)
 
+    partition_job = (_partition_cases, _partition_key, bench_partition)
+    publisher_job = (_publisher_cases, _publisher_key, bench_publishers)
+    if profile == "bign":
+        jobs = [(BENCH_BIGN, (partition_job, publisher_job))]
+    else:
+        jobs = [(BENCH_PARTITION, (partition_job,)),
+                (BENCH_PUBLISHERS, (publisher_job,))]
+
+    # The bign grid's slowest single case runs minutes under best-of-2;
+    # one repeat per case keeps the whole profile in CI territory.
+    partition_repeats = 1 if profile == "bign" else 2
+
     exit_code = 0
     try:
-        for filename, runner in (
-            (BENCH_PARTITION, bench_partition),
-            (BENCH_PUBLISHERS, bench_publishers),
-        ):
+        for filename, runners in jobs:
             path = root / filename
-            entries = runner(quick=quick)
-            payload = _payload(entries, calibration, profile)
+            entries: Dict[str, float] = {}
+            skipped: Dict[str, str] = {}
+            for case_fn, key_fn, runner in runners:
+                cases = _filter_max_n(
+                    list(case_fn(profile)), max_n, key_fn, skipped
+                )
+                kwargs: Dict[str, Any] = {}
+                if runner is bench_partition:
+                    kwargs["repeats"] = partition_repeats
+                entries.update(
+                    runner(cases=cases, profile=profile,
+                           skipped=skipped, **kwargs)
+                )
+            payload = _payload(entries, calibration, profile,
+                               skipped=skipped)
             for key, entry in payload["entries"].items():
                 print(f"  {key}: {entry['seconds']:.3f}s "
                       f"({entry['normalized']:.2f} cal)")
+            for key, reason in sorted(skipped.items()):
+                print(f"  skip {key}: {reason}")
             if check:
                 baseline = None
                 source = "no baseline"
@@ -438,7 +601,8 @@ def run_bench(
                     print(f"  REGRESSION {failure}")
                 if failures:
                     exit_code = 1
-            write_results(path, entries, calibration, profile)
+            write_results(path, entries, calibration, profile,
+                          skipped=skipped)
             print(f"wrote {path}")
             if store is not None:
                 result = store.ingest_bench_payload(payload, filename)

@@ -19,6 +19,16 @@ need, from ``O(n)`` state:
     garbage (the kernel masks them).
 ``first_row()``
     ``cost(0, j)`` for every ``j in [1, n]`` — DP layer 1 in one call.
+``grid(starts, stops)``
+    Dense ``(len(stops), len(starts))`` gather ``cost(starts[c],
+    stops[r])`` at *arbitrary* (not necessarily contiguous) index
+    arrays — the approximate kernel's sparse candidate evaluation
+    (:mod:`repro.perf.approx`).  Entries with ``start >= stop`` are
+    garbage (the caller masks them).
+``single_bin_free``
+    Flag: ``True`` iff every single-bin segment costs exactly zero
+    (``cost(j-1, j) == 0``).  SSE and SAE both qualify; the
+    approximate kernel's wavefront-candidate bound requires it.
 
 Providers:
 
@@ -75,6 +85,9 @@ class PrefixSSECost:
         self._indices = stats.indices
         self._monge: "bool | None" = None
 
+    #: Single-bin SSE is identically zero (one value, its own mean).
+    single_bin_free = True
+
     @property
     def monge_certified(self) -> bool:
         """True iff the counts are sorted non-decreasing.
@@ -130,6 +143,23 @@ class PrefixSSECost:
         sse = totals_sq - totals * totals / stops
         return np.maximum(sse, 0.0)
 
+    def grid(self, starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+        """``cost(starts[c], stops[r])`` grid at arbitrary index arrays.
+
+        Same prefix-sum arithmetic as :meth:`block`; entries with
+        ``start >= stop`` are garbage (caller masks them).
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        stops = np.asarray(stops, dtype=np.int64)
+        totals = self._prefix[stops][:, None] - self._prefix[starts][None, :]
+        totals_sq = (
+            self._prefix_sq[stops][:, None] - self._prefix_sq[starts][None, :]
+        )
+        widths = stops[:, None] - starts[None, :]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sse = totals_sq - totals * totals / widths
+        return np.maximum(sse, 0.0)
+
 
 class DenseCost:
     """Adapter over a precomputed ``(n, n + 1)`` segment-cost matrix.
@@ -149,6 +179,21 @@ class DenseCost:
         self._matrix = matrix
         self.n = matrix.shape[0]
         self.monge_certified = bool(assume_monge)
+        self._single_bin_free: "bool | None" = None
+
+    @property
+    def single_bin_free(self) -> bool:
+        """True iff the matrix diagonal ``cost(j-1, j)`` is all zeros.
+
+        Checked once in O(n); SSE/SAE matrices qualify, arbitrary
+        matrices may not — the approximate kernel refuses the latter.
+        """
+        if self._single_bin_free is None:
+            idx = np.arange(self.n)
+            self._single_bin_free = bool(
+                np.all(self._matrix[idx, idx + 1] == 0.0)
+            )
+        return self._single_bin_free
 
     def column(self, j: int) -> np.ndarray:
         return self._matrix[:j, j]
@@ -161,6 +206,11 @@ class DenseCost:
 
     def first_row(self) -> np.ndarray:
         return self._matrix[0, 1:]
+
+    def grid(self, starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+        starts = np.asarray(starts, dtype=np.int64)
+        stops = np.asarray(stops, dtype=np.int64)
+        return self._matrix[np.ix_(starts, stops)].T
 
 
 class LazySAECost:
@@ -184,6 +234,9 @@ class LazySAECost:
     #: inequality (same ``[0, 1, 0]`` counterexample family as SSE), so
     #: the lazy provider never certifies Monge structure.
     monge_certified = False
+
+    #: A single bin is its own median: SAE(j-1, j) == 0 always.
+    single_bin_free = True
 
     def __init__(self, counts: Sequence[float]) -> None:
         self._arr = check_counts(counts, "counts")
@@ -233,6 +286,24 @@ class LazySAECost:
         out = np.zeros((jhi - jlo, width), dtype=np.float64)
         for row, col in enumerate(cols):
             out[row, : len(col)] = col
+        return out
+
+    def grid(self, starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+        """``SAE(starts[c], stops[r])`` grid via one column pass per stop.
+
+        ``O(sum_j j log j)`` over the requested stops — adequate for the
+        moderate ``n`` where a lazy SAE provider meets the approximate
+        kernel (the big-n SAE path coarsens first; see
+        :mod:`repro.partition.coarsen`).  Cells with ``start >= stop``
+        are zero-filled garbage (caller masks them).
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        stops = np.asarray(stops, dtype=np.int64)
+        out = np.zeros((len(stops), len(starts)), dtype=np.float64)
+        for row, j in enumerate(stops):
+            col = self.column(int(j))  # SAE(i, j) for i in [0, j)
+            valid = starts < j
+            out[row, valid] = col[starts[valid]]
         return out
 
     def first_row(self) -> np.ndarray:

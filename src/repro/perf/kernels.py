@@ -56,17 +56,33 @@ import numpy as np
 
 __all__ = [
     "KERNELS",
+    "EXACT_KERNELS",
+    "AUTO_APPROX_THRESHOLD",
     "dp_tables",
     "resolve_kernel",
+    "resolve_table_kernel",
     "set_default_kernel",
 ]
 
-#: Supported kernel names, in preference order.
-KERNELS = ("exact_dc", "exact_blocked", "reference")
+#: Supported kernel names.  ``auto`` (the default) runs ``exact_dc`` up
+#: to :data:`AUTO_APPROX_THRESHOLD` bins — bit-identical to the historical
+#: default — and the ``approx`` engine (:mod:`repro.perf.approx`) beyond
+#: it, where exact DP is a quadratic wall.
+KERNELS = ("auto", "exact_dc", "exact_blocked", "reference", "approx")
+
+#: Kernels guaranteed to fill exact dense tables, in preference order.
+EXACT_KERNELS = ("exact_dc", "exact_blocked", "reference")
+
+#: ``auto`` switches from the exact divide-and-conquer/blocked path to
+#: the approximate (1+delta) engine above this many bins.
+AUTO_APPROX_THRESHOLD = 8192
 
 #: Environment variable overriding the default kernel (benchmark runs
 #: flip it without touching call sites).
 KERNEL_ENV = "REPRO_PARTITION_KERNEL"
+
+#: Short-form alias consulted when :data:`KERNEL_ENV` is unset.
+KERNEL_ENV_ALIAS = "REPRO_KERNEL"
 
 #: Below this many prefixes a divide-and-conquer node switches to one
 #: vectorized block scan; tuned so numpy call overhead, not element
@@ -78,7 +94,7 @@ _LEAF = 64
 #: candidate matrix is read from main memory once per prefix.
 _CHUNK_BYTES = 2 << 20
 
-_default_kernel = "exact_dc"
+_default_kernel = "auto"
 
 
 def set_default_kernel(kernel: str) -> str:
@@ -95,13 +111,30 @@ def resolve_kernel(kernel: Optional[str] = None) -> str:
     """Resolve an explicit kernel name, the env override, or the default.
 
     Precedence: explicit argument > ``REPRO_PARTITION_KERNEL`` env var >
-    process default (``exact_dc``).
+    ``REPRO_KERNEL`` env var > process default (``auto``).
     """
     if kernel is None:
-        kernel = os.environ.get(KERNEL_ENV) or _default_kernel
+        kernel = (
+            os.environ.get(KERNEL_ENV)
+            or os.environ.get(KERNEL_ENV_ALIAS)
+            or _default_kernel
+        )
     if kernel not in KERNELS:
         raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
     return kernel
+
+
+def resolve_table_kernel(kernel: Optional[str], n: int) -> str:
+    """Resolve a kernel and collapse ``auto`` to a concrete engine.
+
+    ``auto`` picks ``exact_dc`` (bit-identical to the historical
+    default) at or below :data:`AUTO_APPROX_THRESHOLD` bins and
+    ``approx`` beyond, where the exact engines hit the quadratic wall.
+    """
+    name = resolve_kernel(kernel)
+    if name == "auto":
+        name = "exact_dc" if n <= AUTO_APPROX_THRESHOLD else "approx"
+    return name
 
 
 def dp_tables(
@@ -121,13 +154,27 @@ def dp_tables(
     max_k:
         Largest bucket count; tables have shape ``(max_k + 1, n + 1)``.
     kernel:
-        ``"exact_dc"`` (default; falls back to the blocked scan when the
-        cost is not Monge-certified), ``"exact_blocked"`` or
-        ``"reference"``; ``None`` defers to :func:`resolve_kernel`.
+        ``"exact_dc"`` (falls back to the blocked scan when the cost is
+        not Monge-certified), ``"exact_blocked"`` or ``"reference"``;
+        ``None`` defers to :func:`resolve_kernel`.  ``"auto"`` always
+        takes the exact path here — dense tables are this function's
+        contract, so the auto exact/approx split lives in the
+        sparse-capable callers (:func:`repro.partition.voptimal.
+        voptimal_table` and friends).  ``"approx"`` is rejected: the
+        approximate engine (:func:`repro.perf.approx.approx_tables`)
+        never materializes dense tables.
     """
     from repro.obs.trace import span
 
     name = resolve_kernel(kernel)
+    if name == "auto":
+        name = "exact_dc"
+    elif name == "approx":
+        raise ValueError(
+            "kernel 'approx' does not fill dense DP tables; call "
+            "repro.perf.approx.approx_tables (or voptimal_table / "
+            "l1_voptimal_table, which dispatch to it)"
+        )
     n = cost.n
     if not 1 <= max_k <= n:
         raise ValueError(f"max_k must be in [1, {n}], got {max_k}")

@@ -53,6 +53,102 @@ class TestRunners:
         }
 
 
+class TestCeilingSkips:
+    """Sizes an engine cannot reach are skipped and logged, never capped."""
+
+    def test_partition_ceiling_skips_and_records(self):
+        skipped = {}
+        results = bench_partition(
+            cases=[("reference", False, 32, 4),
+                   ("reference", False, 8192, 4)],
+            repeats=1, skipped=skipped,
+        )
+        assert set(results) == {"voptimal/reference/unsorted/n=32/k=4"}
+        key = "voptimal/reference/unsorted/n=8192/k=4"
+        assert key in skipped and "ceiling" in skipped[key]
+
+    def test_publisher_ceiling_skips_and_records(self, monkeypatch):
+        monkeypatch.setitem(bench.PUBLISHER_CEILINGS, "dwork", 64)
+        skipped = {}
+        results = bench_publishers(
+            cases=[("dwork", 64), ("dwork", 128)],
+            repeats=1, skipped=skipped,
+        )
+        assert set(results) == {"publish/dwork/n=64"}
+        assert "publish/dwork/n=128" in skipped
+
+    def test_skips_surface_in_payload_and_log(self, monkeypatch, tmp_path,
+                                              capsys):
+        monkeypatch.setattr(
+            bench, "_partition_cases",
+            lambda profile: [("reference", False, 32, 4),
+                             ("reference", False, 8192, 4)],
+        )
+        monkeypatch.setattr(bench, "_publisher_cases",
+                            lambda profile: [("dwork", 64)])
+        assert run_bench(quick=True, output_dir=tmp_path) == 0
+        payload = json.loads((tmp_path / BENCH_PARTITION).read_text())
+        assert list(payload["skipped"]) == [
+            "voptimal/reference/unsorted/n=8192/k=4"
+        ]
+        assert "skip voptimal/reference/unsorted/n=8192/k=4" \
+            in capsys.readouterr().out
+        # The clean file carries no skipped block at all.
+        publishers = json.loads((tmp_path / BENCH_PUBLISHERS).read_text())
+        assert "skipped" not in publishers
+
+    def test_requested_grids_respect_ceilings_or_skip(self):
+        """Every profile request either runs or is a *recorded* skip —
+        the silent-cap path is gone by construction."""
+        for profile in bench.PROFILES:
+            for kernel, _sorted, n, _k in bench._partition_cases(profile):
+                assert kernel in bench.KERNEL_CEILINGS
+            for name, _n in bench._publisher_cases(profile):
+                assert name in bench.PUBLISHER_CEILINGS
+
+
+class TestBignProfile:
+    @pytest.fixture()
+    def tiny(self, monkeypatch):
+        monkeypatch.setattr(bench, "_partition_cases",
+                            lambda profile: TINY_PARTITION)
+        monkeypatch.setattr(bench, "_publisher_cases",
+                            lambda profile: TINY_PUBLISHERS)
+
+    def test_bign_merges_both_runners_into_one_file(self, tiny, tmp_path):
+        from repro.perf.bench import BENCH_BIGN
+
+        assert run_bench(profile="bign", output_dir=tmp_path) == 0
+        payload = json.loads((tmp_path / BENCH_BIGN).read_text())
+        assert payload["profile"] == "bign"
+        kinds = {key.split("/")[0] for key in payload["entries"]}
+        assert kinds == {"voptimal", "publish"}
+        assert not (tmp_path / BENCH_PARTITION).exists()
+
+    def test_max_n_slices_and_records(self, tiny, tmp_path, capsys):
+        from repro.perf.bench import BENCH_BIGN
+
+        assert run_bench(profile="bign", output_dir=tmp_path,
+                         max_n=48) == 0
+        payload = json.loads((tmp_path / BENCH_BIGN).read_text())
+        assert "publish/dwork/n=64" in payload["skipped"]
+        assert "beyond --max-n 48" in payload["skipped"]["publish/dwork/n=64"]
+        assert "voptimal/reference/unsorted/n=32/k=4" in payload["entries"]
+
+    def test_unknown_profile_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="profile"):
+            run_bench(profile="nope", output_dir=tmp_path)
+
+    def test_bign_grid_covers_2_14_through_2_20(self):
+        sizes = {n for _name, n in bench._publisher_cases("bign")}
+        assert sizes == {1 << 14, 1 << 16, 1 << 18, 1 << 20}
+        approx_sizes = {
+            n for kernel, _s, n, _k in bench._partition_cases("bign")
+            if kernel == "approx"
+        }
+        assert {1 << 14, 1 << 16, 1 << 18, 1 << 20} <= approx_sizes
+
+
 class TestRegressionGate:
     def test_no_baseline_passes(self):
         fresh = _payload({"a": (1.0, 10.0)})
@@ -98,7 +194,7 @@ class TestRunBench:
         assert code == 0
         for name in (BENCH_PARTITION, BENCH_PUBLISHERS):
             payload = json.loads((tmp_path / name).read_text())
-            assert payload["schema"] == 1
+            assert payload["schema"] == 2
             assert payload["profile"] == "quick"
             assert payload["calibration_seconds"] > 0
             for entry in payload["entries"].values():

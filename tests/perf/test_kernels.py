@@ -119,7 +119,13 @@ class TestKernelEquivalence:
 
 class TestDispatch:
     def test_kernels_tuple(self):
-        assert KERNELS == ("exact_dc", "exact_blocked", "reference")
+        assert KERNELS == (
+            "auto",
+            "exact_dc",
+            "exact_blocked",
+            "reference",
+            "approx",
+        )
 
     def test_resolve_explicit_beats_env(self, monkeypatch):
         monkeypatch.setenv(KERNEL_ENV, "reference")
@@ -128,7 +134,8 @@ class TestDispatch:
 
     def test_resolve_env_beats_default(self, monkeypatch):
         monkeypatch.delenv(KERNEL_ENV, raising=False)
-        assert resolve_kernel(None) == "exact_dc"
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert resolve_kernel(None) == "auto"
         monkeypatch.setenv(KERNEL_ENV, "exact_blocked")
         assert resolve_kernel(None) == "exact_blocked"
 
