@@ -506,6 +506,39 @@ def _build_serve_parser() -> argparse.ArgumentParser:
                         help="default epsilon budget for tenants that "
                              "were never explicitly registered "
                              "(default 100)")
+    parser.add_argument("--state-dir", dest="state_dir", default=None,
+                        metavar="DIR",
+                        help="durable state directory: write-ahead "
+                             "epsilon ledger + on-disk artifact store; "
+                             "a restart replays the ledger to exact "
+                             "spent totals and rehydrates artifacts "
+                             "byte-identically (docs/serving.md)")
+    parser.add_argument("--publish-slots", dest="publish_slots", type=int,
+                        default=None, metavar="N",
+                        help="bound concurrent cold publishes; when "
+                             "saturated, queries degrade to a stale "
+                             "compatible artifact or shed with 503 + "
+                             "Retry-After (default: unbounded)")
+    parser.add_argument("--max-inflight", dest="max_inflight", type=int,
+                        default=8, metavar="N",
+                        help="admission control: max concurrently "
+                             "executing requests (default 8)")
+    parser.add_argument("--max-queue", dest="max_queue", type=int,
+                        default=16, metavar="N",
+                        help="admission control: max requests waiting "
+                             "for a slot before shedding (default 16)")
+    parser.add_argument("--queue-timeout", dest="queue_timeout",
+                        type=float, default=1.0, metavar="S",
+                        help="admission control: max seconds a request "
+                             "may queue before shedding (default 1.0)")
+    parser.add_argument("--retry-after", dest="retry_after", type=float,
+                        default=1.0, metavar="S",
+                        help="Retry-After hint sent with 503 sheds "
+                             "(default 1.0)")
+    parser.add_argument("--drain-seconds", dest="drain_seconds",
+                        type=float, default=5.0, metavar="S",
+                        help="graceful-shutdown deadline for in-flight "
+                             "requests (default 5.0)")
     parser.add_argument("--verbose", action="store_true",
                         help="log one line per request to stderr")
     return parser
@@ -513,6 +546,7 @@ def _build_serve_parser() -> argparse.ArgumentParser:
 
 def _serve_main(argv: List[str]) -> int:
     """Entry point for ``python -m repro serve ...``."""
+    from repro.serve.admission import AdmissionController
     from repro.serve.server import make_server, run_server
     from repro.serve.service import QueryService
 
@@ -526,14 +560,34 @@ def _serve_main(argv: List[str]) -> int:
             cache_entries=args.cache_entries,
             cache_bytes=args.cache_bytes,
             default_tenant_budget=args.tenant_budget,
+            state_dir=args.state_dir,
+            publish_slots=args.publish_slots,
+            retry_after=args.retry_after,
+        )
+        admission = AdmissionController(
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            queue_timeout=args.queue_timeout,
         )
         server = make_server(args.host, args.port, service,
-                             verbose=args.verbose)
+                             verbose=args.verbose, admission=admission,
+                             drain_seconds=args.drain_seconds,
+                             retry_after=args.retry_after)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     # The parseable startup line the e2e tests and scripts wait for.
     print(f"serving on {server.url}", flush=True)
+    if service.recovery:
+        rec = service.recovery
+        print(
+            f"recovered state from {args.state_dir}: "
+            f"{rec.get('tenants', 0)} tenant(s), "
+            f"{rec.get('debits', 0)} debit(s), "
+            f"{rec.get('artifacts', 0)} artifact(s), "
+            f"{rec.get('torn_lines', 0)} torn line(s)",
+            flush=True,
+        )
     return run_server(server)
 
 
@@ -579,7 +633,64 @@ def _build_replay_parser() -> argparse.ArgumentParser:
                         default=8, metavar="N",
                         help="artifact cache size of the self-hosted "
                              "server (ignored with --server)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="kill-and-restart drill: run the server as "
+                             "a subprocess with injected crashes at the "
+                             "ledger/spill boundaries, restart it every "
+                             "time it dies, and assert no-overdraft, "
+                             "no-double-spend, byte-identical artifacts "
+                             "and a deterministic transcript "
+                             "(requires --state-dir)")
+    parser.add_argument("--state-dir", dest="state_dir", default=None,
+                        metavar="DIR",
+                        help="durable state directory for --chaos (the "
+                             "ledger, artifact store, fault plan, and "
+                             "chaos report/transcript live here)")
+    parser.add_argument("--tenant-budget", dest="tenant_budget",
+                        type=float, default=100.0, metavar="EPS",
+                        help="default tenant budget for the chaos "
+                             "server and baseline (default 100)")
     return parser
+
+
+def _replay_chaos_main(args: "argparse.Namespace") -> int:
+    """The ``repro replay --chaos`` drill (see repro.serve.chaos)."""
+    from pathlib import Path
+
+    from repro.serve.chaos import run_chaos_replay
+    from repro.serve.replay import load_manifest
+
+    if args.state_dir is None:
+        print("error: --chaos requires --state-dir", file=sys.stderr)
+        return 2
+    if args.server is not None:
+        print("error: --chaos manages its own server; drop --server",
+              file=sys.stderr)
+        return 2
+    manifest_path = Path(args.manifest)
+    if not manifest_path.exists():
+        print(f"error: manifest {manifest_path} does not exist",
+              file=sys.stderr)
+        return 2
+    try:
+        manifest = load_manifest(manifest_path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = run_chaos_replay(
+            manifest, args.state_dir,
+            tenant_budget=args.tenant_budget,
+            retries=max(args.retries, 6),
+        )
+    except (RuntimeError, TimeoutError, OSError) as exc:
+        print(f"error: chaos replay failed: {exc}", file=sys.stderr)
+        return 1
+    for line in report.summary_lines():
+        print(line)
+    print(f"wrote {Path(args.state_dir) / 'chaos_report.json'}")
+    print(f"wrote {Path(args.state_dir) / 'chaos_transcript.json'}")
+    return 0 if report.ok else 1
 
 
 def _replay_main(argv: List[str]) -> int:
@@ -596,6 +707,8 @@ def _replay_main(argv: List[str]) -> int:
     )
 
     args = _build_replay_parser().parse_args(argv)
+    if args.chaos:
+        return _replay_chaos_main(args)
     manifest_path = Path(args.manifest)
     if not manifest_path.exists():
         print(f"error: manifest {manifest_path} does not exist",

@@ -374,6 +374,49 @@ def _operations_section(store: HistoryStore) -> List[str]:
                 for t in totals[-10:]
             ],
         ))
+    lines.extend(_serving_resilience_rows(store))
+    return lines
+
+
+def _serving_resilience_rows(store: HistoryStore) -> List[str]:
+    """Shed / degraded / restart-recovery counters per replay run.
+
+    Fed by ``repro replay --history``: the replay driver scrapes the
+    target server's final ``/v1/stats`` and lands the
+    ``repro_serve_shed/degraded/recovered_total`` families as gauges.
+    Empty (and omitted) until a replay against a resilient server is
+    ingested.
+    """
+    import json as json_mod
+
+    rows: List[tuple] = []
+    for name, event in (
+        ("repro_serve_shed_total", "shed"),
+        ("repro_serve_degraded_total", "degraded"),
+        ("repro_serve_recovered_total", "recovered"),
+    ):
+        for row in store.metric_series(name)[-12:]:
+            try:
+                labels = json_mod.loads(row["labels"])
+            except (ValueError, TypeError):
+                labels = {}
+            rows.append((
+                _short_commit(row["commit_sha"]),
+                labels.get("manifest", row["labels"]),
+                event,
+                labels.get("key", ""),
+                _fmt(row["value"], 6),
+            ))
+    if not rows:
+        return []
+    lines = [
+        "",
+        "### Serving resilience (sheds / degraded / recoveries)",
+        "",
+    ]
+    lines.extend(_md_table(
+        ["commit", "manifest", "event", "detail", "count"], rows,
+    ))
     return lines
 
 

@@ -32,6 +32,17 @@ respawns.  A human-readable append-only ledger (``<plan>.hits``)
 additionally records *which* trial fired each rule, for debugging.
 ``times=None`` means "always fire" (a poison pill) and needs no
 accounting.
+
+Serving-path sites
+------------------
+The query service (:mod:`repro.serve`) reuses the same plan machinery
+for crash/delay injection *inside the server process*: a rule with a
+``site`` (e.g. ``"serve.before_journal"``) only fires from
+:func:`maybe_inject_site` calls naming that site, and site-less rules
+only fire from the classic worker hooks — the two populations never
+cross.  Because hit slots are claimed on disk with ``O_CREAT|O_EXCL``,
+a ``times=N`` kill rule stays exactly-N even across server restarts,
+which is what makes the ``repro replay --chaos`` drill deterministic.
 """
 
 from __future__ import annotations
@@ -56,6 +67,7 @@ __all__ = [
     "write_plan",
     "active_plan",
     "maybe_inject",
+    "maybe_inject_site",
     "maybe_corrupt",
     "hit_counts",
     "total_hits",
@@ -77,7 +89,14 @@ class InjectedFault(RobustnessError):
 
 @dataclass(frozen=True)
 class FaultRule:
-    """One match-and-fire rule of a :class:`FaultPlan`."""
+    """One match-and-fire rule of a :class:`FaultPlan`.
+
+    ``site`` selects the injection population: ``None`` rules fire from
+    the classic worker hooks (:func:`maybe_inject`/:func:`maybe_corrupt`)
+    and sited rules (``"serve.before_journal"``, ``"serve.after_journal"``,
+    ``"serve.before_spill"``, ``"serve.handler"``) fire only from
+    :func:`maybe_inject_site` calls naming that exact site.
+    """
 
     action: str
     spec_name: Optional[str] = None
@@ -86,6 +105,7 @@ class FaultRule:
     times: Optional[int] = None
     hang_seconds: float = 3600.0
     exit_code: int = 137
+    site: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.action not in ACTIONS:
@@ -165,16 +185,21 @@ class FaultPlan:
 
     def pick(
         self, spec_name: str, publisher: str, seed: int,
-        actions: Sequence[str],
+        actions: Sequence[str], site: Optional[str] = None,
     ) -> Optional[FaultRule]:
         """First matching rule (among ``actions``) with firings left.
 
         Bounded (``times=N``) rules claim a hit slot atomically *before*
         returning, so even a ``kill`` that never returns is counted, and
-        concurrent workers cannot over-fire the rule past N.
+        concurrent workers cannot over-fire the rule past N.  ``site``
+        partitions the rule space: only rules whose ``site`` equals the
+        argument are eligible, so serving-path rules never fire from the
+        worker hooks and vice versa.
         """
         for index, rule in enumerate(self.rules):
             if rule.action not in actions:
+                continue
+            if rule.site != site:
                 continue
             if not rule.matches(spec_name, publisher, seed):
                 continue
@@ -253,6 +278,34 @@ def maybe_inject(spec_name: str, publisher: str, seed: int) -> None:
     if rule.action == "kill":
         # Abrupt death: no cleanup, no exception propagation — exactly
         # what a segfault or the OOM killer looks like from outside.
+        os._exit(rule.exit_code)
+    if rule.action == "hang":
+        time.sleep(rule.hang_seconds)
+
+
+def maybe_inject_site(site: str, detail: str = "") -> None:
+    """Sited hook for the serving path: fire any rule naming ``site``.
+
+    Called from the query service at the crash-critical instruction
+    boundaries (``serve.before_journal``, ``serve.after_journal``,
+    ``serve.before_spill``) and from the HTTP handler (``serve.handler``
+    — useful with small ``hang_seconds`` as a delayed-handler fault).
+    ``kill`` here takes down the *whole server process* (``os._exit``),
+    which is exactly the kill -9 the chaos replay drill needs; the hit
+    slots live on disk, so a ``times=1`` rule stays fired across the
+    restart.  No-op unless :data:`ENV_VAR` is set.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    rule = plan.pick(
+        detail or site, "serve", 0, ("raise", "kill", "hang"), site=site
+    )
+    if rule is None:
+        return
+    if rule.action == "raise":
+        raise InjectedFault(f"injected serve fault at {site}: {detail}")
+    if rule.action == "kill":
         os._exit(rule.exit_code)
     if rule.action == "hang":
         time.sleep(rule.hang_seconds)

@@ -7,11 +7,21 @@ answers point/range count queries under per-tenant ε-budget ledgers.
 ``python -m repro replay <manifest>`` drives it with a deterministic
 workload trace and lands p50/p99 latency + throughput in the metrics
 registry and the run-history store.  See docs/serving.md.
+
+The crash-safety wing (``--state-dir``): a write-ahead ε-ledger
+(:mod:`repro.serve.ledgerlog`), an atomic on-disk artifact store
+(:mod:`repro.serve.store`), admission control with bounded queueing
+(:mod:`repro.serve.admission`), and a kill-and-restart chaos drill
+(:mod:`repro.serve.chaos`) that proves no-overdraft / no-double-spend /
+deterministic-transcript invariants end to end.
 """
 
+from repro.serve.admission import AdmissionController
 from repro.serve.artifacts import PublishedArtifact, publish_artifact
 from repro.serve.cache import ArtifactCache
+from repro.serve.chaos import ChaosReport, run_chaos_replay
 from repro.serve.client import ServeClient
+from repro.serve.ledgerlog import LedgerDebit, LedgerLog, LedgerReplay
 from repro.serve.replay import (
     ReplayManifest,
     ReplayResult,
@@ -21,14 +31,21 @@ from repro.serve.replay import (
     run_replay,
 )
 from repro.serve.server import HistogramHTTPServer, make_server, run_server
-from repro.serve.service import QueryService, RequestError
+from repro.serve.service import QueryService, RequestError, ShedError
 from repro.serve.spec import SERVE_DATASETS, ServeSpec, serve_roster
+from repro.serve.store import ArtifactStore
 from repro.serve.tenants import TenantLedgers
 
 __all__ = [
     "SERVE_DATASETS",
+    "AdmissionController",
     "ArtifactCache",
+    "ArtifactStore",
+    "ChaosReport",
     "HistogramHTTPServer",
+    "LedgerDebit",
+    "LedgerLog",
+    "LedgerReplay",
     "PublishedArtifact",
     "QueryService",
     "ReplayManifest",
@@ -36,12 +53,14 @@ __all__ = [
     "RequestError",
     "ServeClient",
     "ServeSpec",
+    "ShedError",
     "TenantLedgers",
     "build_schedule",
     "load_manifest",
     "make_server",
     "publish_artifact",
     "record_replay_metrics",
+    "run_chaos_replay",
     "run_replay",
     "run_server",
     "serve_roster",

@@ -180,6 +180,22 @@ class ArtifactCache:
         with self._lock:
             return tuple(self._entries)
 
+    def inflight(self, fingerprint: str) -> bool:
+        """True when a publish for this key is already running."""
+        with self._lock:
+            return fingerprint in self._inflight
+
+    def artifacts(self) -> Tuple[PublishedArtifact, ...]:
+        """Resident artifacts, least- to most-recently used.
+
+        The degraded-mode fallback scans this (MRU end first) for a
+        stale-but-valid artifact compatible with a shed request;
+        artifacts are immutable so the snapshot is safe to use outside
+        the lock.
+        """
+        with self._lock:
+            return tuple(self._entries.values())
+
     def stats(self) -> Dict[str, int]:
         """Counters + occupancy snapshot (stable key set for /v1/stats)."""
         with self._lock:

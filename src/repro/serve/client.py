@@ -6,6 +6,15 @@ JSON payload; expected application statuses (429 budget refusals, 404
 unknown fingerprints) come back as ``(status, payload)`` rather than
 exceptions so callers can treat refusal as data — transport failures
 (connection refused, timeouts) still raise ``URLError``/``OSError``.
+
+Overload behavior mirrors the robust executor's supervision: a 503
+answer is an *invitation to retry*, honored with capped exponential
+backoff seeded by the server's ``Retry-After`` hint.  The sleep is
+injectable so tests assert the exact delay sequence without waiting.
+Query retries are safe because every ``query()`` call carries an
+``Idempotency-Key`` header (caller-provided or a generated UUID) that
+is stable across the retries of one logical request — the server
+answers an already-charged key for free instead of double-spending ε.
 """
 
 from __future__ import annotations
@@ -14,7 +23,8 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional, Tuple
+import uuid
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = ["ServeClient"]
 
@@ -22,24 +32,39 @@ __all__ = ["ServeClient"]
 class ServeClient:
     """Talk to one server; thread-safe (no shared mutable state)."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        max_retries: int = 4,
+        backoff_seconds: float = 0.1,
+        max_backoff_seconds: float = 2.0,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.max_retries = int(max_retries)
+        self.backoff_seconds = float(backoff_seconds)
+        self.max_backoff_seconds = float(max_backoff_seconds)
+        self._sleep = time.sleep if sleep is None else sleep
 
     # -- wire ----------------------------------------------------------
-    def _request(
+    def _request_once(
         self,
         method: str,
         path: str,
         payload: Optional[Dict[str, Any]] = None,
-    ) -> Tuple[int, Dict[str, Any]]:
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         data = None
-        headers = {"Accept": "application/json"}
+        send_headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            send_headers["Content-Type"] = "application/json"
+        send_headers.update(headers or {})
         request = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=method
+            self.base_url + path, data=data, headers=send_headers,
+            method=method,
         )
         try:
             with urllib.request.urlopen(
@@ -47,17 +72,62 @@ class ServeClient:
             ) as response:
                 body = response.read()
                 status = response.status
+                resp_headers = dict(response.headers.items())
         except urllib.error.HTTPError as exc:
             # 4xx/5xx with a JSON body: surface as data, not exception.
             body = exc.read()
             status = exc.code
+            resp_headers = dict(exc.headers.items()) if exc.headers else {}
         try:
             decoded = json.loads(body.decode("utf-8")) if body else {}
         except (UnicodeDecodeError, json.JSONDecodeError):
             decoded = {"error": body.decode("utf-8", "replace")}
         if not isinstance(decoded, dict):
             decoded = {"value": decoded}
-        return status, decoded
+        return status, decoded, resp_headers
+
+    def _retry_delay(
+        self,
+        attempt: int,
+        payload: Dict[str, Any],
+        headers: Dict[str, str],
+    ) -> float:
+        """Backoff for one 503: server hint first, exponential fallback."""
+        hint: Optional[float] = None
+        raw = headers.get("Retry-After")
+        if raw is not None:
+            try:
+                hint = float(raw)
+            except ValueError:
+                hint = None
+        if hint is None:
+            value = payload.get("retry_after")
+            if isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                hint = float(value)
+        delay = (
+            hint if hint is not None and hint > 0
+            else self.backoff_seconds * (2 ** attempt)
+        )
+        return min(self.max_backoff_seconds, max(0.0, delay))
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        attempt = 0
+        while True:
+            status, decoded, resp_headers = self._request_once(
+                method, path, payload, headers
+            )
+            if status != 503 or attempt >= self.max_retries:
+                return status, decoded
+            self._sleep(self._retry_delay(attempt, decoded, resp_headers))
+            attempt += 1
 
     def _text(self, path: str) -> str:
         request = urllib.request.Request(
@@ -70,7 +140,7 @@ class ServeClient:
 
     # -- API -----------------------------------------------------------
     def health(self) -> Dict[str, Any]:
-        status, payload = self._request("GET", "/healthz")
+        status, payload, _headers = self._request_once("GET", "/healthz")
         payload["_status"] = status
         return payload
 
@@ -107,13 +177,25 @@ class ServeClient:
         queries: List[Dict[str, Any]],
         fingerprint: Optional[str] = None,
         spec: Optional[Dict[str, Any]] = None,
+        idempotency_key: Optional[str] = None,
     ) -> Tuple[int, Dict[str, Any]]:
+        """Query with an idempotency key stable across this call's retries.
+
+        A caller that retries at a *higher* level (the replay driver
+        spanning server restarts) should pass its own deterministic
+        ``idempotency_key`` so the whole logical request stays
+        exactly-once; otherwise a fresh UUID covers the retries inside
+        this one call.
+        """
         body: Dict[str, Any] = {"tenant": tenant, "queries": queries}
         if fingerprint is not None:
             body["fingerprint"] = fingerprint
         if spec is not None:
             body["spec"] = spec
-        return self._request("POST", "/v1/query", body)
+        key = idempotency_key or str(uuid.uuid4())
+        return self._request(
+            "POST", "/v1/query", body, headers={"Idempotency-Key": key}
+        )
 
     def stats(self) -> Dict[str, Any]:
         _status, payload = self._request("GET", "/v1/stats")
@@ -123,4 +205,7 @@ class ServeClient:
         return self._text("/metrics")
 
     def shutdown(self) -> Tuple[int, Dict[str, Any]]:
-        return self._request("POST", "/v1/shutdown", {})
+        status, payload, _headers = self._request_once(
+            "POST", "/v1/shutdown", {}
+        )
+        return status, payload

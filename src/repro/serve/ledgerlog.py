@@ -1,0 +1,187 @@
+"""Durable ε-accounting for the query service: a write-ahead ledger log.
+
+The in-memory :class:`~repro.accounting.Accountant` ledgers enforce
+per-tenant budgets while the server is up, but a served histogram
+system that loses (or double-spends) its ε-ledger on a crash silently
+voids the differential-privacy budget the publish paid for.  The
+:class:`LedgerLog` closes that hole with the same discipline the
+checkpoint journal uses for experiment sweeps
+(:mod:`repro.robust.journal`): one self-contained JSON line per event,
+appended via :func:`repro.robust.atomicio.append_line` (single
+``O_APPEND`` write + fsync), so a SIGKILL mid-append can tear at most
+the final line and the loader tolerates exactly that.
+
+Two event kinds:
+
+``tenant``
+    a tenant registration (name, ε budget) — replayed first on restart
+    so explicit budgets survive a crash even if the server's default
+    budget flag changes;
+``debit``
+    one charged query: tenant, ε, and an **idempotency key**.  The
+    service journals the debit *after* the in-memory check-and-spend
+    succeeds and *before* the answer is released, which yields the two
+    crash-safety invariants the chaos drill asserts:
+
+    * **never overdraft** — only debits that passed the atomic
+      in-memory budget check are ever journaled, so the journal's
+      per-tenant sum can never exceed the budget;
+    * **never re-charge an answered request** — a client retrying a
+      request whose answer was already journaled presents the same
+      idempotency key; the service finds it in :attr:`LedgerReplay.keys`
+      (or the live seen-set) and answers for free.
+
+    A crash *between* the in-memory spend and the journal append loses
+    that debit — harmlessly, because the answer was never released, so
+    no information left the server for that ε.
+
+Replay (:meth:`LedgerLog.replay`) is pure accounting: group debits by
+tenant, dedupe by key, sum.  The service applies the result to fresh
+accountants at startup, restoring the exact spent totals.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Union
+
+from repro.exceptions import JournalError
+from repro.robust.atomicio import append_line
+
+__all__ = ["LEDGER_SCHEMA", "LedgerDebit", "LedgerLog", "LedgerReplay"]
+
+LEDGER_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class LedgerDebit:
+    """One journaled charge (deduped by ``key`` when present)."""
+
+    tenant: str
+    epsilon: float
+    key: Optional[str] = None
+    purpose: str = ""
+
+
+@dataclass
+class LedgerReplay:
+    """Everything a ledger file says happened before the crash."""
+
+    #: First-registration-wins explicit budgets, in journal order.
+    tenants: Dict[str, float] = field(default_factory=dict)
+    #: Deduped debits, in journal order.
+    debits: List[LedgerDebit] = field(default_factory=list)
+    #: Every idempotency key ever charged (retry dedup set).
+    keys: Set[str] = field(default_factory=set)
+    #: Lines skipped as unparseable (a torn tail from a crash).
+    torn_lines: int = 0
+    #: Keyed debits skipped because their key had already been applied.
+    duplicate_debits: int = 0
+
+    def spent_by_tenant(self) -> Dict[str, float]:
+        """Per-tenant ε totals implied by the journaled debits."""
+        out: Dict[str, float] = {}
+        for debit in self.debits:
+            out[debit.tenant] = out.get(debit.tenant, 0.0) + debit.epsilon
+        return out
+
+
+class LedgerLog:
+    """Append-only, torn-tail-tolerant ε-ledger journal."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        #: Appends performed by *this* process (not the replayed past).
+        self.appends = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LedgerLog({str(self.path)!r})"
+
+    # -- writes --------------------------------------------------------
+    def _append(self, entry: Dict[str, Any]) -> None:
+        append_line(
+            self.path,
+            json.dumps({"schema": LEDGER_SCHEMA, **entry}, sort_keys=True),
+        )
+        self.appends += 1
+
+    def append_tenant(self, tenant: str, budget: float) -> None:
+        """Durably record a tenant registration."""
+        self._append({
+            "kind": "tenant",
+            "tenant": str(tenant),
+            "budget": float(budget),
+        })
+
+    def append_debit(
+        self,
+        tenant: str,
+        epsilon: float,
+        key: Optional[str] = None,
+        purpose: str = "",
+    ) -> None:
+        """Durably record one charged query (call *before* answering)."""
+        entry: Dict[str, Any] = {
+            "kind": "debit",
+            "tenant": str(tenant),
+            "epsilon": float(epsilon),
+            "purpose": str(purpose),
+        }
+        if key is not None:
+            entry["key"] = str(key)
+        self._append(entry)
+
+    # -- reads ---------------------------------------------------------
+    def replay(self) -> LedgerReplay:
+        """Reconstruct the pre-crash accounting state from the file.
+
+        Unparseable lines (the torn tail of an interrupted append) are
+        counted and skipped — a truncation at *any* byte offset yields
+        a clean prefix of the journaled debits, never a corrupted
+        total.  A wrong schema number raises :class:`JournalError`
+        (version mismatch, not a crash artifact).  Keyed debits whose
+        key repeats are dropped, so replaying a journal that recorded a
+        retried-and-deduped request stays exactly-once.
+        """
+        replay = LedgerReplay()
+        if not self.path.exists():
+            return replay
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                replay.torn_lines += 1
+                continue
+            if not isinstance(entry, dict) or "kind" not in entry:
+                replay.torn_lines += 1
+                continue
+            if entry.get("schema") != LEDGER_SCHEMA:
+                raise JournalError(
+                    f"ledger {self.path} has schema "
+                    f"{entry.get('schema')!r}; expected {LEDGER_SCHEMA}"
+                )
+            kind = entry["kind"]
+            if kind == "tenant":
+                replay.tenants.setdefault(
+                    str(entry["tenant"]), float(entry["budget"])
+                )
+            elif kind == "debit":
+                key = entry.get("key")
+                if key is not None:
+                    if key in replay.keys:
+                        replay.duplicate_debits += 1
+                        continue
+                    replay.keys.add(str(key))
+                replay.debits.append(LedgerDebit(
+                    tenant=str(entry["tenant"]),
+                    epsilon=float(entry["epsilon"]),
+                    key=key,
+                    purpose=str(entry.get("purpose", "")),
+                ))
+            # Unknown kinds are ignored (forward-compatible).
+        return replay

@@ -36,6 +36,7 @@ monitors work unchanged.
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
 import time
@@ -316,6 +317,10 @@ class ReplayResult:
     elapsed_seconds: float
     publish: Dict[str, Any] = field(default_factory=dict)
     failures: List[FailedRecord] = field(default_factory=list)
+    #: Final ``/v1/stats`` snapshot from the server (best-effort; empty
+    #: when the scrape failed).  Carries the resilience counters the
+    #: history store and the chaos drill consume.
+    server_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def n_queries(self) -> int:
@@ -413,27 +418,38 @@ class _NullObserver:
         return lambda *args, **kwargs: None
 
 
+#: Transport failures worth retrying: connection refused/reset (a
+#: server restarting mid-chaos) and half-closed keep-alive streams
+#: (``BadStatusLine`` is an ``HTTPException``, not an ``OSError``).
+_TRANSPORT_ERRORS = (OSError, http.client.HTTPException)
+
+
 def _issue_one(
     client: ServeClient,
     fingerprint: str,
     item: ScheduledQuery,
     retries: int,
     backoff_seconds: float,
+    idempotency_key: Optional[str] = None,
 ) -> Tuple[int, Dict[str, Any], float]:
     """Send one query with bounded transport retries.
 
     Returns ``(http_code, payload, latency_seconds)``; raises the last
-    transport error once the retry budget is exhausted.
+    transport error once the retry budget is exhausted.  The
+    deterministic ``idempotency_key`` is re-sent on every retry, so a
+    request whose answer was journaled just before a crash is replayed
+    for free instead of double-charging the tenant.
     """
     attempt = 0
     while True:
         started = time.perf_counter()
         try:
             code, payload = client.query(
-                item.tenant, [item.wire_query()], fingerprint=fingerprint
+                item.tenant, [item.wire_query()], fingerprint=fingerprint,
+                idempotency_key=idempotency_key,
             )
             return code, payload, time.perf_counter() - started
-        except OSError:
+        except _TRANSPORT_ERRORS:
             attempt += 1
             if attempt > retries:
                 raise
@@ -450,6 +466,7 @@ def _tenant_worker(
     time_scale: float,
     retries: int,
     backoff_seconds: float,
+    key_prefix: str,
     out_records: Dict[int, Dict[str, Any]],
     out_latencies: Dict[int, float],
     failures: List[FailedRecord],
@@ -465,9 +482,10 @@ def _tenant_worker(
         with slots:
             try:
                 code, payload, latency = _issue_one(
-                    client, fingerprint, item, retries, backoff_seconds
+                    client, fingerprint, item, retries, backoff_seconds,
+                    idempotency_key=f"{key_prefix}:{item.index}",
                 )
-            except OSError as exc:
+            except _TRANSPORT_ERRORS as exc:
                 # Quarantine the rest of this tenant's trace: a dead
                 # transport would fail every later query identically.
                 with lock:
@@ -527,13 +545,15 @@ def run_replay(
     observer: Optional[Any] = None,
     cache_entries: int = 8,
     default_tenant_budget: float = 100.0,
+    state_dir: Optional[Union[str, Path]] = None,
 ) -> ReplayResult:
     """Replay a manifest; self-hosts a fresh server when no URL given.
 
     ``time_scale`` overrides the manifest's (``0`` = ignore arrival
     gaps and go as fast as the issue slots allow).  The self-hosted
     mode guarantees a fresh server state, which is what the transcript
-    determinism guarantee is stated against.
+    determinism guarantee is stated against; pass ``state_dir`` to
+    self-host with the durable ledger + artifact store enabled.
     """
     owned_server = None
     if base_url is None:
@@ -543,6 +563,7 @@ def run_replay(
         service = QueryService(
             cache_entries=cache_entries,
             default_tenant_budget=default_tenant_budget,
+            state_dir=state_dir,
         )
         owned_server = make_server("127.0.0.1", 0, service)
         server_thread = threading.Thread(
@@ -555,20 +576,36 @@ def run_replay(
     scale = manifest.time_scale if time_scale is None else float(time_scale)
     obs = observer if observer is not None else _NullObserver()
     client = ServeClient(base_url)
+    def _setup_call(fn, *fn_args):
+        """Setup RPCs retried like queries (registration and publish
+        are idempotent, and a chaos kill can land mid-publish)."""
+        attempt = 0
+        while True:
+            try:
+                return fn(*fn_args)
+            except _TRANSPORT_ERRORS:
+                attempt += 1
+                if attempt > retries:
+                    raise
+                time.sleep(backoff_seconds * (2 ** (attempt - 1)))
+                client.wait_ready()
+
     try:
         client.wait_ready()
         # Tenants first (explicit budgets), then the artifact, so the
         # trace starts against fully-provisioned state.
         for tenant in manifest.tenants:
-            code, payload = client.register_tenant(
-                tenant.name, tenant.budget
+            code, payload = _setup_call(
+                client.register_tenant, tenant.name, tenant.budget
             )
             if code != 200:
                 raise RuntimeError(
                     f"tenant {tenant.name!r} registration failed "
                     f"({code}): {payload.get('error')}"
                 )
-        code, publish_payload = client.publish(manifest.spec.to_payload())
+        code, publish_payload = _setup_call(
+            client.publish, manifest.spec.to_payload()
+        )
         if code != 200:
             raise RuntimeError(
                 f"publish failed ({code}): {publish_payload.get('error')}"
@@ -581,6 +618,10 @@ def run_replay(
         for item in schedule:
             by_tenant[item.tenant].append(item)
         obs.on_run_start(f"replay/{manifest.name}", len(by_tenant), 0)
+        # Deterministic per-query idempotency keys: the same manifest
+        # always re-presents the same key for the same slot, so a
+        # replay resumed across a server crash stays exactly-once.
+        key_prefix = f"{manifest.name}:{manifest.seed}"
         slots = threading.Semaphore(manifest.issue_slots)
         records: Dict[int, Dict[str, Any]] = {}
         latencies: Dict[int, float] = {}
@@ -598,7 +639,7 @@ def run_replay(
                 args=(
                     tenant_name, items, client, fingerprint, slots,
                     started_monotonic, scale, retries, backoff_seconds,
-                    records, latencies, failures, lock,
+                    key_prefix, records, latencies, failures, lock,
                 ),
                 name=f"replay-{manifest.name}-{tenant_name}",
                 daemon=True,
@@ -613,6 +654,10 @@ def run_replay(
             )
         elapsed = time.perf_counter() - started_wall
         obs.on_run_end(f"replay/{manifest.name}")
+        try:
+            server_stats = client.stats()
+        except _TRANSPORT_ERRORS:
+            server_stats = {}
         ordered = [records[i] for i in sorted(records)]
         latency_array = np.asarray(
             [latencies[i] for i in sorted(latencies)], dtype=np.float64
@@ -625,6 +670,7 @@ def run_replay(
             elapsed_seconds=elapsed,
             publish=publish_payload,
             failures=failures,
+            server_stats=server_stats,
         )
     finally:
         if owned_server is not None:
@@ -683,4 +729,27 @@ def record_replay_metrics(
         gauge = registry.gauge(name, help_text, labelnames=("manifest",))
         if not (isinstance(value, float) and np.isnan(value)):
             gauge.labels(manifest=label).set(float(value))
+    # Serving resilience counters, scraped from the target server's
+    # final /v1/stats: the run-history store ingests these gauges so
+    # the trend dashboard's operations section can track sheds /
+    # degraded answers / restart recoveries per replay run.
+    resilience = result.server_stats.get("resilience") or {}
+    for name, help_text, totals in (
+        ("repro_serve_shed_total",
+         "requests shed under overload or drain during this replay",
+         resilience.get("shed")),
+        ("repro_serve_degraded_total",
+         "queries answered from a stale fallback artifact",
+         resilience.get("degraded")),
+        ("repro_serve_recovered_total",
+         "state recovered from disk by the server at startup",
+         resilience.get("recovered")),
+    ):
+        if not isinstance(totals, dict) or not totals:
+            continue
+        gauge = registry.gauge(
+            name, help_text, labelnames=("manifest", "key")
+        )
+        for key, value in sorted(totals.items()):
+            gauge.labels(manifest=label, key=str(key)).set(float(value))
     return registry

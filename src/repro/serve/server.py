@@ -6,6 +6,14 @@ thread-safe (locked cache, locked accountants, locked metric children),
 so there is no global request lock and cache hits stay microseconds
 under concurrency.
 
+Admission control sits in front of every application route (liveness
+and metrics stay exempt so probes work under load): a
+:class:`~repro.serve.admission.AdmissionController` bounds concurrency
+and queueing, and anything it refuses gets ``503`` + ``Retry-After``
+— never a hang, never a 500.  Graceful shutdown drains: the controller
+refuses new admissions (``503``, ``/healthz`` reports ``draining``)
+while in-flight requests get a bounded deadline to finish.
+
 Response bytes are deterministic: JSON is rendered with sorted keys and
 stdlib ``repr`` floats, so two servers publishing the same spec return
 byte-identical bodies — a property the replay transcript hashing and
@@ -16,13 +24,13 @@ Routes
 ==========  ====================  ========================================
 method      path                  handler
 ==========  ====================  ========================================
-``GET``     ``/healthz``          liveness probe
-``GET``     ``/metrics``          Prometheus exposition
+``GET``     ``/healthz``          liveness probe (admission-exempt)
+``GET``     ``/metrics``          Prometheus exposition (admission-exempt)
 ``GET``     ``/v1/stats``         cache / tenant / uptime snapshot
 ``POST``    ``/v1/publish``       materialize an artifact from a spec
 ``POST``    ``/v1/tenants``       register a tenant with an ε budget
 ``POST``    ``/v1/query``         answer point/range count queries
-``POST``    ``/v1/shutdown``      graceful stop (responds, then exits)
+``POST``    ``/v1/shutdown``      graceful stop (drain, then exit)
 ==========  ====================  ========================================
 """
 
@@ -36,12 +44,17 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
+from repro.robust import faults
+from repro.serve.admission import AdmissionController
 from repro.serve.service import QueryService, RequestError
 
 __all__ = ["HistogramHTTPServer", "make_server", "run_server"]
 
 #: Request bodies above this size are refused (413) before parsing.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Routes that bypass admission control (probes must answer under load).
+EXEMPT_PATHS = ("/healthz", "/metrics")
 
 
 def _encode(payload: Dict[str, Any]) -> bytes:
@@ -61,11 +74,18 @@ class _Handler(BaseHTTPRequestHandler):
                 "serve: %s - %s\n" % (self.address_string(), format % args)
             )
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = _encode(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -77,6 +97,18 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_shed(self, reason: str, retry_after: float) -> None:
+        """503 + ``Retry-After``: integer header, float payload field."""
+        self._send_json(
+            503,
+            {
+                "error": f"overloaded: {reason}",
+                "reason": reason,
+                "retry_after": retry_after,
+            },
+            headers={"Retry-After": str(max(1, int(round(retry_after))))},
+        )
 
     def _read_body(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length", 0) or 0)
@@ -94,14 +126,19 @@ class _Handler(BaseHTTPRequestHandler):
         return payload
 
     # -- dispatch ------------------------------------------------------
-    def _dispatch(self, method: str) -> Tuple[str, int]:
+    def _path(self) -> str:
+        return self.path.split("?", 1)[0].rstrip("/") or "/"
+
+    def _dispatch(self, method: str, path: str) -> Tuple[str, int]:
         """Route one request; returns ``(endpoint, status)``."""
         service = self.server.service
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
         try:
+            faults.maybe_inject_site("serve.handler", f"{method} {path}")
             if method == "GET":
                 if path == "/healthz":
                     status, payload = service.health()
+                    if self.server.draining:
+                        status, payload = 503, {"status": "draining"}
                     self._send_json(status, payload)
                     return "healthz", status
                 if path == "/metrics":
@@ -127,7 +164,10 @@ class _Handler(BaseHTTPRequestHandler):
                 elif path == "/v1/tenants":
                     status, payload = service.register_tenant(body)
                 elif path == "/v1/query":
-                    status, payload = service.query(body)
+                    status, payload = service.query(
+                        body,
+                        idempotency_key=self.headers.get("Idempotency-Key"),
+                    )
                 else:
                     raise RequestError(
                         404, f"no such endpoint: POST {path}"
@@ -136,7 +176,13 @@ class _Handler(BaseHTTPRequestHandler):
                 return path.rsplit("/", 1)[-1], status
             raise RequestError(405, f"method {method} not allowed")
         except RequestError as exc:
-            self._send_json(exc.status, {"error": exc.message})
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None:
+                self._send_shed(
+                    getattr(exc, "reason", "overloaded"), retry_after
+                )
+            else:
+                self._send_json(exc.status, {"error": exc.message})
             return path.rsplit("/", 1)[-1] or "root", exc.status
         except BrokenPipeError:
             raise
@@ -148,10 +194,31 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle(self, method: str) -> None:
         started = time.perf_counter()
+        path = self._path()
+        admission = self.server.admission
+        admitted = False
+        if admission is not None and path not in EXEMPT_PATHS:
+            decision = admission.try_admit()
+            if not decision.admitted:
+                reason = decision.reason or "overloaded"
+                self.server.service.note_shed(reason)
+                try:
+                    self._send_shed(reason, self.server.retry_after)
+                except BrokenPipeError:
+                    return
+                self.server.service.observe_request(
+                    path.rsplit("/", 1)[-1] or "root", 503,
+                    time.perf_counter() - started,
+                )
+                return
+            admitted = True
         try:
-            endpoint, status = self._dispatch(method)
+            endpoint, status = self._dispatch(method, path)
         except BrokenPipeError:  # client went away mid-response
             return
+        finally:
+            if admitted:
+                admission.release()
         self.server.service.observe_request(
             endpoint, status, time.perf_counter() - started
         )
@@ -174,10 +241,18 @@ class HistogramHTTPServer(ThreadingHTTPServer):
         address: Tuple[str, int],
         service: QueryService,
         verbose: bool = False,
+        admission: Optional[AdmissionController] = None,
+        drain_seconds: float = 5.0,
+        retry_after: float = 1.0,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
+        self.admission = admission
+        self.drain_seconds = float(drain_seconds)
+        self.retry_after = float(retry_after)
+        self._shutdown_once = threading.Lock()
+        self._shutdown_started = False
 
     @property
     def port(self) -> int:
@@ -188,9 +263,29 @@ class HistogramHTTPServer(ThreadingHTTPServer):
         host = self.server_address[0]
         return f"http://{host}:{self.port}"
 
+    @property
+    def draining(self) -> bool:
+        return self.admission is not None and self.admission.draining
+
     def request_shutdown(self) -> None:
-        """Stop the serve loop without deadlocking the calling handler."""
-        threading.Thread(target=self.shutdown, daemon=True).start()
+        """Drain, then stop the serve loop (idempotent, non-blocking).
+
+        New application requests are refused with 503 from the instant
+        drain begins; in-flight requests get ``drain_seconds`` to
+        finish before the socket loop stops regardless.
+        """
+        with self._shutdown_once:
+            if self._shutdown_started:
+                return
+            self._shutdown_started = True
+
+        def _drain_and_stop() -> None:
+            if self.admission is not None:
+                self.admission.begin_drain()
+                self.admission.wait_drained(self.drain_seconds)
+            self.shutdown()
+
+        threading.Thread(target=_drain_and_stop, daemon=True).start()
 
 
 def make_server(
@@ -198,11 +293,17 @@ def make_server(
     port: int = 0,
     service: Optional[QueryService] = None,
     verbose: bool = False,
+    admission: Optional[AdmissionController] = None,
+    drain_seconds: float = 5.0,
+    retry_after: float = 1.0,
 ) -> HistogramHTTPServer:
     """Bind a server (``port=0`` picks an ephemeral port)."""
     if service is None:
         service = QueryService()
-    return HistogramHTTPServer((host, port), service, verbose=verbose)
+    return HistogramHTTPServer(
+        (host, port), service, verbose=verbose, admission=admission,
+        drain_seconds=drain_seconds, retry_after=retry_after,
+    )
 
 
 def run_server(server: HistogramHTTPServer) -> int:

@@ -15,22 +15,50 @@ post-processing discount), which gives every tenant a hard quota of
 ``floor(budget / ε)`` answers per artifact class and makes exhaustion
 deterministic and testable.  A refused query spends nothing.  See
 docs/serving.md for the full semantics.
+
+Crash-safety (``state_dir``)
+----------------------------
+With a ``state_dir`` the service becomes durable: every debit is
+journaled to a write-ahead ε-ledger (:mod:`repro.serve.ledgerlog`)
+*after* the atomic in-memory spend and *before* the answer is released,
+and every cold publish is spilled to an on-disk artifact store
+(:mod:`repro.serve.store`).  A restart replays the ledger to the exact
+spent totals (idempotency keys make client retries exactly-once) and
+rehydrates artifacts byte-identically instead of drawing fresh noise.
+The charge ordering gives the two invariants the chaos drill asserts:
+the journal can never contain an overdraft (only debits that passed
+the atomic budget check are written), and a crash between spend and
+journal loses only a debit whose answer was never released.
+
+Overload (``publish_slots``)
+----------------------------
+Cold publishes are the expensive path; ``publish_slots`` bounds how
+many run at once.  A saturated publisher degrades instead of hanging:
+queries are answered from a stale-but-compatible cached artifact
+(flagged ``degraded`` in the response) when one exists, and shed with
+:class:`ShedError` (503 + ``Retry-After``) otherwise — all counted in
+the ``repro_serve_shed/degraded/recovered`` metric families.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
+from repro.accounting.budget import PrivacyBudget
 from repro.exceptions import BudgetExceededError
 from repro.obs.metrics import MetricsRegistry
+from repro.robust import faults
 from repro.serve.artifacts import PublishedArtifact
 from repro.serve.cache import ArtifactCache
+from repro.serve.ledgerlog import LedgerLog
 from repro.serve.spec import ServeSpec
+from repro.serve.store import ArtifactStore
 from repro.serve.tenants import TenantLedgers
 
-__all__ = ["QueryService", "RequestError"]
+__all__ = ["QueryService", "RequestError", "ShedError"]
 
 #: Latency buckets tuned to serving (sub-millisecond hits through
 #: seconds-scale cold publishes).
@@ -46,6 +74,20 @@ class RequestError(Exception):
         super().__init__(message)
         self.status = int(status)
         self.message = str(message)
+
+
+class ShedError(RequestError):
+    """Load shed: 503 + ``Retry-After`` — an invitation, not a failure."""
+
+    def __init__(
+        self,
+        message: str,
+        retry_after: float = 1.0,
+        reason: str = "overloaded",
+    ) -> None:
+        super().__init__(503, message)
+        self.retry_after = float(retry_after)
+        self.reason = str(reason)
 
 
 def _parse_query(
@@ -103,6 +145,9 @@ class QueryService:
         cache_bytes: Optional[int] = None,
         default_tenant_budget: float = 100.0,
         registry: Optional[MetricsRegistry] = None,
+        state_dir: Optional[Union[str, Path]] = None,
+        publish_slots: Optional[int] = None,
+        retry_after: float = 1.0,
     ) -> None:
         self.cache = ArtifactCache(
             max_entries=cache_entries, max_bytes=cache_bytes
@@ -110,8 +155,26 @@ class QueryService:
         self.tenants = TenantLedgers(default_budget=default_tenant_budget)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.started = time.time()
+        self.retry_after = float(retry_after)
         self._known_specs: Dict[str, ServeSpec] = {}
         self._specs_lock = threading.Lock()
+        self._seen_keys: Set[str] = set()
+        self._journaled_tenants: Set[str] = set()
+        self._keys_lock = threading.Lock()
+        self._resilience_lock = threading.Lock()
+        self._shed_totals: Dict[str, int] = {}
+        self._degraded_totals: Dict[str, int] = {}
+        self._recovered_totals: Dict[str, int] = {}
+        if publish_slots is not None and publish_slots < 0:
+            raise ValueError(
+                f"publish_slots must be >= 0, got {publish_slots}"
+            )
+        self._publish_gate = (
+            threading.BoundedSemaphore(publish_slots)
+            if publish_slots is not None and publish_slots > 0
+            else None
+        )
+        self._publish_closed = publish_slots == 0
         reg = self.registry
         self._requests = reg.counter(
             "repro_serve_requests_total",
@@ -125,13 +188,28 @@ class QueryService:
         )
         self._cache_events = reg.counter(
             "repro_serve_cache_events_total",
-            "artifact cache hits / misses / evictions",
+            "artifact cache hits / misses / evictions / rehydrations",
             labelnames=("event",),
         )
         self._denials = reg.counter(
             "repro_serve_budget_denials_total",
             "queries refused because a tenant's ε budget was exhausted",
             labelnames=("tenant",),
+        )
+        self._sheds = reg.counter(
+            "repro_serve_shed_total",
+            "requests shed under overload or drain, by reason",
+            labelnames=("reason",),
+        )
+        self._degraded = reg.counter(
+            "repro_serve_degraded_total",
+            "queries answered from a stale fallback artifact, by source",
+            labelnames=("source",),
+        )
+        self._recovered = reg.counter(
+            "repro_serve_recovered_total",
+            "state recovered from disk at startup, by kind",
+            labelnames=("kind",),
         )
         self._request_seconds = reg.histogram(
             "repro_serve_request_seconds",
@@ -144,6 +222,74 @@ class QueryService:
             "cold publisher runtime per artifact",
             buckets=SERVE_BUCKETS,
         )
+        # -- durable state (the crash-safety wing) ---------------------
+        self.state_dir: Optional[Path] = None
+        self.ledger: Optional[LedgerLog] = None
+        self.store: Optional[ArtifactStore] = None
+        self.recovery: Dict[str, int] = {}
+        if state_dir is not None:
+            self.state_dir = Path(state_dir)
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+            self.ledger = LedgerLog(self.state_dir / "ledger.jsonl")
+            self.store = ArtifactStore(self.state_dir / "artifacts")
+            self._recover()
+
+    # -- recovery ------------------------------------------------------
+    def _note_recovered(self, kind: str, count: int = 1) -> None:
+        if count <= 0:
+            return
+        self._recovered.labels(kind=kind).inc(count)
+        with self._resilience_lock:
+            self._recovered_totals[kind] = (
+                self._recovered_totals.get(kind, 0) + count
+            )
+
+    def _recover(self) -> None:
+        """Replay the ledger + scan the store into fresh in-memory state.
+
+        Never overdrafts: a journaled debit that no longer fits (the
+        journal was produced under a different default budget, say) is
+        skipped and counted rather than forced through.
+        """
+        assert self.ledger is not None and self.store is not None
+        report = {
+            "tenants": 0, "debits": 0, "artifacts": 0,
+            "torn_lines": 0, "duplicate_debits": 0,
+            "overdraft_skipped": 0, "quarantined": 0,
+        }
+        replay = self.ledger.replay()
+        report["torn_lines"] = replay.torn_lines
+        report["duplicate_debits"] = replay.duplicate_debits
+        for name, budget in replay.tenants.items():
+            try:
+                self.tenants.register(name, budget)
+            except ValueError:
+                continue
+            self._journaled_tenants.add(name)
+            report["tenants"] += 1
+        for debit in replay.debits:
+            accountant = self.tenants.register(debit.tenant)
+            self._journaled_tenants.add(debit.tenant)
+            try:
+                accountant.spend(
+                    PrivacyBudget(debit.epsilon),
+                    purpose=f"recovered/{debit.purpose or 'debit'}",
+                )
+            except BudgetExceededError:
+                report["overdraft_skipped"] += 1
+                continue
+            report["debits"] += 1
+        with self._keys_lock:
+            self._seen_keys.update(replay.keys)
+        for fingerprint, spec in self.store.specs().items():
+            with self._specs_lock:
+                self._known_specs.setdefault(fingerprint, spec)
+            report["artifacts"] += 1
+        report["quarantined"] = self.store.stats()["quarantined"]
+        self._note_recovered("tenant", report["tenants"])
+        self._note_recovered("debit", report["debits"])
+        self._note_recovered("artifact", report["artifacts"])
+        self.recovery = report
 
     # -- bookkeeping ---------------------------------------------------
     def observe_request(
@@ -153,10 +299,82 @@ class QueryService:
         self._requests.labels(endpoint=endpoint, code=str(code)).inc()
         self._request_seconds.labels(endpoint=endpoint).observe(seconds)
 
+    def note_shed(self, reason: str) -> None:
+        """Count one shed request (also called by the admission layer)."""
+        self._sheds.labels(reason=reason).inc()
+        with self._resilience_lock:
+            self._shed_totals[reason] = self._shed_totals.get(reason, 0) + 1
+
+    def _note_degraded(self, source: str) -> None:
+        self._degraded.labels(source=source).inc()
+        with self._resilience_lock:
+            self._degraded_totals[source] = (
+                self._degraded_totals.get(source, 0) + 1
+            )
+
+    def _journal_tenant(self, name: str) -> None:
+        """Durably record a tenant's budget the first time it matters."""
+        if self.ledger is None:
+            return
+        with self._keys_lock:
+            if name in self._journaled_tenants:
+                return
+            self._journaled_tenants.add(name)
+        accountant = self.tenants.accountant(name)
+        budget = (
+            accountant.total.epsilon if accountant is not None
+            else self.tenants.default_budget
+        )
+        self.ledger.append_tenant(name, budget)
+
+    def _seen(self, key: str) -> bool:
+        with self._keys_lock:
+            return key in self._seen_keys
+
+    def _charge(
+        self, tenant: str, epsilon: float, purpose: str, key: Optional[str]
+    ) -> float:
+        """Atomic spend, then durable journal, then (caller) answer.
+
+        The in-memory check-and-spend runs FIRST, so an overdraft can
+        never reach the journal; the journal append runs BEFORE the
+        answer is released, so a crash after the append is covered by
+        the idempotency key (the retry is answered for free).
+        """
+        remaining = self.tenants.charge(tenant, epsilon, purpose=purpose)
+        if self.ledger is not None:
+            self._journal_tenant(tenant)
+            faults.maybe_inject_site("serve.before_journal", key or purpose)
+            self.ledger.append_debit(tenant, epsilon, key=key,
+                                     purpose=purpose)
+            faults.maybe_inject_site("serve.after_journal", key or purpose)
+        if key is not None:
+            with self._keys_lock:
+                self._seen_keys.add(key)
+        return remaining
+
+    # -- artifact resolution -------------------------------------------
+    def _rehydrate(self, fingerprint: str) -> Optional[PublishedArtifact]:
+        """Warm-restart path: pull a spilled artifact back into cache."""
+        if self.store is None or self.cache.inflight(fingerprint):
+            return None
+        artifact = self.store.load(fingerprint)
+        if artifact is None:
+            return None
+        self.cache.put(artifact)
+        self._cache_events.labels(event="rehydrate").inc()
+        with self._specs_lock:
+            self._known_specs.setdefault(fingerprint, artifact.spec)
+        return artifact
+
     def _resolve_artifact(
         self, payload: Dict[str, Any]
-    ) -> Tuple[PublishedArtifact, bool]:
-        """The artifact a request targets, via fingerprint or inline spec."""
+    ) -> Tuple[PublishedArtifact, str]:
+        """The artifact a request targets, via fingerprint or inline spec.
+
+        Returns ``(artifact, source)`` with source one of ``hit`` /
+        ``store`` / ``publish``.
+        """
         fingerprint = payload.get("fingerprint")
         spec_payload = payload.get("spec")
         if fingerprint is None and spec_payload is None:
@@ -167,7 +385,10 @@ class QueryService:
             artifact = self.cache.get(fingerprint)
             if artifact is not None:
                 self._cache_events.labels(event="hit").inc()
-                return artifact, True
+                return artifact, "hit"
+            artifact = self._rehydrate(fingerprint)
+            if artifact is not None:
+                return artifact, "store"
             with self._specs_lock:
                 spec = self._known_specs.get(fingerprint)
             if spec is None:
@@ -182,22 +403,104 @@ class QueryService:
             spec = ServeSpec.from_payload(spec_payload)
         except ValueError as exc:
             raise RequestError(400, f"bad spec: {exc}") from exc
+        fp = spec.fingerprint()
+        if fp not in self.cache and not self.cache.inflight(fp):
+            artifact = self._rehydrate(fp)
+            if artifact is not None:
+                return artifact, "store"
         return self._publish_spec(spec, None)
 
     def _publish_spec(
         self, spec: ServeSpec, fingerprint: Optional[str]
-    ) -> Tuple[PublishedArtifact, bool]:
-        artifact, hit, evicted = self.cache.get_or_publish(
-            spec, fingerprint
-        )
+    ) -> Tuple[PublishedArtifact, str]:
+        fp = fingerprint if fingerprint is not None else spec.fingerprint()
+        needs_cold = fp not in self.cache and not self.cache.inflight(fp)
+        slot: Optional[threading.BoundedSemaphore] = None
+        if needs_cold:
+            if self._publish_closed:
+                self.note_shed("publish_saturated")
+                raise ShedError(
+                    "publisher saturated; retry later",
+                    retry_after=self.retry_after,
+                    reason="publish_saturated",
+                )
+            if self._publish_gate is not None:
+                if not self._publish_gate.acquire(blocking=False):
+                    self.note_shed("publish_saturated")
+                    raise ShedError(
+                        "publisher saturated; retry later",
+                        retry_after=self.retry_after,
+                        reason="publish_saturated",
+                    )
+                slot = self._publish_gate
+        try:
+            artifact, hit, evicted = self.cache.get_or_publish(
+                spec, fingerprint
+            )
+        finally:
+            if slot is not None:
+                slot.release()
         self._cache_events.labels(event="hit" if hit else "miss").inc()
         if evicted:
             self._cache_events.labels(event="eviction").inc(evicted)
         if not hit:
             self._publish_seconds.observe(artifact.publish_seconds)
+            if self.store is not None:
+                self.store.save(artifact)
         with self._specs_lock:
             self._known_specs.setdefault(artifact.fingerprint, spec)
-        return artifact, hit
+        return artifact, ("hit" if hit else "publish")
+
+    def _degraded_fallback(
+        self, payload: Dict[str, Any]
+    ) -> Optional[PublishedArtifact]:
+        """A stale-but-valid resident artifact compatible with the ask.
+
+        Compatible = same dataset, bin count, and total, so every range
+        answer is still a valid DP release over the same domain — just
+        possibly from a different (ε, publisher) release than requested.
+        """
+        spec_payload = payload.get("spec")
+        fingerprint = payload.get("fingerprint")
+        want: Optional[Tuple[str, int, int]] = None
+        if isinstance(spec_payload, dict):
+            try:
+                spec = ServeSpec.from_payload(spec_payload)
+                want = (spec.dataset, spec.n_bins, spec.total)
+            except ValueError:
+                return None
+        elif isinstance(fingerprint, str):
+            with self._specs_lock:
+                spec = self._known_specs.get(fingerprint)
+            if spec is not None:
+                want = (spec.dataset, spec.n_bins, spec.total)
+        if want is None:
+            return None
+        for artifact in reversed(self.cache.artifacts()):
+            have = (
+                artifact.spec.dataset, artifact.spec.n_bins,
+                artifact.spec.total,
+            )
+            if have == want:
+                return artifact
+        return None
+
+    def _resolve_for_query(
+        self, payload: Dict[str, Any]
+    ) -> Tuple[PublishedArtifact, Optional[Dict[str, Any]]]:
+        """Resolve, degrading to a stale artifact instead of shedding."""
+        try:
+            artifact, _source = self._resolve_artifact(payload)
+            return artifact, None
+        except ShedError as exc:
+            fallback = self._degraded_fallback(payload)
+            if fallback is None:
+                raise
+            self._note_degraded("stale_cache")
+            return fallback, {
+                "reason": exc.reason,
+                "served_fingerprint": fallback.fingerprint,
+            }
 
     # -- endpoints -----------------------------------------------------
     def publish(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
@@ -208,10 +511,17 @@ class QueryService:
             spec = ServeSpec.from_payload(payload.get("spec", payload))
         except ValueError as exc:
             raise RequestError(400, f"bad spec: {exc}") from exc
-        artifact, hit = self._publish_spec(spec, None)
+        fp = spec.fingerprint()
+        artifact = None
+        source = "store"
+        if fp not in self.cache and not self.cache.inflight(fp):
+            artifact = self._rehydrate(fp)
+        if artifact is None:
+            artifact, source = self._publish_spec(spec, None)
         return 200, {
             "fingerprint": artifact.fingerprint,
-            "cached": hit,
+            "cached": source != "publish",
+            "source": source,
             "n_bins": artifact.n_bins,
             "epsilon": spec.epsilon,
             "epsilon_spent": artifact.epsilon_spent,
@@ -237,19 +547,28 @@ class QueryService:
         except ValueError as exc:
             status = 409 if "already registered" in str(exc) else 400
             raise RequestError(status, str(exc)) from exc
+        self._journal_tenant(name)
         return 200, {
             "tenant": name,
             "budget": accountant.total.epsilon,
             "remaining": accountant.remaining.epsilon,
         }
 
-    def query(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+    def query(
+        self,
+        payload: Dict[str, Any],
+        idempotency_key: Optional[str] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
         """``POST /v1/query``: answer a batch of point/range queries.
 
         Queries are processed strictly in order; each successful answer
-        debits the tenant's ledger exactly once.  The response carries
-        one result per query; the HTTP status is 200 when every query
-        was answered and 429 when at least one was refused for budget.
+        debits the tenant's ledger exactly once — *across retries too*,
+        when the request carries an idempotency key (header or payload
+        field): per-query keys ``{key}#{index}`` that were already
+        journaled are answered for free with ``replayed: true``.  The
+        response carries one result per query; the HTTP status is 200
+        when every query was answered and 429 when at least one was
+        refused for budget.
         """
         if not isinstance(payload, dict):
             raise RequestError(400, "body must be a JSON object")
@@ -259,7 +578,13 @@ class QueryService:
         queries = payload.get("queries")
         if not isinstance(queries, list) or not queries:
             raise RequestError(400, "queries must be a non-empty list")
-        artifact, _hit = self._resolve_artifact(payload)
+        base_key = idempotency_key
+        if base_key is None:
+            raw = payload.get("idempotency_key")
+            if raw is not None and not isinstance(raw, str):
+                raise RequestError(400, "idempotency_key must be a string")
+            base_key = raw
+        artifact, degraded = self._resolve_for_query(payload)
         epsilon = artifact.spec.epsilon
         parsed = [
             _parse_query(item, i, artifact.n_bins)
@@ -268,10 +593,23 @@ class QueryService:
         results: List[Dict[str, Any]] = []
         refused = 0
         for index, (kind, lo, hi) in enumerate(parsed):
+            key = f"{base_key}#{index}" if base_key else None
+            if key is not None and self._seen(key):
+                # Already journaled-and-answered: the retry is free.
+                self._queries.labels(status="replayed").inc()
+                results.append({
+                    "index": index,
+                    "status": "ok",
+                    "kind": kind,
+                    "value": artifact.range(lo, hi),
+                    "replayed": True,
+                })
+                continue
             try:
-                remaining = self.tenants.charge(
+                remaining = self._charge(
                     tenant, epsilon,
                     purpose=f"query/{artifact.fingerprint[:12]}",
+                    key=key,
                 )
             except BudgetExceededError:
                 refused += 1
@@ -295,13 +633,37 @@ class QueryService:
                 "remaining": remaining,
             })
         status = 429 if refused else 200
-        return status, {
+        response: Dict[str, Any] = {
             "fingerprint": artifact.fingerprint,
             "tenant": tenant,
             "epsilon_per_query": epsilon,
             "answered": len(parsed) - refused,
             "refused": refused,
             "results": results,
+        }
+        if degraded is not None:
+            response["degraded"] = True
+            response["degraded_reason"] = degraded["reason"]
+            response["served_fingerprint"] = degraded["served_fingerprint"]
+        return status, response
+
+    def resilience(self) -> Dict[str, Any]:
+        """Durability/overload counters for ``/v1/stats`` and drills."""
+        with self._resilience_lock:
+            sheds = dict(self._shed_totals)
+            degraded = dict(self._degraded_totals)
+            recovered = dict(self._recovered_totals)
+        with self._keys_lock:
+            seen_keys = len(self._seen_keys)
+        return {
+            "state_dir": str(self.state_dir) if self.state_dir else None,
+            "recovery": dict(self.recovery),
+            "seen_keys": seen_keys,
+            "ledger_appends": self.ledger.appends if self.ledger else 0,
+            "store": self.store.stats() if self.store else {},
+            "shed": sheds,
+            "degraded": degraded,
+            "recovered": recovered,
         }
 
     def stats(self) -> Tuple[int, Dict[str, Any]]:
@@ -311,6 +673,7 @@ class QueryService:
             "cache": self.cache.stats(),
             "tenants": self.tenants.snapshot(),
             "known_specs": len(self._known_specs),
+            "resilience": self.resilience(),
         }
 
     def health(self) -> Tuple[int, Dict[str, Any]]:

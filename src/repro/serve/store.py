@@ -1,0 +1,201 @@
+"""On-disk artifact store: warm restarts without re-drawing noise.
+
+Re-publishing a spec after a restart is not merely slow — it draws a
+*fresh* noisy histogram, which from the privacy ledger's point of view
+is a second ε-spending release.  The store therefore spills every
+published :class:`~repro.serve.artifacts.PublishedArtifact` to a
+fingerprint-keyed file, and a restarted server rehydrates known specs
+from disk **byte-identically** instead of running the publisher again.
+
+One artifact = one JSON file (``<fingerprint>.json``) written with
+:func:`repro.robust.atomicio.atomic_write_text`, so a crash mid-spill
+leaves either the previous complete file or nothing — never a torn
+spill visible under the real name.  Defense in depth for files torn by
+other means (a copied-in partial file, disk corruption): the payload
+carries a SHA-256 over the raw count bytes, and a file that fails to
+parse or verify is **quarantined** (renamed ``*.quarantined``) rather
+than served — truncation at any byte offset yields either the full
+artifact or a clean quarantine, never wrong counts (property-tested in
+``tests/serve/test_crashsafety.py``).
+
+Byte identity holds because ``counts`` round-trips as raw little-endian
+float64 bytes (base64 in the JSON) and the prefix-sum array is a
+deterministic function of the counts.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import threading
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.hist.ranges import prefix_sums
+from repro.robust.atomicio import atomic_write_text
+from repro.serve.artifacts import PublishedArtifact
+from repro.serve.spec import ServeSpec
+
+__all__ = ["STORE_SCHEMA", "ArtifactStore"]
+
+STORE_SCHEMA = 1
+
+
+def _counts_sha(raw: bytes) -> str:
+    return hashlib.sha256(raw).hexdigest()
+
+
+class ArtifactStore:
+    """Fingerprint-keyed spill directory for published artifacts."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.saves = 0
+        self.loads = 0
+        self.quarantined = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactStore({str(self.root)!r})"
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    # -- writes --------------------------------------------------------
+    def save(self, artifact: PublishedArtifact) -> Path:
+        """Atomically spill one artifact; idempotent per fingerprint."""
+        import json
+
+        from repro.robust import faults
+
+        raw = np.ascontiguousarray(
+            artifact.counts, dtype=np.float64
+        ).tobytes()
+        payload = {
+            "schema": STORE_SCHEMA,
+            "fingerprint": artifact.fingerprint,
+            "spec": artifact.spec.to_payload(),
+            "epsilon_spent": float(artifact.epsilon_spent),
+            "publish_seconds": float(artifact.publish_seconds),
+            "meta": {
+                k: v for k, v in artifact.meta.items()
+                if isinstance(v, (str, int, float, bool)) or v is None
+            },
+            "counts_sha256": _counts_sha(raw),
+            "counts_b64": base64.b64encode(raw).decode("ascii"),
+        }
+        path = self._path(artifact.fingerprint)
+        faults.maybe_inject_site("serve.before_spill", artifact.fingerprint)
+        atomic_write_text(path, json.dumps(payload, sort_keys=True) + "\n")
+        with self._lock:
+            self.saves += 1
+        return path
+
+    # -- reads ---------------------------------------------------------
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt file out of the live namespace, keep evidence."""
+        with self._lock:
+            self.quarantined += 1
+        target = path.with_name(path.name + ".quarantined")
+        try:
+            path.replace(target)
+        except OSError:  # pragma: no cover - racing quarantines
+            pass
+
+    def _parse(
+        self, path: Path
+    ) -> Optional[Tuple[Dict, ServeSpec, bytes]]:
+        """Parse + verify one spill file; quarantine on any defect."""
+        import json
+
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            self._quarantine(path, "unparseable")
+            return None
+        if not isinstance(payload, dict) or \
+                payload.get("schema") != STORE_SCHEMA:
+            self._quarantine(path, "bad schema")
+            return None
+        try:
+            raw = base64.b64decode(
+                payload["counts_b64"].encode("ascii"), validate=True
+            )
+            spec = ServeSpec.from_payload(payload["spec"])
+            expected = str(payload["counts_sha256"])
+        except (KeyError, ValueError, TypeError, AttributeError):
+            self._quarantine(path, "bad payload")
+            return None
+        if _counts_sha(raw) != expected or len(raw) % 8 != 0 or not raw:
+            self._quarantine(path, "checksum mismatch")
+            return None
+        return payload, spec, raw
+
+    def load(self, fingerprint: str) -> Optional[PublishedArtifact]:
+        """Rehydrate one artifact, or ``None`` (absent / quarantined).
+
+        The rehydrated artifact's ``counts`` are byte-identical to the
+        spilled publish; a file whose embedded fingerprint disagrees
+        with its name is quarantined (a copy/rename accident would
+        otherwise serve the wrong spec's counts).
+        """
+        path = self._path(fingerprint)
+        if not path.exists():
+            return None
+        parsed = self._parse(path)
+        if parsed is None:
+            return None
+        payload, spec, raw = parsed
+        if payload.get("fingerprint") != fingerprint:
+            self._quarantine(path, "fingerprint mismatch")
+            return None
+        counts = np.frombuffer(raw, dtype="<f8")
+        artifact = PublishedArtifact(
+            spec=spec,
+            fingerprint=fingerprint,
+            counts=counts,
+            prefix=prefix_sums(counts),
+            epsilon_spent=float(payload.get("epsilon_spent", spec.epsilon)),
+            publish_seconds=float(payload.get("publish_seconds", 0.0)),
+            meta=dict(payload.get("meta", {})),
+        )
+        with self._lock:
+            self.loads += 1
+        return artifact
+
+    def specs(self) -> Dict[str, ServeSpec]:
+        """Scan the store: ``{fingerprint: spec}`` for every valid file.
+
+        Corrupt files are quarantined during the scan, so a restart
+        both discovers the warm set and sweeps crash debris in one
+        pass.
+        """
+        out: Dict[str, ServeSpec] = {}
+        for path in sorted(self.root.glob("*.json")):
+            parsed = self._parse(path)
+            if parsed is None:
+                continue
+            payload, spec, _raw = parsed
+            fingerprint = payload.get("fingerprint")
+            if not isinstance(fingerprint, str) or \
+                    path.stem != fingerprint:
+                self._quarantine(path, "fingerprint mismatch")
+                continue
+            out[fingerprint] = spec
+        return out
+
+    def fingerprints(self) -> Tuple[str, ...]:
+        """Fingerprints with a (not-yet-verified) spill file on disk."""
+        return tuple(sorted(p.stem for p in self.root.glob("*.json")))
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "artifacts": len(list(self.root.glob("*.json"))),
+                "saves": self.saves,
+                "loads": self.loads,
+                "quarantined": self.quarantined,
+            }

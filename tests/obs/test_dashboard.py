@@ -148,3 +148,30 @@ class TestWriteDashboard:
     def test_html_from_suffix(self, populated, tmp_path):
         out = write_dashboard(populated, tmp_path / "dash.html")
         assert out.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestServingResilienceSection:
+    def test_absent_until_resilience_metrics_ingested(self, populated):
+        assert "Serving resilience" not in render_dashboard(populated)
+
+    def test_renders_shed_degraded_recovered_rows(self, populated):
+        populated.ingest_metrics_payload({
+            "repro_serve_shed_total": {"samples": [
+                {"labels": {"manifest": "tiny", "key": "queue_full"},
+                 "value": 3},
+            ]},
+            "repro_serve_degraded_total": {"samples": [
+                {"labels": {"manifest": "tiny", "key": "stale_cache"},
+                 "value": 1},
+            ]},
+            "repro_serve_recovered_total": {"samples": [
+                {"labels": {"manifest": "tiny", "key": "debit"},
+                 "value": 12},
+            ]},
+        }, source="replay-metrics.json", commit="c2")
+        text = render_dashboard(populated)
+        assert "### Serving resilience (sheds / degraded / recoveries)" \
+            in text
+        assert "| c2 | tiny | shed | queue_full | 3 |" in text
+        assert "| c2 | tiny | degraded | stale_cache | 1 |" in text
+        assert "| c2 | tiny | recovered | debit | 12 |" in text

@@ -1,0 +1,127 @@
+"""Serving-path chaos: SIGKILL mid-replay, restart, prove the invariants.
+
+The drill (``repro.serve.chaos``) starts a real ``repro serve``
+subprocess with a fault plan that kills it at each crash-critical site,
+babysits the restarts, replays a deterministic trace across them, and
+asserts no-overdraft / no-double-spend / byte-identical artifacts /
+deterministic transcript.  These tests are the CI ``chaos-serving``
+lane's workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.robust import faults
+from repro.serve.chaos import default_chaos_rules, run_chaos_replay
+from repro.serve.ledgerlog import LedgerLog
+from repro.serve.replay import (
+    ReplayManifest,
+    ReplayPhase,
+    ReplayTenant,
+)
+
+from tests.serve.conftest import tiny_spec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SRC = str(REPO_ROOT / "src")
+
+
+def chaos_manifest(**overrides) -> ReplayManifest:
+    params = dict(
+        name="chaos-e2e",
+        seed=13,
+        spec=tiny_spec(),
+        tenants=(
+            ReplayTenant("alpha", budget=50.0, weight=2.0),
+            ReplayTenant("beta", budget=50.0, weight=1.0),
+        ),
+        phases=(
+            ReplayPhase("warm", queries=12, point_fraction=0.5),
+            ReplayPhase("burst", queries=18, point_fraction=0.25),
+        ),
+        issue_slots=2,
+        time_scale=0.0,
+    )
+    params.update(overrides)
+    return ReplayManifest(**params)
+
+
+@pytest.mark.slow
+@pytest.mark.chaos
+class TestChaosDrill:
+    def test_kill_mid_replay_invariants_hold(self, tmp_path):
+        manifest = chaos_manifest()
+        report = run_chaos_replay(manifest, tmp_path)
+        assert report.ok, "\n".join(report.summary_lines())
+        # Every kill site fired: the drill actually crashed the server.
+        kill_rules = [
+            r for r in default_chaos_rules() if r.action == "kill"
+        ]
+        assert report.fault_hits >= len(kill_rules)
+        assert report.restarts >= 1
+        assert report.surviving > 0
+        # The ledger's word is final: journaled spend within budget.
+        spent = LedgerLog(tmp_path / "ledger.jsonl").replay()
+        for tenant, total in spent.spent_by_tenant().items():
+            assert total <= 50.0 + 1e-9, tenant
+        # CI artifacts were written for upload.
+        for name in ("chaos_report.json", "chaos_transcript.json"):
+            payload = json.loads((tmp_path / name).read_text())
+            assert payload
+        saved = json.loads((tmp_path / "chaos_report.json").read_text())
+        assert saved["ok"] is True
+        assert saved["checks"]["no_overdraft"] is True
+        assert saved["checks"]["spent_matches_ledger"] is True
+        assert saved["checks"]["artifact_byte_identical"] is True
+        assert saved["checks"]["transcript_deterministic"] is True
+
+    def test_cli_replay_chaos_exit_zero(self, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        manifest_path.write_text(json.dumps({
+            "name": "chaos-cli",
+            "seed": 5,
+            "issue_slots": 2,
+            "time_scale": 0.0,
+            "spec": tiny_spec().to_payload(),
+            "tenants": [{"name": "solo", "budget": 40.0}],
+            "phases": [{"name": "only", "queries": 16,
+                        "point_fraction": 0.5}],
+        }))
+        state_dir = tmp_path / "state"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop(faults.ENV_VAR, None)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "replay", str(manifest_path),
+             "--chaos", "--state-dir", str(state_dir)],
+            capture_output=True, text=True, timeout=300,
+            env=env, cwd=str(REPO_ROOT),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "chaos replay chaos-cli: PASS" in proc.stdout
+        assert (state_dir / "chaos_report.json").exists()
+
+    def test_cli_replay_chaos_requires_state_dir(self, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        manifest_path.write_text(json.dumps({
+            "name": "x",
+            "spec": tiny_spec().to_payload(),
+            "phases": [{"queries": 1}],
+        }))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "replay", str(manifest_path),
+             "--chaos"],
+            capture_output=True, text=True, timeout=60,
+            env=env, cwd=str(REPO_ROOT),
+        )
+        assert proc.returncode != 0
+        assert "--state-dir" in proc.stderr

@@ -1,0 +1,148 @@
+"""Client-side overload behavior: Retry-After, backoff, idempotency.
+
+These tests script ``_request_once`` so the retry loop is exercised
+without sockets or real sleeping — the injectable ``sleep`` records the
+exact delay sequence the client chose.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+
+class _ScriptedClient(ServeClient):
+    """A client whose wire layer replays a canned response sequence."""
+
+    def __init__(self, responses, **kwargs):
+        kwargs.setdefault("sleep", self.record_sleep)
+        super().__init__("http://scripted.invalid", **kwargs)
+        self._responses = list(responses)
+        self.calls = []
+        self.sleeps = []
+
+    def record_sleep(self, seconds):
+        self.sleeps.append(seconds)
+
+    def _request_once(self, method, path, payload=None, headers=None):
+        self.calls.append({
+            "method": method, "path": path,
+            "payload": payload, "headers": dict(headers or {}),
+        })
+        if not self._responses:
+            raise AssertionError("scripted client ran out of responses")
+        return self._responses.pop(0)
+
+
+_SHED = {"error": "overloaded: queue_full", "reason": "queue_full",
+         "retry_after": 0.5}
+_OK = {"results": [{"index": 0, "status": "ok", "value": 1.0}]}
+
+
+def test_retry_honors_retry_after_header():
+    client = _ScriptedClient([
+        (503, dict(_SHED), {"Retry-After": "2"}),
+        (503, dict(_SHED), {"Retry-After": "1"}),
+        (200, dict(_OK), {}),
+    ], backoff_seconds=0.1, max_backoff_seconds=10.0)
+    status, payload = client._request("POST", "/v1/query", {"x": 1})
+    assert status == 200
+    assert payload == _OK
+    assert client.sleeps == [2.0, 1.0]
+
+
+def test_retry_falls_back_to_payload_hint_then_exponential():
+    client = _ScriptedClient([
+        (503, dict(_SHED), {}),          # payload hint: 0.5
+        (503, {"error": "overloaded"}, {}),  # no hint: exponential
+        (503, {"error": "overloaded"}, {}),
+        (200, dict(_OK), {}),
+    ], backoff_seconds=0.1, max_backoff_seconds=10.0)
+    status, _ = client._request("POST", "/v1/query", {})
+    assert status == 200
+    # attempt 0 uses the payload hint; attempts 1-2 use 0.1 * 2**n.
+    assert client.sleeps == pytest.approx([0.5, 0.2, 0.4])
+
+
+def test_backoff_is_capped():
+    client = _ScriptedClient([
+        (503, {}, {"Retry-After": "3600"}),
+        (503, {}, {}),
+        (200, dict(_OK), {}),
+    ], backoff_seconds=4.0, max_backoff_seconds=1.5)
+    status, _ = client._request("GET", "/v1/stats")
+    assert status == 200
+    assert client.sleeps == [1.5, 1.5]
+
+
+def test_retries_exhausted_returns_final_503():
+    client = _ScriptedClient(
+        [(503, dict(_SHED), {})] * 3,
+        max_retries=2, backoff_seconds=0.01,
+    )
+    status, payload = client._request("POST", "/v1/query", {})
+    assert status == 503
+    assert payload["reason"] == "queue_full"
+    assert len(client.sleeps) == 2
+
+
+def test_non_503_statuses_never_retry():
+    for status_code in (200, 400, 404, 429, 500):
+        client = _ScriptedClient([(status_code, {"s": status_code}, {})])
+        status, _ = client._request("POST", "/v1/query", {})
+        assert status == status_code
+        assert client.sleeps == []
+
+
+def test_malformed_retry_after_header_falls_back():
+    client = _ScriptedClient([
+        (503, {"error": "overloaded"}, {"Retry-After": "soon"}),
+        (200, dict(_OK), {}),
+    ], backoff_seconds=0.25)
+    status, _ = client._request("POST", "/v1/query", {})
+    assert status == 200
+    assert client.sleeps == [0.25]
+
+
+def test_idempotency_key_stable_across_retries_of_one_call():
+    client = _ScriptedClient([
+        (503, dict(_SHED), {}),
+        (503, dict(_SHED), {}),
+        (200, dict(_OK), {}),
+    ], backoff_seconds=0.01)
+    status, _ = client.query("alice", [{"bin": 0}], fingerprint="f" * 64)
+    assert status == 200
+    keys = [c["headers"]["Idempotency-Key"] for c in client.calls]
+    assert len(keys) == 3
+    assert len(set(keys)) == 1  # one logical request, one key
+    assert keys[0]  # a generated UUID, never empty
+
+
+def test_caller_supplied_idempotency_key_is_sent_verbatim():
+    client = _ScriptedClient([(200, dict(_OK), {})])
+    client.query("alice", [{"bin": 0}], fingerprint="f" * 64,
+                 idempotency_key="replay:7:42")
+    assert client.calls[0]["headers"]["Idempotency-Key"] == "replay:7:42"
+
+
+def test_fresh_calls_get_fresh_keys():
+    client = _ScriptedClient([(200, dict(_OK), {})] * 2)
+    client.query("alice", [{"bin": 0}], fingerprint="f" * 64)
+    client.query("alice", [{"bin": 0}], fingerprint="f" * 64)
+    first, second = (c["headers"]["Idempotency-Key"] for c in client.calls)
+    assert first != second
+
+
+def test_health_and_shutdown_do_not_retry_503():
+    """Draining probes must report 503, not spin on it."""
+    client = _ScriptedClient([
+        (503, {"status": "draining"}, {"Retry-After": "1"}),
+        (503, {"status": "shutting down"}, {"Retry-After": "1"}),
+    ])
+    health = client.health()
+    assert health["_status"] == 503
+    assert health["status"] == "draining"
+    status, _ = client.shutdown()
+    assert status == 503
+    assert client.sleeps == []

@@ -1,0 +1,99 @@
+"""Unit tests for the write-ahead ε-ledger journal."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import JournalError
+from repro.serve.ledgerlog import LEDGER_SCHEMA, LedgerLog
+
+
+def test_round_trip_tenants_and_debits(tmp_path):
+    log = LedgerLog(tmp_path / "ledger.jsonl")
+    log.append_tenant("alpha", 10.0)
+    log.append_debit("alpha", 0.5, key="k#0", purpose="query/abc")
+    log.append_debit("alpha", 0.5, key="k#1")
+    log.append_debit("beta", 0.25)
+    replay = log.replay()
+    assert replay.tenants == {"alpha": 10.0}
+    assert replay.keys == {"k#0", "k#1"}
+    assert replay.torn_lines == 0
+    assert replay.duplicate_debits == 0
+    spent = replay.spent_by_tenant()
+    assert spent["alpha"] == pytest.approx(1.0)
+    assert spent["beta"] == pytest.approx(0.25)
+    assert [d.purpose for d in replay.debits] == ["query/abc", "", ""]
+
+
+def test_missing_file_replays_empty(tmp_path):
+    replay = LedgerLog(tmp_path / "never-written.jsonl").replay()
+    assert replay.tenants == {}
+    assert replay.debits == []
+    assert replay.spent_by_tenant() == {}
+
+
+def test_keyed_debits_dedupe_exactly_once(tmp_path):
+    log = LedgerLog(tmp_path / "ledger.jsonl")
+    log.append_debit("alpha", 1.0, key="same")
+    log.append_debit("alpha", 1.0, key="same")
+    log.append_debit("alpha", 1.0)  # keyless debits never dedupe
+    log.append_debit("alpha", 1.0)
+    replay = log.replay()
+    assert replay.duplicate_debits == 1
+    assert replay.spent_by_tenant()["alpha"] == pytest.approx(3.0)
+
+
+def test_tenant_registration_first_wins(tmp_path):
+    log = LedgerLog(tmp_path / "ledger.jsonl")
+    log.append_tenant("alpha", 10.0)
+    log.append_tenant("alpha", 99.0)
+    assert log.replay().tenants == {"alpha": 10.0}
+
+
+def test_torn_tail_is_skipped_and_counted(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    log = LedgerLog(path)
+    log.append_debit("alpha", 1.0, key="a")
+    log.append_debit("alpha", 1.0, key="b")
+    # Simulate a crash mid-append: the final line is half-written.
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write('{"schema": 1, "kind": "debit", "ten')
+    replay = log.replay()
+    assert replay.torn_lines == 1
+    assert replay.spent_by_tenant()["alpha"] == pytest.approx(2.0)
+
+
+def test_schema_mismatch_raises_journal_error(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    entry = {"schema": LEDGER_SCHEMA + 1, "kind": "debit",
+             "tenant": "a", "epsilon": 1.0}
+    path.write_text(json.dumps(entry) + "\n", encoding="utf-8")
+    with pytest.raises(JournalError):
+        LedgerLog(path).replay()
+
+
+def test_unknown_kinds_are_forward_compatible(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    log = LedgerLog(path)
+    log.append_debit("alpha", 1.0)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps({
+            "schema": LEDGER_SCHEMA, "kind": "future-thing", "x": 1,
+        }) + "\n")
+    replay = log.replay()
+    assert replay.spent_by_tenant()["alpha"] == pytest.approx(1.0)
+    assert replay.torn_lines == 0
+
+
+def test_appends_counter_tracks_this_process_only(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    first = LedgerLog(path)
+    first.append_debit("alpha", 1.0)
+    assert first.appends == 1
+    second = LedgerLog(path)
+    assert second.appends == 0
+    second.append_tenant("alpha", 5.0)
+    assert second.appends == 1
+    assert len(second.replay().debits) == 1

@@ -271,3 +271,27 @@ class TestReplayMetrics:
         assert series[0]["value"] == pytest.approx(result.throughput_qps)
         p99 = store.metric_series("repro_replay_latency_p99_seconds")
         assert p99[0]["value"] == pytest.approx(result.p99_seconds)
+
+
+class TestResilienceMetrics:
+    def test_server_resilience_counters_become_gauges(self):
+        result = run_replay(tiny_manifest())
+        result.server_stats = {"resilience": {
+            "shed": {"queue_full": 3, "draining": 1},
+            "degraded": {"stale_cache": 2},
+            "recovered": {"debit": 12, "tenant": 1},
+        }}
+        registry = record_replay_metrics(result, MetricsRegistry())
+        shed = registry.get("repro_serve_shed_total")
+        assert shed.labels(manifest="unit", key="queue_full").value == 3
+        assert shed.labels(manifest="unit", key="draining").value == 1
+        degraded = registry.get("repro_serve_degraded_total")
+        assert degraded.labels(manifest="unit", key="stale_cache").value == 2
+        recovered = registry.get("repro_serve_recovered_total")
+        assert recovered.labels(manifest="unit", key="debit").value == 12
+
+    def test_no_resilience_block_emits_no_gauges(self):
+        result = run_replay(tiny_manifest())
+        result.server_stats = {}
+        registry = record_replay_metrics(result, MetricsRegistry())
+        assert registry.get("repro_serve_shed_total") is None

@@ -1,0 +1,91 @@
+"""Unit tests for the on-disk artifact store (warm-restart spill)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.artifacts import publish_artifact
+from repro.serve.store import ArtifactStore
+
+from tests.serve.conftest import tiny_spec
+
+
+@pytest.fixture
+def artifact():
+    return publish_artifact(tiny_spec())
+
+
+def test_save_load_byte_identical(tmp_path, artifact):
+    store = ArtifactStore(tmp_path)
+    store.save(artifact)
+    loaded = store.load(artifact.fingerprint)
+    assert loaded is not None
+    assert loaded.counts.tobytes() == artifact.counts.tobytes()
+    assert np.array_equal(loaded.prefix, artifact.prefix)
+    assert loaded.spec == artifact.spec
+    assert loaded.epsilon_spent == artifact.epsilon_spent
+    for lo, hi in ((0, 0), (0, artifact.n_bins), (3, 9)):
+        assert loaded.range(lo, hi) == artifact.range(lo, hi)
+
+
+def test_load_absent_returns_none(tmp_path):
+    store = ArtifactStore(tmp_path)
+    assert store.load("no-such-fingerprint") is None
+    assert store.stats()["quarantined"] == 0
+
+
+def test_save_is_idempotent_per_fingerprint(tmp_path, artifact):
+    store = ArtifactStore(tmp_path)
+    store.save(artifact)
+    store.save(artifact)
+    assert store.fingerprints() == (artifact.fingerprint,)
+    assert store.stats()["saves"] == 2
+    assert store.stats()["artifacts"] == 1
+
+
+def test_corrupt_file_is_quarantined_not_served(tmp_path, artifact):
+    store = ArtifactStore(tmp_path)
+    path = store.save(artifact)
+    path.write_text("{ not json", encoding="utf-8")
+    assert store.load(artifact.fingerprint) is None
+    assert store.stats()["quarantined"] == 1
+    assert not path.exists()
+    assert path.with_name(path.name + ".quarantined").exists()
+
+
+def test_checksum_mismatch_is_quarantined(tmp_path, artifact):
+    store = ArtifactStore(tmp_path)
+    path = store.save(artifact)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["counts_sha256"] = "0" * 64
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    assert store.load(artifact.fingerprint) is None
+    assert store.stats()["quarantined"] == 1
+
+
+def test_renamed_file_fingerprint_mismatch_quarantined(tmp_path, artifact):
+    store = ArtifactStore(tmp_path)
+    path = store.save(artifact)
+    wrong = path.with_name("0" * 64 + ".json")
+    path.rename(wrong)
+    assert store.load("0" * 64) is None
+    assert store.stats()["quarantined"] == 1
+
+
+def test_specs_scan_discovers_valid_and_sweeps_corrupt(tmp_path):
+    store = ArtifactStore(tmp_path)
+    a = publish_artifact(tiny_spec(seed=1))
+    b = publish_artifact(tiny_spec(seed=2))
+    store.save(a)
+    store.save(b)
+    (tmp_path / ("f" * 64 + ".json")).write_text("garbage",
+                                                 encoding="utf-8")
+    specs = store.specs()
+    assert set(specs) == {a.fingerprint, b.fingerprint}
+    assert specs[a.fingerprint] == a.spec
+    assert store.stats()["quarantined"] == 1
+    # The sweep removed the corrupt file from the live namespace.
+    assert set(store.fingerprints()) == {a.fingerprint, b.fingerprint}
