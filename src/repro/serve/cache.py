@@ -113,7 +113,10 @@ class ArtifactCache:
             return artifact
 
     def get_or_publish(
-        self, spec: ServeSpec, fingerprint: Optional[str] = None
+        self,
+        spec: ServeSpec,
+        fingerprint: Optional[str] = None,
+        before_publish: Optional[Callable[[], Callable[[], None]]] = None,
     ) -> Tuple[PublishedArtifact, bool, int]:
         """The artifact for ``spec``, publishing at most once per key.
 
@@ -121,6 +124,14 @@ class ArtifactCache:
         callers that miss on the same fingerprint all block on the one
         in-flight publish; a failed publish propagates its exception to
         every waiter and leaves the cache unchanged.
+
+        ``before_publish`` runs only in the one caller that is about to
+        execute a cold publish — after it has won the per-key in-flight
+        slot, so the decision cannot race a concurrent eviction or a
+        failing publish — and returns a zero-arg release callable
+        invoked once the publish finishes.  Raising from it (e.g. an
+        admission gate shedding under load) aborts the publish and
+        propagates to every waiter exactly like a failed publish.
         """
         fp = fingerprint if fingerprint is not None else spec.fingerprint()
         while True:
@@ -147,7 +158,15 @@ class ArtifactCache:
                     return pending.artifact, True, 0
                 continue
             try:
-                artifact = self._publish(spec)
+                release = (
+                    before_publish() if before_publish is not None
+                    else None
+                )
+                try:
+                    artifact = self._publish(spec)
+                finally:
+                    if release is not None:
+                        release()
             except BaseException as exc:
                 with self._lock:
                     self._inflight.pop(fp, None)

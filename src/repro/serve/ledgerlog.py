@@ -18,9 +18,10 @@ Two event kinds:
     so explicit budgets survive a crash even if the server's default
     budget flag changes;
 ``debit``
-    one charged query: tenant, ε, and an **idempotency key**.  The
-    service journals the debit *after* the in-memory check-and-spend
-    succeeds and *before* the answer is released, which yields the two
+    one charged query: tenant, ε, an **idempotency key**, plus the
+    request **digest** and the answered **value**.  The service
+    journals the debit *after* the in-memory check-and-spend succeeds
+    and *before* the answer is released, which yields the two
     crash-safety invariants the chaos drill asserts:
 
     * **never overdraft** — only debits that passed the atomic
@@ -35,9 +36,18 @@ Two event kinds:
     that debit — harmlessly, because the answer was never released, so
     no information left the server for that ε.
 
+Idempotency keys are **scoped per tenant** (two tenants presenting the
+same key string never collide — see :func:`scoped_key`) and **bound to
+the request content**: the journaled ``digest`` covers
+``(tenant, fingerprint, kind, lo, hi)``, and the journaled ``value``
+is the answer that was released.  A replayed key therefore returns the
+*original* answer, and a key resent with different bounds, a different
+artifact, or a different tenant cannot harvest a free fresh answer —
+the service rejects the mismatch instead (409).
+
 Replay (:meth:`LedgerLog.replay`) is pure accounting: group debits by
-tenant, dedupe by key, sum.  The service applies the result to fresh
-accountants at startup, restoring the exact spent totals.
+tenant, dedupe by scoped key, sum.  The service applies the result to
+fresh accountants at startup, restoring the exact spent totals.
 """
 
 from __future__ import annotations
@@ -45,24 +55,46 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Set, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.exceptions import JournalError
 from repro.robust.atomicio import append_line
 
-__all__ = ["LEDGER_SCHEMA", "LedgerDebit", "LedgerLog", "LedgerReplay"]
+__all__ = [
+    "LEDGER_SCHEMA", "LedgerDebit", "LedgerLog", "LedgerReplay",
+    "scoped_key",
+]
 
 LEDGER_SCHEMA = 1
 
 
+def scoped_key(tenant: str, key: str) -> str:
+    """The tenant-scoped form of an idempotency key.
+
+    Keys are client-controlled strings; scoping them by tenant (with a
+    separator no sane tenant name contains) makes a key collision
+    between tenants impossible — tenant A replaying tenant B's key can
+    never be answered from B's journaled debit.
+    """
+    return f"{tenant}\x1f{key}"
+
+
 @dataclass(frozen=True)
 class LedgerDebit:
-    """One journaled charge (deduped by ``key`` when present)."""
+    """One journaled charge (deduped by tenant-scoped ``key``).
+
+    ``digest`` binds the key to the request content (tenant, artifact
+    fingerprint, query kind and bounds) and ``value`` records the
+    answer that was released, so a post-restart replay can verify the
+    retry matches and re-serve the original answer.
+    """
 
     tenant: str
     epsilon: float
     key: Optional[str] = None
     purpose: str = ""
+    digest: Optional[str] = None
+    value: Optional[float] = None
 
 
 @dataclass
@@ -73,8 +105,10 @@ class LedgerReplay:
     tenants: Dict[str, float] = field(default_factory=dict)
     #: Deduped debits, in journal order.
     debits: List[LedgerDebit] = field(default_factory=list)
-    #: Every idempotency key ever charged (retry dedup set).
-    keys: Set[str] = field(default_factory=set)
+    #: Every charged idempotency key, **scoped by tenant**
+    #: (:func:`scoped_key`), mapped to its journaled debit so the
+    #: service can verify a retry's digest and replay its value.
+    keys: Dict[str, LedgerDebit] = field(default_factory=dict)
     #: Lines skipped as unparseable (a torn tail from a crash).
     torn_lines: int = 0
     #: Keyed debits skipped because their key had already been applied.
@@ -121,8 +155,15 @@ class LedgerLog:
         epsilon: float,
         key: Optional[str] = None,
         purpose: str = "",
+        digest: Optional[str] = None,
+        value: Optional[float] = None,
     ) -> None:
-        """Durably record one charged query (call *before* answering)."""
+        """Durably record one charged query (call *before* answering).
+
+        ``digest`` and ``value`` travel with keyed debits so a retry
+        after restart can be verified against the original request and
+        answered with the original value.
+        """
         entry: Dict[str, Any] = {
             "kind": "debit",
             "tenant": str(tenant),
@@ -131,6 +172,10 @@ class LedgerLog:
         }
         if key is not None:
             entry["key"] = str(key)
+        if digest is not None:
+            entry["digest"] = str(digest)
+        if value is not None:
+            entry["value"] = float(value)
         self._append(entry)
 
     # -- reads ---------------------------------------------------------
@@ -171,17 +216,26 @@ class LedgerLog:
                     str(entry["tenant"]), float(entry["budget"])
                 )
             elif kind == "debit":
+                tenant = str(entry["tenant"])
                 key = entry.get("key")
+                raw_value = entry.get("value")
+                debit = LedgerDebit(
+                    tenant=tenant,
+                    epsilon=float(entry["epsilon"]),
+                    key=None if key is None else str(key),
+                    purpose=str(entry.get("purpose", "")),
+                    digest=(
+                        None if entry.get("digest") is None
+                        else str(entry["digest"])
+                    ),
+                    value=None if raw_value is None else float(raw_value),
+                )
                 if key is not None:
-                    if key in replay.keys:
+                    skey = scoped_key(tenant, str(key))
+                    if skey in replay.keys:
                         replay.duplicate_debits += 1
                         continue
-                    replay.keys.add(str(key))
-                replay.debits.append(LedgerDebit(
-                    tenant=str(entry["tenant"]),
-                    epsilon=float(entry["epsilon"]),
-                    key=key,
-                    purpose=str(entry.get("purpose", "")),
-                ))
+                    replay.keys[skey] = debit
+                replay.debits.append(debit)
             # Unknown kinds are ignored (forward-compatible).
         return replay

@@ -23,7 +23,8 @@ journaled to a write-ahead ε-ledger (:mod:`repro.serve.ledgerlog`)
 *after* the atomic in-memory spend and *before* the answer is released,
 and every cold publish is spilled to an on-disk artifact store
 (:mod:`repro.serve.store`).  A restart replays the ledger to the exact
-spent totals (idempotency keys make client retries exactly-once) and
+spent totals (idempotency keys — tenant-scoped and bound to a digest
+of the request content — make client retries exactly-once) and
 rehydrates artifacts byte-identically instead of drawing fresh noise.
 The charge ordering gives the two invariants the chaos drill asserts:
 the journal can never contain an overdraft (only debits that passed
@@ -42,10 +43,12 @@ the ``repro_serve_shed/degraded/recovered`` metric families.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Set, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.accounting.budget import PrivacyBudget
 from repro.exceptions import BudgetExceededError
@@ -53,7 +56,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.robust import faults
 from repro.serve.artifacts import PublishedArtifact
 from repro.serve.cache import ArtifactCache
-from repro.serve.ledgerlog import LedgerLog
+from repro.serve.ledgerlog import LedgerLog, scoped_key
 from repro.serve.spec import ServeSpec
 from repro.serve.store import ArtifactStore
 from repro.serve.tenants import TenantLedgers
@@ -158,9 +161,14 @@ class QueryService:
         self.retry_after = float(retry_after)
         self._known_specs: Dict[str, ServeSpec] = {}
         self._specs_lock = threading.Lock()
-        self._seen_keys: Set[str] = set()
+        #: Tenant-scoped idempotency key → ``{"digest", "value",
+        #: "pending"}``.  ``pending`` marks a key reserved by an
+        #: in-flight charge; racers wait on :attr:`_keys_cond` instead
+        #: of charging the same key twice.
+        self._seen_keys: Dict[str, Dict[str, Any]] = {}
         self._journaled_tenants: Set[str] = set()
         self._keys_lock = threading.Lock()
+        self._keys_cond = threading.Condition(self._keys_lock)
         self._resilience_lock = threading.Lock()
         self._shed_totals: Dict[str, int] = {}
         self._degraded_totals: Dict[str, int] = {}
@@ -280,7 +288,12 @@ class QueryService:
                 continue
             report["debits"] += 1
         with self._keys_lock:
-            self._seen_keys.update(replay.keys)
+            for skey, debit in replay.keys.items():
+                self._seen_keys[skey] = {
+                    "digest": debit.digest,
+                    "value": debit.value,
+                    "pending": False,
+                }
         for fingerprint, spec in self.store.specs().items():
             with self._specs_lock:
                 self._known_specs.setdefault(fingerprint, spec)
@@ -327,30 +340,94 @@ class QueryService:
         )
         self.ledger.append_tenant(name, budget)
 
-    def _seen(self, key: str) -> bool:
-        with self._keys_lock:
-            return key in self._seen_keys
+    @staticmethod
+    def _request_digest(
+        tenant: str, fingerprint: str, kind: str, lo: int, hi: int
+    ) -> str:
+        """Content binding for an idempotency key: what was asked."""
+        blob = json.dumps(
+            [tenant, fingerprint, kind, lo, hi], separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _reserve_key(
+        self, skey: str, digest: str
+    ) -> Optional[Dict[str, Any]]:
+        """Atomically claim a scoped idempotency key, or resolve it.
+
+        Returns ``None`` when this caller now owns the key and must
+        charge-and-journal (ending with :meth:`_finalize_key` on
+        success or :meth:`_release_key` on failure), or the settled
+        record when the key was already answered with a **matching**
+        digest (replay the stored value for free).  A concurrent
+        request holding the same key is waited out — the loser of the
+        race replays the winner's answer instead of double-charging.
+        A settled key whose digest disagrees with this request is a
+        content mismatch (different tenant/artifact/bounds riding a
+        paid key) and is rejected with 409, never answered.
+        """
+        with self._keys_cond:
+            while True:
+                record = self._seen_keys.get(skey)
+                if record is None:
+                    self._seen_keys[skey] = {
+                        "digest": digest, "value": None, "pending": True,
+                    }
+                    return None
+                if record.get("pending"):
+                    self._keys_cond.wait(timeout=5.0)
+                    continue
+                if record.get("digest") != digest:
+                    raise RequestError(
+                        409,
+                        "idempotency key was already used for a "
+                        "different request (artifact, bounds, or kind "
+                        "changed); retries must resend the original "
+                        "request unchanged",
+                    )
+                return record
+
+    def _finalize_key(self, skey: str, value: float) -> None:
+        """Settle a reserved key with its released answer."""
+        with self._keys_cond:
+            record = self._seen_keys.get(skey)
+            if record is not None:
+                record["value"] = value
+                record["pending"] = False
+            self._keys_cond.notify_all()
+
+    def _release_key(self, skey: str) -> None:
+        """Drop a reservation whose charge never happened."""
+        with self._keys_cond:
+            self._seen_keys.pop(skey, None)
+            self._keys_cond.notify_all()
 
     def _charge(
-        self, tenant: str, epsilon: float, purpose: str, key: Optional[str]
+        self,
+        tenant: str,
+        epsilon: float,
+        purpose: str,
+        key: Optional[str],
+        digest: Optional[str] = None,
+        value: Optional[float] = None,
     ) -> float:
         """Atomic spend, then durable journal, then (caller) answer.
 
         The in-memory check-and-spend runs FIRST, so an overdraft can
         never reach the journal; the journal append runs BEFORE the
         answer is released, so a crash after the append is covered by
-        the idempotency key (the retry is answered for free).
+        the idempotency key (the retry is answered for free).  The
+        caller holds the key's reservation (:meth:`_reserve_key`) and
+        settles or releases it depending on how this returns.
         """
         remaining = self.tenants.charge(tenant, epsilon, purpose=purpose)
         if self.ledger is not None:
             self._journal_tenant(tenant)
             faults.maybe_inject_site("serve.before_journal", key or purpose)
             self.ledger.append_debit(tenant, epsilon, key=key,
-                                     purpose=purpose)
+                                     purpose=purpose, digest=digest,
+                                     value=value)
             faults.maybe_inject_site("serve.after_journal", key or purpose)
-        if key is not None:
-            with self._keys_lock:
-                self._seen_keys.add(key)
         return remaining
 
     # -- artifact resolution -------------------------------------------
@@ -410,36 +487,46 @@ class QueryService:
                 return artifact, "store"
         return self._publish_spec(spec, None)
 
+    def _acquire_publish_slot(self) -> Callable[[], None]:
+        """Claim one cold-publish slot; returns its release callable.
+
+        Invoked by the cache *after* this thread has won the per-key
+        single-flight slot — i.e. exactly when a cold publish is about
+        to run — so the saturation decision can never race an eviction
+        or a failing in-flight publish (the gate cannot be bypassed,
+        and ``publish_slots=0`` always sheds cold publishes).  Raises
+        :class:`ShedError` when no slot is available; the error
+        propagates to every request waiting on that publish.
+        """
+        if self._publish_closed:
+            raise ShedError(
+                "publisher saturated; retry later",
+                retry_after=self.retry_after,
+                reason="publish_saturated",
+            )
+        if self._publish_gate is None:
+            return lambda: None
+        if not self._publish_gate.acquire(blocking=False):
+            raise ShedError(
+                "publisher saturated; retry later",
+                retry_after=self.retry_after,
+                reason="publish_saturated",
+            )
+        return self._publish_gate.release
+
     def _publish_spec(
         self, spec: ServeSpec, fingerprint: Optional[str]
     ) -> Tuple[PublishedArtifact, str]:
-        fp = fingerprint if fingerprint is not None else spec.fingerprint()
-        needs_cold = fp not in self.cache and not self.cache.inflight(fp)
-        slot: Optional[threading.BoundedSemaphore] = None
-        if needs_cold:
-            if self._publish_closed:
-                self.note_shed("publish_saturated")
-                raise ShedError(
-                    "publisher saturated; retry later",
-                    retry_after=self.retry_after,
-                    reason="publish_saturated",
-                )
-            if self._publish_gate is not None:
-                if not self._publish_gate.acquire(blocking=False):
-                    self.note_shed("publish_saturated")
-                    raise ShedError(
-                        "publisher saturated; retry later",
-                        retry_after=self.retry_after,
-                        reason="publish_saturated",
-                    )
-                slot = self._publish_gate
         try:
             artifact, hit, evicted = self.cache.get_or_publish(
-                spec, fingerprint
+                spec, fingerprint,
+                before_publish=self._acquire_publish_slot,
             )
-        finally:
-            if slot is not None:
-                slot.release()
+        except ShedError as exc:
+            # Counted here, once per shed *request* — waiters sharing a
+            # shed single-flight publish each pass through this path.
+            self.note_shed(exc.reason)
+            raise
         self._cache_events.labels(event="hit" if hit else "miss").inc()
         if evicted:
             self._cache_events.labels(event="eviction").inc(evicted)
@@ -484,6 +571,27 @@ class QueryService:
             if have == want:
                 return artifact
         return None
+
+    def _request_fingerprint(
+        self, payload: Dict[str, Any], artifact: PublishedArtifact
+    ) -> str:
+        """The fingerprint the request *asked for* (digest binding).
+
+        Degraded answers may be served from a different artifact, so
+        the idempotency digest binds to the requested target — the
+        payload's fingerprint or its spec's — which stays stable
+        across retries even when resolution degrades differently.
+        """
+        fingerprint = payload.get("fingerprint")
+        if isinstance(fingerprint, str):
+            return fingerprint
+        spec_payload = payload.get("spec")
+        if isinstance(spec_payload, dict):
+            try:
+                return ServeSpec.from_payload(spec_payload).fingerprint()
+            except ValueError:  # pragma: no cover - resolution validated
+                pass
+        return artifact.fingerprint
 
     def _resolve_for_query(
         self, payload: Dict[str, Any]
@@ -564,10 +672,16 @@ class QueryService:
         Queries are processed strictly in order; each successful answer
         debits the tenant's ledger exactly once — *across retries too*,
         when the request carries an idempotency key (header or payload
-        field): per-query keys ``{key}#{index}`` that were already
-        journaled are answered for free with ``replayed: true``.  The
-        response carries one result per query; the HTTP status is 200
-        when every query was answered and 429 when at least one was
+        field): per-query keys ``{key}#{index}``, scoped to the tenant,
+        that were already journaled are answered for free with
+        ``replayed: true`` and the **original** answer.  A key is bound
+        to its request content (tenant, requested artifact, query kind
+        and bounds): resending a paid key with anything changed is a
+        409, never a free fresh answer, and two tenants presenting the
+        same key string never collide.  Two concurrent requests racing
+        one key charge once — the loser replays the winner's answer.
+        The response carries one result per query; the HTTP status is
+        200 when every query was answered and 429 when at least one was
         refused for budget.
         """
         if not isinstance(payload, dict):
@@ -586,6 +700,7 @@ class QueryService:
             base_key = raw
         artifact, degraded = self._resolve_for_query(payload)
         epsilon = artifact.spec.epsilon
+        requested_fp = self._request_fingerprint(payload, artifact)
         parsed = [
             _parse_query(item, i, artifact.n_bins)
             for i, item in enumerate(queries)
@@ -594,24 +709,36 @@ class QueryService:
         refused = 0
         for index, (kind, lo, hi) in enumerate(parsed):
             key = f"{base_key}#{index}" if base_key else None
-            if key is not None and self._seen(key):
-                # Already journaled-and-answered: the retry is free.
-                self._queries.labels(status="replayed").inc()
-                results.append({
-                    "index": index,
-                    "status": "ok",
-                    "kind": kind,
-                    "value": artifact.range(lo, hi),
-                    "replayed": True,
-                })
-                continue
+            value = artifact.range(lo, hi)
+            skey = digest = None
+            if key is not None:
+                skey = scoped_key(tenant, key)
+                digest = self._request_digest(
+                    tenant, requested_fp, kind, lo, hi
+                )
+                record = self._reserve_key(skey, digest)
+                if record is not None:
+                    # Journaled-and-answered (digest verified): the
+                    # retry is free and gets the original answer.
+                    stored = record.get("value")
+                    self._queries.labels(status="replayed").inc()
+                    results.append({
+                        "index": index,
+                        "status": "ok",
+                        "kind": kind,
+                        "value": value if stored is None else stored,
+                        "replayed": True,
+                    })
+                    continue
             try:
                 remaining = self._charge(
                     tenant, epsilon,
                     purpose=f"query/{artifact.fingerprint[:12]}",
-                    key=key,
+                    key=key, digest=digest, value=value,
                 )
             except BudgetExceededError:
+                if skey is not None:
+                    self._release_key(skey)
                 refused += 1
                 self._queries.labels(status="exhausted").inc()
                 self._denials.labels(tenant=tenant).inc()
@@ -622,8 +749,17 @@ class QueryService:
                 })
                 continue
             except ValueError as exc:
+                if skey is not None:
+                    self._release_key(skey)
                 raise RequestError(400, str(exc)) from exc
-            value = artifact.range(lo, hi)
+            except BaseException:
+                # Journal I/O error or injected fault: the answer is
+                # not released, so the key must not look settled.
+                if skey is not None:
+                    self._release_key(skey)
+                raise
+            if skey is not None:
+                self._finalize_key(skey, value)
             self._queries.labels(status="ok").inc()
             results.append({
                 "index": index,

@@ -20,7 +20,12 @@ artifact or a clean quarantine, never wrong counts (property-tested in
 
 Byte identity holds because ``counts`` round-trips as raw little-endian
 float64 bytes (base64 in the JSON) and the prefix-sum array is a
-deterministic function of the counts.
+deterministic function of the counts.  Artifact ``meta`` round-trips
+through JSON up to one documented normalization (numpy scalars become
+Python scalars, tuples and arrays become lists); a meta value that
+cannot survive the round-trip raises :class:`TypeError` at save time
+instead of being silently dropped — a rehydrated artifact never
+carries different meta than the one that was published.
 """
 
 from __future__ import annotations
@@ -45,6 +50,42 @@ STORE_SCHEMA = 1
 
 def _counts_sha(raw: bytes) -> str:
     return hashlib.sha256(raw).hexdigest()
+
+
+def _json_meta(value, path: str = "meta"):
+    """JSON-normalize artifact ``meta``, loudly rejecting what can't.
+
+    A rehydrated artifact must carry the same meta the publish did, so
+    values are either preserved exactly (str/int/float/bool/None and
+    str-keyed dicts/lists of those), normalized the one documented way
+    (numpy scalars → Python scalars, tuples and numpy arrays → lists),
+    or rejected with :class:`TypeError` at save time — never silently
+    dropped to diverge after a warm restart.
+    """
+    if isinstance(value, (str, int, float)) or value is None:
+        return value
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_json_meta(v, f"{path}[]") for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_json_meta(v, f"{path}[]") for v in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"artifact meta key {key!r} at {path} is not a "
+                    "string; meta must survive a JSON round-trip to "
+                    "rehydrate identically after a restart"
+                )
+            out[key] = _json_meta(item, f"{path}.{key}")
+        return out
+    raise TypeError(
+        f"artifact meta value at {path} has unserializable type "
+        f"{type(value).__name__}; meta must survive a JSON round-trip "
+        "to rehydrate identically after a restart"
+    )
 
 
 class ArtifactStore:
@@ -80,10 +121,7 @@ class ArtifactStore:
             "spec": artifact.spec.to_payload(),
             "epsilon_spent": float(artifact.epsilon_spent),
             "publish_seconds": float(artifact.publish_seconds),
-            "meta": {
-                k: v for k, v in artifact.meta.items()
-                if isinstance(v, (str, int, float, bool)) or v is None
-            },
+            "meta": _json_meta(dict(artifact.meta)),
             "counts_sha256": _counts_sha(raw),
             "counts_b64": base64.b64encode(raw).decode("ascii"),
         }

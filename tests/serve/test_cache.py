@@ -163,6 +163,55 @@ class TestGetOrPublish:
         hits = sum(1 for _, hit, _ in results if hit)
         assert hits == n_threads - 1
 
+    def test_before_publish_runs_only_for_cold_publishes(self):
+        """The admission gate fires exactly when a publish runs — a hit
+        never touches it, so the gate cannot race the hit/miss check."""
+        acquires, releases = [], []
+
+        def gate():
+            acquires.append(1)
+            return lambda: releases.append(1)
+
+        cache = ArtifactCache(max_entries=2, publish=fake_publish)
+        spec = tiny_spec()
+        cache.get_or_publish(spec, before_publish=gate)
+        cache.get_or_publish(spec, before_publish=gate)  # hit: no gate
+        assert len(acquires) == 1
+        assert len(releases) == 1
+
+    def test_before_publish_raise_aborts_and_releases_nothing(self):
+        calls = []
+
+        def publish(spec):  # pragma: no cover - must not run
+            calls.append(spec)
+            return fake_artifact(spec.fingerprint())
+
+        def gate():
+            raise RuntimeError("saturated")
+
+        cache = ArtifactCache(max_entries=2, publish=publish)
+        with pytest.raises(RuntimeError, match="saturated"):
+            cache.get_or_publish(tiny_spec(), before_publish=gate)
+        assert not calls
+        assert len(cache) == 0
+        # The key is not poisoned: a later attempt gets a fresh gate.
+        cache.get_or_publish(tiny_spec())
+        assert len(cache) == 1
+
+    def test_before_publish_released_when_publish_fails(self):
+        releases = []
+
+        def gate():
+            return lambda: releases.append(1)
+
+        def publish(spec):
+            raise RuntimeError("publisher exploded")
+
+        cache = ArtifactCache(max_entries=2, publish=publish)
+        with pytest.raises(RuntimeError, match="publisher exploded"):
+            cache.get_or_publish(tiny_spec(), before_publish=gate)
+        assert len(releases) == 1
+
     def test_failed_publish_propagates_to_all_waiters(self):
         n_threads = 4
         entered = threading.Event()

@@ -7,24 +7,33 @@ import json
 import pytest
 
 from repro.exceptions import JournalError
-from repro.serve.ledgerlog import LEDGER_SCHEMA, LedgerLog
+from repro.serve.ledgerlog import LEDGER_SCHEMA, LedgerLog, scoped_key
 
 
 def test_round_trip_tenants_and_debits(tmp_path):
     log = LedgerLog(tmp_path / "ledger.jsonl")
     log.append_tenant("alpha", 10.0)
-    log.append_debit("alpha", 0.5, key="k#0", purpose="query/abc")
+    log.append_debit("alpha", 0.5, key="k#0", purpose="query/abc",
+                     digest="d" * 64, value=17.25)
     log.append_debit("alpha", 0.5, key="k#1")
     log.append_debit("beta", 0.25)
     replay = log.replay()
     assert replay.tenants == {"alpha": 10.0}
-    assert replay.keys == {"k#0", "k#1"}
+    assert set(replay.keys) == {
+        scoped_key("alpha", "k#0"), scoped_key("alpha", "k#1")
+    }
     assert replay.torn_lines == 0
     assert replay.duplicate_debits == 0
     spent = replay.spent_by_tenant()
     assert spent["alpha"] == pytest.approx(1.0)
     assert spent["beta"] == pytest.approx(0.25)
     assert [d.purpose for d in replay.debits] == ["query/abc", "", ""]
+    # Digest and answered value survive the round trip for replays.
+    keyed = replay.keys[scoped_key("alpha", "k#0")]
+    assert keyed.digest == "d" * 64
+    assert keyed.value == pytest.approx(17.25)
+    bare = replay.keys[scoped_key("alpha", "k#1")]
+    assert bare.digest is None and bare.value is None
 
 
 def test_missing_file_replays_empty(tmp_path):
@@ -43,6 +52,21 @@ def test_keyed_debits_dedupe_exactly_once(tmp_path):
     replay = log.replay()
     assert replay.duplicate_debits == 1
     assert replay.spent_by_tenant()["alpha"] == pytest.approx(3.0)
+
+
+def test_keys_are_scoped_per_tenant(tmp_path):
+    """The same key string from two tenants is two distinct debits."""
+    log = LedgerLog(tmp_path / "ledger.jsonl")
+    log.append_debit("alpha", 1.0, key="shared")
+    log.append_debit("beta", 0.5, key="shared")
+    replay = log.replay()
+    assert replay.duplicate_debits == 0
+    spent = replay.spent_by_tenant()
+    assert spent["alpha"] == pytest.approx(1.0)
+    assert spent["beta"] == pytest.approx(0.5)
+    assert set(replay.keys) == {
+        scoped_key("alpha", "shared"), scoped_key("beta", "shared")
+    }
 
 
 def test_tenant_registration_first_wins(tmp_path):

@@ -207,6 +207,133 @@ class TestBudgets:
         assert exc_info.value.status == 409
 
 
+class TestIdempotency:
+    """Keys are tenant-scoped, content-bound, and race-safe."""
+
+    def test_replay_is_free_and_returns_original_answer(self, service):
+        fp = publish(service)["fingerprint"]
+        body = {"tenant": "t", "fingerprint": fp,
+                "queries": [{"bin": 1}, {"lo": 0, "hi": 8}]}
+        status, first = service.query(dict(body), idempotency_key="req-1")
+        assert status == 200
+        spent = service.tenants.accountant("t").spent.epsilon
+        status, second = service.query(dict(body), idempotency_key="req-1")
+        assert status == 200
+        assert all(r["replayed"] for r in second["results"])
+        assert [r["value"] for r in second["results"]] == [
+            r["value"] for r in first["results"]
+        ]
+        assert service.tenants.accountant("t").spent.epsilon == spent
+
+    def test_key_reuse_with_different_bounds_is_409(self, service):
+        """A paid key cannot harvest fresh answers for other queries."""
+        fp = publish(service)["fingerprint"]
+        service.query(
+            {"tenant": "t", "fingerprint": fp, "queries": [{"bin": 1}]},
+            idempotency_key="req-1",
+        )
+        spent = service.tenants.accountant("t").spent.epsilon
+        with pytest.raises(RequestError) as exc_info:
+            service.query(
+                {"tenant": "t", "fingerprint": fp,
+                 "queries": [{"lo": 0, "hi": 16}]},
+                idempotency_key="req-1",
+            )
+        assert exc_info.value.status == 409
+        assert service.tenants.accountant("t").spent.epsilon == spent
+
+    def test_key_reuse_with_different_artifact_is_409(self, service):
+        fp = publish(service)["fingerprint"]
+        other = publish(service, seed=4)["fingerprint"]
+        service.query(
+            {"tenant": "t", "fingerprint": fp, "queries": [{"bin": 1}]},
+            idempotency_key="req-1",
+        )
+        with pytest.raises(RequestError) as exc_info:
+            service.query(
+                {"tenant": "t", "fingerprint": other,
+                 "queries": [{"bin": 1}]},
+                idempotency_key="req-1",
+            )
+        assert exc_info.value.status == 409
+
+    def test_same_key_from_other_tenant_charges_independently(
+        self, service
+    ):
+        """No cross-tenant collisions: keys are scoped per tenant."""
+        fp = publish(service)["fingerprint"]
+        body = {"fingerprint": fp, "queries": [{"bin": 1}]}
+        service.query(dict(body, tenant="a"), idempotency_key="shared")
+        status, payload = service.query(
+            dict(body, tenant="b"), idempotency_key="shared"
+        )
+        assert status == 200
+        assert not any(r.get("replayed") for r in payload["results"])
+        assert service.tenants.accountant("a").spent.epsilon == \
+            pytest.approx(0.5)
+        assert service.tenants.accountant("b").spent.epsilon == \
+            pytest.approx(0.5)
+
+    def test_concurrent_same_key_charges_exactly_once(self, service):
+        """Racing retries of one keyed request never double-charge."""
+        import threading
+
+        fp = publish(service)["fingerprint"]
+        body = {"tenant": "t", "fingerprint": fp,
+                "queries": [{"lo": 2, "hi": 9}]}
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        outcomes, errors = [], []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            try:
+                status, payload = service.query(
+                    dict(body), idempotency_key="raced"
+                )
+                with lock:
+                    outcomes.append((status, payload["results"][0]))
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                with lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors, f"worker errors: {errors[:3]}"
+        assert len(outcomes) == n_threads
+        values = {result["value"] for _status, result in outcomes}
+        assert len(values) == 1  # everyone sees the one answer
+        fresh = [
+            result for _status, result in outcomes
+            if not result.get("replayed")
+        ]
+        assert len(fresh) == 1  # exactly one charge won the race
+        acc = service.tenants.accountant("t")
+        assert acc.spent.epsilon == pytest.approx(0.5)
+        assert len(acc.ledger) == 1
+
+    def test_failed_charge_releases_the_key_for_retry(self, service):
+        """A refused (exhausted) attempt does not settle the key — the
+        retry is refused again, never answered replayed-for-free."""
+        fp = publish(service)["fingerprint"]
+        service.tenants.register("broke", 0.1)  # below one 0.5 query
+        for _ in range(2):
+            status, payload = service.query(
+                {"tenant": "broke", "fingerprint": fp,
+                 "queries": [{"bin": 0}]},
+                idempotency_key="later",
+            )
+            assert status == 429
+            assert payload["results"][0]["status"] == "exhausted"
+            assert "replayed" not in payload["results"][0]
+
+
 class TestObservability:
     def test_query_metrics_count_outcomes(self, service):
         fp = publish(service)["fingerprint"]

@@ -75,6 +75,59 @@ def test_renamed_file_fingerprint_mismatch_quarantined(tmp_path, artifact):
     assert store.stats()["quarantined"] == 1
 
 
+def test_structured_meta_round_trips(tmp_path, artifact):
+    """Nested (JSON-shaped) meta survives a warm restart intact."""
+    import dataclasses
+
+    meta = {
+        "publisher": "dwork",
+        "layers": [1, 2, 3],
+        "tuning": {"delta": 0.05, "notes": ["fast", "approx"]},
+        "flag": True,
+        "nothing": None,
+    }
+    rich = dataclasses.replace(artifact, meta=meta)
+    store = ArtifactStore(tmp_path)
+    store.save(rich)
+    loaded = store.load(artifact.fingerprint)
+    assert loaded is not None
+    assert loaded.meta == meta
+
+
+def test_numpy_meta_normalizes_to_python_scalars(tmp_path, artifact):
+    import dataclasses
+
+    rich = dataclasses.replace(artifact, meta={
+        "eps": np.float64(0.5),
+        "bins": np.int64(16),
+        "grid": np.arange(3, dtype=np.float64),
+        "pair": (1, 2),
+    })
+    store = ArtifactStore(tmp_path)
+    store.save(rich)
+    loaded = store.load(artifact.fingerprint)
+    assert loaded.meta == {
+        "eps": 0.5, "bins": 16, "grid": [0.0, 1.0, 2.0], "pair": [1, 2],
+    }
+
+
+def test_unserializable_meta_raises_instead_of_dropping(tmp_path,
+                                                        artifact):
+    """No silent divergence: a meta value JSON can't carry is an error
+    at save time, not a key quietly missing after restart."""
+    import dataclasses
+
+    store = ArtifactStore(tmp_path)
+    bad_value = dataclasses.replace(artifact, meta={"obj": object()})
+    with pytest.raises(TypeError, match="meta.obj"):
+        store.save(bad_value)
+    bad_key = dataclasses.replace(artifact, meta={1: "x"})
+    with pytest.raises(TypeError, match="not a.*string"):
+        store.save(bad_key)
+    # Nothing was spilled for either failure.
+    assert store.fingerprints() == ()
+
+
 def test_specs_scan_discovers_valid_and_sweeps_corrupt(tmp_path):
     store = ArtifactStore(tmp_path)
     a = publish_artifact(tiny_spec(seed=1))
