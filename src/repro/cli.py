@@ -66,6 +66,7 @@ regression radar (docs/serving.md)::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -539,6 +540,41 @@ def _build_serve_parser() -> argparse.ArgumentParser:
                         type=float, default=5.0, metavar="S",
                         help="graceful-shutdown deadline for in-flight "
                              "requests (default 5.0)")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable per-request span capture (stage "
+                             "trees on /v1/debug); equivalent to "
+                             "exporting REPRO_TRACE=1")
+    parser.add_argument("--access-log", dest="access_log", default=None,
+                        metavar="PATH",
+                        help="structured JSONL access log (one "
+                             "sorted-key line per request; rotated); "
+                             "defaults to STATE_DIR/access.log when "
+                             "--state-dir is set")
+    parser.add_argument("--slo-window", dest="slo_window", type=float,
+                        default=60.0, metavar="S",
+                        help="SLO sliding-window length in seconds "
+                             "(default 60)")
+    parser.add_argument("--slo-latency-ms", dest="slo_latency_ms",
+                        type=float, default=250.0, metavar="MS",
+                        help="latency objective threshold: a request "
+                             "slower than this is SLO-bad "
+                             "(default 250)")
+    parser.add_argument("--slo-latency-target", dest="slo_latency_target",
+                        type=float, default=0.99, metavar="F",
+                        help="good fraction target for the latency "
+                             "objective (default 0.99)")
+    parser.add_argument("--slo-error-target", dest="slo_error_target",
+                        type=float, default=0.999, metavar="F",
+                        help="good fraction target for the 5xx error "
+                             "objective (default 0.999)")
+    parser.add_argument("--slo-shed-target", dest="slo_shed_target",
+                        type=float, default=0.99, metavar="F",
+                        help="good fraction target for the shed "
+                             "objective (default 0.99)")
+    parser.add_argument("--debug-traces", dest="debug_traces", type=int,
+                        default=8, metavar="N",
+                        help="slowest-N traced requests kept for "
+                             "/v1/debug (default 8)")
     parser.add_argument("--verbose", action="store_true",
                         help="log one line per request to stderr")
     return parser
@@ -546,15 +582,24 @@ def _build_serve_parser() -> argparse.ArgumentParser:
 
 def _serve_main(argv: List[str]) -> int:
     """Entry point for ``python -m repro serve ...``."""
+    from pathlib import Path
+
+    from repro.obs import trace
     from repro.serve.admission import AdmissionController
     from repro.serve.server import make_server, run_server
     from repro.serve.service import QueryService
+    from repro.serve.telemetry import SLOConfig
 
     args = _build_serve_parser().parse_args(argv)
     if args.port < 0:
         print(f"error: --port must be >= 0, got {args.port}",
               file=sys.stderr)
         return 2
+    if args.trace:
+        os.environ[trace.ENV_VAR] = "1"
+    access_log = args.access_log
+    if access_log is None and args.state_dir is not None:
+        access_log = Path(args.state_dir) / "access.log"
     try:
         service = QueryService(
             cache_entries=args.cache_entries,
@@ -563,6 +608,15 @@ def _serve_main(argv: List[str]) -> int:
             state_dir=args.state_dir,
             publish_slots=args.publish_slots,
             retry_after=args.retry_after,
+            slo=SLOConfig(
+                window_seconds=args.slo_window,
+                latency_threshold=args.slo_latency_ms / 1000.0,
+                latency_target=args.slo_latency_target,
+                error_target=args.slo_error_target,
+                shed_target=args.slo_shed_target,
+            ),
+            access_log=access_log,
+            slow_traces=args.debug_traces,
         )
         admission = AdmissionController(
             max_inflight=args.max_inflight,
@@ -633,6 +687,13 @@ def _build_replay_parser() -> argparse.ArgumentParser:
                         default=8, metavar="N",
                         help="artifact cache size of the self-hosted "
                              "server (ignored with --server)")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable span capture on the self-hosted "
+                             "server (per-request stage trees; the "
+                             "transcript stays bit-identical to an "
+                             "untraced run); with --server, start the "
+                             "remote server with 'repro serve --trace' "
+                             "instead")
     parser.add_argument("--chaos", action="store_true",
                         help="kill-and-restart drill: run the server as "
                              "a subprocess with injected crashes at the "
@@ -723,6 +784,11 @@ def _replay_main(argv: List[str]) -> int:
         print(f"error: --retries must be >= 0, got {args.retries}",
               file=sys.stderr)
         return 2
+    previous_trace = None
+    if args.trace:
+        from repro.obs import trace
+
+        previous_trace = trace.set_enabled(True)
     try:
         result = run_replay(
             manifest,
@@ -734,6 +800,11 @@ def _replay_main(argv: List[str]) -> int:
     except (RuntimeError, TimeoutError, OSError) as exc:
         print(f"error: replay failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if args.trace:
+            from repro.obs import trace
+
+            trace.set_enabled(previous_trace)
     registry = MetricsRegistry()
     record_replay_metrics(result, registry)
     for line in result.summary_lines():

@@ -337,6 +337,60 @@ def _serving_section(store: HistoryStore) -> List[str]:
     return lines
 
 
+#: Burn-rate badge thresholds (SRE convention): <= 1.0 spends the
+#: error budget no faster than allowed; > 6.0 is page-worthy drift.
+_SLO_WATCH_BURN = 1.0
+_SLO_DRIFT_BURN = 6.0
+
+
+def _serving_slo_section(store: HistoryStore) -> List[str]:
+    """SLO burn rates scraped by ``repro replay --history``.
+
+    One row per (replay run, objective) from the
+    ``repro_serve_slo_burn_rate`` gauge; the verdict column applies
+    the drift-radar thresholds (ok <= 1, watch <= 6, drift > 6).
+    Omitted until a replay against an SLO-aware server is ingested.
+    """
+    import json as json_mod
+
+    burns = store.metric_series("repro_serve_slo_burn_rate")
+    if not burns:
+        return []
+    table_rows = []
+    for row in burns[-18:]:
+        try:
+            labels = json_mod.loads(row["labels"])
+        except (ValueError, TypeError):
+            labels = {}
+        burn = float(row["value"])
+        if burn <= _SLO_WATCH_BURN:
+            status = "ok"
+        elif burn <= _SLO_DRIFT_BURN:
+            status = "watch"
+        else:
+            status = "drift"
+        table_rows.append((
+            _short_commit(row["commit_sha"]),
+            labels.get("manifest", row["labels"]),
+            labels.get("objective", ""),
+            _fmt(burn, 4),
+            _STATUS_BADGE.get(status, status),
+        ))
+    lines = [
+        "## Serving SLOs",
+        "",
+        f"- burn rate = bad fraction / (1 - target); "
+        f"ok <= {_SLO_WATCH_BURN:g}, watch <= {_SLO_DRIFT_BURN:g}, "
+        f"drift above that",
+        "",
+    ]
+    lines.extend(_md_table(
+        ["commit", "manifest", "objective", "burn", "verdict"],
+        table_rows,
+    ))
+    return lines
+
+
 def _operations_section(store: HistoryStore) -> List[str]:
     lines = ["## Operations", ""]
     counts = store.counts()
@@ -452,6 +506,10 @@ def render_dashboard(
         serving = _serving_section(store)
         if serving:
             sections.extend(serving)
+            sections.append("")
+        slo = _serving_slo_section(store)
+        if slo:
+            sections.extend(slo)
             sections.append("")
         sections.extend(_operations_section(store))
         text = "\n".join(sections) + "\n"

@@ -173,6 +173,35 @@ class HistogramMetric:
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Approximate quantile by linear bucket interpolation.
+
+        Prometheus ``histogram_quantile`` semantics: the rank is
+        located in its cumulative bucket and interpolated between the
+        bucket's bounds (the lowest bucket interpolates from 0; a rank
+        in the +Inf bucket returns the highest finite bound).  NaN
+        when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        cumulative = self.cumulative()
+        total = cumulative[-1]
+        if total == 0:
+            return float("nan")
+        rank = q * total
+        previous = 0
+        lower = 0.0
+        for bound, count in zip(self.buckets, cumulative):
+            if rank <= count:
+                span_count = count - previous
+                if span_count == 0:  # pragma: no cover - rank boundary
+                    return bound
+                fraction = (rank - previous) / span_count
+                return lower + (bound - lower) * fraction
+            previous = count
+            lower = bound
+        return self.buckets[-1]
+
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": HistogramMetric}
 

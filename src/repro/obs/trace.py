@@ -51,6 +51,7 @@ __all__ = [
     "best_of",
     "capture",
     "enabled",
+    "self_seconds",
     "set_enabled",
     "span",
     "stage_totals",
@@ -243,6 +244,22 @@ def walk(tree: Dict[str, Any], prefix: str = "") -> Iterator[
     yield path, tree
     for child in tree.get("children", ()):
         yield from walk(child, path)
+
+
+def self_seconds(node: Dict[str, Any]) -> float:
+    """A span's own time: its seconds minus its direct children's.
+
+    The "unattributed" remainder of a serialized span — what the
+    serving debug endpoint reports as time a request spent outside any
+    documented stage.  Clamped at zero (clock jitter can make child
+    sums exceed the parent by nanoseconds).
+    """
+    own = float(node.get("seconds", 0.0))
+    children = sum(
+        float(child.get("seconds", 0.0))
+        for child in node.get("children", ())
+    )
+    return max(0.0, own - children)
 
 
 def stage_totals(tree: Dict[str, Any]) -> Dict[str, Tuple[int, float]]:

@@ -34,10 +34,20 @@ from repro.serve.server import HistogramHTTPServer, make_server, run_server
 from repro.serve.service import QueryService, RequestError, ShedError
 from repro.serve.spec import SERVE_DATASETS, ServeSpec, serve_roster
 from repro.serve.store import ArtifactStore
+from repro.serve.telemetry import (
+    STAGES,
+    AccessLog,
+    ServeTelemetry,
+    SLOConfig,
+    SLOMonitor,
+    validate_access_log_line,
+)
 from repro.serve.tenants import TenantLedgers
 
 __all__ = [
     "SERVE_DATASETS",
+    "STAGES",
+    "AccessLog",
     "AdmissionController",
     "ArtifactCache",
     "ArtifactStore",
@@ -51,8 +61,11 @@ __all__ = [
     "ReplayManifest",
     "ReplayResult",
     "RequestError",
+    "SLOConfig",
+    "SLOMonitor",
     "ServeClient",
     "ServeSpec",
+    "ServeTelemetry",
     "ShedError",
     "TenantLedgers",
     "build_schedule",
@@ -64,4 +77,5 @@ __all__ = [
     "run_replay",
     "run_server",
     "serve_roster",
+    "validate_access_log_line",
 ]

@@ -20,8 +20,9 @@ programs per request.  Two properties matter beyond plain LRU:
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.serve.artifacts import PublishedArtifact, publish_artifact
 from repro.serve.spec import ServeSpec
@@ -69,6 +70,8 @@ class ArtifactCache:
         self._publish = publish
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, PublishedArtifact]" = OrderedDict()
+        #: Monotonic insert time per resident fingerprint (entry age).
+        self._inserted: Dict[str, float] = {}
         self._inflight: Dict[str, _InFlight] = {}
         self._bytes = 0
         self._stats = CacheStats()
@@ -81,7 +84,8 @@ class ArtifactCache:
             and self._bytes > self.max_bytes
             and len(self._entries) > 1
         ):
-            _fp, artifact = self._entries.popitem(last=False)
+            fp, artifact = self._entries.popitem(last=False)
+            self._inserted.pop(fp, None)
             self._bytes -= artifact.nbytes
             evicted += 1
         self._stats.evictions += evicted
@@ -93,6 +97,7 @@ class ArtifactCache:
             self._entries.move_to_end(fp)
             return 0
         self._entries[fp] = artifact
+        self._inserted[fp] = time.monotonic()
         self._bytes += artifact.nbytes
         return self._evict_over_bounds()
 
@@ -214,6 +219,25 @@ class ArtifactCache:
         """
         with self._lock:
             return tuple(self._entries.values())
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Per-entry introspection, least- to most-recently used.
+
+        Each row carries the fingerprint, resident bytes, and the
+        entry's age in seconds (since first insert; a re-insert keeps
+        the original age).  Feeds ``/v1/stats`` and ``/v1/debug``.
+        """
+        now = time.monotonic()
+        with self._lock:
+            return [
+                {
+                    "fingerprint": fp,
+                    "bytes": artifact.nbytes,
+                    "n_bins": artifact.n_bins,
+                    "age_seconds": now - self._inserted.get(fp, now),
+                }
+                for fp, artifact in self._entries.items()
+            ]
 
     def stats(self) -> Dict[str, int]:
         """Counters + occupancy snapshot (stable key set for /v1/stats)."""

@@ -95,6 +95,9 @@ class ChaosReport:
     surviving: int = 0
     lost: int = 0
     spent_by_tenant: Dict[str, float] = field(default_factory=dict)
+    #: Valid access-log lines the chaos server wrote across all its
+    #: incarnations (informational — the log shares the state dir).
+    access_log_lines: int = 0
 
     @property
     def ok(self) -> bool:
@@ -114,6 +117,7 @@ class ChaosReport:
             "surviving": self.surviving,
             "lost": self.lost,
             "spent_by_tenant": dict(self.spent_by_tenant),
+            "access_log_lines": self.access_log_lines,
         }
 
     def summary_lines(self) -> List[str]:
@@ -347,6 +351,21 @@ def run_chaos_replay(
     report.checks["no_server_5xx"] = not any(
         r["code"] >= 500 and r["code"] != 503 for r in chaos.records
     )
+
+    # Informational: the chaos server writes its access log into the
+    # shared state dir; count the lines that validate against the
+    # schema (restarts append to the same file).
+    access_log = state_dir / "access.log"
+    if access_log.exists():
+        from repro.serve.telemetry import validate_access_log_line
+
+        count = 0
+        for line in access_log.read_text(
+            encoding="utf-8"
+        ).splitlines():
+            if line.strip() and not validate_access_log_line(line):
+                count += 1
+        report.access_log_lines = count
 
     # -- CI artifacts --------------------------------------------------
     atomic_write_text(

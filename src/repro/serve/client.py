@@ -19,6 +19,7 @@ answers an already-charged key for free instead of double-spending ε.
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -118,13 +119,35 @@ class ServeClient:
         path: str,
         payload: Optional[Dict[str, Any]] = None,
         headers: Optional[Dict[str, str]] = None,
+        request_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, Any]]:
+        """One logical request (503s retried), correlation-id aware.
+
+        When a ``request_id`` is given it rides every attempt as
+        ``X-Request-Id``; a transport failure that exhausts the caller
+        gets the id attached as ``exc.request_id``, and any error
+        payload (4xx/5xx) is guaranteed a ``request_id`` field (the
+        server's echo, falling back to ours) — so client-side failure
+        records stay joinable against the server's access log.
+        """
+        if request_id is not None:
+            headers = dict(headers or {})
+            headers.setdefault("X-Request-Id", request_id)
         attempt = 0
         while True:
-            status, decoded, resp_headers = self._request_once(
-                method, path, payload, headers
-            )
+            try:
+                status, decoded, resp_headers = self._request_once(
+                    method, path, payload, headers
+                )
+            except (OSError, http.client.HTTPException) as exc:
+                if request_id is not None:
+                    exc.request_id = request_id
+                raise
             if status != 503 or attempt >= self.max_retries:
+                if status >= 400:
+                    rid = resp_headers.get("X-Request-Id", request_id)
+                    if rid is not None:
+                        decoded.setdefault("request_id", rid)
                 return status, decoded
             self._sleep(self._retry_delay(attempt, decoded, resp_headers))
             attempt += 1
@@ -178,6 +201,7 @@ class ServeClient:
         fingerprint: Optional[str] = None,
         spec: Optional[Dict[str, Any]] = None,
         idempotency_key: Optional[str] = None,
+        request_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         """Query with an idempotency key stable across this call's retries.
 
@@ -185,7 +209,10 @@ class ServeClient:
         spanning server restarts) should pass its own deterministic
         ``idempotency_key`` so the whole logical request stays
         exactly-once; otherwise a fresh UUID covers the retries inside
-        this one call.
+        this one call.  The ``request_id`` (default: the idempotency
+        key, so logs and ledgers join on one string) is sent as
+        ``X-Request-Id`` and surfaced on failures — see
+        :meth:`_request`.
         """
         body: Dict[str, Any] = {"tenant": tenant, "queries": queries}
         if fingerprint is not None:
@@ -194,7 +221,9 @@ class ServeClient:
             body["spec"] = spec
         key = idempotency_key or str(uuid.uuid4())
         return self._request(
-            "POST", "/v1/query", body, headers={"Idempotency-Key": key}
+            "POST", "/v1/query", body,
+            headers={"Idempotency-Key": key},
+            request_id=request_id or key,
         )
 
     def stats(self) -> Dict[str, Any]:

@@ -497,8 +497,15 @@ def _tenant_worker(
                         error=type(exc).__name__,
                         cause=str(exc),
                         attempts=retries + 1,
-                        meta={"remaining_queries":
-                              len(items) - position},
+                        meta={
+                            "remaining_queries": len(items) - position,
+                            # The X-Request-Id of the attempt that died
+                            # (attached by ServeClient), joinable
+                            # against the server's access log.
+                            "request_id": getattr(
+                                exc, "request_id", None
+                            ),
+                        },
                     ))
                 for rest in items[position:]:
                     with lock:
@@ -752,4 +759,29 @@ def record_replay_metrics(
         )
         for key, value in sorted(totals.items()):
             gauge.labels(manifest=label, key=str(key)).set(float(value))
+    # SLO burn rates, scraped from the same final /v1/stats snapshot:
+    # the history store ingests these and the dashboard's serving-SLO
+    # section badges them with the drift-radar thresholds.
+    slo = result.server_stats.get("slo") or {}
+    objectives = slo.get("objectives")
+    if isinstance(objectives, dict) and objectives:
+        burn = registry.gauge(
+            "repro_serve_slo_burn_rate",
+            "SLO burn rate per objective at the end of this replay",
+            labelnames=("manifest", "objective"),
+        )
+        bad = registry.gauge(
+            "repro_serve_slo_bad_fraction",
+            "fraction of windowed requests violating each objective",
+            labelnames=("manifest", "objective"),
+        )
+        for objective, values in sorted(objectives.items()):
+            if not isinstance(values, dict):
+                continue
+            burn.labels(manifest=label, objective=objective).set(
+                float(values.get("burn_rate", 0.0))
+            )
+            bad.labels(manifest=label, objective=objective).set(
+                float(values.get("bad_fraction", 0.0))
+            )
     return registry

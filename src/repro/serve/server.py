@@ -26,6 +26,7 @@ method      path                  handler
 ==========  ====================  ========================================
 ``GET``     ``/healthz``          liveness probe (admission-exempt)
 ``GET``     ``/metrics``          Prometheus exposition (admission-exempt)
+``GET``     ``/v1/debug``         introspection snapshot (admission-exempt)
 ``GET``     ``/v1/stats``         cache / tenant / uptime snapshot
 ``POST``    ``/v1/publish``       materialize an artifact from a spec
 ``POST``    ``/v1/tenants``       register a tenant with an ε budget
@@ -53,8 +54,9 @@ __all__ = ["HistogramHTTPServer", "make_server", "run_server"]
 #: Request bodies above this size are refused (413) before parsing.
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
-#: Routes that bypass admission control (probes must answer under load).
-EXEMPT_PATHS = ("/healthz", "/metrics")
+#: Routes that bypass admission control (probes and introspection must
+#: answer under load — overload is exactly when you need ``/v1/debug``).
+EXEMPT_PATHS = ("/healthz", "/metrics", "/v1/debug")
 
 
 def _encode(payload: Dict[str, Any]) -> bytes:
@@ -74,39 +76,55 @@ class _Handler(BaseHTTPRequestHandler):
                 "serve: %s - %s\n" % (self.address_string(), format % args)
             )
 
+    def _request_id(self) -> Optional[str]:
+        return self.server.service.telemetry.current_request_id()
+
     def _send_json(
         self,
         status: int,
         payload: Dict[str, Any],
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        body = _encode(payload)
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+        telemetry = self.server.service.telemetry
+        with telemetry.stage("serve.serialize"):
+            body = _encode(payload)
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            rid = telemetry.current_request_id()
+            if rid:
+                self.send_header("X-Request-Id", rid)
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
 
     def _send_text(self, status: int, text: str,
                    content_type: str = "text/plain; version=0.0.4") -> None:
-        body = text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        telemetry = self.server.service.telemetry
+        with telemetry.stage("serve.serialize"):
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            rid = telemetry.current_request_id()
+            if rid:
+                self.send_header("X-Request-Id", rid)
+            self.end_headers()
+            self.wfile.write(body)
 
     def _send_shed(self, reason: str, retry_after: float) -> None:
         """503 + ``Retry-After``: integer header, float payload field."""
+        payload = {
+            "error": f"overloaded: {reason}",
+            "reason": reason,
+            "retry_after": retry_after,
+        }
+        rid = self._request_id()
+        if rid:
+            payload["request_id"] = rid
         self._send_json(
-            503,
-            {
-                "error": f"overloaded: {reason}",
-                "reason": reason,
-                "retry_after": retry_after,
-            },
+            503, payload,
             headers={"Retry-After": str(max(1, int(round(retry_after))))},
         )
 
@@ -144,6 +162,10 @@ class _Handler(BaseHTTPRequestHandler):
                 if path == "/metrics":
                     self._send_text(200, service.metrics_text())
                     return "metrics", 200
+                if path == "/v1/debug":
+                    status, payload = service.debug()
+                    self._send_json(status, payload)
+                    return "debug", status
                 if path == "/v1/stats":
                     status, payload = service.stats()
                     self._send_json(status, payload)
@@ -178,50 +200,77 @@ class _Handler(BaseHTTPRequestHandler):
         except RequestError as exc:
             retry_after = getattr(exc, "retry_after", None)
             if retry_after is not None:
-                self._send_shed(
-                    getattr(exc, "reason", "overloaded"), retry_after
-                )
+                reason = getattr(exc, "reason", "overloaded")
+                service.telemetry.annotate(shed=reason)
+                self._send_shed(reason, retry_after)
             else:
-                self._send_json(exc.status, {"error": exc.message})
+                self._send_json(
+                    exc.status, self._error_body(exc.message)
+                )
             return path.rsplit("/", 1)[-1] or "root", exc.status
         except BrokenPipeError:
             raise
         except Exception as exc:  # noqa: BLE001 - last-ditch 500 firewall
             self._send_json(
-                500, {"error": f"{type(exc).__name__}: {exc}"}
+                500, self._error_body(f"{type(exc).__name__}: {exc}")
             )
             return path.rsplit("/", 1)[-1] or "root", 500
+
+    def _error_body(self, message: str) -> Dict[str, Any]:
+        """Error payloads carry the correlation id; 200 bodies never do
+        (success bodies are part of the byte-identity contract)."""
+        body: Dict[str, Any] = {"error": message}
+        rid = self._request_id()
+        if rid:
+            body["request_id"] = rid
+        return body
 
     def _handle(self, method: str) -> None:
         started = time.perf_counter()
         path = self._path()
-        admission = self.server.admission
-        admitted = False
-        if admission is not None and path not in EXEMPT_PATHS:
-            decision = admission.try_admit()
-            if not decision.admitted:
-                reason = decision.reason or "overloaded"
-                self.server.service.note_shed(reason)
-                try:
-                    self._send_shed(reason, self.server.retry_after)
-                except BrokenPipeError:
-                    return
-                self.server.service.observe_request(
-                    path.rsplit("/", 1)[-1] or "root", 503,
-                    time.perf_counter() - started,
-                )
-                return
-            admitted = True
-        try:
-            endpoint, status = self._dispatch(method, path)
-        except BrokenPipeError:  # client went away mid-response
-            return
-        finally:
-            if admitted:
-                admission.release()
-        self.server.service.observe_request(
-            endpoint, status, time.perf_counter() - started
+        service = self.server.service
+        telemetry = service.telemetry
+        telemetry.begin_request(
+            method, path, self.headers.get("X-Request-Id")
         )
+        endpoint = path.rsplit("/", 1)[-1] or "root"
+        status = 0  # 0 = aborted before a response was written
+        try:
+            admission = self.server.admission
+            admitted = False
+            if admission is not None and path not in EXEMPT_PATHS:
+                decision = admission.try_admit()
+                if decision.waited_seconds > 0:
+                    telemetry.record_stage(
+                        "serve.admission_wait", decision.waited_seconds
+                    )
+                if not decision.admitted:
+                    reason = decision.reason or "overloaded"
+                    service.note_shed(reason)
+                    telemetry.annotate(shed=reason)
+                    status = 503
+                    try:
+                        self._send_shed(reason, self.server.retry_after)
+                    except BrokenPipeError:
+                        return
+                    service.observe_request(
+                        endpoint, 503, time.perf_counter() - started
+                    )
+                    return
+                admitted = True
+            try:
+                endpoint, status = self._dispatch(method, path)
+            except BrokenPipeError:  # client went away mid-response
+                status = 0
+                return
+            finally:
+                if admitted:
+                    admission.release()
+            service.observe_request(
+                endpoint, status, time.perf_counter() - started
+            )
+        finally:
+            telemetry.end_request(endpoint, status)
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         self._handle("GET")
@@ -300,6 +349,8 @@ def make_server(
     """Bind a server (``port=0`` picks an ephemeral port)."""
     if service is None:
         service = QueryService()
+    if admission is not None:
+        service.attach_admission(admission)
     return HistogramHTTPServer(
         (host, port), service, verbose=verbose, admission=admission,
         drain_seconds=drain_seconds, retry_after=retry_after,

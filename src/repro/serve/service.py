@@ -59,6 +59,7 @@ from repro.serve.cache import ArtifactCache
 from repro.serve.ledgerlog import LedgerLog, scoped_key
 from repro.serve.spec import ServeSpec
 from repro.serve.store import ArtifactStore
+from repro.serve.telemetry import AccessLog, ServeTelemetry, SLOConfig
 from repro.serve.tenants import TenantLedgers
 
 __all__ = ["QueryService", "RequestError", "ShedError"]
@@ -151,6 +152,9 @@ class QueryService:
         state_dir: Optional[Union[str, Path]] = None,
         publish_slots: Optional[int] = None,
         retry_after: float = 1.0,
+        slo: Optional[SLOConfig] = None,
+        access_log: Optional[Union[str, Path, AccessLog]] = None,
+        slow_traces: int = 8,
     ) -> None:
         self.cache = ArtifactCache(
             max_entries=cache_entries, max_bytes=cache_bytes
@@ -230,6 +234,30 @@ class QueryService:
             "cold publisher runtime per artifact",
             buckets=SERVE_BUCKETS,
         )
+        self._cache_hit_ratio = reg.gauge(
+            "repro_serve_cache_hit_ratio",
+            "artifact cache hits / (hits + misses), refreshed at scrape",
+        )
+        self._admission_inflight = reg.gauge(
+            "repro_serve_admission_inflight",
+            "requests currently executing (admission snapshot)",
+        )
+        self._admission_queued = reg.gauge(
+            "repro_serve_admission_queued",
+            "requests currently waiting for an admission slot",
+        )
+        self._admission_draining = reg.gauge(
+            "repro_serve_admission_draining",
+            "1 while the server refuses new admissions (drain)",
+        )
+        self._admission: Optional["AdmissionController"] = None
+        # -- request telemetry (docs/observability.md) -----------------
+        self.telemetry = ServeTelemetry(
+            registry=reg,
+            slo=slo,
+            access_log=access_log,
+            slow_traces=slow_traces,
+        )
         # -- durable state (the crash-safety wing) ---------------------
         self.state_dir: Optional[Path] = None
         self.ledger: Optional[LedgerLog] = None
@@ -305,6 +333,29 @@ class QueryService:
         self.recovery = report
 
     # -- bookkeeping ---------------------------------------------------
+    def attach_admission(self, admission: Any) -> None:
+        """Let gauge refreshes read the live admission snapshot.
+
+        Called by the transport layer; the snapshot's queue depth and
+        inflight count become ``repro_serve_admission_*`` gauges so
+        overload is visible on ``/metrics`` before the first 503.
+        """
+        self._admission = admission
+
+    def refresh_gauges(self) -> None:
+        """Re-derive scrape-time gauges (hit ratio, admission, SLOs)."""
+        cache = self.cache.stats()
+        probes = cache["hits"] + cache["misses"]
+        self._cache_hit_ratio.set(
+            cache["hits"] / probes if probes else 0.0
+        )
+        if self._admission is not None:
+            snap = self._admission.snapshot()
+            self._admission_inflight.set(snap["inflight"])
+            self._admission_queued.set(snap["queued"])
+            self._admission_draining.set(1.0 if snap["draining"] else 0.0)
+        self.telemetry.refresh_gauges()
+
     def observe_request(
         self, endpoint: str, code: int, seconds: float
     ) -> None:
@@ -420,14 +471,22 @@ class QueryService:
         caller holds the key's reservation (:meth:`_reserve_key`) and
         settles or releases it depending on how this returns.
         """
-        remaining = self.tenants.charge(tenant, epsilon, purpose=purpose)
+        with self.telemetry.stage("serve.ledger_charge"):
+            remaining = self.tenants.charge(
+                tenant, epsilon, purpose=purpose
+            )
         if self.ledger is not None:
-            self._journal_tenant(tenant)
-            faults.maybe_inject_site("serve.before_journal", key or purpose)
-            self.ledger.append_debit(tenant, epsilon, key=key,
-                                     purpose=purpose, digest=digest,
-                                     value=value)
-            faults.maybe_inject_site("serve.after_journal", key or purpose)
+            with self.telemetry.stage("serve.journal_fsync"):
+                self._journal_tenant(tenant)
+                faults.maybe_inject_site(
+                    "serve.before_journal", key or purpose
+                )
+                self.ledger.append_debit(tenant, epsilon, key=key,
+                                         purpose=purpose, digest=digest,
+                                         value=value)
+                faults.maybe_inject_site(
+                    "serve.after_journal", key or purpose
+                )
         return remaining
 
     # -- artifact resolution -------------------------------------------
@@ -438,7 +497,11 @@ class QueryService:
         artifact = self.store.load(fingerprint)
         if artifact is None:
             return None
-        self.cache.put(artifact)
+        evicted = self.cache.put(artifact)
+        if evicted:
+            # Rehydration can push a resident artifact over the entry
+            # or byte bound; those evictions count like any other.
+            self._cache_events.labels(event="eviction").inc(evicted)
         self._cache_events.labels(event="rehydrate").inc()
         with self._specs_lock:
             self._known_specs.setdefault(fingerprint, artifact.spec)
@@ -459,13 +522,16 @@ class QueryService:
         if fingerprint is not None:
             if not isinstance(fingerprint, str):
                 raise RequestError(400, "fingerprint must be a string")
-            artifact = self.cache.get(fingerprint)
+            with self.telemetry.stage("serve.cache_lookup"):
+                artifact = self.cache.get(fingerprint)
+                if artifact is None:
+                    artifact = self._rehydrate(fingerprint)
+                    source = "store"
+                else:
+                    self._cache_events.labels(event="hit").inc()
+                    source = "hit"
             if artifact is not None:
-                self._cache_events.labels(event="hit").inc()
-                return artifact, "hit"
-            artifact = self._rehydrate(fingerprint)
-            if artifact is not None:
-                return artifact, "store"
+                return artifact, source
             with self._specs_lock:
                 spec = self._known_specs.get(fingerprint)
             if spec is None:
@@ -482,7 +548,8 @@ class QueryService:
             raise RequestError(400, f"bad spec: {exc}") from exc
         fp = spec.fingerprint()
         if fp not in self.cache and not self.cache.inflight(fp):
-            artifact = self._rehydrate(fp)
+            with self.telemetry.stage("serve.cache_lookup"):
+                artifact = self._rehydrate(fp)
             if artifact is not None:
                 return artifact, "store"
         return self._publish_spec(spec, None)
@@ -518,10 +585,11 @@ class QueryService:
         self, spec: ServeSpec, fingerprint: Optional[str]
     ) -> Tuple[PublishedArtifact, str]:
         try:
-            artifact, hit, evicted = self.cache.get_or_publish(
-                spec, fingerprint,
-                before_publish=self._acquire_publish_slot,
-            )
+            with self.telemetry.stage("serve.publish"):
+                artifact, hit, evicted = self.cache.get_or_publish(
+                    spec, fingerprint,
+                    before_publish=self._acquire_publish_slot,
+                )
         except ShedError as exc:
             # Counted here, once per shed *request* — waiters sharing a
             # shed single-flight publish each pass through this path.
@@ -689,6 +757,7 @@ class QueryService:
         tenant = payload.get("tenant")
         if not isinstance(tenant, str) or not tenant.strip():
             raise RequestError(400, "tenant must be a non-empty string")
+        self.telemetry.annotate(tenant=tenant)
         queries = payload.get("queries")
         if not isinstance(queries, list) or not queries:
             raise RequestError(400, "queries must be a non-empty list")
@@ -709,7 +778,8 @@ class QueryService:
         refused = 0
         for index, (kind, lo, hi) in enumerate(parsed):
             key = f"{base_key}#{index}" if base_key else None
-            value = artifact.range(lo, hi)
+            with self.telemetry.stage("serve.answer"):
+                value = artifact.range(lo, hi)
             skey = digest = None
             if key is not None:
                 skey = scoped_key(tenant, key)
@@ -721,6 +791,7 @@ class QueryService:
                     # Journaled-and-answered (digest verified): the
                     # retry is free and gets the original answer.
                     stored = record.get("value")
+                    self.telemetry.annotate(replayed=True)
                     self._queries.labels(status="replayed").inc()
                     results.append({
                         "index": index,
@@ -778,6 +849,7 @@ class QueryService:
             "results": results,
         }
         if degraded is not None:
+            self.telemetry.annotate(degraded=True)
             response["degraded"] = True
             response["degraded_reason"] = degraded["reason"]
             response["served_fingerprint"] = degraded["served_fingerprint"]
@@ -803,13 +875,49 @@ class QueryService:
         }
 
     def stats(self) -> Tuple[int, Dict[str, Any]]:
-        """``GET /v1/stats``: cache occupancy, tenants, uptime."""
+        """``GET /v1/stats``: cache occupancy, tenants, uptime, SLOs."""
+        self.refresh_gauges()
         return 200, {
             "uptime_seconds": time.time() - self.started,
             "cache": self.cache.stats(),
+            "cache_entries": self.cache.entries(),
             "tenants": self.tenants.snapshot(),
             "known_specs": len(self._known_specs),
             "resilience": self.resilience(),
+            "slo": self.telemetry.slo.snapshot(),
+        }
+
+    def debug(self) -> Tuple[int, Dict[str, Any]]:
+        """``GET /v1/debug``: deep introspection for incident triage.
+
+        Admission snapshot, per-entry cache state with event tallies,
+        idempotency-key count, the startup recovery report, the SLO
+        window, and the slowest recent request traces (populated only
+        while tracing is enabled — enable with ``--trace`` or the
+        ``REPRO_TRACE`` environment variable).
+        """
+        from repro.obs import trace
+
+        with self._keys_lock:
+            seen_keys = len(self._seen_keys)
+        access_log = self.telemetry.access_log
+        return 200, {
+            "admission": (
+                self._admission.snapshot()
+                if self._admission is not None else None
+            ),
+            "cache": {
+                "stats": self.cache.stats(),
+                "entries": self.cache.entries(),
+            },
+            "seen_keys": seen_keys,
+            "recovery": dict(self.recovery),
+            "slo": self.telemetry.slo.snapshot(),
+            "trace_enabled": trace.enabled(),
+            "slowest_requests": self.telemetry.slowest(),
+            "access_log": (
+                access_log.info() if access_log is not None else None
+            ),
         }
 
     def health(self) -> Tuple[int, Dict[str, Any]]:
@@ -818,4 +926,5 @@ class QueryService:
 
     def metrics_text(self) -> str:
         """``GET /metrics``: Prometheus exposition of the registry."""
+        self.refresh_gauges()
         return self.registry.render_prometheus()

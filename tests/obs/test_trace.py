@@ -257,3 +257,35 @@ class TestWorkerRoundTrip:
             assert "trace" not in a.meta
             assert "trace" in b.meta
             assert records_equal(a, b), (a.seed, b.seed)
+
+
+class TestSelfSeconds:
+    def test_leaf_is_its_own_time(self):
+        assert trace.self_seconds({"name": "a", "seconds": 0.5}) == 0.5
+
+    def test_children_subtracted(self):
+        node = {"name": "req", "seconds": 1.0, "children": [
+            {"name": "a", "seconds": 0.3},
+            {"name": "b", "seconds": 0.5},
+        ]}
+        assert trace.self_seconds(node) == pytest.approx(0.2)
+
+    def test_only_direct_children_count(self):
+        node = {"name": "req", "seconds": 1.0, "children": [
+            {"name": "a", "seconds": 0.4, "children": [
+                {"name": "deep", "seconds": 0.4},
+            ]},
+        ]}
+        assert trace.self_seconds(node) == pytest.approx(0.6)
+
+    def test_jitter_clamped_at_zero(self):
+        node = {"name": "req", "seconds": 0.1, "children": [
+            {"name": "a", "seconds": 0.2},
+        ]}
+        assert trace.self_seconds(node) == 0.0
+
+    def test_live_capture_self_time_nonnegative(self, tracing_enabled):
+        with trace.capture("root") as root:
+            with trace.span("child"):
+                pass
+        assert trace.self_seconds(root.to_dict()) >= 0.0

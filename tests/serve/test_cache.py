@@ -89,6 +89,32 @@ class TestLRU:
         assert stats["entries"] == 1
         assert stats["bytes"] == fake_artifact("a").nbytes
 
+    def test_entries_snapshot_in_lru_order(self):
+        cache = ArtifactCache(max_entries=2, publish=fake_publish)
+        cache.put(fake_artifact("a"))
+        cache.put(fake_artifact("b"))
+        entries = cache.entries()
+        assert [e["fingerprint"] for e in entries] == ["a", "b"]
+        for entry in entries:
+            assert entry["bytes"] == fake_artifact("a").nbytes
+            assert entry["n_bins"] == 8
+            assert entry["age_seconds"] >= 0.0
+
+    def test_entries_age_survives_reinsert(self):
+        cache = ArtifactCache(max_entries=2, publish=fake_publish)
+        cache.put(fake_artifact("a"))
+        first_age = cache.entries()[0]["age_seconds"]
+        cache.put(fake_artifact("a"))  # refresh, not a new insert
+        assert cache.entries()[0]["age_seconds"] >= first_age
+
+    def test_entries_forget_evicted_ages(self):
+        cache = ArtifactCache(max_entries=1, publish=fake_publish)
+        cache.put(fake_artifact("a"))
+        cache.put(fake_artifact("b"))  # evicts "a"
+        assert [e["fingerprint"] for e in cache.entries()] == ["b"]
+        # Internal age map must not leak evicted fingerprints.
+        assert set(cache._inserted) == {"b"}
+
 
 class TestGetOrPublish:
     def test_publishes_once_then_hits(self):

@@ -146,3 +146,59 @@ def test_health_and_shutdown_do_not_retry_503():
     status, _ = client.shutdown()
     assert status == 503
     assert client.sleeps == []
+
+
+def test_query_sends_idempotency_key_as_request_id():
+    """Default correlation id = the idempotency key: one join string."""
+    client = _ScriptedClient([(200, dict(_OK), {})])
+    client.query("alice", [{"bin": 0}], fingerprint="f" * 64,
+                 idempotency_key="logical-7")
+    headers = client.calls[0]["headers"]
+    assert headers["X-Request-Id"] == "logical-7"
+    assert headers["Idempotency-Key"] == "logical-7"
+
+
+def test_explicit_request_id_wins_over_key():
+    client = _ScriptedClient([(200, dict(_OK), {})])
+    client.query("alice", [{"bin": 0}], fingerprint="f" * 64,
+                 idempotency_key="key-1", request_id="rid-1")
+    headers = client.calls[0]["headers"]
+    assert headers["X-Request-Id"] == "rid-1"
+    assert headers["Idempotency-Key"] == "key-1"
+
+
+def test_error_payload_gains_request_id():
+    """Server echo preferred; our own id is the fallback."""
+    client = _ScriptedClient([
+        (400, {"error": "bad"}, {"X-Request-Id": "server-echo"}),
+    ])
+    _status, payload = client.query(
+        "alice", [{"bin": 0}], fingerprint="f" * 64,
+        request_id="mine",
+    )
+    assert payload["request_id"] == "server-echo"
+    client = _ScriptedClient([(400, {"error": "bad"}, {})])
+    _status, payload = client.query(
+        "alice", [{"bin": 0}], fingerprint="f" * 64, request_id="mine"
+    )
+    assert payload["request_id"] == "mine"
+
+
+def test_success_payload_never_gains_request_id():
+    client = _ScriptedClient([(200, dict(_OK), {})])
+    _status, payload = client.query(
+        "alice", [{"bin": 0}], fingerprint="f" * 64, request_id="mine"
+    )
+    assert "request_id" not in payload
+
+
+def test_transport_error_carries_request_id():
+    class _DeadClient(_ScriptedClient):
+        def _request_once(self, method, path, payload=None, headers=None):
+            raise ConnectionResetError("wire gone")
+
+    client = _DeadClient([])
+    with pytest.raises(ConnectionResetError) as excinfo:
+        client.query("alice", [{"bin": 0}], fingerprint="f" * 64,
+                     idempotency_key="quarantine-me")
+    assert excinfo.value.request_id == "quarantine-me"

@@ -225,3 +225,54 @@ class TestReplaySubprocess:
         proc = run_cli("replay", str(tmp_path / "nope.json"))
         assert proc.returncode != 0
         assert proc.stdout == "" or "error" in proc.stderr.lower()
+
+
+@pytest.mark.slow
+class TestTelemetrySubprocess:
+    def test_traced_replay_transcript_sha_identical(self, tmp_path):
+        """Acceptance bar: tracing must not perturb the transcript."""
+        import hashlib
+
+        manifest = tmp_path / "e2e.json"
+        manifest.write_text(json.dumps(TINY_MANIFEST))
+        digests = []
+        for name, extra in (
+            ("plain.json", ()), ("traced.json", ("--trace",))
+        ):
+            out = tmp_path / name
+            proc = run_cli(
+                "replay", str(manifest), "--transcript", str(out),
+                *extra,
+            )
+            assert proc.returncode == 0, proc.stderr
+            digests.append(hashlib.sha256(out.read_bytes()).hexdigest())
+        assert digests[0] == digests[1]
+
+    def test_serve_trace_state_dir_wires_telemetry(self, tmp_path):
+        from repro.serve.telemetry import validate_access_log_line
+
+        state = tmp_path / "state"
+        with ServerProcess(
+            "--state-dir", str(state), "--trace"
+        ) as server:
+            code, published = server.client.publish(
+                tiny_spec().to_payload()
+            )
+            assert code == 200
+            code, _payload = server.client.query(
+                "t", [{"bin": 1}], fingerprint=published["fingerprint"]
+            )
+            assert code == 200
+            status, debug = server.client._request("GET", "/v1/debug")
+            assert status == 200
+            assert debug["trace_enabled"] is True
+            assert debug["slowest_requests"], (
+                "traced server must surface slow-request span trees"
+            )
+            assert debug["access_log"]["lines"] > 0
+            exit_code = server.stop()
+        assert exit_code == 0
+        lines = (state / "access.log").read_text().splitlines()
+        assert lines
+        for line in lines:
+            assert validate_access_log_line(line) == [], line

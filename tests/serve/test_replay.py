@@ -295,3 +295,79 @@ class TestResilienceMetrics:
         result.server_stats = {}
         registry = record_replay_metrics(result, MetricsRegistry())
         assert registry.get("repro_serve_shed_total") is None
+
+
+class TestSLOReplayMetrics:
+    def test_slo_burn_gauges_land_per_objective(self):
+        result = run_replay(tiny_manifest())
+        result.server_stats = {"slo": {"objectives": {
+            "latency": {"bad": 1.0, "bad_fraction": 0.025,
+                        "target": 0.99, "burn_rate": 2.5},
+            "error": {"bad": 0.0, "bad_fraction": 0.0,
+                      "target": 0.999, "burn_rate": 0.0},
+        }}}
+        registry = record_replay_metrics(result, MetricsRegistry())
+        burn = registry.get("repro_serve_slo_burn_rate")
+        assert burn.labels(
+            manifest="unit", objective="latency"
+        ).value == 2.5
+        bad = registry.get("repro_serve_slo_bad_fraction")
+        assert bad.labels(
+            manifest="unit", objective="latency"
+        ).value == pytest.approx(0.025)
+
+    def test_live_replay_scrapes_slo_snapshot(self):
+        """Self-hosted servers now report SLOs in ``/v1/stats``."""
+        result = run_replay(tiny_manifest())
+        registry = record_replay_metrics(result, MetricsRegistry())
+        burn = registry.get("repro_serve_slo_burn_rate")
+        assert burn is not None
+        labels = {key for key, _child in burn.children()}
+        assert ("unit", "latency") in labels
+
+    def test_no_slo_block_emits_no_gauges(self):
+        result = run_replay(tiny_manifest())
+        result.server_stats = {}
+        registry = record_replay_metrics(result, MetricsRegistry())
+        assert registry.get("repro_serve_slo_burn_rate") is None
+
+
+class TestQuarantineJoinability:
+    def test_quarantine_records_carry_request_id(self):
+        """A dead transport's FailedRecord joins the server access log.
+
+        The request id of the attempt that died is the deterministic
+        idempotency key, which the client sends as ``X-Request-Id`` —
+        the same string the server would have logged.
+        """
+        import socket
+        import threading
+        import time as time_mod
+
+        from repro.serve.client import ServeClient
+        from repro.serve.replay import FailedRecord, _tenant_worker
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listens here: instant refusal
+
+        manifest = tiny_manifest()
+        schedule = build_schedule(manifest)
+        tenant = schedule[0].tenant
+        items = [i for i in schedule if i.tenant == tenant][:2]
+        client = ServeClient(f"http://127.0.0.1:{port}", max_retries=0)
+        failures: list = []
+        records: dict = {}
+        _tenant_worker(
+            tenant, items, client, "f" * 64, threading.Semaphore(1),
+            time_mod.monotonic(), 0.0, 0, 0.0, "unit:1",
+            records, {}, failures, threading.Lock(),
+        )
+        assert len(failures) == 1
+        assert isinstance(failures[0], FailedRecord)
+        meta = failures[0].meta
+        assert meta["remaining_queries"] == len(items)
+        assert meta["request_id"] == f"unit:1:{items[0].index}"
+        # The rest of the trace is recorded as errored, not dropped.
+        assert len(records) == len(items)

@@ -367,3 +367,94 @@ class TestObservability:
         publish(service)
         text = service.metrics_text()
         assert "# TYPE repro_serve_cache_events_total counter" in text
+
+    def test_stats_carries_slo_and_cache_entries(self, service):
+        published = publish(service)
+        _status, payload = service.stats()
+        assert payload["slo"]["objectives"].keys() == {
+            "latency", "error", "shed"
+        }
+        entries = payload["cache_entries"]
+        assert [e["fingerprint"] for e in entries] == [
+            published["fingerprint"]
+        ]
+
+    def test_cache_hit_ratio_gauge(self, service):
+        publish(service)  # miss
+        publish(service)  # hit
+        service.refresh_gauges()
+        ratio = service.registry.get("repro_serve_cache_hit_ratio")
+        assert ratio.value == pytest.approx(0.5)
+
+    def test_admission_gauges_track_snapshot(self, service):
+        class _FakeAdmission:
+            def snapshot(self):
+                return {"inflight": 3, "queued": 2, "draining": True}
+
+        service.attach_admission(_FakeAdmission())
+        service.refresh_gauges()
+        reg = service.registry
+        assert reg.get("repro_serve_admission_inflight").value == 3
+        assert reg.get("repro_serve_admission_queued").value == 2
+        assert reg.get("repro_serve_admission_draining").value == 1.0
+
+    def test_rehydrate_eviction_is_counted(self, tmp_path):
+        """Warm-restart pulls must tally the evictions they cause.
+
+        A 1-slot cache with a durable store: rehydrating a spilled
+        artifact evicts the resident one, and that eviction must land
+        in ``repro_serve_cache_events_total`` exactly like an insert-
+        or byte-bound eviction would.
+        """
+        service = QueryService(
+            cache_entries=1, default_tenant_budget=50.0,
+            state_dir=tmp_path,
+        )
+        first = publish(service, seed=3)["fingerprint"]
+        second = publish(service, seed=4)["fingerprint"]
+        assert service.cache.fingerprints() == (second,)
+        events = service.registry.get("repro_serve_cache_events_total")
+        before = events.labels(event="eviction").value
+        # Querying the spilled artifact rehydrates it, evicting the
+        # resident one from the 1-slot cache.
+        status, payload = service.query({
+            "tenant": "t", "fingerprint": first,
+            "queries": [{"bin": 0}],
+        })
+        assert status == 200
+        assert service.cache.fingerprints() == (first,)
+        assert events.labels(event="eviction").value == before + 1
+        assert events.labels(event="rehydrate").value >= 1
+
+
+class TestDebugEndpoint:
+    def test_debug_snapshot_shape(self, service):
+        published = publish(service)
+        status, payload = service.query({
+            "tenant": "alpha", "fingerprint": published["fingerprint"],
+            "queries": [{"bin": 0}],
+        }, idempotency_key="dbg-1")
+        assert status == 200
+        status, debug = service.debug()
+        assert status == 200
+        assert debug["admission"] is None  # no transport attached
+        assert debug["cache"]["stats"]["entries"] == 1
+        assert debug["cache"]["entries"][0]["fingerprint"] == (
+            published["fingerprint"]
+        )
+        assert debug["seen_keys"] == 1
+        assert debug["slo"]["window_seconds"] > 0
+        assert debug["trace_enabled"] in (True, False)
+        assert debug["slowest_requests"] == []
+        assert debug["access_log"] is None  # not configured here
+        assert debug["recovery"] == {}
+
+    def test_debug_reports_access_log_info(self, tmp_path):
+        service = QueryService(
+            cache_entries=2, default_tenant_budget=10.0,
+            access_log=tmp_path / "access.log",
+        )
+        service.telemetry.begin_request("GET", "/healthz", "r1")
+        service.telemetry.end_request("health", 200)
+        _status, debug = service.debug()
+        assert debug["access_log"]["lines"] == 1
