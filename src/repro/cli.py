@@ -53,6 +53,18 @@ drift (the regression radar; see docs/observability.md)::
     python -m repro history drift --db h.sqlite --json verdicts.json
     python -m repro history dash --db h.sqlite --out dash.md
 
+Sweep the DPBench-grade scenario families, feed per-workload utility
+trajectories into the radar, and publish the repro-paper bundle —
+deterministic markdown/LaTeX tables plus SVG crossover figures
+(docs/evaluation.md)::
+
+    python -m repro scenarios --list
+    python -m repro scenarios --quick --history h.sqlite
+    python -m repro scenarios --families smooth,cliff --seeds 5 \
+        --journal scen.jsonl --history h.sqlite
+    python -m repro history ingest scen.jsonl --db h.sqlite --rebuild
+    python -m repro paper --db h.sqlite --out paper/
+
 Stand up the DP histogram query service and drive it with a
 deterministic workload-trace replay whose p50/p99 latency feeds the
 regression radar (docs/serving.md)::
@@ -870,6 +882,14 @@ def _build_history_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--total", type=int, default=50_000, metavar="N",
                         help="sweep dataset total for offline oracle "
                              "anchoring (default 50000)")
+    ingest.add_argument("--rebuild", action="store_true",
+                        help="also (re-)derive per-workload utility "
+                             "rows from journal sources — scenario "
+                             "datasets and workloads are reconstructed "
+                             "offline from the spec names, so journals "
+                             "whose trial rows are already ingested "
+                             "gain utility trajectories without "
+                             "re-running anything (idempotent)")
 
     drift = sub.add_parser(
         "drift",
@@ -924,6 +944,8 @@ def _history_main(argv: List[str]) -> int:
             print(f"error: no such file(s): {', '.join(missing)}",
                   file=sys.stderr)
             return 2
+        from repro.obs.history import sniff_source
+
         try:
             with HistoryStore(args.db) as store:
                 for source in args.sources:
@@ -932,6 +954,12 @@ def _history_main(argv: List[str]) -> int:
                         n_bins=args.bins, total=args.total,
                     )
                     print(f"{source}: {result.describe()}")
+                    if args.rebuild and sniff_source(source) == "journal":
+                        utility = store.ingest_journal_utility(
+                            source, commit=args.commit,
+                            n_bins=args.bins, total=args.total,
+                        )
+                        print(f"{source}: {utility.describe()}")
         except HistoryError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -1001,6 +1029,7 @@ def _ingest_sweep_history(args, specs, results, monitor, obs_metrics) -> None:
         HistoryStore,
         default_commit,
         trial_row_from_record,
+        utility_rows_from_record,
     )
     from repro.robust.journal import spec_fingerprint
 
@@ -1009,10 +1038,15 @@ def _ingest_sweep_history(args, specs, results, monitor, obs_metrics) -> None:
         try:
             commit = default_commit()
             rows = []
+            utility_rows = []
             by_name = {spec.name: spec for spec in specs}
             for spec_name in sorted(results):
                 spec = by_name.get(spec_name)
                 histogram = spec.histogram if spec is not None else None
+                workloads = (
+                    {w.name: w for w in spec.workloads}
+                    if spec is not None else None
+                )
                 fingerprint = (
                     spec_fingerprint(spec) if spec is not None else ""
                 )
@@ -1020,9 +1054,17 @@ def _ingest_sweep_history(args, specs, results, monitor, obs_metrics) -> None:
                     rows.append(trial_row_from_record(
                         record, fingerprint, commit, histogram=histogram,
                     ))
+                    utility_rows.extend(utility_rows_from_record(
+                        record, fingerprint, commit,
+                        histogram=histogram, workloads=workloads,
+                    ))
             outcomes = [store.add_trials(
                 rows, source=str(args.journal or "run")
             )]
+            if utility_rows:
+                outcomes.append(store.add_utility(
+                    utility_rows, source=str(args.journal or "run"),
+                ))
             outcomes.append(store.ingest_registry(
                 obs_metrics.get_registry(),
                 source=str(args.journal or "run"),
@@ -1159,6 +1201,199 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# The 'scenarios' / 'paper' subcommands (utility radar + publication)
+# ---------------------------------------------------------------------------
+
+def _build_scenarios_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dphist scenarios",
+        description="Run DPBench-grade scenario families — dataset "
+                    "shape x domain size x workload battery — through "
+                    "the supervised executor, journal the trials, and "
+                    "feed per-workload utility trajectories to the "
+                    "regression radar (docs/evaluation.md).",
+    )
+    parser.add_argument("--list", action="store_true",
+                        dest="list_scenarios",
+                        help="list registered scenarios and exit")
+    parser.add_argument("--scenarios", default=None, metavar="A,B,...",
+                        help="comma-separated scenario names "
+                             "(<family>/<label>; default: all)")
+    parser.add_argument("--families", default=None, metavar="F1,F2,...",
+                        help="comma-separated families — shorthand for "
+                             "every scenario in them")
+    parser.add_argument("--publishers", default=None, metavar="A,B,...",
+                        help="comma-separated publisher roster "
+                             "(default: the figure roster)")
+    parser.add_argument("--epsilons", default="0.1,1.0",
+                        metavar="E1,E2,...",
+                        help="comma-separated epsilon grid "
+                             "(default 0.1,1.0)")
+    parser.add_argument("--seeds", type=int, default=3, metavar="N",
+                        help="seeds per cell (default 3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink to 2 seeds, eps=1.0, and the "
+                             "64-bin scenarios (unless overridden)")
+    parser.add_argument("--n-jobs", dest="n_jobs", type=int, default=1,
+                        metavar="N",
+                        help="worker processes (1 = serial, -1 = all "
+                             "CPUs); bit-identical to serial")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="JSONL checkpoint journal shared by the "
+                             "whole run")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume a journaled run (only missing "
+                             "seeds execute)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="S",
+                        help="per-trial wall-clock budget (needs "
+                             "--n-jobs > 1)")
+    parser.add_argument("--retries", type=int, default=2, metavar="K",
+                        help="failed-attempt budget per seed (default 2)")
+    parser.add_argument("--history", default=None, metavar="DB",
+                        help="run-history store: auto-ingest trial rows "
+                             "AND per-workload utility rows (the "
+                             "utility radar's data feed)")
+    return parser
+
+
+def _scenarios_main(argv: List[str]) -> int:
+    """Entry point for ``python -m repro scenarios ...``."""
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.monitor import MetricsObserver, MultiObserver, RunStats
+    from repro.robust.sweep import run_sweep, sweep_table
+    from repro.scenarios import build_scenario_specs, list_scenarios
+
+    args = _build_scenarios_parser().parse_args(argv)
+    if args.list_scenarios:
+        for scenario in list_scenarios():
+            battery = len(scenario.workload_specs)
+            print(f"{scenario.name:28s} n={scenario.n_bins:<5d} "
+                  f"workloads={battery:<3d} {scenario.description}")
+        return 0
+    if args.n_jobs != -1 and args.n_jobs < 1:
+        print(f"error: --n-jobs must be >= 1 or -1, got {args.n_jobs}",
+              file=sys.stderr)
+        return 2
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    try:
+        epsilons = [float(e) for e in args.epsilons.split(",")
+                    if e.strip()]
+    except ValueError:
+        print(f"error: bad --epsilons {args.epsilons!r}", file=sys.stderr)
+        return 2
+    publishers = (
+        [p.strip() for p in args.publishers.split(",") if p.strip()]
+        if args.publishers else None
+    )
+    names = (
+        [s.strip() for s in args.scenarios.split(",") if s.strip()]
+        if args.scenarios else []
+    )
+    if args.families:
+        families = [f.strip() for f in args.families.split(",")
+                    if f.strip()]
+        try:
+            for family in families:
+                names.extend(s.name for s in list_scenarios(family))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    names = list(dict.fromkeys(names))  # dedup, keep order
+    seeds = args.seeds
+    if args.quick:
+        seeds = min(seeds, 2)
+        if args.epsilons == "0.1,1.0":
+            epsilons = [1.0]
+        if not names:
+            names = [s.name for s in list_scenarios()
+                     if s.n_bins <= 64]
+    try:
+        specs = build_scenario_specs(
+            scenarios=names or None,
+            publishers=publishers,
+            epsilons=epsilons,
+            n_seeds=seeds,
+            n_jobs=args.n_jobs,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = RunStats()
+    observers = [stats]
+    if args.history:
+        observers.append(MetricsObserver(obs_metrics.get_registry()))
+    results = run_sweep(
+        specs,
+        n_jobs=args.n_jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        journal=args.journal,
+        resume=args.resume,
+        observer=MultiObserver(observers),
+    )
+    table, failures = sweep_table(results)
+    table.title = "scenario sweep"
+    print(render_table(table))
+    print(stats.summary_line())
+    if args.history:
+        _ingest_sweep_history(args, specs, results, None, obs_metrics)
+    if failures:
+        print()
+        print(f"{len(failures)} quarantined trial(s):")
+        for failed in failures:
+            print(f"  {failed.describe()}")
+        return 1
+    return 0
+
+
+def _build_paper_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dphist paper",
+        description="Render the repro-paper publication bundle — "
+                    "markdown + LaTeX tables and SVG crossover figures "
+                    "— deterministically from the run-history store "
+                    "(docs/evaluation.md).  Each artifact generates "
+                    "inside its own error firewall; failures are "
+                    "listed, not fatal to the rest.",
+    )
+    parser.add_argument("--db", required=True, metavar="DB",
+                        help="run-history store to render from")
+    parser.add_argument("--out", required=True, metavar="DIR",
+                        help="output directory (paper.md, tables/, "
+                             "figures/)")
+    return parser
+
+
+def _paper_main(argv: List[str]) -> int:
+    """Entry point for ``python -m repro paper ...``."""
+    from pathlib import Path
+
+    from repro.exceptions import HistoryError
+    from repro.experiments.paper import generate_paper
+
+    args = _build_paper_parser().parse_args(argv)
+    if not Path(args.db).exists():
+        print(f"error: history store {args.db} does not exist "
+              "(ingest something first)", file=sys.stderr)
+        return 2
+    try:
+        result = generate_paper(args.db, args.out)
+    except HistoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for path in result.written:
+        print(f"wrote {path}")
+    for name in sorted(result.skipped):
+        print(f"skipped {name} (no data)")
+    for artifact, error in result.failures:
+        print(f"warning: {artifact} failed: {error}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     raw = list(argv) if argv is not None else sys.argv[1:]
@@ -1168,6 +1403,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _serve_main(raw[1:])
     if raw and raw[0] == "replay":
         return _replay_main(raw[1:])
+    if raw and raw[0] == "scenarios":
+        return _scenarios_main(raw[1:])
+    if raw and raw[0] == "paper":
+        return _paper_main(raw[1:])
 
     parser = _build_parser()
     args = parser.parse_args(raw)

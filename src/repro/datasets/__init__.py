@@ -8,7 +8,10 @@ Generic generators are also exported for property tests and ablations.
 """
 
 from repro.datasets.generators import (
+    cliff_histogram,
     gaussian_mixture_histogram,
+    power_law_histogram,
+    shifted_histogram,
     sparse_histogram,
     step_histogram,
     uniform_histogram,
@@ -18,7 +21,10 @@ from repro.datasets.standard import age, nettrace, searchlogs, socialnetwork
 from repro.datasets.registry import DATASETS, get_dataset, list_datasets
 
 __all__ = [
+    "cliff_histogram",
     "gaussian_mixture_histogram",
+    "power_law_histogram",
+    "shifted_histogram",
     "sparse_histogram",
     "step_histogram",
     "uniform_histogram",

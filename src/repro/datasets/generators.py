@@ -22,25 +22,56 @@ __all__ = [
     "gaussian_mixture_histogram",
     "step_histogram",
     "sparse_histogram",
+    "shifted_histogram",
+    "power_law_histogram",
+    "cliff_histogram",
 ]
 
 
 def _scale_to_total(weights: np.ndarray, total: int) -> np.ndarray:
     """Turn non-negative weights into integer counts summing to ``total``.
 
-    Uses largest-remainder rounding so the result is deterministic and
-    exactly sums to ``total``.
+    Largest-remainder apportionment: every share is floored and the
+    leftover units go to the largest fractional remainders (ties broken
+    by bin index, so the result is deterministic).  The sum is *exactly*
+    ``total`` for every weight vector — including the float-hostile
+    ones: non-finite entries are treated as zero mass, an all-zero (or
+    overflowing) vector degrades to uniform, and weights are
+    pre-normalized by their maximum so ``weights.sum()`` can neither
+    overflow to ``inf`` nor underflow to ``0`` for subnormal inputs.
     """
-    weights = np.clip(np.asarray(weights, dtype=np.float64), 0.0, None)
-    if weights.sum() <= 0:
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    weights = np.where(np.isfinite(weights), weights, 0.0)
+    weights = np.clip(weights, 0.0, None)
+    peak = weights.max() if weights.size else 0.0
+    if not peak > 0.0:
         weights = np.ones_like(weights)
-    shares = weights / weights.sum() * total
-    floors = np.floor(shares).astype(np.int64)
-    shortfall = int(total - floors.sum())
-    if shortfall > 0:
+        peak = 1.0
+    weights = weights / peak  # now in [0, 1]: sums are overflow-safe
+    shares = weights / weights.sum() * float(total)
+    floors = np.floor(shares)
+    # Float error can leave floor(share) a hair above the exact share
+    # sum; clamp the apportionment gap into [0, n] before distributing.
+    gap = int(round(float(total) - float(floors.sum())))
+    n = len(weights)
+    if gap > 0:
         remainders = shares - floors
-        top = np.argsort(remainders)[::-1][:shortfall]
-        floors[top] += 1
+        if gap >= n:  # degenerate float regime: spread the quotient
+            floors += gap // n
+            gap -= (gap // n) * n
+        if gap:
+            top = np.argsort(-remainders, kind="stable")[:gap]
+            floors[top] += 1
+    elif gap < 0:
+        # Only reachable through float round-off; shave the smallest
+        # remainders (never below zero).
+        order = np.argsort(shares - floors, kind="stable")
+        for idx in order:
+            if gap == 0:
+                break
+            if floors[idx] > 0:
+                floors[idx] -= 1
+                gap += 1
     return floors.astype(np.float64)
 
 
@@ -176,3 +207,85 @@ def sparse_histogram(
     weights[occupied] = magnitudes
     counts = _scale_to_total(weights, total)
     return Histogram.from_counts(counts, Domain.integers(n_bins, name="sparse"))
+
+
+def shifted_histogram(
+    n_bins: int,
+    total: int = 100_000,
+    shift: float = 0.5,
+    width: float = 0.08,
+    floor: float = 0.02,
+    rng: "np.random.Generator | int | None" = 0,
+) -> Histogram:
+    """A single Gaussian bump circularly shifted away from the origin.
+
+    Adversarial for publishers whose structure search favors head-heavy
+    mass (the classic Zipf benchmark): the mode sits at bin index
+    ``shift * n_bins`` (mod n), over a small uniform ``floor`` so no bin
+    is empty.  Sweeping ``shift`` moves the feature without changing the
+    marginal distribution of counts.
+    """
+    check_integer(n_bins, "n_bins", minimum=1)
+    check_integer(total, "total", minimum=0)
+    check_positive(width, "width")
+    generator = as_rng(rng)
+    x = np.arange(n_bins, dtype=np.float64) / max(n_bins, 1)
+    center = shift % 1.0
+    # Circular distance so the bump wraps instead of clipping at edges.
+    dist = np.minimum(np.abs(x - center), 1.0 - np.abs(x - center))
+    weights = np.exp(-0.5 * (dist / width) ** 2) + max(floor, 0.0)
+    weights *= 1.0 + 0.01 * generator.standard_normal(n_bins)
+    counts = _scale_to_total(weights, total)
+    return Histogram.from_counts(counts, Domain.integers(n_bins, name="shifted"))
+
+
+def power_law_histogram(
+    n_bins: int,
+    total: int = 100_000,
+    alpha: float = 1.5,
+    rng: "np.random.Generator | int | None" = 0,
+) -> Histogram:
+    """I.i.d. Pareto-magnitude counts with no spatial ordering.
+
+    Unlike :func:`zipf_histogram` (rank-sorted, hence smooth), every bin
+    draws an independent heavy-tailed magnitude, so neighboring bins can
+    differ by orders of magnitude — the worst case for merge-based
+    structure: any bucket wider than one bin pays large bias.
+    """
+    check_integer(n_bins, "n_bins", minimum=1)
+    check_integer(total, "total", minimum=0)
+    check_positive(alpha, "alpha")
+    generator = as_rng(rng)
+    weights = generator.pareto(alpha, size=n_bins) + 1.0
+    counts = _scale_to_total(weights, total)
+    return Histogram.from_counts(counts, Domain.integers(n_bins, name="power-law"))
+
+
+def cliff_histogram(
+    n_bins: int,
+    total: int = 100_000,
+    cliff_at: float = 0.5,
+    ratio: float = 50.0,
+    rng: "np.random.Generator | int | None" = 0,
+    jitter: float = 0.02,
+) -> Histogram:
+    """Two flat plateaus separated by one sharp cliff.
+
+    The high plateau carries ``ratio`` times the per-bin mass of the low
+    one.  Ideal for a 2-bucket structure — unless the partitioner places
+    a boundary off the cliff, in which case merging across it incurs the
+    full ``ratio`` bias.  Probes boundary-placement accuracy directly.
+    """
+    check_integer(n_bins, "n_bins", minimum=1)
+    check_integer(total, "total", minimum=0)
+    check_positive(ratio, "ratio")
+    if not 0.0 < cliff_at < 1.0:
+        raise ValueError(f"cliff_at must be in (0, 1), got {cliff_at}")
+    generator = as_rng(rng)
+    edge = min(max(int(round(cliff_at * n_bins)), 1), max(n_bins - 1, 1))
+    weights = np.ones(n_bins, dtype=np.float64)
+    weights[:edge] = ratio
+    if jitter > 0:
+        weights *= 1.0 + jitter * generator.standard_normal(n_bins)
+    counts = _scale_to_total(weights, total)
+    return Histogram.from_counts(counts, Domain.integers(n_bins, name="cliff"))

@@ -1,9 +1,12 @@
-"""Plain-text table rendering for experiment results.
+"""Table rendering for experiment results: text, markdown, and LaTeX.
 
 Every experiment emits one or more :class:`Table` objects — the same
-rows/series the paper's figures and tables report — rendered as aligned
-monospace text so results read cleanly from a terminal, a CI log, or
-EXPERIMENTS.md.
+rows/series the paper's figures and tables report.  Three renderers
+share the cell-formatting rules so a value prints identically in a
+terminal (:func:`render_table`), a markdown document
+(:func:`render_markdown`, used by ``repro paper`` and the dashboards),
+and a LaTeX table body (:func:`render_latex`, ready for ``\\input`` in
+a paper build).  All three are deterministic: same table, same bytes.
 """
 
 from __future__ import annotations
@@ -11,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Sequence
 
-__all__ = ["Table", "render_table"]
+__all__ = ["Table", "render_table", "render_markdown", "render_latex"]
 
 
 @dataclass
@@ -67,3 +70,73 @@ def render_table(table: Table) -> str:
         lines.append("")
         lines.append(f"note: {table.notes}")
     return "\n".join(lines)
+
+
+def _md_escape(text: str) -> str:
+    return text.replace("|", "\\|")
+
+
+def render_markdown(table: Table) -> str:
+    """GitHub-flavored markdown rendering of a :class:`Table`."""
+    lines = [f"### {table.title}", ""]
+    lines.append(
+        "| " + " | ".join(_md_escape(h) for h in table.headers) + " |"
+    )
+    lines.append("| " + " | ".join("---" for _ in table.headers) + " |")
+    for row in table.rows:
+        cells = (_md_escape(_format_cell(c)) for c in row)
+        lines.append("| " + " | ".join(cells) + " |")
+    if table.notes:
+        lines.append("")
+        lines.append(f"_{table.notes}_")
+    return "\n".join(lines) + "\n"
+
+
+#: LaTeX specials in cell text (backslash handled via sentinel).
+_LATEX_SPECIALS = (
+    ("&", r"\&"), ("%", r"\%"), ("$", r"\$"), ("#", r"\#"),
+    ("_", r"\_"), ("{", r"\{"), ("}", r"\}"),
+    ("~", r"\textasciitilde{}"), ("^", r"\textasciicircum{}"),
+    ("ε", r"$\varepsilon$"), ("↔", r"$\leftrightarrow$"),
+    ("—", "--"),
+)
+
+
+def _latex_escape(text: str) -> str:
+    # Input backslashes go through a sentinel so the braces of their
+    # replacement (and the backslashes of every other replacement)
+    # survive the remaining passes untouched.
+    text = text.replace("\\", "\x00")
+    for char, replacement in _LATEX_SPECIALS:
+        text = text.replace(char, replacement)
+    return text.replace("\x00", r"\textbackslash{}")
+
+
+def render_latex(table: Table) -> str:
+    """Booktabs-style LaTeX rendering of a :class:`Table`.
+
+    Emits a complete ``table`` float (caption from the title, notes as
+    a tablenotes line) so a paper build can ``\\input`` the file
+    verbatim.  Requires ``\\usepackage{booktabs}``.
+    """
+    n_cols = len(table.headers)
+    lines = [
+        r"\begin{table}[ht]",
+        r"\centering",
+        rf"\caption{{{_latex_escape(table.title)}}}",
+        rf"\begin{{tabular}}{{{'l' * n_cols}}}",
+        r"\toprule",
+        " & ".join(_latex_escape(h) for h in table.headers) + r" \\",
+        r"\midrule",
+    ]
+    for row in table.rows:
+        cells = (_latex_escape(_format_cell(c)) for c in row)
+        lines.append(" & ".join(cells) + r" \\")
+    lines.append(r"\bottomrule")
+    lines.append(r"\end{tabular}")
+    if table.notes:
+        lines.append(
+            rf"\par\smallskip\footnotesize {_latex_escape(table.notes)}"
+        )
+    lines.append(r"\end{table}")
+    return "\n".join(lines) + "\n"

@@ -53,9 +53,11 @@ from repro.obs.history import (
     HistoryStore,
     IngestResult,
     TrialRow,
+    UtilityRow,
     default_commit,
     sniff_source,
     trial_row_from_record,
+    utility_rows_from_record,
 )
 from repro.obs.drift import (
     DriftVerdict,
@@ -85,6 +87,7 @@ __all__ = [
     "Span",
     "Stopwatch",
     "TrialRow",
+    "UtilityRow",
     "best_of",
     "capture",
     "cusum_positive",
@@ -102,6 +105,7 @@ __all__ = [
     "sparkline",
     "stage_totals",
     "trial_row_from_record",
+    "utility_rows_from_record",
     "write_dashboard",
     "write_report",
 ]

@@ -6,6 +6,9 @@ markdown (or HTML) document:
 * **Accuracy trends** — one row per experiment cell with a unicode
   sparkline of the per-batch mean unit MSE, the latest observation,
   the oracle prediction, and the observed/oracle ratio;
+* **Utility trends** — per scenario family (schema v3): unit-error
+  trajectories with oracle-band verdict badges, plus
+  NoiseFirst ↔ StructureFirst crossover-length badges per scenario;
 * **Worst offenders** — cells ranked by how far their latest
   observation sits from the oracle anchor, and bench keys ranked by
   their latest-vs-reference slowdown;
@@ -52,10 +55,17 @@ def sparkline(values: Sequence[float], width: int = 16) -> str:
     """Unicode sparkline of a numeric series (empty series -> ``""``).
 
     Series longer than ``width`` keep their most recent points; a
-    constant series renders flat at the middle level so "no movement"
-    is visually distinct from "low".
+    constant series (single distinct value — zero range) renders flat
+    at the middle level so "no movement" is visually distinct from
+    "low".  ``None``/NaN/±inf entries are dropped rather than crashing
+    the render; an all-degenerate series returns ``""``.
     """
-    vals = [float(v) for v in values][-width:]
+    import math
+
+    vals = [
+        float(v) for v in values
+        if v is not None and math.isfinite(float(v))
+    ][-width:]
     if not vals:
         return ""
     lo, hi = min(vals), max(vals)
@@ -65,6 +75,7 @@ def sparkline(values: Sequence[float], width: int = 16) -> str:
     out = []
     for v in vals:
         idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1) + 0.5)
+        idx = min(max(idx, 0), len(_SPARK_LEVELS) - 1)
         out.append(_SPARK_LEVELS[idx])
     return "".join(out)
 
@@ -127,6 +138,131 @@ def _accuracy_section(store: HistoryStore) -> List[str]:
         "_Sparklines plot per-batch mean unit MSE, oldest → newest; "
         "`oracle` is the closed-form expected MSE conditioned on the "
         "realized structure (`repro.verify.oracles`)._"
+    )
+    return lines
+
+
+def _crossover_badges(store: HistoryStore, family: str) -> List[tuple]:
+    """NoiseFirst-vs-StructureFirst crossover rows for one family.
+
+    The paper's headline effect: StructureFirst loses on point queries
+    but wins once ranges are long enough.  For every (scenario, ε) with
+    both publishers present, compare their latest mean MSE at each
+    fixed range length (``unit`` counts as length 1) and report the
+    smallest length where StructureFirst is ahead.
+    """
+    by_cell: Dict[tuple, Dict[int, Dict[str, float]]] = {}
+    for fam, scen, pub, eps, wl in store.utility_cells(family):
+        if pub not in ("noisefirst", "structurefirst"):
+            continue
+        if wl == "unit":
+            length = 1
+        elif wl.startswith("len-"):
+            try:
+                length = int(wl[4:])
+            except ValueError:
+                continue
+        else:
+            continue
+        series = store.utility_series(fam, scen, pub, eps, wl)
+        points = [p for p in series if p["mean_mse"] is not None]
+        if not points:
+            continue
+        by_cell.setdefault((scen, eps), {}) \
+            .setdefault(length, {})[pub] = float(points[-1]["mean_mse"])
+    rows = []
+    for (scen, eps), lengths in sorted(by_cell.items()):
+        pairs = sorted(
+            (l, d) for l, d in lengths.items()
+            if "noisefirst" in d and "structurefirst" in d
+        )
+        if not pairs:
+            continue
+        crossover = next(
+            (l for l, d in pairs
+             if d["structurefirst"] < d["noisefirst"]),
+            None,
+        )
+        if crossover is None:
+            badge = f"NoiseFirst ahead through len {pairs[-1][0]}"
+        elif crossover == pairs[0][0]:
+            badge = "StructureFirst ahead at every length"
+        else:
+            badge = f"crossover at len {crossover}"
+        rows.append((
+            scen,
+            f"{eps:g}",
+            ", ".join(str(l) for l, _ in pairs),
+            "—" if crossover is None else str(crossover),
+            badge,
+        ))
+    return rows
+
+
+def _utility_section(store: HistoryStore,
+                     verdicts: Sequence[DriftVerdict]) -> List[str]:
+    """Per-family utility trends + crossover badges (v3 stores).
+
+    Omitted entirely until utility rows are ingested, so pre-v3
+    dashboards render byte-identically.
+    """
+    families = store.utility_families()
+    if not families:
+        return []
+    status_by_cell = {
+        v.cell: v.status for v in verdicts if v.kind == "utility"
+    }
+    lines = ["## Utility trends", ""]
+    for family in families:
+        lines.append(f"### {family}")
+        lines.append("")
+        rows = []
+        for fam, scen, pub, eps, wl in store.utility_cells(family):
+            if wl != "unit":
+                continue
+            series = store.utility_series(fam, scen, pub, eps, wl)
+            mses = [p["mean_mse"] for p in series
+                    if p["mean_mse"] is not None]
+            latest = series[-1]
+            oracle = latest["oracle_mse"]
+            ratio = None
+            if oracle and latest["mean_mse"] is not None and oracle > 0:
+                ratio = float(latest["mean_mse"]) / float(oracle)
+            cell = f"{fam}/{scen} [{pub}, eps={eps:g}, {wl}]"
+            status = status_by_cell.get(cell, "no-data")
+            rows.append((
+                scen, pub, f"{eps:g}", len(series),
+                sparkline(mses) or "—",
+                _fmt(latest["mean_mse"]), _fmt(oracle),
+                _fmt(ratio, digits=3),
+                _STATUS_BADGE.get(status, status),
+            ))
+        if rows:
+            lines.extend(_md_table(
+                ["scenario", "publisher", "ε", "batches",
+                 "unit MSE trend", "latest", "oracle", "obs/oracle",
+                 "status"],
+                rows,
+            ))
+            lines.append("")
+        badges = _crossover_badges(store, family)
+        if badges:
+            lines.append(
+                "NoiseFirst ↔ StructureFirst crossover by range length:"
+            )
+            lines.append("")
+            lines.extend(_md_table(
+                ["scenario", "ε", "lengths compared", "crossover",
+                 "badge"],
+                badges,
+            ))
+            lines.append("")
+    lines.append(
+        "_One row per unit-workload utility cell (schema v3); `status` "
+        "is the oracle-band utility verdict — range workloads are "
+        "gated too but summarized by the crossover badges, which mark "
+        "the query length where StructureFirst first beats NoiseFirst "
+        "(the paper's headline effect)._"
     )
     return lines
 
@@ -396,6 +532,7 @@ def _operations_section(store: HistoryStore) -> List[str]:
     counts = store.counts()
     lines.append(
         f"- store rows: {counts['trials']} trials, "
+        f"{counts['utility']} utility, "
         f"{counts['bench_entries']} bench entries, "
         f"{counts['metric_totals']} metric totals, "
         f"{counts['alerts']} alerts, {counts['batches']} batches "
@@ -495,6 +632,10 @@ def render_dashboard(
         sections: List[str] = [f"# Regression radar — `{name}`", ""]
         sections.extend(_accuracy_section(store))
         sections.append("")
+        utility = _utility_section(store, verdicts)
+        if utility:
+            sections.extend(utility)
+            sections.append("")
         sections.extend(_worst_offenders(store, verdicts))
         sections.append("")
         sections.extend(_perf_section(store))

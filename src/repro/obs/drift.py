@@ -38,6 +38,14 @@ Verdict semantics (what CI acts on):
   CUSUM alarm the latest point has already recovered from).  Reported,
   never fatal: this is the "not on noise" half of the contract.
 * ``ok`` / ``no-data`` — nothing to see / not enough trajectory yet.
+
+**Utility verdicts** (:func:`utility_verdicts`, v3 stores) apply the
+same oracle-band contract per (scenario, publisher, ε, *workload*)
+cell: the band's sample count is ``seeds × eff_queries``, so
+long-range workloads — fewer independent observations — get
+proportionally wider bands, and rolling-z / CUSUM on the normalized
+error (observed ÷ oracle) stay strictly advisory.  See
+``docs/evaluation.md``.
 """
 
 from __future__ import annotations
@@ -60,6 +68,7 @@ __all__ = [
     "perf_verdicts",
     "render_verdicts",
     "rolling_z",
+    "utility_verdicts",
 ]
 
 #: Relative standard deviation of a squared Laplace draw:
@@ -281,6 +290,109 @@ def accuracy_verdicts(
     return verdicts
 
 
+def utility_verdicts(
+    store: HistoryStore,
+    window: int = 5,
+    z_thresh: float = 4.0,
+    band_z: float = 4.0,
+    cusum_h: float = 5.0,
+) -> List[DriftVerdict]:
+    """One verdict per utility cell (scenario × publisher × ε × workload).
+
+    Same contract as :func:`accuracy_verdicts`, applied to the v3
+    per-workload utility table: the *only* fatal signal is an oracle
+    band violation (the band's sample count is ``seeds ×
+    eff_queries`` — long-range workloads carry fewer independent
+    observations, so their bands are proportionally wider).  Rolling-z
+    and a CUSUM over the *normalized* error trajectory
+    (observed / oracle where anchored, raw MSE otherwise) surface
+    longitudinal anomalies as ``watch``, never as failures.
+    """
+    verdicts: List[DriftVerdict] = []
+    for family, scenario, publisher, epsilon, workload in \
+            store.utility_cells():
+        series = store.utility_series(
+            family, scenario, publisher, epsilon, workload
+        )
+        cell = (
+            f"{family}/{scenario} [{publisher}, eps={epsilon:g}, "
+            f"{workload}]"
+        )
+        verdict = DriftVerdict(cell=cell, kind="utility", status="ok",
+                               n_points=len(series))
+        points = [p for p in series if p["mean_mse"] is not None]
+        if not points:
+            verdict.status = "no-data"
+            verdict.details.append("no successful trials in any batch")
+            verdicts.append(verdict)
+            continue
+        latest = points[-1]
+        observed = float(latest["mean_mse"])
+        verdict.observed = observed
+        verdict.n_points = len(points)
+
+        # Oracle anchoring: the confirmed-drift detector.
+        oracle = latest["oracle_mse"]
+        if oracle is not None and oracle > 0:
+            kind = latest.get("oracle_kind") or "exact"
+            band = oracle_band(
+                int(latest["n_ok"] or 0), latest.get("eff_queries"),
+                None, z=band_z,
+            )
+            ratio = observed / float(oracle)
+            verdict.expected = float(oracle)
+            verdict.ratio = ratio
+            verdict.band = band
+            if ratio > 1.0 + band:
+                verdict.status = "drift"
+                verdict.details.append(
+                    f"observed {workload} MSE {observed:.6g} exceeds "
+                    f"oracle {float(oracle):.6g} by {ratio:.2f}x "
+                    f"(band ±{band:.2f})"
+                )
+            elif kind == "exact" and ratio < 1.0 / (1.0 + band):
+                verdict.status = "drift"
+                verdict.details.append(
+                    f"observed {workload} MSE {observed:.6g} sits "
+                    f"{1 / ratio:.2f}x below the exact oracle "
+                    f"{float(oracle):.6g} — under-noised release? "
+                    f"(band ±{band:.2f})"
+                )
+        else:
+            verdict.details.append(
+                "no oracle anchor for this cell (longitudinal only)"
+            )
+
+        # Longitudinal detectors on normalized error -> watch only.
+        norm = [
+            float(p["mean_mse"]) / float(p["oracle_mse"])
+            if p["oracle_mse"] else float(p["mean_mse"])
+            for p in points
+        ]
+        z = rolling_z(norm, window)
+        if z is not None:
+            verdict.z = z
+            if abs(z) > z_thresh and verdict.status == "ok":
+                verdict.status = "watch"
+                verdict.details.append(
+                    f"latest normalized error departs the trailing "
+                    f"window (z={z:.3g}) but stays inside the oracle "
+                    f"band"
+                )
+        if len(norm) >= 3:
+            s = cusum_positive(norm)
+            verdict.cusum = s
+            if s > cusum_h and verdict.status == "ok":
+                verdict.status = "watch"
+                verdict.details.append(
+                    f"normalized error CUSUM {s:.2f} > {cusum_h:g} — "
+                    f"sustained upward creep without a confirmed band "
+                    f"violation"
+                )
+        verdicts.append(verdict)
+    return verdicts
+
+
 def perf_verdicts(
     store: HistoryStore,
     slack: float = 0.5,
@@ -336,10 +448,14 @@ def detect_drift(
     band_z: float = 4.0,
     cusum_h: float = 5.0,
 ) -> List[DriftVerdict]:
-    """All verdicts: accuracy cells first, then bench keys."""
+    """All verdicts: accuracy cells, utility cells, then bench keys."""
     out = accuracy_verdicts(
         store, window=window, z_thresh=z_thresh, band_z=band_z
     )
+    out.extend(utility_verdicts(
+        store, window=window, z_thresh=z_thresh, band_z=band_z,
+        cusum_h=cusum_h,
+    ))
     out.extend(perf_verdicts(store, h=cusum_h))
     return out
 

@@ -35,8 +35,23 @@ Schema versioning
 -----------------
 ``meta.schema_version`` records the store's schema; :class:`HistoryStore`
 migrates forward automatically through :data:`_MIGRATIONS` on open
-(v1 → v2 added the ``alerts`` table and ``trials.oracle_kind``) and
-refuses databases written by a *newer* schema.
+(v1 → v2 added the ``alerts`` table and ``trials.oracle_kind``;
+v2 → v3 added the per-workload ``utility`` table) and refuses databases
+written by a *newer* schema.
+
+Utility rows
+------------
+v3 adds the **utility table**: one row per (trial × workload), derived
+from the full per-workload error dict every journal payload already
+carries.  Scenario specs (``scenario/<family>/<label>/…``, see
+:mod:`repro.scenarios`) are self-describing, so offline ingestion
+rebuilds the exact dataset *and* workload battery from the registry and
+anchors every row with the publisher's conditional oracle
+(``workload_mse``); sweep specs contribute their unit workload under the
+pseudo-family ``sweep``.  ``ingest_journal_utility`` re-derives these
+rows from a journal without touching the trials table — the engine
+behind ``history ingest --rebuild``, which upgrades pre-v3 stores
+without re-running any experiments.
 """
 
 from __future__ import annotations
@@ -68,16 +83,18 @@ __all__ = [
     "HistoryStore",
     "IngestResult",
     "TrialRow",
+    "UtilityRow",
     "default_commit",
     "oracle_prediction",
     "parse_sweep_spec_name",
     "sniff_source",
     "trial_content_sha",
     "trial_row_from_record",
+    "utility_rows_from_record",
 ]
 
 #: Current schema version (see the module docstring for the changelog).
-HISTORY_SCHEMA = 2
+HISTORY_SCHEMA = 3
 
 #: ``sweep/<dataset>/<publisher>/eps=<eps>`` — the naming convention
 #: :func:`repro.robust.sweep.build_sweep_specs` guarantees.
@@ -132,23 +149,55 @@ def parse_sweep_spec_name(spec_name: str) -> Optional[Dict[str, str]]:
 # Oracle anchoring
 # ---------------------------------------------------------------------------
 
+def _radar_oracle(publisher: str, histogram: Any, epsilon: float,
+                  record: Any) -> Any:
+    """The oracle the *radar* anchors to for one realized trial.
+
+    Mostly :func:`repro.verify.oracles.oracle_from_result` — exact (or
+    an honest bound) conditional on the structure journaled in
+    ``record.meta``.  The one exception is a NoiseFirst publish that
+    actually merged: its partition was chosen from the *same* noisy
+    draw it then averages, so the partition-conditional formula is
+    selection-biased low (on merge-friendly data like step histograms
+    the empirical MSE sits ~3x above it) and would confirm drift on
+    honest runs.  What is unconditionally valid is the paper's
+    Section 4 claim — adaptive NoiseFirst never does worse than the
+    unmerged identity release — so those rows anchor to the identity
+    oracle as an ``upper_bound`` (flags from above only; the
+    calibration suite power-tests the bound).
+    """
+    from repro.verify.oracles import dwork_oracle, oracle_from_result
+
+    oracle = oracle_from_result(publisher, histogram, epsilon, record)
+    meta = getattr(record, "meta", {}) or {}
+    if str(publisher) == "noisefirst" and meta.get("partition") is not None:
+        import dataclasses
+
+        return dataclasses.replace(
+            dwork_oracle(histogram.size, epsilon),
+            publisher="noisefirst",
+            kind="upper_bound",
+            notes="Section-4 bound: merged NoiseFirst never worse than "
+                  "the unmerged identity (partition-conditional oracle "
+                  "is selection-biased low)",
+        )
+    return oracle
+
+
 def oracle_prediction(
     record: Any, histogram: Any, epsilon: float
 ) -> Tuple[Optional[float], Optional[str]]:
     """``(expected unit MSE, oracle kind)`` for one realized trial.
 
-    Builds the publisher's *conditional* error oracle from the trial's
-    journaled metadata (:func:`repro.verify.oracles.oracle_from_result`)
-    — exact for the structure-random publishers because the realized
-    partition / cluster / coefficient choice rides in ``record.meta``.
+    Builds the publisher's radar anchor (:func:`_radar_oracle`) from
+    the trial's journaled metadata — conditional on the realized
+    partition / cluster / coefficient choice riding in ``record.meta``.
     Returns ``(None, None)`` when no oracle can be built (unknown
     publisher, missing metadata): the drift engine then falls back to
     purely longitudinal detection for that cell.
     """
     try:
-        from repro.verify.oracles import oracle_from_result
-
-        oracle = oracle_from_result(
+        oracle = _radar_oracle(
             record.publisher, histogram, epsilon, record
         )
         return float(oracle.unit_mse()), oracle.kind
@@ -156,15 +205,40 @@ def oracle_prediction(
         return None, None
 
 
+def _parse_scenario(spec_name: str) -> Optional[Any]:
+    """Registry lookup for ``scenario/<family>/<label>/…`` spec names.
+
+    Returns the :class:`repro.scenarios.Scenario` or ``None`` (wrong
+    convention, unknown scenario, or the registry failed to import).
+    """
+    if not spec_name.startswith("scenario/"):
+        return None
+    try:
+        from repro.scenarios import parse_scenario_spec_name
+
+        parsed = parse_scenario_spec_name(spec_name)
+    except Exception:
+        return None
+    return parsed[0] if parsed else None
+
+
 def _reconstruct_histogram(
     spec_name: str, n_bins: int, total: int
 ) -> Optional[Any]:
-    """Rebuild a sweep dataset from its spec name (offline ingest).
+    """Rebuild a sweep or scenario dataset from its spec name.
 
     ``build_sweep_specs`` derives datasets deterministically from
     ``(dataset, n_bins, total)``, so the reconstruction is exact when
     the ingest flags match the sweep flags (they share defaults).
+    Scenario specs are self-describing: the registry pins their own
+    ``n_bins``/``total``, so the ingest flags are ignored for them.
     """
+    scenario = _parse_scenario(spec_name)
+    if scenario is not None:
+        try:
+            return scenario.build_histogram()
+        except Exception:
+            return None
     parsed = parse_sweep_spec_name(spec_name)
     if parsed is None:
         return None
@@ -177,6 +251,25 @@ def _reconstruct_histogram(
         return builder(n_bins=n_bins, total=total)
     except Exception:
         return None
+
+
+def _utility_context(
+    spec_name: str, n_bins: int, total: int
+) -> Tuple[Optional[Any], Optional[Dict[str, Any]]]:
+    """``(histogram, workloads-by-name)`` for utility derivation.
+
+    Scenario specs rebuild both from the registry; sweep specs rebuild
+    the dataset only (their single workload is ``unit``, which the
+    oracle handles without a Workload object).
+    """
+    scenario = _parse_scenario(spec_name)
+    if scenario is not None:
+        try:
+            workloads = {w.name: w for w in scenario.build_workloads()}
+            return scenario.build_histogram(), workloads
+        except Exception:
+            return None, None
+    return _reconstruct_histogram(spec_name, n_bins, total), None
 
 
 # ---------------------------------------------------------------------------
@@ -339,6 +432,156 @@ def trial_row_from_record(
     )
 
 
+@dataclass(frozen=True)
+class UtilityRow:
+    """One (trial × workload) utility observation (schema v3)."""
+
+    commit: str
+    fingerprint: str
+    spec_name: str
+    family: str
+    scenario: str
+    publisher: str
+    epsilon: float
+    seed: int
+    workload: str
+    n: Optional[int] = None
+    total: Optional[int] = None
+    n_queries: Optional[int] = None
+    eff_queries: Optional[int] = None
+    mse: Optional[float] = None
+    mae: Optional[float] = None
+    scaled: Optional[float] = None
+    max_abs: Optional[float] = None
+    oracle_mse: Optional[float] = None
+    oracle_kind: Optional[str] = None
+    content_sha: str = ""
+
+    @property
+    def dedup_key(self) -> str:
+        digest = hashlib.sha256()
+        for part in (self.commit, self.fingerprint, self.content_sha,
+                     self.workload):
+            digest.update(part.encode())
+            digest.update(b"|")
+        return digest.hexdigest()
+
+
+def _effective_queries(
+    workload: Optional[Any], workload_name: str,
+    n_queries: int, n: Optional[int],
+) -> int:
+    """Independent-information count backing the drift band for a row.
+
+    A workload of ``q`` queries of mean length ``L`` touching ``c``
+    distinct bins carries at most ``c / L`` independent per-bin
+    observations — long ranges average noise away, and clustered or
+    duplicated queries re-read the same bins, so both deflate the
+    information behind a per-seed mean.  The band uses ``seeds × eff``
+    as its sample count; clamping keeps concentrated workloads from
+    claiming unearned precision.
+    """
+    if n is None or n < 1:
+        return max(1, n_queries)
+    if workload is not None:
+        lengths = [q.length for q in workload.queries]
+        mean_len = sum(lengths) / len(lengths) if lengths else 1.0
+        covered: set = set()
+        for q in workload.queries:
+            covered.update(range(q.lo, q.hi + 1))
+        span = min(n, len(covered)) or n
+        return min(n_queries, max(1, int(round(span / max(mean_len, 1.0)))))
+    if workload_name == "unit":
+        return min(n_queries, n)
+    return max(1, min(n_queries, n))
+
+
+def utility_rows_from_record(
+    record: Any,
+    fingerprint: str,
+    commit: str,
+    histogram: Any = None,
+    workloads: "Optional[Dict[str, Any]]" = None,
+    total: Optional[int] = None,
+) -> "List[UtilityRow]":
+    """Per-workload utility rows for one run record.
+
+    One row per entry in ``record.workload_errors``, each anchored with
+    the publisher's conditional oracle prediction for *that* workload
+    when an oracle can be built (``workloads`` maps workload names to
+    reconstructed Workload objects; ``unit`` needs no object).  Failed
+    records and spec names outside the sweep/scenario conventions yield
+    no rows — utility trending only makes sense for reconstructible
+    cells.
+    """
+    from repro.robust.records import is_failed
+
+    if is_failed(record):
+        return []
+    spec_name = record.spec_name
+    scenario = _parse_scenario(spec_name)
+    if scenario is not None:
+        family, label = scenario.family, scenario.label
+        total = scenario.total if total is None else total
+    else:
+        parsed = parse_sweep_spec_name(spec_name)
+        if parsed is None:
+            return []
+        family, label = "sweep", parsed["dataset"]
+
+    meta = getattr(record, "meta", {}) or {}
+    epsilon = float(meta.get("spec_epsilon", record.epsilon))
+    n = int(histogram.size) if histogram is not None else None
+    oracle = None
+    if histogram is not None:
+        try:
+            oracle = _radar_oracle(
+                record.publisher, histogram, epsilon, record
+            )
+        except Exception:
+            oracle = None
+    content = trial_content_sha(record)
+    rows: List[UtilityRow] = []
+    for wname in sorted(record.workload_errors):
+        werr = record.workload_errors[wname]
+        wobj = workloads.get(wname) if workloads else None
+        oracle_mse = oracle_kind = None
+        if oracle is not None:
+            try:
+                if wobj is not None:
+                    oracle_mse = float(oracle.workload_mse(wobj))
+                    oracle_kind = oracle.kind
+                elif wname == "unit":
+                    oracle_mse = float(oracle.unit_mse())
+                    oracle_kind = oracle.kind
+            except Exception:
+                oracle_mse = oracle_kind = None
+        n_queries = int(werr.n_queries)
+        rows.append(UtilityRow(
+            commit=commit,
+            fingerprint=fingerprint,
+            spec_name=spec_name,
+            family=family,
+            scenario=label,
+            publisher=record.publisher,
+            epsilon=float(record.epsilon),
+            seed=int(record.seed),
+            workload=wname,
+            n=n,
+            total=total,
+            n_queries=n_queries,
+            eff_queries=_effective_queries(wobj, wname, n_queries, n),
+            mse=float(werr.mse),
+            mae=float(werr.mae),
+            scaled=float(werr.scaled),
+            max_abs=float(werr.max_abs),
+            oracle_mse=oracle_mse,
+            oracle_kind=oracle_kind,
+            content_sha=content,
+        ))
+    return rows
+
+
 # ---------------------------------------------------------------------------
 # Source sniffing
 # ---------------------------------------------------------------------------
@@ -473,11 +716,48 @@ def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
     )
 
 
+def _migrate_2_to_3(conn: sqlite3.Connection) -> None:
+    """v2 -> v3: the per-workload utility table (see module docstring)."""
+    conn.executescript(
+        """
+        CREATE TABLE IF NOT EXISTS utility (
+            id INTEGER PRIMARY KEY AUTOINCREMENT,
+            batch_id INTEGER NOT NULL REFERENCES batches(id),
+            commit_sha TEXT NOT NULL,
+            fingerprint TEXT NOT NULL,
+            spec_name TEXT NOT NULL,
+            family TEXT NOT NULL,
+            scenario TEXT NOT NULL,
+            publisher TEXT NOT NULL,
+            epsilon REAL NOT NULL,
+            seed INTEGER NOT NULL,
+            workload TEXT NOT NULL,
+            n INTEGER,
+            total INTEGER,
+            n_queries INTEGER,
+            eff_queries INTEGER,
+            mse REAL,
+            mae REAL,
+            scaled REAL,
+            max_abs REAL,
+            oracle_mse REAL,
+            oracle_kind TEXT,
+            content_sha TEXT NOT NULL,
+            dedup_key TEXT NOT NULL UNIQUE
+        );
+        CREATE INDEX IF NOT EXISTS utility_cell
+            ON utility (family, scenario, publisher, epsilon, workload,
+                        batch_id);
+        """
+    )
+
+
 #: Ordered ``(from_version, migration)`` steps; applied transactionally
 #: on open until the store reaches :data:`HISTORY_SCHEMA`.
 _MIGRATIONS: Tuple[Tuple[int, Any], ...] = (
     (0, _migrate_0_to_1),
     (1, _migrate_1_to_2),
+    (2, _migrate_2_to_3),
 )
 
 
@@ -618,26 +898,15 @@ class HistoryStore:
             commit,
         )
 
-    def ingest_journal(
-        self,
-        path: Union[str, Path],
-        commit: Optional[str] = None,
-        n_bins: int = 64,
-        total: int = 50_000,
-    ) -> IngestResult:
-        """Ingest a checkpoint journal (later entries win per cell).
-
-        ``n_bins``/``total`` drive offline dataset reconstruction for
-        oracle anchoring; they default to the ``run`` CLI defaults and
-        must match the flags of the sweep that wrote the journal for
-        the oracle column to be exact (mismatches degrade to ``NULL``,
-        never to a wrong anchor).
-        """
+    @staticmethod
+    def _journal_latest(
+        path: Union[str, Path]
+    ) -> "List[Tuple[str, Any]]":
+        """Latest ``(fingerprint, record)`` per journal cell."""
         from repro.robust.journal import CheckpointJournal, \
             record_from_payload
 
         journal = CheckpointJournal(path)
-        commit = commit if commit is not None else default_commit()
         latest: Dict[Tuple[str, str, str, int, float], Any] = {}
         for entry in journal.entries():
             key = entry["key"]
@@ -652,9 +921,28 @@ class HistoryStore:
                 entry.get("fingerprint", ""),
                 record_from_payload(entry["payload"]),
             )
+        return list(latest.values())
+
+    def ingest_journal(
+        self,
+        path: Union[str, Path],
+        commit: Optional[str] = None,
+        n_bins: int = 64,
+        total: int = 50_000,
+    ) -> IngestResult:
+        """Ingest a checkpoint journal (later entries win per cell).
+
+        ``n_bins``/``total`` drive offline dataset reconstruction for
+        oracle anchoring; they default to the ``run`` CLI defaults and
+        must match the flags of the sweep that wrote the journal for
+        the oracle column to be exact (mismatches degrade to ``NULL``,
+        never to a wrong anchor).  Trial rows only — see
+        :meth:`ingest_journal_utility` for the per-workload table.
+        """
+        commit = commit if commit is not None else default_commit()
         histograms: Dict[str, Any] = {}
         rows: List[TrialRow] = []
-        for fingerprint, record in latest.values():
+        for fingerprint, record in self._journal_latest(path):
             spec = record.spec_name
             if spec not in histograms:
                 histograms[spec] = _reconstruct_histogram(
@@ -665,6 +953,63 @@ class HistoryStore:
                 histogram=histograms[spec],
             ))
         return self.add_trials(rows, source=str(path))
+
+    def ingest_journal_utility(
+        self,
+        path: Union[str, Path],
+        commit: Optional[str] = None,
+        n_bins: int = 64,
+        total: int = 50_000,
+    ) -> IngestResult:
+        """Derive per-workload utility rows from a journal (schema v3).
+
+        Touches only the ``utility`` table, so it can re-process
+        journals whose trial rows are already ingested — the engine
+        behind ``history ingest --rebuild``.  Idempotent like every
+        other ingest path.
+        """
+        commit = commit if commit is not None else default_commit()
+        contexts: Dict[str, Tuple[Any, Any]] = {}
+        rows: List[UtilityRow] = []
+        for fingerprint, record in self._journal_latest(path):
+            spec = record.spec_name
+            if spec not in contexts:
+                contexts[spec] = _utility_context(spec, n_bins, total)
+            histogram, workloads = contexts[spec]
+            rows.extend(utility_rows_from_record(
+                record, fingerprint, commit,
+                histogram=histogram, workloads=workloads,
+            ))
+        return self.add_utility(rows, source=str(path))
+
+    # -- utility ingestion ---------------------------------------------
+    _UTILITY_COLUMNS = (
+        "commit_sha", "fingerprint", "spec_name", "family", "scenario",
+        "publisher", "epsilon", "seed", "workload", "n", "total",
+        "n_queries", "eff_queries", "mse", "mae", "scaled", "max_abs",
+        "oracle_mse", "oracle_kind", "content_sha", "dedup_key",
+    )
+
+    def add_utility(
+        self, rows: Iterable[UtilityRow], source: str = "records"
+    ) -> IngestResult:
+        """Append per-workload utility observations (deduplicated)."""
+        rows = list(rows)
+        commit = rows[0].commit if rows else "unknown"
+        packed = [
+            (
+                r.commit, r.fingerprint, r.spec_name, r.family,
+                r.scenario, r.publisher, r.epsilon, r.seed, r.workload,
+                r.n, r.total, r.n_queries, r.eff_queries, r.mse, r.mae,
+                r.scaled, r.max_abs, r.oracle_mse, r.oracle_kind,
+                r.content_sha, r.dedup_key,
+            )
+            for r in rows
+        ]
+        return self._insert_unique(
+            "utility", self._UTILITY_COLUMNS, packed, "utility", source,
+            commit,
+        )
 
     # -- bench ingestion -----------------------------------------------
     def ingest_bench_payload(
@@ -811,7 +1156,7 @@ class HistoryStore:
         """Row counts per table (dashboards, idempotency tests)."""
         out: Dict[str, int] = {}
         for table in ("batches", "trials", "bench_entries",
-                      "metric_totals", "alerts"):
+                      "metric_totals", "alerts", "utility"):
             row = self._conn.execute(
                 f"SELECT COUNT(*) AS c FROM {table}"
             ).fetchone()
@@ -851,6 +1196,66 @@ class HistoryStore:
             GROUP BY batch_id ORDER BY batch_id
             """,
             (spec_name, publisher, float(epsilon)),
+        ).fetchall()
+        return [dict(r) for r in rows]
+
+    def utility_families(self) -> List[str]:
+        """Distinct scenario families with utility rows, sorted."""
+        rows = self._conn.execute(
+            "SELECT DISTINCT family FROM utility ORDER BY family"
+        ).fetchall()
+        return [r["family"] for r in rows]
+
+    def utility_cells(
+        self, family: Optional[str] = None
+    ) -> List[Tuple[str, str, str, float, str]]:
+        """Distinct ``(family, scenario, publisher, ε, workload)`` cells."""
+        sql = (
+            "SELECT DISTINCT family, scenario, publisher, epsilon, "
+            "workload FROM utility"
+        )
+        params: Tuple[Any, ...] = ()
+        if family is not None:
+            sql += " WHERE family = ?"
+            params = (family,)
+        sql += " ORDER BY family, scenario, publisher, epsilon, workload"
+        rows = self._conn.execute(sql, params).fetchall()
+        return [
+            (r["family"], r["scenario"], r["publisher"],
+             float(r["epsilon"]), r["workload"])
+            for r in rows
+        ]
+
+    def utility_series(
+        self,
+        family: str,
+        scenario: str,
+        publisher: str,
+        epsilon: float,
+        workload: str,
+    ) -> List[Dict[str, Any]]:
+        """Per-batch aggregates for one utility cell, oldest first.
+
+        Each point: batch/commit identity, seed count, mean observed
+        MSE/MAE/scaled error, the mean oracle prediction (``None`` when
+        un-anchored) and its kind, plus ``n``/``eff_queries`` hints for
+        band sizing.
+        """
+        rows = self._conn.execute(
+            """
+            SELECT batch_id, MIN(commit_sha) AS commit_sha,
+                   COUNT(*) AS n_ok,
+                   AVG(mse) AS mean_mse, AVG(mae) AS mean_mae,
+                   AVG(scaled) AS mean_scaled,
+                   AVG(oracle_mse) AS oracle_mse,
+                   MIN(oracle_kind) AS oracle_kind,
+                   MAX(n) AS n, MAX(eff_queries) AS eff_queries
+            FROM utility
+            WHERE family = ? AND scenario = ? AND publisher = ?
+              AND epsilon = ? AND workload = ?
+            GROUP BY batch_id ORDER BY batch_id
+            """,
+            (family, scenario, publisher, float(epsilon), workload),
         ).fetchall()
         return [dict(r) for r in rows]
 

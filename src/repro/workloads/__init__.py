@@ -2,7 +2,10 @@
 
 from repro.workloads.builders import (
     all_ranges,
+    clustered_ranges,
     fixed_length_ranges,
+    heavy_tailed_ranges,
+    marginal_ranges,
     prefix_ranges,
     random_ranges,
     unit_queries,
@@ -16,4 +19,7 @@ __all__ = [
     "prefix_ranges",
     "random_ranges",
     "fixed_length_ranges",
+    "clustered_ranges",
+    "heavy_tailed_ranges",
+    "marginal_ranges",
 ]

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from repro._validation import as_rng, check_integer
 from repro.hist.ranges import RangeQuery
 from repro.workloads.workload import Workload
@@ -12,6 +16,9 @@ __all__ = [
     "prefix_ranges",
     "random_ranges",
     "fixed_length_ranges",
+    "clustered_ranges",
+    "heavy_tailed_ranges",
+    "marginal_ranges",
 ]
 
 
@@ -87,3 +94,99 @@ def fixed_length_ranges(
         starts = generator.integers(0, max_start + 1, size=count)
     queries = tuple(RangeQuery(int(s), int(s) + length - 1) for s in starts)
     return Workload(n=n, queries=queries, name=f"len-{length}")
+
+
+def clustered_ranges(
+    n: int,
+    count: int,
+    n_clusters: int = 3,
+    spread: float = 0.05,
+    weights: "Sequence[float] | None" = None,
+    rng: "object | int | None" = 0,
+) -> Workload:
+    """Short ranges whose midpoints cluster around a few hotspots.
+
+    Models real query logs, where interest concentrates on a handful of
+    regions instead of spreading uniformly.  ``weights`` sets the
+    relative probability of each cluster and is normalized internally,
+    so ``[2, 2, 2]`` and ``[1, 1, 1]`` describe the same workload.
+    """
+    check_integer(n, "n", minimum=1)
+    check_integer(count, "count", minimum=1)
+    check_integer(n_clusters, "n_clusters", minimum=1)
+    if spread <= 0:
+        raise ValueError(f"spread must be positive, got {spread}")
+    generator = as_rng(rng)
+    if weights is None:
+        probs = np.full(n_clusters, 1.0 / n_clusters)
+    else:
+        probs = np.asarray(list(weights), dtype=np.float64)
+        if len(probs) != n_clusters:
+            raise ValueError(
+                f"weights has {len(probs)} entries for {n_clusters} clusters"
+            )
+        if np.any(~np.isfinite(probs)) or np.any(probs < 0) or probs.sum() <= 0:
+            raise ValueError("weights must be non-negative, finite, non-zero")
+        probs = probs / probs.sum()
+    centers = generator.integers(0, n, size=n_clusters)
+    picks = generator.choice(n_clusters, size=count, p=probs)
+    sigma = max(spread * n, 1.0)
+    mids = centers[picks] + generator.normal(0.0, sigma, size=count)
+    mids = np.clip(np.round(mids), 0, n - 1).astype(np.int64)
+    half = np.maximum(
+        np.round(generator.exponential(sigma / 2.0, size=count)), 0
+    ).astype(np.int64)
+    los = np.clip(mids - half, 0, n - 1)
+    his = np.clip(mids + half, 0, n - 1)
+    queries = tuple(RangeQuery(int(a), int(b)) for a, b in zip(los, his))
+    return Workload(n=n, queries=queries, name="clustered")
+
+
+def heavy_tailed_ranges(
+    n: int,
+    count: int,
+    alpha: float = 1.2,
+    rng: "object | int | None" = 0,
+) -> Workload:
+    """Ranges whose lengths follow a power law: mostly short, a few huge.
+
+    Length ``L`` is drawn with ``P(L = l) ~ l**(-alpha)`` over ``[1, n]``
+    and the start is uniform over valid positions — the length profile
+    DPBench attributes to real range-query logs.
+    """
+    check_integer(n, "n", minimum=1)
+    check_integer(count, "count", minimum=1)
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    generator = as_rng(rng)
+    lengths_support = np.arange(1, n + 1, dtype=np.float64)
+    pmf = lengths_support ** (-alpha)
+    pmf /= pmf.sum()
+    lengths = generator.choice(n, size=count, p=pmf) + 1
+    starts = np.floor(
+        generator.random(size=count) * (n - lengths + 1)
+    ).astype(np.int64)
+    queries = tuple(
+        RangeQuery(int(s), int(s + l - 1)) for s, l in zip(starts, lengths)
+    )
+    return Workload(n=n, queries=queries, name="heavy-tail")
+
+
+def marginal_ranges(n: int, block: "int | None" = None) -> Workload:
+    """Disjoint contiguous blocks covering the domain — a coarse marginal.
+
+    With ``block = b`` the workload asks for the counts of each of the
+    ``ceil(n / b)`` aligned blocks (the last may be shorter), i.e. the
+    histogram at a coarser granularity.  Defaults to ``b ≈ sqrt(n)``,
+    giving the classic marginal-style workload.  Fully deterministic.
+    """
+    check_integer(n, "n", minimum=1)
+    if block is None:
+        block = max(1, int(round(n ** 0.5)))
+    check_integer(block, "block", minimum=1)
+    if block > n:
+        raise ValueError(f"block ({block}) cannot exceed n ({n})")
+    queries = tuple(
+        RangeQuery(lo, min(lo + block - 1, n - 1)) for lo in range(0, n, block)
+    )
+    return Workload(n=n, queries=queries, name=f"marginal-{block}")

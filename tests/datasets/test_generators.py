@@ -2,9 +2,15 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.datasets.generators import (
+    _scale_to_total,
+    cliff_histogram,
     gaussian_mixture_histogram,
+    power_law_histogram,
+    shifted_histogram,
     sparse_histogram,
     step_histogram,
     uniform_histogram,
@@ -21,6 +27,9 @@ class TestCommonContract:
             lambda: gaussian_mixture_histogram(50, total=10_000),
             lambda: step_histogram(50, 5, total=10_000, rng=0),
             lambda: sparse_histogram(50, total=10_000, rng=0),
+            lambda: shifted_histogram(50, total=10_000, rng=0),
+            lambda: power_law_histogram(50, total=10_000, rng=0),
+            lambda: cliff_histogram(50, total=10_000, rng=0),
         ],
     )
     def test_exact_total_and_nonneg_integers(self, factory):
@@ -95,3 +104,92 @@ class TestUniform:
     def test_near_flat(self):
         h = uniform_histogram(100, total=100_000, rng=0, jitter=0.01)
         assert h.counts.std() < 0.05 * h.counts.mean()
+
+
+class TestShifted:
+    def test_mode_at_shift(self):
+        h = shifted_histogram(100, total=100_000, shift=0.5, rng=0)
+        assert abs(int(np.argmax(h.counts)) - 50) <= 2
+
+    def test_shift_wraps(self):
+        h = shifted_histogram(100, total=100_000, shift=1.25, rng=0)
+        assert abs(int(np.argmax(h.counts)) - 25) <= 2
+
+    def test_floor_keeps_bins_occupied(self):
+        h = shifted_histogram(50, total=100_000, shift=0.5, floor=0.05, rng=0)
+        assert np.all(h.counts > 0)
+
+
+class TestPowerLaw:
+    def test_not_spatially_sorted(self):
+        h = power_law_histogram(200, total=100_000, rng=0)
+        assert int(np.argmax(h.counts)) != 0 or h.counts[1] < h.counts.max()
+        # Neighboring bins are independent draws: large local variation.
+        diffs = np.abs(np.diff(h.counts))
+        assert diffs.max() > 10 * np.median(h.counts[h.counts > 0])
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            power_law_histogram(10, alpha=0.0)
+
+
+class TestCliff:
+    def test_two_plateaus(self):
+        h = cliff_histogram(100, total=100_000, cliff_at=0.5, ratio=50.0, jitter=0.0)
+        high = h.counts[:50].mean()
+        low = h.counts[50:].mean()
+        assert high > 20 * low
+
+    def test_rejects_cliff_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            cliff_histogram(10, cliff_at=1.5)
+
+    def test_edge_never_degenerate(self):
+        # Extreme cliff positions still leave both plateaus non-empty.
+        h = cliff_histogram(10, total=1000, cliff_at=0.01, jitter=0.0)
+        assert h.counts[0] > h.counts[-1]
+
+
+class TestScaleToTotal:
+    """Satellite: largest-remainder apportionment sums exactly to total."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        weights=st.lists(
+            st.one_of(
+                st.floats(min_value=0.0, allow_nan=False, allow_infinity=False),
+                st.just(float("nan")),
+                st.just(float("inf")),
+            ),
+            min_size=1,
+            max_size=64,
+        ),
+        total=st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_exact_total_for_all_inputs(self, weights, total):
+        counts = _scale_to_total(np.array(weights, dtype=np.float64), total)
+        assert counts.sum() == total
+        assert np.all(counts >= 0)
+        assert np.all(counts == np.round(counts))
+
+    def test_overflow_weights_degrade_to_uniform(self):
+        # Regression: sum overflowed to inf, shares collapsed to 0, and the
+        # remainder pass could only bump n_bins of the missing units.
+        counts = _scale_to_total(np.array([1e308, 1e308, 1e308]), 7)
+        assert counts.sum() == 7
+        assert counts.max() - counts.min() <= 1
+
+    def test_proportionality_preserved(self):
+        counts = _scale_to_total(np.array([1.0, 2.0, 3.0]), 600)
+        assert list(counts) == [100.0, 200.0, 300.0]
+
+    def test_nonfinite_entries_treated_as_zero(self):
+        counts = _scale_to_total(np.array([np.nan, np.inf, 4.0]), 10)
+        assert counts.sum() == 10
+        assert counts[2] == 10
+
+    def test_deterministic_tie_break(self):
+        a = _scale_to_total(np.ones(7), 10)
+        b = _scale_to_total(np.ones(7), 10)
+        assert np.array_equal(a, b)
+        assert a.sum() == 10

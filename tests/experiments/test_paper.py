@@ -1,0 +1,221 @@
+"""Tests for the ``repro paper`` publication pipeline.
+
+Covers the markdown/LaTeX renderers, crossover extraction, the
+hand-rolled SVG figure, byte-determinism of the whole bundle, and the
+per-artifact error firewall.
+"""
+
+import pytest
+
+from repro.experiments.paper import (
+    _TABLE_BUILDERS,
+    crossover_curves,
+    crossover_figure_svg,
+    generate_paper,
+    paper_tables,
+)
+from repro.experiments.tables import Table, render_latex, render_markdown
+from repro.obs.history import HistoryStore, UtilityRow
+
+
+# ---------------------------------------------------------------------------
+# Renderers
+# ---------------------------------------------------------------------------
+
+def _demo_table():
+    table = Table(
+        title="Demo ε table — a|b",
+        headers=["name", "mse"],
+        notes="50% of $cost in {braces}_x",
+    )
+    table.add_row("unit", 2.0)
+    table.add_row("len-4", 123456.0)
+    return table
+
+
+class TestRenderMarkdown:
+    def test_golden(self):
+        out = render_markdown(_demo_table())
+        assert out == (
+            "### Demo ε table — a|b\n"
+            "\n"
+            "| name | mse |\n"
+            "| --- | --- |\n"
+            "| unit | 2 |\n"
+            "| len-4 | 1.235e+05 |\n"
+            "\n"
+            "_50% of $cost in {braces}_x_\n"
+        )
+
+    def test_pipe_escaped_in_cells(self):
+        table = Table(title="t", headers=["a"])
+        table.add_row("x|y")
+        assert "x\\|y" in render_markdown(table)
+        assert "\n| x|y |" not in render_markdown(table)
+
+
+class TestRenderLatex:
+    def test_structure_and_escaping(self):
+        out = render_latex(_demo_table())
+        assert out.startswith("\\begin{table}[ht]\n")
+        assert out.endswith("\\end{table}\n")
+        assert "\\toprule" in out and "\\bottomrule" in out
+        assert "\\begin{tabular}{ll}" in out
+        assert "$\\varepsilon$" in out  # ε mapped to math mode
+        assert "50\\% of \\$cost in \\{braces\\}\\_x" in out
+        assert "name & mse \\\\" in out
+        assert "unit & 2 \\\\" in out
+
+    def test_backslash_escaped_first(self):
+        table = Table(title="t", headers=["a"])
+        table.add_row("C:\\path_to")
+        out = render_latex(table)
+        # A later pass must not re-escape the backslash replacement.
+        assert "\\textbackslash{}path\\_to" in out
+        assert "\\textbackslash\\{\\}" not in out
+
+    def test_arrow_title(self):
+        table = Table(title="A ↔ B", headers=["x"])
+        table.add_row(1)
+        assert "$\\leftrightarrow$" in render_latex(table)
+
+
+# ---------------------------------------------------------------------------
+# Crossover extraction + figures + the full pipeline
+# ---------------------------------------------------------------------------
+
+def _urow(publisher, workload, mse, *, seed=0, commit="c1",
+          oracle=2.0, scenario="gmm-64", family="smooth"):
+    name = f"scenario/{family}/{scenario}/{publisher}/eps=1"
+    return UtilityRow(
+        commit=commit, fingerprint="f" * 64, spec_name=name,
+        family=family, scenario=scenario, publisher=publisher,
+        epsilon=1.0, seed=seed, workload=workload, n=64, total=50_000,
+        n_queries=64, eff_queries=16, mse=float(mse), mae=1.0,
+        scaled=0.1, max_abs=5.0, oracle_mse=oracle, oracle_kind="exact",
+        content_sha=f"{commit}/{seed}/{publisher}/{workload}/{mse}",
+    )
+
+
+@pytest.fixture()
+def crossing_store(tmp_path):
+    """NF beats SF at unit/len-4; SF wins at len-16 → crossover 16."""
+    store = HistoryStore(tmp_path / "h.sqlite")
+    rows = []
+    for workload, nf, sf in (
+        ("unit", 2.0, 200.0), ("len-4", 8.0, 40.0),
+        ("len-16", 32.0, 12.0), ("marginal-8", 16.0, 30.0),
+    ):
+        rows.append(_urow("noisefirst", workload, nf))
+        rows.append(_urow("structurefirst", workload, sf))
+    store.add_utility(rows, source="test")
+    yield store
+    store.close()
+
+
+class TestCrossoverCurves:
+    def test_lengths_sorted_and_paired(self, crossing_store):
+        curves = crossover_curves(crossing_store, "smooth")
+        assert list(curves) == [("gmm-64", 1.0)]
+        pairs = curves[("gmm-64", 1.0)]
+        # marginal-8 is not a length-family workload; unit == length 1.
+        assert [l for l, _, _ in pairs] == [1, 4, 16]
+        assert pairs[0] == (1, 2.0, 200.0)
+        assert pairs[2] == (16, 32.0, 12.0)
+
+    def test_crossover_table_verdict(self, crossing_store):
+        table = paper_tables(crossing_store)["crossover"]
+        (row,) = table.rows
+        assert row[4] == 16
+        assert "crossover at len 16" in row[5]
+
+    def test_publisher_missing_one_side_drops_pair(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.sqlite")
+        store.add_utility(
+            [_urow("noisefirst", "unit", 2.0)], source="test"
+        )
+        try:
+            assert crossover_curves(store, "smooth") == {}
+        finally:
+            store.close()
+
+
+class TestCrossoverFigure:
+    def test_svg_curves_and_marker(self, crossing_store):
+        curves = crossover_curves(crossing_store, "smooth")
+        svg = crossover_figure_svg("smooth", curves)
+        assert svg.count("<polyline") == 2  # NF solid + SF dashed
+        assert "stroke-dasharray" in svg
+        assert "<circle" in svg  # crossover marker
+        assert "(x@16)" in svg  # legend annotation
+        assert "range length (log2)" in svg
+
+    def test_empty_curves_fallback(self):
+        svg = crossover_figure_svg("smooth", {})
+        assert "no crossover data ingested" in svg
+        assert "<polyline" not in svg
+
+
+class TestGeneratePaper:
+    def test_writes_tables_figure_and_paper(self, crossing_store,
+                                            tmp_path):
+        result = generate_paper(crossing_store, tmp_path / "out")
+        assert result.ok
+        names = {p.name for p in result.written}
+        assert {"scenario_utility.md", "scenario_utility.tex",
+                "crossover.md", "crossover.tex",
+                "workload_regimes.md", "workload_regimes.tex",
+                "crossover-smooth.svg", "paper.md"} <= names
+        # No trial or bench rows ingested → those tables skip cleanly.
+        assert set(result.skipped) == {"sweep_accuracy", "bench"}
+        paper = (tmp_path / "out" / "paper.md").read_text()
+        assert "figures/crossover-smooth.svg" in paper
+        assert "crossover at len 16" in paper
+        assert "_No data for: bench, sweep_accuracy._" in paper
+
+    def test_byte_determinism(self, crossing_store, tmp_path):
+        r1 = generate_paper(crossing_store, tmp_path / "a")
+        r2 = generate_paper(crossing_store, tmp_path / "b")
+        files1 = sorted(p.relative_to(tmp_path / "a")
+                        for p in r1.written)
+        files2 = sorted(p.relative_to(tmp_path / "b")
+                        for p in r2.written)
+        assert files1 == files2
+        for rel in files1:
+            assert (tmp_path / "a" / rel).read_bytes() == \
+                (tmp_path / "b" / rel).read_bytes()
+
+    def test_error_isolation(self, crossing_store, tmp_path,
+                             monkeypatch):
+        def explode(store):
+            raise RuntimeError("malformed cell")
+
+        monkeypatch.setitem(_TABLE_BUILDERS, "crossover", explode)
+        result = generate_paper(crossing_store, tmp_path / "out")
+        assert not result.ok
+        assert ("table:crossover", "RuntimeError('malformed cell')") \
+            in result.failures
+        names = {p.name for p in result.written}
+        # The other tables and the figure still rendered.
+        assert "scenario_utility.md" in names
+        assert "crossover-smooth.svg" in names
+        paper = (tmp_path / "out" / "paper.md").read_text()
+        assert "## Generation failures" in paper
+        assert "table:crossover" in paper
+
+    def test_empty_store_still_writes_paper(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.sqlite")
+        try:
+            result = generate_paper(store, tmp_path / "out")
+        finally:
+            store.close()
+        assert result.ok
+        assert [p.name for p in result.written] == ["paper.md"]
+        assert set(result.skipped) == set(_TABLE_BUILDERS)
+        assert "_No data for:" in \
+            (tmp_path / "out" / "paper.md").read_text()
+
+    def test_accepts_db_path(self, crossing_store, tmp_path):
+        result = generate_paper(crossing_store.path, tmp_path / "out")
+        assert result.ok
+        assert (tmp_path / "out" / "paper.md").exists()

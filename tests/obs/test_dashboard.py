@@ -68,6 +68,18 @@ class TestSparkline:
         vals = [3.1, 2.9, 8.0, 1.0]
         assert sparkline(vals) == sparkline(vals)
 
+    def test_single_value_renders_mid_level(self):
+        # Regression: a single distinct value has zero range.
+        assert sparkline([7.0]) == "▄"
+
+    def test_nan_values_are_dropped_not_fatal(self):
+        # Regression: int(NaN) used to raise during level mapping.
+        assert sparkline([1.0, float("nan"), 2.0]) == \
+            sparkline([1.0, 2.0])
+
+    def test_all_degenerate_series_is_empty(self):
+        assert sparkline([float("nan"), None, float("inf")]) == ""
+
 
 class TestRenderDashboard:
     def test_all_sections_present(self, populated):
@@ -94,8 +106,8 @@ class TestRenderDashboard:
 
     def test_operations_counts_rows(self, populated):
         text = render_dashboard(populated)
-        assert ("- store rows: 4 trials, 2 bench entries, "
-                "0 metric totals, 1 alerts, 5 batches (schema v2)") in text
+        assert ("- store rows: 4 trials, 0 utility, 2 bench entries, "
+                "0 metric totals, 1 alerts, 5 batches (schema v3)") in text
 
     def test_empty_store_renders_placeholders(self, store):
         text = render_dashboard(store)
@@ -148,6 +160,54 @@ class TestWriteDashboard:
     def test_html_from_suffix(self, populated, tmp_path):
         out = write_dashboard(populated, tmp_path / "dash.html")
         assert out.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestUtilitySection:
+    def _add_utility(self, store, commit="c1", mse=8.0, workload="unit",
+                     publisher="noisefirst"):
+        from repro.obs.history import UtilityRow
+
+        store.add_utility([
+            UtilityRow(
+                commit=commit, fingerprint="f" * 64,
+                spec_name=f"scenario/smooth/gmm-64/{publisher}/eps=0.5",
+                family="smooth", scenario="gmm-64",
+                publisher=publisher, epsilon=EPS, seed=seed,
+                workload=workload, n=64, total=50_000, n_queries=64,
+                eff_queries=64, mse=mse, mae=2.0, scaled=0.1,
+                max_abs=9.0, oracle_mse=ORACLE, oracle_kind="exact",
+                content_sha=f"{commit}/{publisher}/{workload}/{seed}",
+            )
+            for seed in range(2)
+        ])
+
+    def test_absent_until_utility_rows_ingested(self, populated):
+        assert "## Utility trends" not in render_dashboard(populated)
+
+    def test_renders_family_rows_with_status(self, populated):
+        self._add_utility(populated, mse=8.0)
+        text = render_dashboard(populated)
+        assert "## Utility trends" in text
+        assert "### smooth" in text
+        assert "| gmm-64 | noisefirst | 0.5 |" in text
+        assert "✓ ok" in text
+
+    def test_crossover_badge_present_with_both_publishers(self, populated):
+        # NoiseFirst wins at unit, StructureFirst wins at len-16.
+        self._add_utility(populated, mse=4.0, publisher="noisefirst",
+                          workload="unit")
+        self._add_utility(populated, mse=9.0, publisher="structurefirst",
+                          workload="unit")
+        self._add_utility(populated, mse=30.0, publisher="noisefirst",
+                          workload="len-16")
+        self._add_utility(populated, mse=11.0,
+                          publisher="structurefirst", workload="len-16")
+        text = render_dashboard(populated)
+        assert "crossover at len 16" in text
+
+    def test_deterministic_with_utility_section(self, populated):
+        self._add_utility(populated)
+        assert render_dashboard(populated) == render_dashboard(populated)
 
 
 class TestServingResilienceSection:

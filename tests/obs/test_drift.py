@@ -23,8 +23,9 @@ from repro.obs.drift import (
     perf_verdicts,
     render_verdicts,
     rolling_z,
+    utility_verdicts,
 )
-from repro.obs.history import HistoryStore, TrialRow
+from repro.obs.history import HistoryStore, TrialRow, UtilityRow
 
 EPS = 0.5
 N_BINS = 64
@@ -189,6 +190,117 @@ class TestAccuracyVerdicts:
         )
         store.add_trials([row])
         assert accuracy_verdicts(store)[0].status == "no-data"
+
+
+def _urow(commit, seed, mse, workload="unit", eff=N_BINS,
+          oracle=ORACLE, kind="exact", publisher="dwork"):
+    return UtilityRow(
+        commit=commit, fingerprint="f" * 64,
+        spec_name=f"scenario/smooth/gmm-64/{publisher}/eps=0.5",
+        family="smooth", scenario="gmm-64", publisher=publisher,
+        epsilon=EPS, seed=seed, workload=workload, n=N_BINS,
+        total=50_000, n_queries=N_BINS, eff_queries=eff,
+        mse=float(mse), mae=1.0, scaled=0.1, max_abs=5.0,
+        oracle_mse=oracle, oracle_kind=kind,
+        content_sha=f"{commit}/{seed}/{workload}/{mse}",
+    )
+
+
+class TestUtilityVerdicts:
+    def test_misscaled_publisher_is_confirmed_drift(self, store):
+        """The acceptance contract: Laplace at 2/eps fails the radar."""
+        rng = np.random.default_rng(7)
+        store.add_utility([
+            _urow("c1", seed, _empirical_mse(rng, 2.0 / EPS, N_BINS))
+            for seed in range(3)
+        ])
+        verdicts = utility_verdicts(store)
+        assert len(verdicts) == 1
+        v = verdicts[0]
+        assert v.kind == "utility"
+        assert v.status == "drift"
+        assert v.ratio == pytest.approx(4.0, rel=0.35)
+        assert has_confirmed_drift(verdicts)
+
+    def test_honest_noise_stays_green_across_commits(self, store):
+        """Honest seeded runs across >= 3 commits never go fatal."""
+        rng = np.random.default_rng(11)
+        for i in range(8):
+            store.add_utility([
+                _urow(f"c{i}", seed,
+                      _empirical_mse(rng, 1.0 / EPS, N_BINS))
+                for seed in range(3)
+            ])
+        verdicts = utility_verdicts(store)
+        assert [v.status for v in verdicts] == ["ok"]
+        assert not has_confirmed_drift(verdicts)
+
+    def test_long_range_workloads_get_wider_bands(self, store):
+        """Same 2x excess: fatal at eff=64, inside the band at eff=4."""
+        store.add_utility(
+            [_urow("c1", s, 2.0 * ORACLE, workload="unit", eff=64)
+             for s in range(3)]
+            + [_urow("c1", s, 2.0 * ORACLE, workload="len-32", eff=4)
+               for s in range(3)]
+        )
+        by_cell = {v.cell: v for v in utility_verdicts(store)}
+        unit = next(v for c, v in by_cell.items() if "unit" in c)
+        long_range = next(v for c, v in by_cell.items() if "len-32" in c)
+        assert unit.status == "drift"
+        assert long_range.status == "ok"
+        assert long_range.band > unit.band
+
+    def test_undernoised_exact_oracle_flags_from_below(self, store):
+        store.add_utility([
+            _urow("c1", s, ORACLE / 5.0) for s in range(3)
+        ])
+        v = utility_verdicts(store)[0]
+        assert v.status == "drift"
+        assert "under-noised" in "; ".join(v.details)
+
+    def test_upper_bound_oracles_never_flag_from_below(self, store):
+        store.add_utility([
+            _urow("c1", s, ORACLE / 5.0, kind="upper_bound")
+            for s in range(3)
+        ])
+        assert utility_verdicts(store)[0].status == "ok"
+
+    def test_sustained_creep_is_watch_not_drift(self, store):
+        """Slow upward creep inside the band alarms the CUSUM only."""
+        levels = [1.0] * 5 + [1.1] * 4
+        for i, level in enumerate(levels):
+            store.add_utility([_urow(f"c{i}", 0, level * ORACLE)])
+        v = utility_verdicts(store)[0]
+        assert v.status == "watch"
+        assert v.cusum > 5.0
+        assert "creep" in "; ".join(v.details)
+        assert not has_confirmed_drift([v])
+
+    def test_unanchored_cell_is_longitudinal_only(self, store):
+        for i, mse in enumerate((2.0, 2.0, 2.0, 8.0)):
+            store.add_utility([
+                _urow(f"c{i}", s, mse, oracle=None, kind=None)
+                for s in range(2)
+            ])
+        v = utility_verdicts(store)[0]
+        assert v.status == "watch"
+        assert v.z == math.inf
+        assert "no oracle anchor" in "; ".join(v.details)
+        assert not has_confirmed_drift([v])
+
+    def test_detect_drift_orders_utility_between_accuracy_and_perf(
+        self, store
+    ):
+        store.add_trials([_trial("c1", 0, ORACLE)])
+        store.add_utility([_urow("c1", 0, ORACLE)])
+        store.ingest_bench_payload(
+            {"profile": "quick", "calibration_seconds": 0.03,
+             "entries": {"k": {"seconds": 0.2, "normalized": 6.5}}},
+            "BENCH.json", commit="c1",
+        )
+        verdicts = detect_drift(store)
+        assert [v.kind for v in verdicts] == \
+            ["accuracy", "utility", "perf"]
 
 
 class TestPerfVerdicts:

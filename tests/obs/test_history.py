@@ -43,7 +43,7 @@ class TestSchema:
         assert store.schema_version == HISTORY_SCHEMA
         assert store.counts() == {
             "batches": 0, "trials": 0, "bench_entries": 0,
-            "metric_totals": 0, "alerts": 0,
+            "metric_totals": 0, "alerts": 0, "utility": 0,
         }
 
     def test_v1_database_migrates_forward(self, tmp_path):
@@ -372,6 +372,214 @@ class TestContentHashing:
                          publisher="p", epsilon=0.5, seed=0, ok=True,
                          content_sha="x")
         assert row.dedup_key != other.dedup_key
+
+
+class TestUtilityIngestion:
+    """End-to-end: real scenario runs -> journal -> utility table."""
+
+    N_WORKLOADS = 7  # unit, marginal, clustered, heavy-tail, 3x len-*
+
+    @pytest.fixture(scope="class")
+    def scenario_journal(self, tmp_path_factory):
+        from repro.experiments.runner import run_matrix
+        from repro.scenarios import build_scenario_specs
+
+        path = tmp_path_factory.mktemp("scenario") / "scenario.jsonl"
+        j = CheckpointJournal(path)
+        (spec,) = build_scenario_specs(
+            scenarios=["smooth/gmm-64"], publishers=["dwork"],
+            epsilons=(1.0,), n_seeds=2,
+        )
+        run_matrix(spec, journal=j)
+        return j
+
+    def test_one_row_per_trial_workload(self, store, scenario_journal,
+                                        monkeypatch):
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        result = store.ingest_journal_utility(scenario_journal.path)
+        assert result.kind == "utility"
+        assert result.new_rows == 2 * self.N_WORKLOADS
+        assert store.counts()["utility"] == 2 * self.N_WORKLOADS
+        assert store.utility_families() == ["smooth"]
+
+    def test_every_workload_is_oracle_anchored(self, store,
+                                               scenario_journal,
+                                               monkeypatch):
+        """dwork: unit oracle 2/eps^2; a length-L range pays L times that."""
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        store.ingest_journal_utility(scenario_journal.path)
+        cells = store.utility_cells()
+        assert len(cells) == self.N_WORKLOADS
+        for family, scenario, publisher, eps, workload in cells:
+            (point,) = store.utility_series(
+                family, scenario, publisher, eps, workload
+            )
+            assert point["oracle_mse"] is not None
+            assert point["oracle_kind"] == "exact"
+        (unit,) = store.utility_series(
+            "smooth", "gmm-64", "dwork", 1.0, "unit"
+        )
+        assert unit["oracle_mse"] == pytest.approx(2.0)
+        assert unit["eff_queries"] == 64
+        (len16,) = store.utility_series(
+            "smooth", "gmm-64", "dwork", 1.0, "len-16"
+        )
+        assert len16["oracle_mse"] == pytest.approx(32.0)
+        assert len16["eff_queries"] < unit["eff_queries"]
+
+    def test_reingest_is_a_noop(self, store, scenario_journal,
+                                monkeypatch):
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        store.ingest_journal_utility(scenario_journal.path)
+        before = store.counts()
+        result = store.ingest_journal_utility(scenario_journal.path)
+        assert result.new_rows == 0
+        assert result.batch_id is None
+        assert store.counts() == before
+
+    def test_rebuild_leaves_trial_rows_untouched(self, store,
+                                                 scenario_journal,
+                                                 monkeypatch):
+        """The --rebuild path: utility rows derive from old journals."""
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        store.ingest_journal(scenario_journal.path)
+        trials_before = store.counts()["trials"]
+        result = store.ingest_journal_utility(scenario_journal.path)
+        assert result.new_rows == 2 * self.N_WORKLOADS
+        assert store.counts()["trials"] == trials_before
+
+    def test_honest_history_stays_green_across_commits(
+        self, store, scenario_journal, monkeypatch
+    ):
+        """Acceptance: >= 3 commits of honest seeded runs, zero verdicts
+        worse than ok."""
+        from repro.obs.drift import has_confirmed_drift, utility_verdicts
+
+        for commit in ("c1", "c2", "c3"):
+            monkeypatch.setenv("REPRO_COMMIT", commit)
+            store.ingest_journal_utility(scenario_journal.path)
+        verdicts = utility_verdicts(store)
+        assert len(verdicts) == self.N_WORKLOADS
+        assert {v.status for v in verdicts} == {"ok"}
+        assert not has_confirmed_drift(verdicts)
+
+    def test_misscaled_publisher_run_is_confirmed_drift(
+        self, store, tmp_path, monkeypatch
+    ):
+        """Acceptance: a 2/eps mis-scaled publisher, run through the real
+        pipeline under dwork's name, produces a fatal utility verdict."""
+        from repro.baselines.dwork import DworkIdentity
+        from repro.experiments.runner import run_matrix
+        from repro.experiments.spec import ExperimentSpec
+        from repro.obs.drift import has_confirmed_drift, utility_verdicts
+        from repro.scenarios import get_scenario
+
+        class MisScaledDwork(DworkIdentity):
+            def _publish(self, histogram, accountant, rng):
+                epsilon = accountant.total.epsilon
+                accountant.spend(accountant.total, purpose="laplace")
+                noisy = histogram.counts + rng.laplace(
+                    0.0, 2.0 / epsilon, histogram.size
+                )
+                return noisy, {}
+
+        scenario = get_scenario("smooth/gmm-64")
+        spec = ExperimentSpec(
+            name="scenario/smooth/gmm-64/dwork/eps=1",
+            histogram=scenario.build_histogram(),
+            publisher_factory=MisScaledDwork,
+            epsilon=1.0,
+            workloads=scenario.build_workloads(),
+            seeds=(0, 1),
+        )
+        j = CheckpointJournal(tmp_path / "misscaled.jsonl")
+        run_matrix(spec, journal=j)
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        store.ingest_journal_utility(j.path)
+        verdicts = utility_verdicts(store)
+        by_workload = {
+            v.cell.rsplit(", ", 1)[-1].rstrip("]"): v for v in verdicts
+        }
+        unit = by_workload["unit"]
+        assert unit.status == "drift"
+        assert unit.ratio == pytest.approx(4.0, rel=0.4)
+        assert has_confirmed_drift(verdicts)
+
+
+class TestNoiseFirstAnchoring:
+    """Adaptive NoiseFirst picks its partition from the same noisy draw
+    it averages, so the partition-conditional oracle is selection-biased
+    low (~3x on step data).  The radar anchors merged-NF rows to the
+    Section-4 identity bound instead — honest runs on NF's best-case
+    scenario must stay green, and a mis-scaled NF must still confirm."""
+
+    @pytest.fixture(scope="class")
+    def step_journal(self, tmp_path_factory):
+        from repro.experiments.runner import run_matrix
+        from repro.scenarios import build_scenario_specs
+
+        path = tmp_path_factory.mktemp("nf") / "step.jsonl"
+        j = CheckpointJournal(path)
+        (spec,) = build_scenario_specs(
+            scenarios=["step/step-64"], publishers=["noisefirst"],
+            epsilons=(1.0,), n_seeds=2,
+        )
+        run_matrix(spec, journal=j)
+        return j
+
+    def test_merged_nf_anchors_to_identity_upper_bound(
+        self, store, step_journal, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        store.ingest_journal_utility(step_journal.path)
+        (point,) = store.utility_series(
+            "step", "step-64", "noisefirst", 1.0, "unit"
+        )
+        assert point["oracle_kind"] == "upper_bound"
+        assert point["oracle_mse"] == pytest.approx(2.0)  # identity 2/eps^2
+        # Merging genuinely helps on step data — well below the bound.
+        assert point["mean_mse"] < point["oracle_mse"]
+
+    def test_honest_nf_on_its_best_scenario_stays_green(
+        self, store, step_journal, monkeypatch
+    ):
+        from repro.obs.drift import has_confirmed_drift, utility_verdicts
+
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        store.ingest_journal_utility(step_journal.path)
+        verdicts = utility_verdicts(store)
+        assert {v.status for v in verdicts} == {"ok"}
+        assert not has_confirmed_drift(verdicts)
+
+    def test_misscaled_nf_still_confirms_drift(
+        self, store, tmp_path, monkeypatch
+    ):
+        from repro.core.noise_first import NoiseFirst
+        from repro.experiments.runner import run_matrix
+        from repro.obs.drift import has_confirmed_drift, utility_verdicts
+        from repro.scenarios import build_scenario_specs
+
+        class MisScaledNF(NoiseFirst):
+            def __init__(self):
+                super().__init__()
+                self.sensitivity = 2.0  # Laplace(2/eps) for an eps spend
+
+        (spec,) = build_scenario_specs(
+            scenarios=["step/step-64"], publishers=["noisefirst"],
+            epsilons=(1.0,), n_seeds=2,
+        )
+        spec = type(spec)(
+            **{**spec.__dict__, "publisher_factory": MisScaledNF}
+        )
+        j = CheckpointJournal(tmp_path / "mis-nf.jsonl")
+        run_matrix(spec, journal=j)
+        monkeypatch.setenv("REPRO_COMMIT", "c1")
+        store.ingest_journal_utility(j.path)
+        verdicts = utility_verdicts(store)
+        unit = [v for v in verdicts if v.cell.endswith("unit]")][0]
+        assert unit.status == "drift"
+        assert unit.ratio > 1.0 + unit.band
+        assert has_confirmed_drift(verdicts)
 
 
 class TestPriorCellStats:

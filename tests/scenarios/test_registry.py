@@ -1,0 +1,156 @@
+"""Tests for the scenario-family registry."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    FAMILIES,
+    SCENARIOS,
+    Scenario,
+    build_scenario_specs,
+    get_scenario,
+    list_families,
+    list_scenarios,
+    parse_scenario_spec_name,
+)
+
+
+class TestRegistryShape:
+    def test_six_families_two_sizes(self):
+        assert len(FAMILIES) == 6
+        for family in FAMILIES:
+            sizes = sorted(s.n_bins for s in list_scenarios(family))
+            assert sizes == [64, 256]
+
+    def test_names_are_family_slash_label(self):
+        for name, s in SCENARIOS.items():
+            assert name == f"{s.family}/{s.label}"
+
+    def test_get_scenario_roundtrip(self):
+        for name in SCENARIOS:
+            assert get_scenario(name).name == name
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("nope/never")
+
+    def test_list_unknown_family_raises(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            list_scenarios("nope")
+
+
+class TestScenarioReconstruction:
+    def test_histogram_deterministic_and_exact_total(self):
+        for s in SCENARIOS.values():
+            a = s.build_histogram()
+            b = s.build_histogram()
+            assert np.array_equal(a.counts, b.counts)
+            assert a.total == s.total
+            assert a.size == s.n_bins
+
+    def test_workloads_deterministic(self):
+        s = get_scenario("smooth/gmm-64")
+        a = s.build_workloads()
+        b = s.build_workloads()
+        assert tuple(w.queries for w in a) == tuple(w.queries for w in b)
+
+    def test_workload_battery_names(self):
+        s = get_scenario("cliff/cliff-64")
+        names = [w.name for w in s.build_workloads()]
+        assert names[0] == "unit"
+        assert any(n.startswith("marginal-") for n in names)
+        assert "clustered" in names
+        assert "heavy-tail" in names
+        assert any(n.startswith("len-") for n in names)
+        # Crossover curve needs >= 3 fixed lengths plus unit.
+        assert sum(n.startswith("len-") for n in names) >= 3
+
+    def test_fingerprint_sensitive_to_params(self):
+        s = get_scenario("spiky/power-law-64")
+        tweaked = Scenario(
+            family=s.family,
+            label=s.label,
+            generator=s.generator,
+            n_bins=s.n_bins,
+            total=s.total,
+            gen_params=(("alpha", 2.5), ("rng", 0)),
+            workload_specs=s.workload_specs,
+        )
+        assert s.fingerprint() != tweaked.fingerprint()
+
+    def test_fingerprint_stable(self):
+        s = get_scenario("step/step-64")
+        assert s.fingerprint() == s.fingerprint()
+
+
+class TestScenarioValidation:
+    def test_rejects_slash_in_label(self):
+        with pytest.raises(ValueError):
+            Scenario(family="a", label="b/c", generator="uniform",
+                     n_bins=8, total=10)
+
+    def test_rejects_unknown_workload_op(self):
+        with pytest.raises(ValueError, match="workload spec"):
+            Scenario(family="a", label="b", generator="uniform",
+                     n_bins=8, total=10, workload_specs=(("bogus",),))
+
+    def test_unknown_generator_fails_at_build(self):
+        s = Scenario(family="a", label="b", generator="missing",
+                     n_bins=8, total=10)
+        with pytest.raises(ValueError, match="unknown generator"):
+            s.build_histogram()
+
+
+class TestSpecBuilding:
+    def test_spec_names_follow_convention(self):
+        specs = build_scenario_specs(
+            scenarios=["smooth/gmm-64"],
+            publishers=["noisefirst", "structurefirst"],
+            epsilons=(0.1,),
+            n_seeds=2,
+        )
+        assert [s.name for s in specs] == [
+            "scenario/smooth/gmm-64/noisefirst/eps=0.1",
+            "scenario/smooth/gmm-64/structurefirst/eps=0.1",
+        ]
+        assert all(s.seeds == (0, 1) for s in specs)
+
+    def test_specs_reproducible_fingerprints(self):
+        a = build_scenario_specs(scenarios=["cliff/cliff-64"],
+                                 publishers=["dwork"], epsilons=(1.0,))
+        b = build_scenario_specs(scenarios=["cliff/cliff-64"],
+                                 publishers=["dwork"], epsilons=(1.0,))
+        assert a[0].fingerprint() == b[0].fingerprint()
+
+    def test_rejects_unknown_publisher(self):
+        with pytest.raises(ValueError, match="unknown publisher"):
+            build_scenario_specs(publishers=["bogus"])
+
+    def test_rejects_bad_seeds(self):
+        with pytest.raises(ValueError, match="n_seeds"):
+            build_scenario_specs(n_seeds=0)
+
+
+class TestSpecNameParsing:
+    def test_parse_roundtrip(self):
+        parsed = parse_scenario_spec_name(
+            "scenario/heavy-tail/zipf-256/boost/eps=0.5"
+        )
+        assert parsed is not None
+        scenario, publisher, eps = parsed
+        assert scenario.name == "heavy-tail/zipf-256"
+        assert publisher == "boost"
+        assert eps == 0.5
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "sweep/age/dwork/eps=0.1",
+            "scenario/unknown/family-64/dwork/eps=0.1",
+            "scenario/smooth/gmm-64/dwork/eps=abc",
+            "scenario/smooth/gmm-64/dwork",
+            "not-a-spec",
+        ],
+    )
+    def test_parse_rejects(self, name):
+        assert parse_scenario_spec_name(name) is None

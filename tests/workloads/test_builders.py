@@ -5,7 +5,10 @@ import pytest
 
 from repro.workloads.builders import (
     all_ranges,
+    clustered_ranges,
     fixed_length_ranges,
+    heavy_tailed_ranges,
+    marginal_ranges,
     prefix_ranges,
     random_ranges,
     unit_queries,
@@ -79,3 +82,116 @@ class TestFixedLengthRanges:
 
     def test_name_encodes_length(self):
         assert fixed_length_ranges(10, 4).name == "len-4"
+
+
+class TestClusteredRanges:
+    def test_count_and_validity(self):
+        w = clustered_ranges(100, count=50, rng=0)
+        assert len(w) == 50
+        for q in w:
+            q.validate_for(100)
+
+    def test_deterministic(self):
+        a = clustered_ranges(100, count=20, rng=5)
+        b = clustered_ranges(100, count=20, rng=5)
+        assert a.queries == b.queries
+
+    def test_midpoints_cluster(self):
+        w = clustered_ranges(1000, count=300, n_clusters=2, spread=0.01, rng=0)
+        mids = np.array([(q.lo + q.hi) / 2 for q in w])
+        # Two tight clusters: midpoint std is far below uniform's ~289.
+        assert mids.std() < 250
+
+    def test_weight_normalization(self):
+        # Scaled weights describe the same distribution.
+        a = clustered_ranges(100, count=40, n_clusters=2, weights=[1.0, 1.0], rng=7)
+        b = clustered_ranges(100, count=40, n_clusters=2, weights=[5.0, 5.0], rng=7)
+        assert a.queries == b.queries
+
+    def test_skewed_weights_shift_mass(self):
+        w = clustered_ranges(
+            1000, count=200, n_clusters=2, weights=[100.0, 0.001], spread=0.01, rng=3
+        )
+        mids = np.array([(q.lo + q.hi) / 2 for q in w])
+        # Essentially all queries land on the dominant cluster.
+        assert mids.std() < 60
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            clustered_ranges(100, count=10, n_clusters=2, weights=[1.0])
+        with pytest.raises(ValueError):
+            clustered_ranges(100, count=10, n_clusters=2, weights=[-1.0, 2.0])
+        with pytest.raises(ValueError):
+            clustered_ranges(100, count=10, n_clusters=2, weights=[0.0, 0.0])
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            clustered_ranges(0, count=10)
+
+    def test_single_bin_domain(self):
+        w = clustered_ranges(1, count=5, rng=0)
+        assert all(q.lo == 0 and q.hi == 0 for q in w)
+
+
+class TestHeavyTailedRanges:
+    def test_count_and_validity(self):
+        w = heavy_tailed_ranges(200, count=100, rng=0)
+        assert len(w) == 100
+        for q in w:
+            q.validate_for(200)
+
+    def test_mostly_short_with_long_tail(self):
+        w = heavy_tailed_ranges(1000, count=2000, alpha=1.2, rng=0)
+        lengths = np.array(w.lengths())
+        assert np.median(lengths) < 20
+        assert lengths.max() > 100
+
+    def test_deterministic(self):
+        a = heavy_tailed_ranges(100, count=30, rng=4)
+        b = heavy_tailed_ranges(100, count=30, rng=4)
+        assert a.queries == b.queries
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            heavy_tailed_ranges(100, count=10, alpha=0.0)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            heavy_tailed_ranges(0, count=10)
+
+    def test_single_bin_domain(self):
+        w = heavy_tailed_ranges(1, count=5, rng=0)
+        assert all(q.lo == 0 and q.hi == 0 for q in w)
+
+
+class TestMarginalRanges:
+    def test_blocks_tile_domain(self):
+        w = marginal_ranges(10, block=3)
+        assert [(q.lo, q.hi) for q in w] == [(0, 2), (3, 5), (6, 8), (9, 9)]
+
+    def test_default_block_near_sqrt(self):
+        w = marginal_ranges(100)
+        assert w.name == "marginal-10"
+        assert len(w) == 10
+
+    def test_disjoint_and_covering(self):
+        w = marginal_ranges(17, block=4)
+        covered = sorted(i for q in w for i in range(q.lo, q.hi + 1))
+        assert covered == list(range(17))
+
+    def test_single_bin_domain(self):
+        w = marginal_ranges(1)
+        assert [(q.lo, q.hi) for q in w] == [(0, 0)]
+
+    def test_block_of_one_is_unit(self):
+        w = marginal_ranges(5, block=1)
+        assert all(q.length == 1 for q in w)
+        assert len(w) == 5
+
+    def test_rejects_block_above_n(self):
+        with pytest.raises(ValueError):
+            marginal_ranges(5, block=6)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            marginal_ranges(0)
